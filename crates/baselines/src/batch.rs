@@ -1,0 +1,200 @@
+//! Batch-mode baselines: OLB placement and the Power Saving setup.
+
+use dvfs_model::{CoreId, Platform, RateIdx, Task, TaskId};
+use dvfs_sim::{GovernorKind, Policy, SimConfig, SimView};
+
+/// OLB placement: walk the tasks in their given order and put each on
+/// the core with the earliest ready-to-execute time, estimating each
+/// task's duration at the core's *capped* top rate (OLB keeps cores at
+/// the highest level; Power Saving reuses this placement with a lower
+/// cap). Returns per-core FIFO sequences.
+///
+/// ```
+/// use dvfs_baselines::olb_assignment;
+/// use dvfs_model::{task::batch_workload, Platform};
+///
+/// let tasks = batch_workload(&[1_000_000_000; 8]);
+/// let seqs = olb_assignment(&tasks, &Platform::i7_950_quad(), None);
+/// // Equal tasks balance evenly across the four cores.
+/// assert!(seqs.iter().all(|s| s.len() == 2));
+/// ```
+///
+/// # Panics
+/// Panics when `rate_cap` is out of range for any core.
+#[must_use]
+pub fn olb_assignment(
+    tasks: &[Task],
+    platform: &Platform,
+    rate_cap: Option<RateIdx>,
+) -> Vec<Vec<TaskId>> {
+    let n = platform.num_cores();
+    let mut ready = vec![0.0f64; n];
+    let mut seqs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for t in tasks {
+        // Earliest-ready core; ties to the lowest index.
+        let j = (0..n)
+            .min_by(|&a, &b| {
+                ready[a]
+                    .partial_cmp(&ready[b])
+                    .expect("finite ready times")
+                    .then(a.cmp(&b))
+            })
+            .expect("platform has cores");
+        let table = &platform.core(j).expect("in range").rates;
+        let top = rate_cap.map_or(table.max_rate(), |c| c.min(table.max_rate()));
+        ready[j] += table.exec_time(top, t.cycles);
+        seqs[j].push(t.id);
+    }
+    seqs
+}
+
+/// The Power Saving run configuration of Section V-A.3: the on-demand
+/// governor with the usable frequencies restricted to the lower half of
+/// the range (indices `0..=cap`).
+#[must_use]
+pub fn power_saving_config(platform: Platform, cap: RateIdx) -> SimConfig {
+    SimConfig::new(platform)
+        .with_governor(GovernorKind::ondemand_paper())
+        .with_rate_cap(cap)
+}
+
+/// Replays fixed per-core FIFO sequences *without* forcing frequencies:
+/// the configured governor (on-demand for OLB/Power Saving) owns the
+/// rate. The batch counterpart of `dvfs_sim::PlanPolicy` for
+/// governor-driven baselines.
+#[derive(Debug)]
+pub struct GovernedPlanPolicy {
+    name: String,
+    seqs: Vec<Vec<TaskId>>,
+    cursor: Vec<usize>,
+    arrived: usize,
+    expected: usize,
+}
+
+impl GovernedPlanPolicy {
+    /// Build from per-core FIFO sequences.
+    #[must_use]
+    pub fn new(name: &str, seqs: Vec<Vec<TaskId>>) -> Self {
+        let expected = seqs.iter().map(Vec::len).sum();
+        let cursor = vec![0; seqs.len()];
+        GovernedPlanPolicy {
+            name: name.to_string(),
+            seqs,
+            cursor,
+            arrived: 0,
+            expected,
+        }
+    }
+
+    fn dispatch_next(&mut self, sim: &mut SimView<'_>, core: CoreId) {
+        let pos = self.cursor[core];
+        if let Some(&tid) = self.seqs[core].get(pos) {
+            self.cursor[core] += 1;
+            sim.dispatch(core, tid, None); // governor decides the rate
+        }
+    }
+}
+
+impl Policy for GovernedPlanPolicy {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_arrival(&mut self, sim: &mut SimView<'_>, _task: &Task) {
+        self.arrived += 1;
+        if self.arrived == self.expected {
+            for core in 0..sim.num_cores() {
+                if sim.is_idle(core) {
+                    self.dispatch_next(sim, core);
+                }
+            }
+        }
+    }
+
+    fn on_completion(&mut self, sim: &mut SimView<'_>, core: CoreId, _task: &Task) {
+        self.dispatch_next(sim, core);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_model::task::batch_workload;
+    use dvfs_sim::Simulator;
+
+    #[test]
+    fn olb_balances_ready_times() {
+        let platform = Platform::i7_950_quad();
+        // 8 equal tasks over 4 cores → 2 each.
+        let tasks = batch_workload(&[1_000_000_000; 8]);
+        let seqs = olb_assignment(&tasks, &platform, None);
+        assert!(seqs.iter().all(|s| s.len() == 2), "{seqs:?}");
+    }
+
+    #[test]
+    fn olb_prefers_idle_cores_for_big_tasks() {
+        let platform = Platform::i7_950_quad();
+        // First task is huge; the next three land on other cores; the
+        // fifth (small) goes wherever ready time is least — not core 0.
+        let tasks = batch_workload(&[50_000_000_000, 1_000, 1_000, 1_000, 1_000]);
+        let seqs = olb_assignment(&tasks, &platform, None);
+        assert_eq!(seqs[0], vec![TaskId(0)]);
+        let total: usize = seqs.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn governed_plan_executes_under_ondemand() {
+        let platform = Platform::i7_950_quad();
+        let tasks = batch_workload(&[4_000_000_000; 4]);
+        let seqs = olb_assignment(&tasks, &platform, None);
+        let cfg = SimConfig::new(platform).with_governor(GovernorKind::ondemand_paper());
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&tasks);
+        let report = sim.run(&mut GovernedPlanPolicy::new("olb", seqs));
+        assert_eq!(report.completed(), 4);
+        // The governor ramps from 1.6 GHz to 3 GHz after the first tick:
+        // faster than all-slow (2.5 s) but slower than all-fast (1.32 s).
+        assert!(report.makespan < 2.5 && report.makespan > 1.32, "{}", report.makespan);
+    }
+
+    #[test]
+    fn power_saving_never_exceeds_the_cap() {
+        let platform = Platform::i7_950_quad();
+        let tasks = batch_workload(&[4_800_000_000; 4]);
+        let seqs = olb_assignment(&tasks, &platform, Some(2));
+        let cfg = power_saving_config(Platform::i7_950_quad(), 2);
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&tasks);
+        let report = sim.run(&mut GovernedPlanPolicy::new("power-saving", seqs));
+        assert_eq!(report.completed(), 4);
+        // Fastest possible under the 2.4 GHz cap: 4.8e9 × 0.42 ns ≈
+        // 2.016 s; the governor also spends the first second at 1.6 GHz,
+        // so the makespan must exceed the capped lower bound.
+        assert!(report.makespan >= 2.016 - 1e-9);
+        // Energy per cycle can never exceed the 2.4 GHz level.
+        let max_epc = 5.0e-9;
+        let total_cycles: f64 = tasks.iter().map(|t| t.cycles as f64).sum();
+        assert!(report.active_energy_joules <= total_cycles * max_epc + 1e-6);
+    }
+
+    #[test]
+    fn power_saving_is_slower_but_cheaper_than_olb() {
+        let tasks = batch_workload(&[6_000_000_000; 8]);
+        let run = |cap: Option<RateIdx>| {
+            let platform = Platform::i7_950_quad();
+            let seqs = olb_assignment(&tasks, &platform, cap);
+            let cfg = match cap {
+                Some(c) => power_saving_config(platform, c),
+                None => SimConfig::new(platform).with_governor(GovernorKind::ondemand_paper()),
+            };
+            let mut sim = Simulator::new(cfg);
+            sim.add_tasks(&tasks);
+            sim.run(&mut GovernedPlanPolicy::new("x", seqs))
+        };
+        let olb = run(None);
+        let ps = run(Some(2));
+        assert!(ps.makespan > olb.makespan);
+        assert!(ps.active_energy_joules < olb.active_energy_joules);
+    }
+}

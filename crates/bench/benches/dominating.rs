@@ -1,0 +1,36 @@
+//! E-A2: Algorithm 1 runs in Θ(|P|).
+//!
+//! Sweeps the rate-table size and measures the dominating-position-range
+//! computation; the reported time should grow linearly in |P|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvfs_core::DominatingRanges;
+use dvfs_model::{CostParams, RateTable};
+use std::hint::black_box;
+
+fn bench_dominating(c: &mut Criterion) {
+    let params = CostParams::batch_paper();
+    let mut group = c.benchmark_group("algorithm1_dominating_ranges");
+    for levels in [4usize, 16, 64, 256, 1024, 4096] {
+        let table = RateTable::synthetic_quadratic(levels, 0.2, 4.2);
+        group.throughput(Throughput::Elements(levels as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &table, |b, t| {
+            b.iter(|| DominatingRanges::compute(black_box(t), black_box(params)));
+        });
+    }
+    group.finish();
+
+    // Position lookups are O(log |P̂|).
+    let table = RateTable::synthetic_quadratic(1024, 0.2, 4.2);
+    let dr = DominatingRanges::compute(&table, params);
+    c.bench_function("rate_for_position_lookup", |b| {
+        let mut k = 1u64;
+        b.iter(|| {
+            k = k % 1_000_000 + 1;
+            black_box(dr.rate_for(black_box(k)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_dominating);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E-A4: per-event overhead of the online policies — full trace replays
+//! of LMC, OLB, and On-demand, reported per task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvfs_baselines::{OlbOnline, OnDemandOnline};
+use dvfs_core::LeastMarginalCost;
+use dvfs_model::{CostParams, Platform};
+use dvfs_sim::{GovernorKind, SimConfig, Simulator};
+use dvfs_workloads::JudgeTraceConfig;
+
+fn bench_online(c: &mut Criterion) {
+    let platform = Platform::i7_950_quad();
+    let params = CostParams::online_paper();
+    let mut group = c.benchmark_group("online_trace_replay");
+    group.sample_size(10);
+    for scale in [32usize, 8] {
+        let mut cfg = JudgeTraceConfig::paper_heavy(1);
+        cfg.non_interactive = (cfg.non_interactive / scale).max(1);
+        cfg.interactive = (cfg.interactive / scale).max(1);
+        let trace = cfg.generate();
+        group.throughput(Throughput::Elements(trace.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("lmc", trace.len()), &trace, |b, trace| {
+            b.iter(|| {
+                let mut policy = LeastMarginalCost::new(&platform, params);
+                let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+                sim.add_tasks(trace);
+                sim.run(&mut policy).completed()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("olb", trace.len()), &trace, |b, trace| {
+            b.iter(|| {
+                let mut policy = OlbOnline::new(4);
+                let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+                sim.add_tasks(trace);
+                sim.run(&mut policy).completed()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ondemand", trace.len()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut policy = OnDemandOnline::new(4);
+                    let mut sim = Simulator::new(
+                        SimConfig::new(platform.clone())
+                            .with_governor(GovernorKind::ondemand_paper()),
+                    );
+                    sim.add_tasks(trace);
+                    sim.run(&mut policy).completed()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

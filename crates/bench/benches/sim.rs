@@ -1,0 +1,68 @@
+//! E-A5: raw simulator event throughput — batch plan replays across core
+//! counts, and the cost of the contention model's full-resync path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvfs_core::schedule_wbg;
+use dvfs_model::task::batch_workload;
+use dvfs_model::{CoreSpec, CostParams, Platform, RateTable};
+use dvfs_power::memory_contention;
+use dvfs_sim::{PlanPolicy, SimConfig, Simulator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn tasks(n: usize) -> Vec<dvfs_model::Task> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    batch_workload(&(0..n).map(|_| rng.gen_range(1_000_000..1_000_000_000)).collect::<Vec<_>>())
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let params = CostParams::batch_paper();
+    let mut group = c.benchmark_group("sim_batch_replay");
+    group.sample_size(20);
+    for ncores in [1usize, 4, 16, 64] {
+        let platform =
+            Platform::homogeneous(ncores, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let work = tasks(20_000);
+        let plan = schedule_wbg(&work, &platform, params);
+        group.throughput(Throughput::Elements(work.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ncores),
+            &(platform, work, plan),
+            |b, (platform, work, plan)| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+                    sim.add_tasks(work);
+                    sim.run(&mut PlanPolicy::new(plan.clone())).completed()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Contention forces an all-core resync per event: measure the tax.
+    let platform = Platform::i7_950_quad();
+    let work = tasks(20_000);
+    let plan = schedule_wbg(&work, &platform, params);
+    let mut group = c.benchmark_group("sim_contention_tax");
+    group.sample_size(20);
+    group.bench_function("ideal", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+            sim.add_tasks(&work);
+            sim.run(&mut PlanPolicy::new(plan.clone())).completed()
+        });
+    });
+    group.bench_function("contended", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                SimConfig::new(platform.clone()).with_contention(memory_contention(0.03)),
+            );
+            sim.add_tasks(&work);
+            sim.run(&mut PlanPolicy::new(plan.clone())).completed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

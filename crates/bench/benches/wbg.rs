@@ -1,0 +1,65 @@
+//! E-A3: batch scheduling scalability — Algorithm 2 and Algorithm 3 run
+//! in `O(|J| log |J|)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvfs_core::{schedule_homogeneous, schedule_single_core, schedule_wbg};
+use dvfs_model::task::batch_workload;
+use dvfs_model::{CostParams, Platform, RateTable};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn workload(n: usize) -> Vec<dvfs_model::Task> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let cycles: Vec<u64> = (0..n).map(|_| rng.gen_range(1..20_000_000_000)).collect();
+    batch_workload(&cycles)
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let params = CostParams::batch_paper();
+    let table = RateTable::i7_950_table2();
+
+    let mut group = c.benchmark_group("algorithm2_single_core");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let tasks = workload(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| schedule_single_core(black_box(tasks), &table, params));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("algorithm3_wbg_quad");
+    group.sample_size(10);
+    let platform = Platform::i7_950_quad();
+    for n in [1_000usize, 10_000, 100_000] {
+        let tasks = workload(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| schedule_wbg(black_box(tasks), &platform, params));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("theorem4_round_robin_vs_heap");
+    group.sample_size(10);
+    let tasks = workload(100_000);
+    group.bench_function("round_robin", |b| {
+        b.iter(|| schedule_homogeneous(black_box(&tasks), &table, 4, params));
+    });
+    group.bench_function("heap_wbg", |b| {
+        b.iter(|| schedule_wbg(black_box(&tasks), &platform, params));
+    });
+    group.finish();
+
+    // Heterogeneous platform.
+    let hetero = Platform::big_little(2, 2);
+    let tasks = workload(100_000);
+    c.bench_function("wbg_big_little_100k", |b| {
+        b.iter(|| schedule_wbg(black_box(&tasks), &hetero, params));
+    });
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Extension experiment: the feasible (deadline, energy-budget) region
+//! of Section III-A, mapped by the bi-criteria greedy.
+//!
+//! Theorem 1 proves deciding feasibility under both budgets NP-complete;
+//! the greedy of `schedule_single_core_with_budgets` answers soundly
+//! (never violates a budget) but incompletely. This sweep charts, for a
+//! grid of (deadline, energy) budget pairs over the SPEC train tasks on
+//! one core, whether the greedy finds a plan and at what cost —
+//! visualizing the trade-off surface the proof only says is hard.
+
+use dvfs_core::deadline_batch::schedule_single_core_with_budgets;
+use dvfs_model::{CostParams, RateTable};
+use dvfs_workloads::{spec_batch_tasks, SpecInput};
+
+fn main() {
+    let params = CostParams::batch_paper();
+    let table = RateTable::i7_950_table2();
+    let tasks = spec_batch_tasks(SpecInput::Train);
+
+    let total_cycles: f64 = tasks.iter().map(|t| t.cycles as f64).sum();
+    let min_time = total_cycles * table.rate(table.max_rate()).time_per_cycle;
+    let min_energy = total_cycles * table.rate(0).energy_per_cycle;
+
+    println!(
+        "Greedy feasibility/cost over the (deadline, energy) budget grid\n\
+         (12 SPEC train tasks, one core; deadline in multiples of the all-max\n\
+         makespan {min_time:.0} s, energy in multiples of the all-min energy {min_energy:.0} J)\n"
+    );
+    print!("{:>10}", "D\\E");
+    let e_fracs = [1.02f64, 1.1, 1.3, 1.6, 2.2];
+    for ef in e_fracs {
+        print!("{ef:>12.2}");
+    }
+    println!();
+    for df in [1.02f64, 1.1, 1.3, 1.6, 2.0] {
+        print!("{df:>10.2}");
+        for ef in e_fracs {
+            let plan = schedule_single_core_with_budgets(
+                &tasks,
+                &table,
+                params,
+                Some(min_time * df),
+                Some(min_energy * ef),
+            );
+            match plan {
+                Some(p) => print!("{:>12.0}", p.predicted_cost),
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\n(numbers are the plan's total cost in cents; '-' = greedy found no plan)");
+}

@@ -1,0 +1,52 @@
+//! Extension experiment: the cost/deadline trade-off curve.
+//!
+//! Section III-A proves deadline-constrained scheduling NP-complete and
+//! moves on; this sweep shows what the greedy rate-escalation heuristic
+//! (`dvfs_core::deadline_batch`) pays as a common deadline tightens on
+//! the SPEC train workloads: energy rises as tasks are forced to faster
+//! rates, waiting falls, and the curve ends at the all-max-rate
+//! feasibility frontier.
+
+use dvfs_core::deadline_batch::schedule_multicore_with_deadline;
+use dvfs_model::{CostParams, Platform};
+use dvfs_sim::{PlanPolicy, SimConfig, Simulator};
+use dvfs_workloads::{spec_batch_tasks, SpecInput};
+
+fn main() {
+    let params = CostParams::batch_paper();
+    let platform = Platform::i7_950_quad();
+    let tasks = spec_batch_tasks(SpecInput::Train);
+
+    // Feasibility frontier: the heaviest WBG core at max rate.
+    println!("Cost vs deadline on the 12 SPEC train workloads (quad-core)\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "deadline", "makespan", "energy (J)", "waiting (s)", "total cost"
+    );
+    for deadline in [1e9f64, 400.0, 300.0, 250.0, 200.0, 170.0, 150.0, 140.0, 130.0] {
+        match schedule_multicore_with_deadline(&tasks, &platform, params, deadline) {
+            Some(plan) => {
+                let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+                sim.add_tasks(&tasks);
+                let report = sim.run(&mut PlanPolicy::new(plan));
+                let cost = report.cost(params);
+                let label = if deadline >= 1e9 {
+                    "inf".to_string()
+                } else {
+                    format!("{deadline:.0}")
+                };
+                println!(
+                    "{:>10} {:>12.1} {:>12.1} {:>12.1} {:>12.2}",
+                    label,
+                    report.makespan,
+                    cost.energy_joules,
+                    cost.waiting_seconds,
+                    cost.total()
+                );
+            }
+            None => {
+                println!("{deadline:>10.0} {:>12}", "infeasible");
+            }
+        }
+    }
+}

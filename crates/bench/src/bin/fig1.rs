@@ -1,0 +1,25 @@
+//! Regenerates Fig. 1: comparison of the analytic cost model ("Sim")
+//! against the measured execution on the contended platform with a
+//! sampled power meter ("Exp").
+
+use dvfs_bench::format::{normalized_table, pct_change};
+use dvfs_bench::run_fig1;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let r = run_fig1(seed);
+    println!("FIG. 1 — MODEL VERIFICATION (Sim vs Exp), normalized to Sim\n");
+    println!("{}", normalized_table(&[&r.sim, &r.exp], &r.sim));
+    println!(
+        "Exp total cost is {:+.1}% vs the model (paper: ≈ +8%)",
+        pct_change(r.exp.total(), r.sim.total())
+    );
+    println!(
+        "  energy {:+.1}%   time {:+.1}%",
+        pct_change(r.exp.energy_cost, r.sim.energy_cost),
+        pct_change(r.exp.time_cost, r.sim.time_cost)
+    );
+}

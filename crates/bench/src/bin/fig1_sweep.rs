@@ -1,0 +1,47 @@
+//! Calibration sweep behind Fig. 1: the Sim-vs-Exp cost gap as a
+//! function of the contention coefficient.
+//!
+//! The paper reports an ≈8% gap and attributes it to shared-cache/memory
+//! contention. Our "Exp" substitutes a linear contention model
+//! (`1/(1 + α·(busy−1))`); this sweep shows the gap is essentially
+//! linear in α and that α = 0.03 lands on the paper's number — i.e. the
+//! reproduction has exactly one calibrated knob, disclosed here.
+
+use dvfs_core::batch::predict_plan_cost;
+use dvfs_core::schedule_wbg;
+use dvfs_model::{CoreSpec, CostParams, Platform, RateTable};
+use dvfs_power::{memory_contention, PowerMeter};
+use dvfs_sim::{PlanPolicy, SimConfig, Simulator};
+use dvfs_workloads::{spec_batch_tasks, SpecInput};
+
+fn main() {
+    let params = CostParams::batch_paper();
+    let table = RateTable::i7_950_two_rates();
+    let platform =
+        Platform::homogeneous(4, CoreSpec::new(table).with_idle_power(2.0)).expect("4 cores");
+    let tasks = spec_batch_tasks(SpecInput::Both);
+    let plan = schedule_wbg(&tasks, &platform, params);
+    let predicted = predict_plan_cost(&plan, &tasks, &platform, params);
+
+    println!("Sim-vs-Exp total-cost gap vs contention coefficient α (paper: ≈ +8%)\n");
+    println!("{:>8} {:>12} {:>12}", "alpha", "Exp cost", "gap");
+    for alpha in [0.0f64, 0.01, 0.02, 0.03, 0.04, 0.06, 0.08] {
+        let cfg = SimConfig::new(platform.clone())
+            .with_contention(memory_contention(alpha))
+            .with_power_timeline();
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&tasks);
+        let report = sim.run(&mut PlanPolicy::new(plan.clone()));
+        let meter = PowerMeter::dw6091_like(1);
+        let idle = platform.total_idle_power();
+        let reading = meter.measure(&report.power_timeline, report.makespan, idle);
+        let exp_cost = params.re * reading.active_energy(idle)
+            + params.rt * report.total_turnaround();
+        println!(
+            "{:>8.2} {:>12.1} {:>11.1}%",
+            alpha,
+            exp_cost,
+            (exp_cost / predicted - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 2: batch-mode cost comparison of Workload Based
+//! Greedy against Opportunistic Load Balancing and Power Saving on the
+//! 24 SPEC2006int workloads.
+
+use dvfs_bench::format::{absolute_table, normalized_table, pct_change};
+use dvfs_bench::run_fig2;
+
+fn main() {
+    let r = run_fig2();
+    println!("FIG. 2 — COST COMPARISON OF SCHEDULING METHODS (batch mode)\n");
+    println!("normalized to OLB:");
+    println!("{}", normalized_table(&[&r.wbg, &r.olb, &r.ps], &r.olb));
+    println!("absolute:");
+    println!("{}", absolute_table(&[&r.wbg, &r.olb, &r.ps]));
+    println!(
+        "WBG vs OLB:  energy {:+.1}%  time-cost {:+.1}%  total {:+.1}%   (paper: −46%, +4%, −27%)",
+        pct_change(r.wbg.energy_cost, r.olb.energy_cost),
+        pct_change(r.wbg.time_cost, r.olb.time_cost),
+        pct_change(r.wbg.total(), r.olb.total()),
+    );
+    println!(
+        "WBG vs PS:   energy {:+.1}%  time-cost {:+.1}%  total {:+.1}%   (paper: −27%, −13%, n/a)",
+        pct_change(r.wbg.energy_cost, r.ps.energy_cost),
+        pct_change(r.wbg.time_cost, r.ps.time_cost),
+        pct_change(r.wbg.total(), r.ps.total()),
+    );
+}

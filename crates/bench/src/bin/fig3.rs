@@ -1,0 +1,37 @@
+//! Regenerates Fig. 3: online-mode cost comparison of Least Marginal
+//! Cost against Opportunistic Load Balancing and On-demand on a
+//! synthesized Judgegirl-style trace (768 non-interactive + 50525
+//! interactive tasks over half an hour).
+//!
+//! Usage: `fig3 [seed] [scale]` — `scale` divides the trace size for
+//! quick runs (default 1 = the full trace).
+
+use dvfs_bench::format::{absolute_table, normalized_table, pct_change};
+use dvfs_bench::run_fig3;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let r = run_fig3(seed, scale);
+    println!(
+        "FIG. 3 — COST COMPARISON OF SCHEDULING METHODS (online mode, {} tasks)\n",
+        r.num_tasks
+    );
+    println!("normalized to OLB:");
+    println!("{}", normalized_table(&[&r.lmc, &r.olb, &r.od], &r.olb));
+    println!("absolute:");
+    println!("{}", absolute_table(&[&r.lmc, &r.olb, &r.od]));
+    println!(
+        "LMC vs OLB:  energy {:+.1}%  time-cost {:+.1}%  total {:+.1}%   (paper: −11%, −31%, −17%)",
+        pct_change(r.lmc.energy_cost, r.olb.energy_cost),
+        pct_change(r.lmc.time_cost, r.olb.time_cost),
+        pct_change(r.lmc.total(), r.olb.total()),
+    );
+    println!(
+        "LMC vs OD:   energy {:+.1}%  time-cost {:+.1}%  total {:+.1}%   (paper: −11%, −46%, −24%)",
+        pct_change(r.lmc.energy_cost, r.od.energy_cost),
+        pct_change(r.lmc.time_cost, r.od.time_cost),
+        pct_change(r.lmc.total(), r.od.total()),
+    );
+}

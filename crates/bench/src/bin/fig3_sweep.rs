@@ -1,0 +1,80 @@
+//! Ablation: how the Fig. 3 comparison depends on judge-server load.
+//!
+//! The published Judgegirl trace fixes counts and duration but not the
+//! per-submission CPU weight; this sweep scales the submission cycle
+//! means from the light default (≈9% utilization) to heavy overload and
+//! reports the LMC-vs-baseline deltas at each point. It locates the
+//! crossover where LMC's time cost drops below OLB's (shortest-first
+//! queueing wins once queues actually form), while LMC's total-cost win
+//! holds across the whole range.
+
+use dvfs_baselines::{OlbOnline, OnDemandOnline};
+use dvfs_core::LeastMarginalCost;
+use dvfs_model::{CostParams, Platform};
+use dvfs_sim::{GovernorKind, SimConfig, SimReport, Simulator};
+use dvfs_workloads::JudgeTraceConfig;
+
+fn run(platform: &Platform, trace: &[dvfs_model::Task], which: &str) -> SimReport {
+    let params = CostParams::online_paper();
+    let cfg = match which {
+        "od" => SimConfig::new(platform.clone()).with_governor(GovernorKind::ondemand_paper()),
+        _ => SimConfig::new(platform.clone()),
+    };
+    let mut sim = Simulator::new(cfg);
+    sim.add_tasks(trace);
+    match which {
+        "lmc" => {
+            let mut p = LeastMarginalCost::new(platform, params);
+            sim.run(&mut p)
+        }
+        "olb" => {
+            let mut p = OlbOnline::new(platform.num_cores());
+            sim.run(&mut p)
+        }
+        _ => {
+            let mut p = OnDemandOnline::new(platform.num_cores());
+            sim.run(&mut p)
+        }
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let params = CostParams::online_paper();
+    let platform = Platform::i7_950_quad();
+    println!("FIG. 3 ABLATION — LMC deltas vs load (submission weight multiplier)\n");
+    println!(
+        "{:>6} {:>22} {:>22} {:>22}",
+        "mult", "LMC vs OLB (E/T/total)", "LMC vs OD (E/T/total)", "utilization"
+    );
+    for mult in [1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 15.0] {
+        let mut cfg = JudgeTraceConfig::paper(seed);
+        for m in &mut cfg.submission_mean_cycles {
+            *m *= mult;
+        }
+        let trace = cfg.generate();
+        let lmc = run(&platform, &trace, "lmc");
+        let olb = run(&platform, &trace, "olb");
+        let od = run(&platform, &trace, "od");
+        let (cl, co, cd) = (lmc.cost(params), olb.cost(params), od.cost(params));
+        let pct = |a: f64, b: f64| (a / b - 1.0) * 100.0;
+        // Utilization: busy core-seconds over 4 × trace span.
+        let busy: f64 = lmc.core_busy.iter().sum();
+        let util = busy / (4.0 * lmc.makespan) * 100.0;
+        println!(
+            "{:>6.1} {:>6.1}/{:>6.1}/{:>6.1}% {:>6.1}/{:>6.1}/{:>6.1}% {:>15.1}%",
+            mult,
+            pct(cl.energy_cost, co.energy_cost),
+            pct(cl.time_cost, co.time_cost),
+            pct(cl.total(), co.total()),
+            pct(cl.energy_cost, cd.energy_cost),
+            pct(cl.time_cost, cd.time_cost),
+            pct(cl.total(), cd.total()),
+            util
+        );
+    }
+    println!("\n(paper reports: vs OLB −11/−31/−17%, vs OD −11/−46/−24%)");
+}

@@ -1,0 +1,64 @@
+//! Ablation: how much does Equation 27 itself matter?
+//!
+//! LMC's interactive placement rule (Eq. 27) weighs a core's per-cycle
+//! energy/time at max frequency against its queue length. This ablation
+//! swaps in two simpler rules — least-queue (which the paper notes is
+//! equivalent on homogeneous cores) and blind round-robin — on both the
+//! homogeneous quad and the big.LITTLE platform, under the judge trace.
+//! It also surfaces an honest second-order finding: under dense
+//! interactive bursts on homogeneous cores, round-robin can *match or
+//! slightly beat* Eq. 27, because interactive tasks preempt
+//! non-interactive work anyway and the real contention is other
+//! interactive tasks, which `N_j` does not count.
+
+use dvfs_core::{InteractivePlacement, LeastMarginalCost};
+use dvfs_model::{CostParams, Platform};
+use dvfs_sim::{SimConfig, Simulator};
+use dvfs_workloads::JudgeTraceConfig;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let params = CostParams::online_paper();
+    let mut cfg = JudgeTraceConfig::paper_heavy(seed);
+    cfg.non_interactive /= 4;
+    cfg.interactive /= 4;
+    let trace = cfg.generate();
+
+    for (label, platform) in [
+        ("homogeneous quad (i7)", Platform::i7_950_quad()),
+        ("big.LITTLE (2 i7 + 2 Exynos)", Platform::big_little(2, 2)),
+    ] {
+        println!("--- {label}, {} tasks ---", trace.len());
+        println!(
+            "{:<16} {:>12} {:>14} {:>12} {:>14}",
+            "placement", "energy (J)", "waiting (s)", "total cost", "interactive p99"
+        );
+        for (name, placement) in [
+            ("eq27", InteractivePlacement::MarginalCost),
+            ("least-queue", InteractivePlacement::LeastQueue),
+            ("round-robin", InteractivePlacement::RoundRobin),
+        ] {
+            let mut policy =
+                LeastMarginalCost::new(&platform, params).with_interactive_placement(placement);
+            let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+            sim.add_tasks(&trace);
+            let report = sim.run(&mut policy);
+            let cost = report.cost(params);
+            let p99 = report
+                .turnaround_percentile(dvfs_model::TaskClass::Interactive, 99.0)
+                .unwrap_or(f64::NAN);
+            println!(
+                "{:<16} {:>12.1} {:>14.1} {:>12.2} {:>13.4}s",
+                name,
+                cost.energy_joules,
+                cost.waiting_seconds,
+                cost.total(),
+                p99
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation: does DVFS transition latency erode LMC's advantage?
+//!
+//! The paper's model assumes frequency changes are free; real per-core
+//! DVFS transitions cost tens of microseconds of stalled execution. LMC
+//! changes the running task's frequency whenever its queue grows, so it
+//! switches far more often than OLB (which pins the maximum). This sweep
+//! replays the Fig. 3 trace with increasing transition latency and
+//! reports the LMC-vs-OLB total-cost delta — locating the latency at
+//! which the paper's conclusion would flip.
+
+use dvfs_baselines::OlbOnline;
+use dvfs_core::LeastMarginalCost;
+use dvfs_model::{CostParams, Platform};
+use dvfs_sim::{SimConfig, Simulator};
+use dvfs_workloads::JudgeTraceConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let params = CostParams::online_paper();
+    let platform = Platform::i7_950_quad();
+    let mut cfg = JudgeTraceConfig::paper_heavy(seed);
+    cfg.non_interactive = (cfg.non_interactive / scale).max(1);
+    cfg.interactive = (cfg.interactive / scale).max(1);
+    let trace = cfg.generate();
+
+    println!(
+        "LMC vs OLB total cost as DVFS transition latency grows ({} tasks)\n",
+        trace.len()
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>12}",
+        "latency", "LMC total", "OLB total", "LMC delta"
+    );
+    for latency_us in [0.0f64, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 20000.0] {
+        let latency = latency_us * 1e-6;
+        let lmc = {
+            let mut p = LeastMarginalCost::new(&platform, params);
+            let mut sim = Simulator::new(
+                SimConfig::new(platform.clone()).with_switch_latency(latency),
+            );
+            sim.add_tasks(&trace);
+            sim.run(&mut p).cost(params).total()
+        };
+        let olb = {
+            let mut p = OlbOnline::new(platform.num_cores());
+            let mut sim = Simulator::new(
+                SimConfig::new(platform.clone()).with_switch_latency(latency),
+            );
+            sim.add_tasks(&trace);
+            sim.run(&mut p).cost(params).total()
+        };
+        println!(
+            "{:>9} µs {:>14.2} {:>14.2} {:>11.1}%",
+            latency_us,
+            lmc,
+            olb,
+            (lmc / olb - 1.0) * 100.0
+        );
+    }
+    println!("\n(negative delta = LMC still wins; OLB also pays switch stalls on dispatch)");
+}

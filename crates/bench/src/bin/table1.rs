@@ -1,0 +1,26 @@
+//! Regenerates Table I: average execution times of the SPEC2006int
+//! workloads (train and ref inputs) and the derived cycle estimates.
+
+use dvfs_workloads::spec::{cycles_from_seconds, SPEC2006INT};
+
+fn main() {
+    println!("TABLE I — AVERAGE EXECUTION TIMES OF THE WORKLOADS (SECONDS)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>16} {:>16}",
+        "Benchmark", "train input", "ref. input", "train cycles", "ref cycles"
+    );
+    for row in &SPEC2006INT {
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>16} {:>16}",
+            row.name,
+            row.train_s,
+            row.ref_s,
+            cycles_from_seconds(row.train_s),
+            cycles_from_seconds(row.ref_s)
+        );
+    }
+    let total_train: f64 = SPEC2006INT.iter().map(|r| r.train_s).sum();
+    let total_ref: f64 = SPEC2006INT.iter().map(|r| r.ref_s).sum();
+    println!("{:<12} {:>12.3} {:>12.3}", "TOTAL", total_train, total_ref);
+    println!("\n(cycles = seconds x 1.6 GHz, the paper's Section V-A.1 estimation)");
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table II: the batch-mode processing-rate parameters of
+//! the Intel i7-950 platform, plus the derived active power and the
+//! dominating position ranges they induce under the paper's batch cost
+//! parameters.
+
+use dvfs_core::DominatingRanges;
+use dvfs_model::{CostParams, RateTable};
+
+fn main() {
+    let table = RateTable::i7_950_table2();
+    println!("TABLE II — PARAMETERS IN BATCH MODE");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "p (GHz)", "E(p) nJ/cyc", "T(p) ns/cyc", "power (W)"
+    );
+    for r in table.points() {
+        println!(
+            "{:<10.1} {:>12.3} {:>12.3} {:>14.2}",
+            r.freq_hz / 1e9,
+            r.energy_per_cycle * 1e9,
+            r.time_per_cycle * 1e9,
+            r.active_power_watts()
+        );
+    }
+
+    let params = CostParams::batch_paper();
+    let dr = DominatingRanges::compute(&table, params);
+    println!(
+        "\nDominating position ranges (Algorithm 1) at Re = {} ¢/J, Rt = {} ¢/s:",
+        params.re, params.rt
+    );
+    for e in dr.entries() {
+        let rate_ghz = table.rate(e.rate).freq_hz / 1e9;
+        match e.ub {
+            Some(ub) => println!("  {:>4.1} GHz dominates backward positions [{}, {})", rate_ghz, e.lb, ub),
+            None => println!("  {:>4.1} GHz dominates backward positions [{}, inf)", rate_ghz, e.lb),
+        }
+    }
+}

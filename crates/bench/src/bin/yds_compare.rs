@@ -1,0 +1,131 @@
+//! Extension experiment: the price of discrete rates and of polynomial
+//! time, measured against Yao–Demers–Shenker.
+//!
+//! For a common-deadline batch, three energy figures bracket the design
+//! space:
+//!
+//! 1. **YDS** (continuous speeds, power fitted to Table II) — the
+//!    information-theoretic floor;
+//! 2. **exact discrete** (`min_energy_under_deadline`, Pareto DP) — the
+//!    best any per-core-DVFS system with Table II's five levels can do;
+//! 3. **greedy escalation** (`deadline_batch`) — what the polynomial
+//!    heuristic achieves.
+//!
+//! Gap 1→2 is the quantization cost of a finite rate set; gap 2→3 is the
+//! heuristic's optimality loss.
+
+use dvfs_core::deadline::min_energy_under_deadline;
+use dvfs_core::deadline_batch::schedule_single_core_with_deadline;
+use dvfs_core::yds::{yds, YdsJob};
+use dvfs_model::task::batch_workload;
+use dvfs_model::{CostParams, RateTable};
+
+/// Least-squares fit of `P(s) = c·s^a` to the table's (speed, power)
+/// points, in log space.
+fn fit_power(table: &RateTable) -> (f64, f64) {
+    let pts: Vec<(f64, f64)> = table
+        .points()
+        .iter()
+        .map(|r| {
+            let speed = 1.0 / r.time_per_cycle;
+            (speed.ln(), r.active_power_watts().ln())
+        })
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let a = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let c = ((sy - a * sx) / n).exp();
+    (c, a)
+}
+
+fn main() {
+    let table = RateTable::i7_950_table2();
+    let params = CostParams::batch_paper();
+    let (coeff, alpha) = fit_power(&table);
+    println!(
+        "Fitted continuous power curve: P(s) = {:.3e} * s^{:.3}\n",
+        coeff, alpha
+    );
+
+    let cycles: Vec<u64> = vec![
+        2_000_000_000,
+        1_500_000_000,
+        800_000_000,
+        3_200_000_000,
+        400_000_000,
+    ];
+    let tasks = batch_workload(&cycles);
+    let total: f64 = cycles.iter().map(|&c| c as f64).sum();
+    let min_span: f64 = cycles
+        .iter()
+        .map(|&c| table.exec_time(table.max_rate(), c))
+        .sum();
+
+    println!(
+        "{:>10} {:>14} {:>16} {:>16} {:>10} {:>10}",
+        "deadline", "YDS (J)", "exact disc (J)", "heuristic (J)", "quant gap", "heur gap"
+    );
+    for frac in [2.0f64, 1.6, 1.3, 1.15, 1.05, 1.01] {
+        let deadline = min_span * frac;
+        // YDS floor: single critical interval at speed total/deadline.
+        let jobs: Vec<YdsJob> = cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| YdsJob {
+                id: i as u64,
+                release: 0.0,
+                deadline,
+                work: c as f64,
+            })
+            .collect();
+        let continuous = yds(&jobs);
+        // Continuous speeds are unbounded below; real hardware floors at
+        // the slowest rate. Clamp to the table's min execution speed so
+        // the floor is honest.
+        let min_speed = 1.0 / table.rate(0).time_per_cycle;
+        let yds_energy: f64 = continuous
+            .assignments
+            .iter()
+            .map(|a| {
+                let s = a.speed.max(min_speed);
+                let w = jobs[a.id as usize].work;
+                coeff * s.powf(alpha) * (w / s)
+            })
+            .sum();
+
+        let exact = min_energy_under_deadline(&cycles, &table, deadline)
+            .map(|(_, e)| e)
+            .expect("feasible by construction");
+
+        let heuristic = schedule_single_core_with_deadline(&tasks, &table, params, deadline)
+            .expect("feasible by construction");
+        let heur_energy: f64 = heuristic
+            .order
+            .iter()
+            .map(|&(tid, r)| {
+                let t = tasks.iter().find(|t| t.id == tid).expect("exists");
+                table.energy(r, t.cycles)
+            })
+            .sum();
+
+        println!(
+            "{:>9.3}s {:>14.2} {:>16.2} {:>16.2} {:>9.1}% {:>9.1}%",
+            deadline,
+            yds_energy,
+            exact,
+            heur_energy,
+            (exact / yds_energy - 1.0) * 100.0,
+            (heur_energy / exact - 1.0) * 100.0,
+        );
+        let _ = total;
+    }
+    println!("\nquant gap = exact-discrete over the continuous YDS floor; small negative");
+    println!("values are artifacts of the least-squares power fit, which does not pass");
+    println!("exactly through every Table II point.");
+    println!("heur gap  = greedy escalation over the exact discrete optimum.");
+    println!("(the heuristic also optimizes waiting cost, so its energy may sit above the");
+    println!(" energy-only optimum even when its total cost is good)");
+}

@@ -1,0 +1,300 @@
+//! The reproduction of every evaluation artifact in Section V.
+
+use dvfs_baselines::{olb_assignment, power_saving_config, GovernedPlanPolicy, OlbOnline, OnDemandOnline};
+use dvfs_core::batch::predict_plan_cost;
+use dvfs_core::{schedule_wbg, LeastMarginalCost};
+use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task};
+use dvfs_power::{memory_contention, PowerMeter};
+use dvfs_sim::{GovernorKind, PlanPolicy, Policy, SimConfig, SimReport, Simulator};
+use dvfs_workloads::{spec_batch_tasks, JudgeTraceConfig, SpecInput};
+
+/// One labelled cost row: absolute energy (J), waiting (s), and their
+/// monetary components under the experiment's parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRow {
+    /// Scheduler label.
+    pub name: String,
+    /// Active energy in joules.
+    pub energy_joules: f64,
+    /// Sum of task turnaround times in seconds.
+    pub waiting_seconds: f64,
+    /// Makespan in seconds.
+    pub makespan: f64,
+    /// Energy cost (`Re · energy`).
+    pub energy_cost: f64,
+    /// Time cost (`Rt · waiting`).
+    pub time_cost: f64,
+}
+
+impl CostRow {
+    /// Total monetary cost.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.energy_cost + self.time_cost
+    }
+
+    fn from_report(name: &str, report: &SimReport, params: CostParams) -> Self {
+        let c = report.cost(params);
+        CostRow {
+            name: name.to_string(),
+            energy_joules: c.energy_joules,
+            waiting_seconds: c.waiting_seconds,
+            makespan: report.makespan,
+            energy_cost: c.energy_cost,
+            time_cost: c.time_cost,
+        }
+    }
+}
+
+/// The paper's quad-core platform with the full Table II rate set.
+#[must_use]
+pub fn paper_platform() -> Platform {
+    Platform::i7_950_quad()
+}
+
+fn run_policy(cfg: SimConfig, tasks: &[Task], policy: &mut dyn Policy) -> SimReport {
+    let mut sim = Simulator::new(cfg);
+    sim.add_tasks(tasks);
+    sim.run(policy)
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — model verification (Sim vs Exp)
+// ---------------------------------------------------------------------
+
+/// Result of the Fig. 1 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Result {
+    /// Analytic-model prediction ("Sim" bars).
+    pub sim: CostRow,
+    /// Full-simulator measurement with contention and a noisy power
+    /// meter ("Exp" bars).
+    pub exp: CostRow,
+}
+
+impl Fig1Result {
+    /// `Exp/Sim` total-cost ratio (the paper reports ≈ 1.08).
+    #[must_use]
+    pub fn cost_gap(&self) -> f64 {
+        self.exp.total() / self.sim.total()
+    }
+}
+
+/// Fig. 1: verify the analytic cost model against the "hardware"
+/// (the contention-and-meter simulator). Uses the paper's setup: the 24
+/// SPEC workloads, only the 1.6/3.0 GHz rates, `Re = 0.1`, `Rt = 0.4`,
+/// a WBG-generated plan executed on both paths.
+#[must_use]
+pub fn run_fig1(seed: u64) -> Fig1Result {
+    let params = CostParams::batch_paper();
+    let table = RateTable::i7_950_two_rates();
+    let platform =
+        Platform::homogeneous(4, CoreSpec::new(table).with_idle_power(2.0)).expect("4 cores");
+    let tasks = spec_batch_tasks(SpecInput::Both);
+    let plan = schedule_wbg(&tasks, &platform, params);
+
+    // "Sim": the analytic model (Equations 1–8) applied to the plan.
+    let predicted_total = predict_plan_cost(&plan, &tasks, &platform, params);
+    // Decompose analytically per core for the energy/time split.
+    let lookup: std::collections::HashMap<_, _> =
+        tasks.iter().map(|t| (t.id, t.cycles)).collect();
+    let (mut energy, mut waiting, mut makespan) = (0.0f64, 0.0f64, 0.0f64);
+    for (j, seq) in plan.per_core.iter().enumerate() {
+        let table = &platform.core(j).expect("in range").rates;
+        let mut clock = 0.0;
+        for &(tid, rate) in seq {
+            let cycles = lookup[&tid];
+            clock += table.exec_time(rate, cycles);
+            energy += table.energy(rate, cycles);
+            waiting += clock;
+        }
+        makespan = makespan.max(clock);
+    }
+    let sim_row = CostRow {
+        name: "Sim (model)".into(),
+        energy_joules: energy,
+        waiting_seconds: waiting,
+        makespan,
+        energy_cost: params.re * energy,
+        time_cost: params.rt * waiting,
+    };
+    debug_assert!((sim_row.total() - predicted_total).abs() / predicted_total < 1e-9);
+
+    // "Exp": execute the plan on the contended machine and measure the
+    // energy with the sampled power meter, idle-subtracted.
+    let cfg = SimConfig::new(platform.clone())
+        .with_contention(memory_contention(0.03))
+        .with_power_timeline();
+    let report = run_policy(cfg, &tasks, &mut PlanPolicy::new(plan));
+    let meter = PowerMeter::dw6091_like(seed);
+    let idle_watts = platform.total_idle_power();
+    let reading = meter.measure(&report.power_timeline, report.makespan, idle_watts);
+    let measured_energy = reading.active_energy(idle_watts);
+    let measured_waiting = report.total_turnaround();
+    let exp_row = CostRow {
+        name: "Exp (measured)".into(),
+        energy_joules: measured_energy,
+        waiting_seconds: measured_waiting,
+        makespan: report.makespan,
+        energy_cost: params.re * measured_energy,
+        time_cost: params.rt * measured_waiting,
+    };
+    Fig1Result {
+        sim: sim_row,
+        exp: exp_row,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — batch-mode scheduler comparison
+// ---------------------------------------------------------------------
+
+/// Result of the Fig. 2 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Result {
+    /// Workload Based Greedy.
+    pub wbg: CostRow,
+    /// Opportunistic Load Balancing (on-demand governor).
+    pub olb: CostRow,
+    /// Power Saving (on-demand capped to the lower half).
+    pub ps: CostRow,
+}
+
+/// Fig. 2: WBG vs OLB vs Power Saving on the 24 SPEC workloads over the
+/// quad-core platform, `Re = 0.1` ¢/J, `Rt = 0.4` ¢/s.
+#[must_use]
+pub fn run_fig2() -> Fig2Result {
+    let params = CostParams::batch_paper();
+    let tasks = spec_batch_tasks(SpecInput::Both);
+    let platform = paper_platform();
+
+    // WBG: userspace frequencies from the plan.
+    let plan = schedule_wbg(&tasks, &platform, params);
+    let wbg_report = run_policy(
+        SimConfig::new(platform.clone()),
+        &tasks,
+        &mut PlanPolicy::new(plan),
+    );
+
+    // OLB: earliest-ready placement, on-demand governor (ramps to max
+    // under full load, exactly the paper's configuration).
+    let seqs = olb_assignment(&tasks, &platform, None);
+    let olb_report = run_policy(
+        SimConfig::new(platform.clone()).with_governor(GovernorKind::ondemand_paper()),
+        &tasks,
+        &mut GovernedPlanPolicy::new("olb", seqs),
+    );
+
+    // Power Saving: frequencies limited to {1.6, 2.0, 2.4} GHz (cap 2).
+    let seqs = olb_assignment(&tasks, &platform, Some(2));
+    let ps_report = run_policy(
+        power_saving_config(platform, 2),
+        &tasks,
+        &mut GovernedPlanPolicy::new("power-saving", seqs),
+    );
+
+    Fig2Result {
+        wbg: CostRow::from_report("WBG", &wbg_report, params),
+        olb: CostRow::from_report("OLB", &olb_report, params),
+        ps: CostRow::from_report("PowerSaving", &ps_report, params),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — online-mode scheduler comparison
+// ---------------------------------------------------------------------
+
+/// Result of the Fig. 3 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Result {
+    /// Least Marginal Cost.
+    pub lmc: CostRow,
+    /// Opportunistic Load Balancing.
+    pub olb: CostRow,
+    /// On-demand with round-robin placement.
+    pub od: CostRow,
+    /// The trace size used.
+    pub num_tasks: usize,
+}
+
+/// Fig. 3: LMC vs OLB vs On-demand on a synthesized Judgegirl-style
+/// trace, `Re = 0.4` ¢/J, `Rt = 0.1` ¢/s. `scale` divides the trace
+/// size (1 = the full 51 293-task trace).
+#[must_use]
+pub fn run_fig3(seed: u64, scale: usize) -> Fig3Result {
+    let params = CostParams::online_paper();
+    let platform = paper_platform();
+    let cfg = if scale <= 1 {
+        JudgeTraceConfig::paper_heavy(seed)
+    } else {
+        let mut c = JudgeTraceConfig::paper_heavy(seed);
+        c.non_interactive = (c.non_interactive / scale).max(1);
+        c.interactive = (c.interactive / scale).max(1);
+        c
+    };
+    let trace = cfg.generate();
+
+    let lmc_report = {
+        let mut policy = LeastMarginalCost::new(&platform, params);
+        run_policy(SimConfig::new(platform.clone()), &trace, &mut policy)
+    };
+    let olb_report = {
+        let mut policy = OlbOnline::new(platform.num_cores());
+        run_policy(SimConfig::new(platform.clone()), &trace, &mut policy)
+    };
+    let od_report = {
+        let mut policy = OnDemandOnline::new(platform.num_cores());
+        run_policy(
+            SimConfig::new(platform.clone()).with_governor(GovernorKind::ondemand_paper()),
+            &trace,
+            &mut policy,
+        )
+    };
+
+    Fig3Result {
+        lmc: CostRow::from_report("LMC", &lmc_report, params),
+        olb: CostRow::from_report("OLB", &olb_report, params),
+        od: CostRow::from_report("On-demand", &od_report, params),
+        num_tasks: trace.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_gap_is_positive_and_moderate() {
+        let r = run_fig1(1);
+        let gap = r.cost_gap();
+        assert!(
+            gap > 1.0 && gap < 1.2,
+            "Exp/Sim total-cost gap {gap} outside the paper's regime"
+        );
+    }
+
+    #[test]
+    fn fig2_wbg_wins_total_cost() {
+        let r = run_fig2();
+        assert!(r.wbg.total() < r.olb.total(), "WBG must beat OLB");
+        assert!(r.wbg.total() < r.ps.total(), "WBG must beat PowerSaving");
+        assert!(
+            r.wbg.energy_joules < r.olb.energy_joules * 0.7,
+            "WBG energy {} not far below OLB {}",
+            r.wbg.energy_joules,
+            r.olb.energy_joules
+        );
+        assert!(
+            r.wbg.energy_joules < r.ps.energy_joules,
+            "WBG should also use less energy than PowerSaving"
+        );
+    }
+
+    #[test]
+    fn fig3_scaled_lmc_wins_total_cost() {
+        let r = run_fig3(7, 64);
+        assert!(r.lmc.total() < r.olb.total(), "LMC must beat OLB: {r:#?}");
+        assert!(r.lmc.total() < r.od.total(), "LMC must beat On-demand: {r:#?}");
+        assert!(r.lmc.energy_joules < r.olb.energy_joules);
+    }
+}

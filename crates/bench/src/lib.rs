@@ -1,0 +1,16 @@
+//! # dvfs-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (Section V), shared by the `table1`/`table2`/`fig1`/
+//! `fig2`/`fig3`/`experiments` binaries, the integration tests, and the
+//! Criterion benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::{
+    run_fig1, run_fig2, run_fig3, CostRow, Fig1Result, Fig2Result, Fig3Result,
+};

@@ -1,0 +1,465 @@
+//! Subcommand implementations.
+
+use crate::args::{parse_cycles_list, Args};
+use dvfs_baselines::{OlbOnline, OnDemandOnline};
+use dvfs_core::{schedule_wbg, DominatingRanges, LeastMarginalCost, WbgReassign};
+use dvfs_model::task::batch_workload;
+use dvfs_model::{CostParams, Platform, RateTable};
+use dvfs_sim::{GovernorKind, SimConfig, SimReport, Simulator};
+use dvfs_workloads::judge::TraceStats;
+use dvfs_workloads::JudgeTraceConfig;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+dvfs-sched — energy-efficient per-core-DVFS task scheduling (ICPP 2014)
+
+USAGE:
+  dvfs-sched generate-trace --out FILE [--kind judge|poisson|diurnal]
+             [--seed N] [--scale N] [--heavy]
+  dvfs-sched schedule-batch --cycles L1,L2,... [--cores N] [--re X] [--rt Y]
+  dvfs-sched simulate --trace FILE --policy lmc|wbg|olb|ondemand
+             [--cores N] [--re X] [--rt Y] [--report FILE] [--log FILE]
+  dvfs-sched analyze --report FILE [--gantt FILE.csv] [--queue FILE.csv]
+  dvfs-sched ranges [--re X] [--rt Y]
+
+Cost parameters default to the paper's: batch Re=0.1 Rt=0.4 for
+schedule-batch/ranges, online Re=0.4 Rt=0.1 for simulate.";
+
+fn cost_params(args: &Args, default: CostParams) -> Result<CostParams, String> {
+    let re = args.num("re", default.re)?;
+    let rt = args.num("rt", default.rt)?;
+    CostParams::new(re, rt).map_err(|e| e.to_string())
+}
+
+fn platform(args: &Args) -> Result<Platform, String> {
+    let cores: usize = args.num("cores", 4)?;
+    if cores == 0 {
+        return Err("`--cores` must be positive".into());
+    }
+    Platform::homogeneous(
+        cores,
+        dvfs_model::CoreSpec::new(RateTable::i7_950_table2()).with_idle_power(2.0),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Dispatch argv to a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no subcommand given".into());
+    };
+    match cmd.as_str() {
+        "generate-trace" => generate_trace(rest),
+        "schedule-batch" => schedule_batch(rest),
+        "simulate" => simulate(rest),
+        "analyze" => analyze(rest),
+        "ranges" => ranges(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn generate_trace(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["heavy"])?;
+    let out = args.require("out")?;
+    let seed: u64 = args.num("seed", 1)?;
+    let scale: usize = args.num("scale", 1)?;
+    if scale == 0 {
+        return Err("`--scale` must be positive".into());
+    }
+    let kind = args.get("kind").unwrap_or("judge");
+    let trace = match kind {
+        "judge" => {
+            let mut cfg = if args.switch("heavy") {
+                JudgeTraceConfig::paper_heavy(seed)
+            } else {
+                JudgeTraceConfig::paper(seed)
+            };
+            cfg.non_interactive = (cfg.non_interactive / scale).max(1);
+            cfg.interactive = (cfg.interactive / scale).max(1);
+            cfg.generate()
+        }
+        "poisson" => {
+            let mut cfg = dvfs_workloads::PoissonTrace::default_config(seed);
+            cfg.duration_s /= scale as f64;
+            cfg.generate()
+        }
+        "diurnal" => {
+            let mut cfg = dvfs_workloads::DiurnalTrace::default_config(seed);
+            cfg.duration_s /= scale as f64;
+            cfg.period_s /= scale as f64;
+            cfg.generate()
+        }
+        other => return Err(format!("unknown trace kind `{other}` (judge|poisson|diurnal)")),
+    };
+    dvfs_workloads::io::save_trace(std::path::Path::new(out), &trace)
+        .map_err(|e| e.to_string())?;
+    let stats = TraceStats::of(&trace);
+    println!(
+        "wrote {} tasks ({} interactive, {} non-interactive, span {:.0} s) to {out}",
+        trace.len(),
+        stats.interactive,
+        stats.non_interactive,
+        stats.span_s
+    );
+    Ok(())
+}
+
+fn schedule_batch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let cycles = parse_cycles_list(args.require("cycles")?)?;
+    if cycles.contains(&0) {
+        return Err("cycle counts must be positive".into());
+    }
+    let params = cost_params(&args, CostParams::batch_paper())?;
+    let platform = platform(&args)?;
+    let tasks = batch_workload(&cycles);
+    let plan = schedule_wbg(&tasks, &platform, params);
+    let table = RateTable::i7_950_table2();
+    println!(
+        "WBG plan ({} cores, Re={}, Rt={}):",
+        platform.num_cores(),
+        params.re,
+        params.rt
+    );
+    for (j, seq) in plan.per_core.iter().enumerate() {
+        println!("  core {j}:");
+        for &(tid, rate) in seq {
+            let t = tasks.iter().find(|t| t.id == tid).expect("task exists");
+            println!(
+                "    {} {:>12.3} Gcycles @ {:.1} GHz",
+                tid,
+                t.cycles as f64 / 1e9,
+                table.rate(rate).freq_hz / 1e9
+            );
+        }
+    }
+    let cost = dvfs_core::batch::predict_plan_cost(&plan, &tasks, &platform, params);
+    println!("predicted total cost: {cost:.4}");
+    Ok(())
+}
+
+fn simulate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let trace_path = args.require("trace")?;
+    let policy_name = args.require("policy")?.to_string();
+    let params = cost_params(&args, CostParams::online_paper())?;
+    let platform = platform(&args)?;
+    let trace = dvfs_workloads::io::load_trace(std::path::Path::new(trace_path))
+        .map_err(|e| e.to_string())?;
+    if trace.is_empty() {
+        return Err("trace is empty".into());
+    }
+
+    let want_log = args.get("log").is_some();
+    let mk_cfg = |cfg: SimConfig| if want_log { cfg.with_event_log() } else { cfg };
+    let report: SimReport = match policy_name.as_str() {
+        "lmc" => {
+            let mut p = LeastMarginalCost::new(&platform, params);
+            let mut sim = Simulator::new(mk_cfg(SimConfig::new(platform.clone())));
+            sim.add_tasks(&trace);
+            sim.run(&mut p)
+        }
+        "wbg" => {
+            let mut p = WbgReassign::new(&platform, params);
+            let mut sim = Simulator::new(mk_cfg(SimConfig::new(platform.clone())));
+            sim.add_tasks(&trace);
+            sim.run(&mut p)
+        }
+        "olb" => {
+            let mut p = OlbOnline::new(platform.num_cores());
+            let mut sim = Simulator::new(mk_cfg(SimConfig::new(platform.clone())));
+            sim.add_tasks(&trace);
+            sim.run(&mut p)
+        }
+        "ondemand" => {
+            let mut p = OnDemandOnline::new(platform.num_cores());
+            let mut sim = Simulator::new(mk_cfg(
+                SimConfig::new(platform.clone()).with_governor(GovernorKind::ondemand_paper()),
+            ));
+            sim.add_tasks(&trace);
+            sim.run(&mut p)
+        }
+        other => return Err(format!("unknown policy `{other}` (lmc|wbg|olb|ondemand)")),
+    };
+
+    let cost = report.cost(params);
+    println!("policy          : {}", report.policy);
+    println!("tasks completed : {}", report.completed());
+    println!("makespan        : {:.2} s", report.makespan);
+    println!("active energy   : {:.1} J", cost.energy_joules);
+    println!("total waiting   : {:.1} s", cost.waiting_seconds);
+    println!(
+        "cost            : {:.4} (energy {:.4} + time {:.4})",
+        cost.total(),
+        cost.energy_cost,
+        cost.time_cost
+    );
+    if let Some(path) = args.get("report") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("full report written to {path}");
+    }
+    if let Some(path) = args.get("log") {
+        let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        report
+            .event_log
+            .write_jsonl(std::io::BufWriter::new(f))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "decision log ({} entries, {} rate changes) written to {path}",
+            report.event_log.len(),
+            report.event_log.rate_changes()
+        );
+    }
+    Ok(())
+}
+
+fn analyze(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let report_path = args.require("report")?;
+    let json = std::fs::read_to_string(report_path).map_err(|e| e.to_string())?;
+    let report: SimReport = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    println!("policy   : {}", report.policy);
+    println!("tasks    : {} completed", report.completed());
+    println!("makespan : {:.2} s", report.makespan);
+    for (j, busy) in report.core_busy.iter().enumerate() {
+        let residency = report
+            .residency_fractions(j)
+            .map(|f| {
+                f.iter()
+                    .enumerate()
+                    .map(|(r, x)| format!("r{r}:{:.0}%", x * 100.0))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_else(|| "idle".to_string());
+        println!("core {j}  : busy {busy:.1} s  [{residency}]");
+    }
+    if report.event_log.is_empty() {
+        println!(
+            "no decision log embedded — run `simulate` with `--log` to enable recording"
+        );
+        return Ok(());
+    }
+    let segments = dvfs_sim::gantt(&report.event_log);
+    let depth = dvfs_sim::queue_depth_series(&report.event_log);
+    let max_depth = depth.iter().map(|&(_, d)| d).max().unwrap_or(0);
+    println!(
+        "log      : {} entries, {} gantt segments, {} rate changes, peak queue depth {}",
+        report.event_log.len(),
+        segments.len(),
+        report.event_log.rate_changes(),
+        max_depth
+    );
+    if let Some(path) = args.get("gantt") {
+        let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        dvfs_sim::analysis::write_gantt_csv(std::io::BufWriter::new(f), &segments)
+            .map_err(|e| e.to_string())?;
+        println!("gantt csv written to {path}");
+    }
+    if let Some(path) = args.get("queue") {
+        let mut out = String::from("time,depth\n");
+        for (t, d) in &depth {
+            out.push_str(&format!("{t},{d}\n"));
+        }
+        std::fs::write(path, out).map_err(|e| e.to_string())?;
+        println!("queue-depth csv written to {path}");
+    }
+    Ok(())
+}
+
+fn ranges(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let params = cost_params(&args, CostParams::batch_paper())?;
+    let table = RateTable::i7_950_table2();
+    let dr = DominatingRanges::compute(&table, params);
+    println!("Dominating position ranges (Re={}, Rt={}):", params.re, params.rt);
+    for e in dr.entries() {
+        let ghz = table.rate(e.rate).freq_hz / 1e9;
+        match e.ub {
+            Some(ub) => println!("  [{:>6}, {:>6})  {ghz:.1} GHz", e.lb, ub),
+            None => println!("  [{:>6},    inf)  {ghz:.1} GHz", e.lb),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(dispatch(&sv(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(dispatch(&sv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn ranges_runs_with_custom_params() {
+        assert!(dispatch(&sv(&["ranges", "--re", "1.0", "--rt", "2.0"])).is_ok());
+        assert!(dispatch(&sv(&["ranges", "--re", "-1"])).is_err());
+    }
+
+    #[test]
+    fn schedule_batch_validates_input() {
+        assert!(dispatch(&sv(&["schedule-batch"])).is_err());
+        assert!(dispatch(&sv(&["schedule-batch", "--cycles", "abc"])).is_err());
+        assert!(dispatch(&sv(&["schedule-batch", "--cycles", "1e9,2e9", "--cores", "2"])).is_ok());
+        assert!(dispatch(&sv(&["schedule-batch", "--cycles", "1e9", "--cores", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_roundtrip_through_cli() {
+        let dir = std::env::temp_dir().join("dvfs-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let path_s = path.to_str().unwrap();
+        dispatch(&sv(&[
+            "generate-trace",
+            "--out",
+            path_s,
+            "--seed",
+            "3",
+            "--scale",
+            "500",
+        ]))
+        .unwrap();
+        for policy in ["lmc", "wbg", "olb", "ondemand"] {
+            dispatch(&sv(&["simulate", "--trace", path_s, "--policy", policy])).unwrap();
+        }
+        let report = dir.join("r.json");
+        let log = dir.join("log.jsonl");
+        dispatch(&sv(&[
+            "simulate",
+            "--trace",
+            path_s,
+            "--policy",
+            "lmc",
+            "--report",
+            report.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("active_energy_joules"));
+        let log_text = std::fs::read_to_string(&log).unwrap();
+        assert!(log_text.contains("Dispatch"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_kinds_generate() {
+        let dir = std::env::temp_dir().join("dvfs-cli-kinds");
+        std::fs::create_dir_all(&dir).unwrap();
+        for kind in ["judge", "poisson", "diurnal"] {
+            let path = dir.join(format!("{kind}.jsonl"));
+            dispatch(&sv(&[
+                "generate-trace",
+                "--out",
+                path.to_str().unwrap(),
+                "--kind",
+                kind,
+                "--scale",
+                "500",
+            ]))
+            .unwrap();
+            assert!(path.exists());
+        }
+        assert!(dispatch(&sv(&[
+            "generate-trace",
+            "--out",
+            "/tmp/x.jsonl",
+            "--kind",
+            "flat"
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_consumes_simulate_report() {
+        let dir = std::env::temp_dir().join("dvfs-cli-analyze");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.jsonl");
+        let report = dir.join("r.json");
+        let log = dir.join("l.jsonl");
+        let gantt = dir.join("g.csv");
+        let queue = dir.join("q.csv");
+        dispatch(&sv(&[
+            "generate-trace",
+            "--out",
+            trace.to_str().unwrap(),
+            "--scale",
+            "500",
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "simulate",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--policy",
+            "lmc",
+            "--report",
+            report.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "analyze",
+            "--report",
+            report.to_str().unwrap(),
+            "--gantt",
+            gantt.to_str().unwrap(),
+            "--queue",
+            queue.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let g = std::fs::read_to_string(&gantt).unwrap();
+        assert!(g.starts_with("core,task,start,end,rate"));
+        let q = std::fs::read_to_string(&queue).unwrap();
+        assert!(q.starts_with("time,depth"));
+        assert!(dispatch(&sv(&["analyze", "--report", "/nope.json"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_policy_and_missing_trace() {
+        assert!(dispatch(&sv(&[
+            "simulate",
+            "--trace",
+            "/nonexistent/x.jsonl",
+            "--policy",
+            "lmc"
+        ]))
+        .is_err());
+        let dir = std::env::temp_dir().join("dvfs-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let path_s = path.to_str().unwrap();
+        dispatch(&sv(&[
+            "generate-trace",
+            "--out",
+            path_s,
+            "--scale",
+            "2000",
+        ]))
+        .unwrap();
+        assert!(dispatch(&sv(&["simulate", "--trace", path_s, "--policy", "turbo"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

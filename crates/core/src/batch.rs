@@ -1,0 +1,491 @@
+//! Batch-mode scheduling (Section III).
+//!
+//! * [`schedule_single_core`] — Algorithm 2 ("Longest Task Last"): sort
+//!   tasks so cycles are non-decreasing in execution order (Theorem 3)
+//!   and give the task at backward position `k` the rate dominating `k`.
+//! * [`schedule_homogeneous`] — Theorem 4: round-robin the sorted tasks
+//!   across identical cores, heaviest tasks taking the cheapest
+//!   (backward-first) slots.
+//! * [`schedule_wbg`] — Algorithm 3 ("Workload Based Greedy"): on a
+//!   heterogeneous platform, repeatedly assign the heaviest unassigned
+//!   task to the core whose next backward slot has the least
+//!   position-cost `C_j(k)`, via a min-heap.
+//!
+//! All three produce provably minimum-cost schedules under the paper's
+//! cost model; the tests cross-check against exhaustive search.
+
+use crate::dominating::DominatingRanges;
+use dvfs_model::{CostParams, Platform, RateIdx, RateTable, Task, TaskId};
+use dvfs_sim::BatchPlan;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A single-core batch schedule: the execution order with per-task rates,
+/// plus the model-predicted total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleCorePlan {
+    /// `(task, rate)` pairs in execution order (first runs first).
+    pub order: Vec<(TaskId, RateIdx)>,
+    /// Predicted total cost `Σ C^B(k)·L_k` (Equation 17).
+    pub predicted_cost: f64,
+}
+
+/// Sort task references by ascending cycles (ties by id) — the optimal
+/// execution order of Theorem 3.
+fn sorted_ascending(tasks: &[Task]) -> Vec<&Task> {
+    let mut refs: Vec<&Task> = tasks.iter().collect();
+    refs.sort_by_key(|t| (t.cycles, t.id));
+    refs
+}
+
+/// Algorithm 2: optimal single-core batch schedule. `O(|J| log |J|)`.
+#[must_use]
+pub fn schedule_single_core(
+    tasks: &[Task],
+    table: &RateTable,
+    params: CostParams,
+) -> SingleCorePlan {
+    let ranges = DominatingRanges::compute(table, params);
+    let refs = sorted_ascending(tasks);
+    let n = refs.len() as u64;
+    let mut order = Vec::with_capacity(refs.len());
+    let mut cost = 0.0;
+    for (i, t) in refs.iter().enumerate() {
+        let kb = n - i as u64; // backward position of the i-th (0-based) task
+        let rate = ranges.rate_for(kb);
+        order.push((t.id, rate));
+        cost += ranges.cost_at(kb) * t.cycles as f64;
+    }
+    SingleCorePlan {
+        order,
+        predicted_cost: cost,
+    }
+}
+
+/// Min-heap key over `(cost, core)` with a total order on finite floats.
+#[derive(Debug, PartialEq)]
+struct SlotKey {
+    cost: f64,
+    core: usize,
+    kb: u64,
+}
+
+impl Eq for SlotKey {}
+
+impl Ord for SlotKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on (cost, core).
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("slot costs are finite")
+            .then_with(|| other.core.cmp(&self.core))
+    }
+}
+
+impl PartialOrd for SlotKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Algorithm 3: Workload Based Greedy on an arbitrary (homogeneous or
+/// heterogeneous) platform. Returns the per-core execution sequences with
+/// rates. `O(|J| (log |J| + log R))`.
+///
+/// ```
+/// use dvfs_core::schedule_wbg;
+/// use dvfs_model::{task::batch_workload, CostParams, Platform};
+///
+/// let tasks = batch_workload(&[9_000_000_000, 2_000_000_000, 400_000_000]);
+/// let plan = schedule_wbg(&tasks, &Platform::i7_950_quad(), CostParams::batch_paper());
+/// assert_eq!(plan.num_tasks(), 3);
+/// // Every per-core sequence runs shortest-first (Theorem 3).
+/// ```
+#[must_use]
+pub fn schedule_wbg(tasks: &[Task], platform: &Platform, params: CostParams) -> BatchPlan {
+    let ncores = platform.num_cores();
+    let ranges: Vec<DominatingRanges> = (0..ncores)
+        .map(|j| {
+            DominatingRanges::compute(&platform.core(j).expect("core in range").rates, params)
+        })
+        .collect();
+
+    // Heaviest first (ties by id for determinism).
+    let mut refs: Vec<&Task> = tasks.iter().collect();
+    refs.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.id.cmp(&b.id)));
+
+    // Heap of each core's next backward slot cost C_j(k).
+    let mut heap: BinaryHeap<SlotKey> = (0..ncores)
+        .map(|j| SlotKey {
+            cost: ranges[j].cost_at(1),
+            core: j,
+            kb: 1,
+        })
+        .collect();
+
+    // Backward sequences: per core, tasks in backward-position order
+    // (k = 1 first, i.e. the task that will run LAST).
+    let mut backward: Vec<Vec<(TaskId, RateIdx)>> = vec![Vec::new(); ncores];
+    for t in refs {
+        let slot = heap.pop().expect("heap has one entry per core");
+        let rate = ranges[slot.core].rate_for(slot.kb);
+        backward[slot.core].push((t.id, rate));
+        heap.push(SlotKey {
+            cost: ranges[slot.core].cost_at(slot.kb + 1),
+            core: slot.core,
+            kb: slot.kb + 1,
+        });
+    }
+
+    // Reverse into execution order (front runs first).
+    BatchPlan {
+        per_core: backward
+            .into_iter()
+            .map(|mut seq| {
+                seq.reverse();
+                seq
+            })
+            .collect(),
+    }
+}
+
+/// Theorem 4: round-robin schedule for a homogeneous platform. Produces
+/// the same cost as [`schedule_wbg`] on identical cores; exposed
+/// separately because its structure (strict round-robin) matches the
+/// paper's presentation and is cheaper to compute.
+#[must_use]
+pub fn schedule_homogeneous(
+    tasks: &[Task],
+    table: &RateTable,
+    ncores: usize,
+    params: CostParams,
+) -> BatchPlan {
+    assert!(ncores > 0, "need at least one core");
+    let ranges = DominatingRanges::compute(table, params);
+    let mut refs: Vec<&Task> = tasks.iter().collect();
+    refs.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.id.cmp(&b.id)));
+    let mut backward: Vec<Vec<(TaskId, RateIdx)>> = vec![Vec::new(); ncores];
+    for (i, t) in refs.iter().enumerate() {
+        let core = i % ncores;
+        let kb = (i / ncores + 1) as u64;
+        backward[core].push((t.id, ranges.rate_for(kb)));
+    }
+    BatchPlan {
+        per_core: backward
+            .into_iter()
+            .map(|mut seq| {
+                seq.reverse();
+                seq
+            })
+            .collect(),
+    }
+}
+
+/// Predict the analytic total cost of a batch plan on a platform:
+/// per-core first-principles sequence cost (Equation 8), summed.
+///
+/// # Panics
+/// Panics when the plan references a task id absent from `tasks` or a
+/// core outside the platform.
+#[must_use]
+pub fn predict_plan_cost(plan: &BatchPlan, tasks: &[Task], platform: &Platform, params: CostParams) -> f64 {
+    let lookup: std::collections::HashMap<TaskId, u64> =
+        tasks.iter().map(|t| (t.id, t.cycles)).collect();
+    plan.per_core
+        .iter()
+        .enumerate()
+        .map(|(j, seq)| {
+            let table = &platform.core(j).expect("core in range").rates;
+            let pairs: Vec<(u64, RateIdx)> = seq
+                .iter()
+                .map(|&(tid, r)| (lookup[&tid], r))
+                .collect();
+            dvfs_model::cost::sequence_cost(params, table, &pairs).total()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_model::task::batch_workload;
+    use dvfs_model::CoreSpec;
+    use proptest::prelude::*;
+
+    fn table() -> RateTable {
+        RateTable::i7_950_table2()
+    }
+
+    /// Exhaustive minimum over all orders and rate assignments on one
+    /// core. Exponential; only for tiny instances.
+    fn brute_force_single(cycles: &[u64], table: &RateTable, params: CostParams) -> f64 {
+        fn perms(v: &mut Vec<u64>, k: usize, out: &mut Vec<Vec<u64>>) {
+            if k == v.len() {
+                out.push(v.clone());
+                return;
+            }
+            for i in k..v.len() {
+                v.swap(k, i);
+                perms(v, k + 1, out);
+                v.swap(k, i);
+            }
+        }
+        let mut orders = Vec::new();
+        perms(&mut cycles.to_vec(), 0, &mut orders);
+        let nrates = table.len();
+        let mut best = f64::INFINITY;
+        for order in &orders {
+            // Enumerate rate combos by counting in base nrates.
+            let combos = nrates.pow(order.len() as u32);
+            for c in 0..combos {
+                let mut acc = c;
+                let seq: Vec<(u64, RateIdx)> = order
+                    .iter()
+                    .map(|&cy| {
+                        let r = acc % nrates;
+                        acc /= nrates;
+                        (cy, r)
+                    })
+                    .collect();
+                let cost = dvfs_model::cost::sequence_cost(params, table, &seq).total();
+                best = best.min(cost);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn single_core_order_is_shortest_first() {
+        let tasks = batch_workload(&[500, 100, 300]);
+        let plan = schedule_single_core(&tasks, &table(), CostParams::batch_paper());
+        let cycles_in_order: Vec<u64> = plan
+            .order
+            .iter()
+            .map(|&(tid, _)| tasks.iter().find(|t| t.id == tid).unwrap().cycles)
+            .collect();
+        assert_eq!(cycles_in_order, vec![100, 300, 500]);
+    }
+
+    #[test]
+    fn single_core_rates_non_increasing_along_order() {
+        // Front tasks have larger backward positions → faster rates.
+        let cycles: Vec<u64> = (1..=50).map(|i| i * 1_000_000_000).collect();
+        let tasks = batch_workload(&cycles);
+        let plan = schedule_single_core(&tasks, &table(), CostParams::batch_paper());
+        let rates: Vec<RateIdx> = plan.order.iter().map(|&(_, r)| r).collect();
+        assert!(rates.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn single_core_predicted_cost_matches_sequence_cost() {
+        let tasks = batch_workload(&[700, 100, 400, 1000, 50]);
+        let params = CostParams::batch_paper();
+        let plan = schedule_single_core(&tasks, &table(), params);
+        let seq: Vec<(u64, RateIdx)> = plan
+            .order
+            .iter()
+            .map(|&(tid, r)| (tasks.iter().find(|t| t.id == tid).unwrap().cycles, r))
+            .collect();
+        let direct = dvfs_model::cost::sequence_cost(params, &table(), &seq).total();
+        assert!((plan.predicted_cost - direct).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn single_core_is_optimal_small_instances() {
+        // Use a 2-rate table to keep brute force tractable.
+        let table = RateTable::i7_950_two_rates();
+        let params = CostParams::new(0.1, 1e-10).unwrap();
+        // Heavily energy-weighted and heavily time-weighted variants.
+        for params in [params, CostParams::new(1e-10, 0.4).unwrap(), CostParams::batch_paper()] {
+            for cycles in [
+                vec![3_000_000_000u64, 1_000_000_000, 2_000_000_000],
+                vec![5u64, 5, 5, 5],
+                vec![1_000u64],
+                vec![10_000_000_000u64, 1, 500_000_000, 123_456_789],
+            ] {
+                let tasks = batch_workload(&cycles);
+                let plan = schedule_single_core(&tasks, &table, params);
+                let best = brute_force_single(&cycles, &table, params);
+                assert!(
+                    plan.predicted_cost <= best * (1.0 + 1e-9),
+                    "WBG single-core not optimal: {} vs brute {best}",
+                    plan.predicted_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wbg_homogeneous_equals_round_robin_cost() {
+        let cycles: Vec<u64> = (1..=13).map(|i| i * 700_000_000 + 13).collect();
+        let tasks = batch_workload(&cycles);
+        let params = CostParams::batch_paper();
+        let platform = Platform::homogeneous(4, CoreSpec::new(table())).unwrap();
+        let wbg = schedule_wbg(&tasks, &platform, params);
+        let rr = schedule_homogeneous(&tasks, &table(), 4, params);
+        let cw = predict_plan_cost(&wbg, &tasks, &platform, params);
+        let cr = predict_plan_cost(&rr, &tasks, &platform, params);
+        assert!(
+            (cw - cr).abs() / cw < 1e-12,
+            "heap WBG and Theorem-4 round-robin must agree: {cw} vs {cr}"
+        );
+    }
+
+    #[test]
+    fn wbg_assigns_every_task_exactly_once() {
+        let tasks = batch_workload(&[5, 10, 15, 20, 25, 30, 35]);
+        let platform = Platform::big_little(2, 2);
+        let plan = schedule_wbg(&tasks, &platform, CostParams::batch_paper());
+        let mut ids: Vec<TaskId> = plan.entries().map(|(_, _, t, _)| t).collect();
+        ids.sort();
+        let mut expect: Vec<TaskId> = tasks.iter().map(|t| t.id).collect();
+        expect.sort();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn wbg_per_core_sequences_are_shortest_first() {
+        let cycles: Vec<u64> = (1..=20).map(|i| i * 311_111_111).collect();
+        let tasks = batch_workload(&cycles);
+        let platform = Platform::big_little(2, 2);
+        let plan = schedule_wbg(&tasks, &platform, CostParams::batch_paper());
+        for seq in &plan.per_core {
+            let cyc: Vec<u64> = seq
+                .iter()
+                .map(|&(tid, _)| tasks.iter().find(|t| t.id == tid).unwrap().cycles)
+                .collect();
+            assert!(
+                cyc.windows(2).all(|w| w[0] <= w[1]),
+                "core sequence not non-decreasing: {cyc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wbg_prefers_efficient_cores_for_heavy_tasks() {
+        // One big (fast, power-hungry) + one little (slow, frugal) core
+        // with an energy-dominated objective: the heavy work should land
+        // where C_j(k) is lower.
+        let tasks = batch_workload(&[10_000_000_000, 9_000_000_000]);
+        let platform = Platform::big_little(1, 1);
+        let params = CostParams::new(10.0, 1e-6).unwrap(); // energy-dominated
+        let plan = schedule_wbg(&tasks, &platform, params);
+        // Both tasks must go to the little core (cheap energy) since time
+        // is nearly free.
+        assert!(plan.per_core[0].is_empty(), "{:?}", plan.per_core);
+        assert_eq!(plan.per_core[1].len(), 2);
+    }
+
+    #[test]
+    fn wbg_single_core_reduces_to_algorithm_2() {
+        let cycles = vec![123u64, 99999, 345, 7, 10_000_000];
+        let tasks = batch_workload(&cycles);
+        let params = CostParams::batch_paper();
+        let platform = Platform::homogeneous(1, CoreSpec::new(table())).unwrap();
+        let wbg = schedule_wbg(&tasks, &platform, params);
+        let single = schedule_single_core(&tasks, &table(), params);
+        assert_eq!(wbg.per_core[0], single.order);
+    }
+
+    #[test]
+    fn empty_workload_produces_empty_plan() {
+        let platform = Platform::i7_950_quad();
+        let plan = schedule_wbg(&[], &platform, CostParams::batch_paper());
+        assert_eq!(plan.num_tasks(), 0);
+        let single = schedule_single_core(&[], &table(), CostParams::batch_paper());
+        assert!(single.order.is_empty());
+        assert_eq!(single.predicted_cost, 0.0);
+    }
+
+    /// Exhaustive two-core optimality check: every assignment of tasks to
+    /// cores, with the optimal single-core sub-schedules (justified by
+    /// Theorem 3 applied per core).
+    fn brute_force_two_core(cycles: &[u64], platform: &Platform, params: CostParams) -> f64 {
+        let n = cycles.len();
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << n) {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for (i, &c) in cycles.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    a.push(c);
+                } else {
+                    b.push(c);
+                }
+            }
+            let ta = batch_workload(&a);
+            let tb = batch_workload(&b);
+            let ca = schedule_single_core(&ta, &platform.core(0).unwrap().rates, params)
+                .predicted_cost;
+            let cb = schedule_single_core(&tb, &platform.core(1).unwrap().rates, params)
+                .predicted_cost;
+            best = best.min(ca + cb);
+        }
+        best
+    }
+
+    #[test]
+    fn wbg_is_optimal_on_two_heterogeneous_cores() {
+        let platform = Platform::big_little(1, 1);
+        let params = CostParams::batch_paper();
+        for cycles in [
+            vec![1_000_000_000u64, 2_000_000_000, 3_000_000_000],
+            vec![5_000_000_000u64, 10_000_000, 10_000_000, 700_000_000, 1_234_567],
+            vec![42u64],
+        ] {
+            let tasks = batch_workload(&cycles);
+            let plan = schedule_wbg(&tasks, &platform, params);
+            let cost = predict_plan_cost(&plan, &tasks, &platform, params);
+            let best = brute_force_two_core(&cycles, &platform, params);
+            assert!(
+                cost <= best * (1.0 + 1e-9),
+                "WBG {cost} worse than brute-force {best} for {cycles:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn prop_wbg_beats_random_plans(
+            cycles in prop::collection::vec(1u64..5_000_000_000, 1..12),
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let tasks = batch_workload(&cycles);
+            let params = CostParams::batch_paper();
+            let platform = Platform::big_little(2, 1);
+            let plan = schedule_wbg(&tasks, &platform, params);
+            let wbg_cost = predict_plan_cost(&plan, &tasks, &platform, params);
+
+            // Random alternative plan: random assignment/order/rates.
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut per_core: Vec<Vec<(TaskId, RateIdx)>> =
+                vec![Vec::new(); platform.num_cores()];
+            for t in &tasks {
+                let j = rng.gen_range(0..platform.num_cores());
+                let nr = platform.core(j).unwrap().rates.len();
+                per_core[j].push((t.id, rng.gen_range(0..nr)));
+            }
+            let rand_plan = BatchPlan { per_core };
+            let rand_cost = predict_plan_cost(&rand_plan, &tasks, &platform, params);
+            prop_assert!(wbg_cost <= rand_cost * (1.0 + 1e-9),
+                "random plan beat WBG: {} < {}", rand_cost, wbg_cost);
+        }
+
+        #[test]
+        fn prop_single_core_optimal_vs_brute(
+            cycles in prop::collection::vec(1u64..1_000_000_000, 1..5),
+        ) {
+            let table = RateTable::i7_950_two_rates();
+            let params = CostParams::batch_paper();
+            let tasks = batch_workload(&cycles);
+            let plan = schedule_single_core(&tasks, &table, params);
+            let best = brute_force_single(&cycles, &table, params);
+            prop_assert!(plan.predicted_cost <= best * (1.0 + 1e-9));
+            // And it must achieve the brute-force optimum exactly.
+            prop_assert!((plan.predicted_cost - best).abs() / best.max(1e-30) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Empirical optimality validation by randomized local search.
+//!
+//! Theorems 3–5 claim WBG's schedules are cost-minimal. The unit tests
+//! verify this against exhaustive search for tiny instances; this module
+//! scales the evidence up: a randomized hill-climber explores the
+//! neighborhood of a plan (move a task between cores, swap two tasks,
+//! reorder within a core, change a task's rate) and reports the best
+//! plan it can find. Starting *from* a WBG plan it should find no
+//! improving move; starting from random plans it should never beat WBG.
+//! Both properties are enforced by tests here and exercised at larger
+//! scale in the `validate_wbg` experiment binary.
+
+use crate::batch::predict_plan_cost;
+use dvfs_model::{CostParams, Platform, Task};
+use dvfs_sim::BatchPlan;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Outcome of a local-search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best plan found.
+    pub plan: BatchPlan,
+    /// Its analytic cost.
+    pub cost: f64,
+    /// Number of accepted (improving) moves.
+    pub improvements: usize,
+    /// Number of candidate moves evaluated.
+    pub evaluated: usize,
+}
+
+/// Hill-climb from `start` for `iterations` random moves, accepting
+/// strict improvements. Deterministic for a given seed.
+///
+/// # Panics
+/// Panics when the plan and task set are inconsistent.
+#[must_use]
+pub fn local_search(
+    start: &BatchPlan,
+    tasks: &[Task],
+    platform: &Platform,
+    params: CostParams,
+    iterations: usize,
+    seed: u64,
+) -> SearchOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut best = start.clone();
+    let mut best_cost = predict_plan_cost(&best, tasks, platform, params);
+    let mut improvements = 0;
+    let mut evaluated = 0;
+    let ncores = platform.num_cores();
+
+    for _ in 0..iterations {
+        let mut cand = best.clone();
+        let kind = rng.gen_range(0..4u8);
+        let mutated = match kind {
+            0 => {
+                // Move a random task to a random position on another core.
+                let from = rng.gen_range(0..ncores);
+                if cand.per_core[from].is_empty() {
+                    false
+                } else {
+                    let i = rng.gen_range(0..cand.per_core[from].len());
+                    let (tid, _) = cand.per_core[from].remove(i);
+                    let to = rng.gen_range(0..ncores);
+                    let pos = rng.gen_range(0..=cand.per_core[to].len());
+                    let nrates = platform.core(to).expect("in range").rates.len();
+                    let rate = rng.gen_range(0..nrates);
+                    cand.per_core[to].insert(pos, (tid, rate));
+                    true
+                }
+            }
+            1 => {
+                // Swap two tasks across cores (keeping rates positional).
+                let a = rng.gen_range(0..ncores);
+                let b = rng.gen_range(0..ncores);
+                if cand.per_core[a].is_empty() || cand.per_core[b].is_empty() {
+                    false
+                } else {
+                    let i = rng.gen_range(0..cand.per_core[a].len());
+                    let j = rng.gen_range(0..cand.per_core[b].len());
+                    let (ta, _) = cand.per_core[a][i];
+                    let (tb, _) = cand.per_core[b][j];
+                    cand.per_core[a][i].0 = tb;
+                    cand.per_core[b][j].0 = ta;
+                    true
+                }
+            }
+            2 => {
+                // Swap two positions within a core.
+                let c = rng.gen_range(0..ncores);
+                if cand.per_core[c].len() < 2 {
+                    false
+                } else {
+                    let i = rng.gen_range(0..cand.per_core[c].len());
+                    let j = rng.gen_range(0..cand.per_core[c].len());
+                    cand.per_core[c].swap(i, j);
+                    i != j
+                }
+            }
+            _ => {
+                // Re-rate one task.
+                let c = rng.gen_range(0..ncores);
+                if cand.per_core[c].is_empty() {
+                    false
+                } else {
+                    let i = rng.gen_range(0..cand.per_core[c].len());
+                    let nrates = platform.core(c).expect("in range").rates.len();
+                    let new_rate = rng.gen_range(0..nrates);
+                    let changed = cand.per_core[c][i].1 != new_rate;
+                    cand.per_core[c][i].1 = new_rate;
+                    changed
+                }
+            }
+        };
+        if !mutated {
+            continue;
+        }
+        evaluated += 1;
+        let cost = predict_plan_cost(&cand, tasks, platform, params);
+        // Relative tolerance: plan costs are sums of thousands of f64
+        // terms, so equal-cost plans (e.g. symmetric core swaps) differ
+        // by rounding noise far above any absolute epsilon.
+        if cost < best_cost - best_cost.abs() * 1e-9 - 1e-15 {
+            best = cand;
+            best_cost = cost;
+            improvements += 1;
+        }
+    }
+    SearchOutcome {
+        plan: best,
+        cost: best_cost,
+        improvements,
+        evaluated,
+    }
+}
+
+/// A uniformly random valid plan (every task placed once).
+#[must_use]
+pub fn random_plan(tasks: &[Task], platform: &Platform, seed: u64) -> BatchPlan {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut plan = BatchPlan::empty(platform.num_cores());
+    for t in tasks {
+        let c = rng.gen_range(0..platform.num_cores());
+        let nrates = platform.core(c).expect("in range").rates.len();
+        plan.per_core[c].push((t.id, rng.gen_range(0..nrates)));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::schedule_wbg;
+    use dvfs_model::task::batch_workload;
+    use rand::{Rng, SeedableRng};
+
+    fn medium_instance() -> (Vec<Task>, Platform) {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let cycles: Vec<u64> = (0..40).map(|_| rng.gen_range(1..20_000_000_000)).collect();
+        (batch_workload(&cycles), Platform::big_little(2, 2))
+    }
+
+    #[test]
+    fn no_improving_move_from_wbg() {
+        let (tasks, platform) = medium_instance();
+        let params = CostParams::batch_paper();
+        let wbg = schedule_wbg(&tasks, &platform, params);
+        let outcome = local_search(&wbg, &tasks, &platform, params, 20_000, 7);
+        assert_eq!(
+            outcome.improvements, 0,
+            "local search found a plan beating WBG by {:.6}",
+            predict_plan_cost(&wbg, &tasks, &platform, params) - outcome.cost
+        );
+    }
+
+    #[test]
+    fn random_starts_never_beat_wbg() {
+        let (tasks, platform) = medium_instance();
+        let params = CostParams::batch_paper();
+        let wbg_cost =
+            predict_plan_cost(&schedule_wbg(&tasks, &platform, params), &tasks, &platform, params);
+        for seed in 0..5 {
+            let start = random_plan(&tasks, &platform, seed);
+            let outcome = local_search(&start, &tasks, &platform, params, 5_000, seed + 100);
+            assert!(
+                outcome.cost >= wbg_cost * (1.0 - 1e-9),
+                "seed {seed}: local search reached {} below WBG {wbg_cost}",
+                outcome.cost
+            );
+        }
+    }
+
+    #[test]
+    fn local_search_improves_bad_starts() {
+        let (tasks, platform) = medium_instance();
+        let params = CostParams::batch_paper();
+        let start = random_plan(&tasks, &platform, 1);
+        let start_cost = predict_plan_cost(&start, &tasks, &platform, params);
+        let outcome = local_search(&start, &tasks, &platform, params, 10_000, 2);
+        assert!(outcome.improvements > 0);
+        assert!(outcome.cost < start_cost);
+        assert!(outcome.evaluated > 0);
+    }
+
+    #[test]
+    fn random_plan_places_every_task_once() {
+        let (tasks, platform) = medium_instance();
+        let plan = random_plan(&tasks, &platform, 3);
+        assert_eq!(plan.num_tasks(), tasks.len());
+        let mut ids: Vec<_> = plan.entries().map(|(_, _, t, _)| t).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), tasks.len());
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let (tasks, platform) = medium_instance();
+        let params = CostParams::batch_paper();
+        let start = random_plan(&tasks, &platform, 5);
+        let a = local_search(&start, &tasks, &platform, params, 3_000, 11);
+        let b = local_search(&start, &tasks, &platform, params, 3_000, 11);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.plan, b.plan);
+    }
+}

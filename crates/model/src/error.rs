@@ -1,0 +1,120 @@
+//! Error types shared across the model crate.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A rate table was constructed with no rate points (the paper requires
+    /// `P` to be non-empty).
+    EmptyRateTable,
+    /// Rate points were not strictly increasing in frequency.
+    NonMonotonicFrequency {
+        /// Index of the offending rate point.
+        index: usize,
+    },
+    /// Per-cycle energy `E(p)` was not strictly increasing with frequency,
+    /// violating `0 < E(p1) < E(p2) < ...`.
+    NonMonotonicEnergy {
+        /// Index of the offending rate point.
+        index: usize,
+    },
+    /// Per-cycle time `T(p)` was not strictly decreasing with frequency,
+    /// violating `0 < ... < T(p2) < T(p1)`.
+    NonMonotonicTime {
+        /// Index of the offending rate point.
+        index: usize,
+    },
+    /// A rate point contained a non-finite or non-positive value.
+    InvalidRatePoint {
+        /// Index of the offending rate point.
+        index: usize,
+    },
+    /// A task was constructed with a deadline not after its arrival
+    /// (the paper requires `D_k > A_k >= 0` when a deadline exists).
+    DeadlineBeforeArrival,
+    /// A task was constructed with a negative or non-finite arrival time.
+    InvalidArrival,
+    /// A task was constructed with zero required cycles.
+    ZeroCycles,
+    /// Cost parameters must be positive and finite.
+    InvalidCostParams,
+    /// A platform was constructed with no cores.
+    EmptyPlatform,
+    /// A core index was out of range for the platform.
+    CoreOutOfRange {
+        /// The requested core index.
+        core: usize,
+        /// The number of cores in the platform.
+        ncores: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyRateTable => write!(f, "rate table must contain at least one rate"),
+            ModelError::NonMonotonicFrequency { index } => {
+                write!(f, "rate frequencies must strictly increase (index {index})")
+            }
+            ModelError::NonMonotonicEnergy { index } => write!(
+                f,
+                "per-cycle energy must strictly increase with frequency (index {index})"
+            ),
+            ModelError::NonMonotonicTime { index } => write!(
+                f,
+                "per-cycle time must strictly decrease with frequency (index {index})"
+            ),
+            ModelError::InvalidRatePoint { index } => {
+                write!(f, "rate point {index} has non-finite or non-positive values")
+            }
+            ModelError::DeadlineBeforeArrival => {
+                write!(f, "task deadline must be strictly after its arrival")
+            }
+            ModelError::InvalidArrival => {
+                write!(f, "task arrival must be finite and non-negative")
+            }
+            ModelError::ZeroCycles => write!(f, "task must require at least one cycle"),
+            ModelError::InvalidCostParams => {
+                write!(f, "cost parameters Re and Rt must be positive and finite")
+            }
+            ModelError::EmptyPlatform => write!(f, "platform must contain at least one core"),
+            ModelError::CoreOutOfRange { core, ncores } => {
+                write!(f, "core {core} out of range for platform with {ncores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errs = [
+            ModelError::EmptyRateTable,
+            ModelError::NonMonotonicFrequency { index: 1 },
+            ModelError::NonMonotonicEnergy { index: 2 },
+            ModelError::NonMonotonicTime { index: 3 },
+            ModelError::InvalidRatePoint { index: 0 },
+            ModelError::DeadlineBeforeArrival,
+            ModelError::InvalidArrival,
+            ModelError::ZeroCycles,
+            ModelError::InvalidCostParams,
+            ModelError::EmptyPlatform,
+            ModelError::CoreOutOfRange { core: 5, ncores: 4 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::EmptyRateTable);
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared-resource contention models.
+//!
+//! The paper attributes its 8% simulation-vs-hardware cost gap (Fig. 1)
+//! to workloads "competing for last-level cache or memory" when running
+//! simultaneously on different cores. These constructors produce the
+//! slowdown factor consumed by `dvfs_sim::SimConfig::with_contention`:
+//! given the number of busy cores, the effective execution speed of each
+//! busy core is multiplied by the returned factor.
+
+/// No contention: every busy count runs at full speed.
+#[must_use]
+pub fn no_contention() -> Box<dyn Fn(usize) -> f64> {
+    Box::new(|_| 1.0)
+}
+
+/// Linear-in-co-runners memory contention:
+/// `factor(busy) = 1 / (1 + alpha · (busy − 1))`. One busy core runs at
+/// full speed; each additional busy core dilates execution by `alpha`.
+/// `alpha ≈ 0.03` reproduces the paper's ≈8% cost gap on a quad-core.
+///
+/// # Panics
+/// Panics when `alpha` is negative or not finite.
+#[must_use]
+pub fn memory_contention(alpha: f64) -> Box<dyn Fn(usize) -> f64> {
+    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+    Box::new(move |busy| {
+        if busy <= 1 {
+            1.0
+        } else {
+            1.0 / (1.0 + alpha * (busy as f64 - 1.0))
+        }
+    })
+}
+
+/// Saturating contention: slowdown grows with busy cores but levels off
+/// at `1 / (1 + cap)`, modeling bandwidth saturation.
+///
+/// # Panics
+/// Panics when the parameters are negative or not finite.
+#[must_use]
+pub fn saturating_contention(alpha: f64, cap: f64) -> Box<dyn Fn(usize) -> f64> {
+    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+    assert!(cap.is_finite() && cap >= 0.0, "cap must be >= 0");
+    Box::new(move |busy| {
+        if busy <= 1 {
+            1.0
+        } else {
+            let pen = (alpha * (busy as f64 - 1.0)).min(cap);
+            1.0 / (1.0 + pen)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_contention_is_identity() {
+        let f = no_contention();
+        for busy in 0..16 {
+            assert_eq!(f(busy), 1.0);
+        }
+    }
+
+    #[test]
+    fn memory_contention_monotone_decreasing() {
+        let f = memory_contention(0.05);
+        assert_eq!(f(0), 1.0);
+        assert_eq!(f(1), 1.0);
+        let mut prev = 1.0;
+        for busy in 2..32 {
+            let v = f(busy);
+            assert!(v < prev && v > 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn alpha_zero_means_no_slowdown() {
+        let f = memory_contention(0.0);
+        assert_eq!(f(8), 1.0);
+    }
+
+    #[test]
+    fn quad_core_slowdown_matches_paper_gap_scale() {
+        // With alpha = 0.03 and 4 busy cores, the dilation is 9%.
+        let f = memory_contention(0.03);
+        let dilation = 1.0 / f(4) - 1.0;
+        assert!((dilation - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_contention_caps() {
+        let f = saturating_contention(0.1, 0.25);
+        assert!((f(2) - 1.0 / 1.1).abs() < 1e-12);
+        assert!((f(100) - 1.0 / 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn negative_alpha_rejected() {
+        let _ = memory_contention(-0.1);
+    }
+}

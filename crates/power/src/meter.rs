@@ -1,0 +1,195 @@
+//! A sampled power meter, standing in for the paper's DW-6091.
+//!
+//! The meter samples the platform's power draw at a fixed interval,
+//! perturbs each sample with Gaussian sensor noise, and reports energy as
+//! `Σ sample · interval` — exactly how a watt-hour meter integrates. The
+//! paper's methodology ("the energy consumption is the integral of the
+//! power reading over the execution period", minus the idle reading) is
+//! reproduced by [`PowerMeter::measure`] plus
+//! [`MeterReading::active_energy`].
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Meter output for one measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeterReading {
+    /// `(time, watts)` samples, including noise.
+    pub samples: Vec<(f64, f64)>,
+    /// Raw integrated energy over the window, in joules.
+    pub energy_joules: f64,
+    /// Length of the measurement window in seconds.
+    pub duration: f64,
+}
+
+impl MeterReading {
+    /// Idle-subtracted energy: raw energy minus `idle_watts × duration`
+    /// (the paper measures the idle machine first and deducts it).
+    #[must_use]
+    pub fn active_energy(&self, idle_watts: f64) -> f64 {
+        self.energy_joules - idle_watts * self.duration
+    }
+
+    /// Mean of the power samples in watts.
+    #[must_use]
+    pub fn mean_power(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, w)| w).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// A sampling power meter with Gaussian sensor noise.
+///
+/// ```
+/// use dvfs_power::PowerMeter;
+///
+/// // 5 W active for 2 s on top of an 8 W idle floor.
+/// let meter = PowerMeter::ideal(0.001);
+/// let reading = meter.measure(&[(0.0, 5.0)], 2.0, 8.0);
+/// assert!((reading.active_energy(8.0) - 10.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    /// Sampling interval in seconds.
+    pub interval_s: f64,
+    /// Standard deviation of the per-sample noise, in watts.
+    pub noise_sd_watts: f64,
+    /// RNG seed: identical seeds reproduce identical readings.
+    pub seed: u64,
+}
+
+impl PowerMeter {
+    /// A meter with DW-6091-like characteristics: 10 Hz sampling,
+    /// ±0.2 W sensor noise.
+    #[must_use]
+    pub fn dw6091_like(seed: u64) -> Self {
+        PowerMeter {
+            interval_s: 0.1,
+            noise_sd_watts: 0.2,
+            seed,
+        }
+    }
+
+    /// A noiseless meter (for exactness tests).
+    #[must_use]
+    pub fn ideal(interval_s: f64) -> Self {
+        PowerMeter {
+            interval_s,
+            noise_sd_watts: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Measure a power **step timeline** (`(time, watts)` change points,
+    /// as produced by `dvfs_sim::SimReport::power_timeline`) over
+    /// `[0, duration]`, adding `baseline_watts` (e.g. the platform's idle
+    /// draw, which a physical meter always sees).
+    ///
+    /// # Panics
+    /// Panics when `duration` is not positive and finite.
+    #[must_use]
+    pub fn measure(
+        &self,
+        timeline: &[(f64, f64)],
+        duration: f64,
+        baseline_watts: f64,
+    ) -> MeterReading {
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "measurement window must be positive"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut samples = Vec::new();
+        let mut energy = 0.0;
+        let mut idx = 0usize; // timeline cursor
+        let mut current = 0.0f64; // active watts before the first point
+        let mut t = 0.0;
+        while t < duration {
+            while idx < timeline.len() && timeline[idx].0 <= t {
+                current = timeline[idx].1;
+                idx += 1;
+            }
+            let noise = if self.noise_sd_watts > 0.0 {
+                gaussian(&mut rng) * self.noise_sd_watts
+            } else {
+                0.0
+            };
+            let w = (current + baseline_watts + noise).max(0.0);
+            samples.push((t, w));
+            energy += w * self.interval_s;
+            t += self.interval_s;
+        }
+        MeterReading {
+            samples,
+            energy_joules: energy,
+            duration,
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_meter_integrates_constant_power_exactly() {
+        let meter = PowerMeter::ideal(0.01);
+        // 5 W active for the whole 2 s window, no baseline.
+        let reading = meter.measure(&[(0.0, 5.0)], 2.0, 0.0);
+        assert!((reading.energy_joules - 10.0).abs() < 0.06); // quantization only
+        assert!((reading.mean_power() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_changes_are_tracked() {
+        let meter = PowerMeter::ideal(0.001);
+        // 10 W for 1 s, then 2 W for 1 s.
+        let reading = meter.measure(&[(0.0, 10.0), (1.0, 2.0)], 2.0, 0.0);
+        assert!((reading.energy_joules - 12.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn idle_subtraction_recovers_active_energy() {
+        let meter = PowerMeter::ideal(0.001);
+        let reading = meter.measure(&[(0.0, 7.0)], 3.0, 8.0 /* idle baseline */);
+        // Raw ≈ (7+8)*3 = 45 J; active ≈ 21 J.
+        assert!((reading.active_energy(8.0) - 21.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_zero_mean() {
+        let meter = PowerMeter {
+            interval_s: 0.001,
+            noise_sd_watts: 0.5,
+            seed: 7,
+        };
+        let a = meter.measure(&[(0.0, 5.0)], 5.0, 0.0);
+        let b = meter.measure(&[(0.0, 5.0)], 5.0, 0.0);
+        assert_eq!(a, b, "same seed → same reading");
+        // 5000 samples of sd 0.5 → mean within ~5 sd/sqrt(n).
+        assert!((a.mean_power() - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_timeline_measures_baseline_only() {
+        let meter = PowerMeter::ideal(0.01);
+        let reading = meter.measure(&[], 1.0, 4.0);
+        assert!((reading.energy_joules - 4.0).abs() < 0.05);
+        assert!((reading.active_energy(4.0)).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_rejected() {
+        let _ = PowerMeter::ideal(0.1).measure(&[], 0.0, 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Closed-form power helpers derived from the rate model.
+
+use dvfs_model::{Platform, RateIdx, RateTable};
+
+/// Active power in watts of a core executing continuously at `rate`:
+/// `P(p) = E(p) / T(p)`.
+#[must_use]
+pub fn active_power(table: &RateTable, rate: RateIdx) -> f64 {
+    table.rate(rate).active_power_watts()
+}
+
+/// Platform power with the given per-core busy rates (`None` = idle core
+/// drawing its idle power).
+///
+/// # Panics
+/// Panics when `busy.len()` differs from the platform's core count.
+#[must_use]
+pub fn platform_power(platform: &Platform, busy: &[Option<RateIdx>]) -> f64 {
+    assert_eq!(busy.len(), platform.num_cores(), "one entry per core");
+    busy.iter()
+        .enumerate()
+        .map(|(j, b)| {
+            let core = platform.core(j).expect("in range");
+            match b {
+                Some(r) => core.rates.rate(*r).active_power_watts(),
+                None => core.idle_power_watts,
+            }
+        })
+        .sum()
+}
+
+/// Energy in joules to run `cycles` cycles at `rate` (Equation 1),
+/// re-exported here for symmetry with the wattage helpers.
+#[must_use]
+pub fn cycle_energy(table: &RateTable, rate: RateIdx, cycles: u64) -> f64 {
+    table.energy(rate, cycles)
+}
+
+/// The paper's assumption check: dynamic energy-per-cycle should grow
+/// roughly with the square of frequency. Returns the fitted exponent
+/// `k` in `E(p) ∝ p^k` by least squares on the log-log points.
+///
+/// # Panics
+/// Panics when the table has fewer than two rates.
+#[must_use]
+pub fn fitted_energy_exponent(table: &RateTable) -> f64 {
+    assert!(table.len() >= 2, "need two points to fit");
+    let pts: Vec<(f64, f64)> = table
+        .points()
+        .iter()
+        .map(|r| (r.freq_hz.ln(), r.energy_per_cycle.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_model::CoreSpec;
+
+    #[test]
+    fn active_power_matches_ratio() {
+        let t = RateTable::i7_950_table2();
+        assert!((active_power(&t, 0) - 3.375 / 0.625).abs() < 1e-9);
+        assert!((active_power(&t, 4) - 7.1 / 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn platform_power_mixes_active_and_idle() {
+        let p = Platform::homogeneous(
+            3,
+            CoreSpec::new(RateTable::i7_950_table2()).with_idle_power(2.0),
+        )
+        .unwrap();
+        let w = platform_power(&p, &[Some(0), None, Some(4)]);
+        let expect = 3.375 / 0.625 + 2.0 + 7.1 / 0.33;
+        assert!((w - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_energy_scales_superlinearly() {
+        // The paper's proof assumes E ∝ p²; the measured Table II data
+        // fit an exponent comfortably above 1.
+        let k = fitted_energy_exponent(&RateTable::i7_950_table2());
+        assert!(k > 1.0 && k < 2.0, "fitted exponent {k}");
+    }
+
+    #[test]
+    fn synthetic_table_fits_quadratic() {
+        let k = fitted_energy_exponent(&RateTable::synthetic_quadratic(16, 0.5, 3.5));
+        assert!((k - 2.0).abs() < 1e-6, "fitted exponent {k}");
+    }
+
+    #[test]
+    fn cycle_energy_equals_table_energy() {
+        let t = RateTable::i7_950_table2();
+        assert_eq!(cycle_energy(&t, 2, 1000), t.energy(2, 1000));
+    }
+}

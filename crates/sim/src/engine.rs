@@ -1,0 +1,1176 @@
+//! The event-driven simulation engine.
+
+use crate::event::{EventKind, EventQueue};
+use crate::governor::GovernorKind;
+use crate::metrics::{SimReport, TaskRecord};
+use crate::policy::Policy;
+use dvfs_model::{CoreId, Platform, RateIdx, RateTable, Task, TaskId};
+use std::collections::HashMap;
+
+/// Contention factor: given the number of simultaneously busy cores,
+/// return the effective speed multiplier in `(0, 1]`. `None` models an
+/// ideal (contention-free) machine.
+pub type ContentionFn = Box<dyn Fn(usize) -> f64>;
+
+/// Simulator configuration.
+pub struct SimConfig {
+    /// The hardware platform.
+    pub platform: Platform,
+    /// Per-core governor (defaults to `Userspace` everywhere).
+    pub governors: Vec<GovernorKind>,
+    /// Per-core cap on the usable rate index (defaults to the table max;
+    /// the Power Saving baseline lowers it).
+    pub max_allowed_rate: Vec<RateIdx>,
+    /// Optional shared-resource contention model.
+    pub contention: Option<ContentionFn>,
+    /// Record the `(time, watts)` platform power step function.
+    pub record_power_timeline: bool,
+    /// DVFS transition latency in seconds: after a frequency change the
+    /// core stalls (draws active power, executes nothing) for this long.
+    /// Real per-core DVFS transitions cost on the order of tens of
+    /// microseconds; the default 0 models the paper's idealization.
+    pub switch_latency_s: f64,
+    /// Record a decision [`crate::EventLog`] (arrivals, dispatches,
+    /// preemptions, rate changes, completions).
+    pub record_event_log: bool,
+    /// Safety valve: abort after this many processed events.
+    pub event_budget: u64,
+}
+
+impl SimConfig {
+    /// Default configuration: userspace governors, no caps, no
+    /// contention, timeline recording off.
+    #[must_use]
+    pub fn new(platform: Platform) -> Self {
+        let n = platform.num_cores();
+        let caps = (0..n)
+            .map(|j| platform.core(j).expect("in range").rates.max_rate())
+            .collect();
+        SimConfig {
+            platform,
+            governors: vec![GovernorKind::Userspace; n],
+            max_allowed_rate: caps,
+            contention: None,
+            record_power_timeline: false,
+            switch_latency_s: 0.0,
+            record_event_log: false,
+            event_budget: 2_000_000_000,
+        }
+    }
+
+    /// Use `governor` on every core.
+    #[must_use]
+    pub fn with_governor(mut self, governor: GovernorKind) -> Self {
+        self.governors = vec![governor; self.platform.num_cores()];
+        self
+    }
+
+    /// Cap every core's usable rates at `idx` (Power Saving).
+    #[must_use]
+    pub fn with_rate_cap(mut self, idx: RateIdx) -> Self {
+        for (j, cap) in self.max_allowed_rate.iter_mut().enumerate() {
+            let hw_max = self
+                .platform
+                .core(j)
+                .expect("in range")
+                .rates
+                .max_rate();
+            *cap = idx.min(hw_max);
+        }
+        self
+    }
+
+    /// Install a contention model.
+    #[must_use]
+    pub fn with_contention(mut self, f: ContentionFn) -> Self {
+        self.contention = Some(f);
+        self
+    }
+
+    /// Enable power-timeline recording.
+    #[must_use]
+    pub fn with_power_timeline(mut self) -> Self {
+        self.record_power_timeline = true;
+        self
+    }
+
+    /// Enable decision logging.
+    #[must_use]
+    pub fn with_event_log(mut self) -> Self {
+        self.record_event_log = true;
+        self
+    }
+
+    /// Set the DVFS transition latency.
+    ///
+    /// # Panics
+    /// Panics when `latency` is negative or not finite.
+    #[must_use]
+    pub fn with_switch_latency(mut self, latency_s: f64) -> Self {
+        assert!(
+            latency_s.is_finite() && latency_s >= 0.0,
+            "switch latency must be finite and non-negative"
+        );
+        self.switch_latency_s = latency_s;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    /// Known to the simulator but not yet arrived.
+    Future,
+    /// Arrived; waiting for a policy dispatch (also after preemption).
+    Ready,
+    /// Executing on the given core.
+    Running(CoreId),
+    /// Finished.
+    Done,
+}
+
+struct Job {
+    task: Task,
+    remaining: f64,
+    phase: JobPhase,
+    record: TaskRecord,
+}
+
+struct Core {
+    rate: RateIdx,
+    max_allowed: RateIdx,
+    governor: GovernorKind,
+    epoch: u64,
+    running: Option<TaskId>,
+    last_sync: f64,
+    busy_time: f64,
+    busy_at_last_tick: f64,
+    /// Busy seconds per rate index.
+    residency: Vec<f64>,
+    /// The core stalls (no execution) until this time after a DVFS
+    /// transition.
+    stall_until: f64,
+}
+
+/// The simulation engine. Construct with [`Simulator::new`], add tasks,
+/// then [`Simulator::run`] with a policy.
+///
+/// ```
+/// use dvfs_model::{Platform, Task, TaskId};
+/// use dvfs_sim::{BatchPlan, PlanPolicy, SimConfig, Simulator};
+///
+/// let platform = Platform::i7_950_quad();
+/// let task = Task::batch(0, 1_600_000_000).unwrap(); // 1 s at 1.6 GHz
+/// let mut plan = BatchPlan::empty(4);
+/// plan.per_core[0].push((TaskId(0), 0));
+///
+/// let mut sim = Simulator::new(SimConfig::new(platform));
+/// sim.add_tasks(&[task]);
+/// let report = sim.run(&mut PlanPolicy::new(plan));
+/// assert_eq!(report.completed(), 1);
+/// assert!((report.makespan - 1.0).abs() < 1e-9);
+/// ```
+pub struct Simulator {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    jobs: HashMap<TaskId, Job>,
+    queue: EventQueue,
+    now: f64,
+    done: usize,
+    total: usize,
+    active_energy: f64,
+    power_timeline: Vec<(f64, f64)>,
+    last_completion: f64,
+    event_log: crate::EventLog,
+}
+
+impl Simulator {
+    /// Build a simulator from a configuration.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        let cores = (0..cfg.platform.num_cores())
+            .map(|j| {
+                let gov = cfg.governors[j];
+                let start_rate = match gov {
+                    GovernorKind::Performance => cfg.max_allowed_rate[j],
+                    // An idle machine settles at the lowest level under
+                    // the demand-driven governors; start there.
+                    GovernorKind::OnDemand { .. } | GovernorKind::Conservative { .. } => 0,
+                    GovernorKind::Userspace => 0,
+                };
+                let nrates = cfg.platform.core(j).expect("in range").rates.len();
+                Core {
+                    rate: start_rate,
+                    max_allowed: cfg.max_allowed_rate[j],
+                    governor: gov,
+                    epoch: 0,
+                    running: None,
+                    last_sync: 0.0,
+                    busy_time: 0.0,
+                    busy_at_last_tick: 0.0,
+                    residency: vec![0.0; nrates],
+                    stall_until: 0.0,
+                }
+            })
+            .collect();
+        Simulator {
+            cores,
+            jobs: HashMap::new(),
+            queue: EventQueue::new(),
+            now: 0.0,
+            done: 0,
+            total: 0,
+            active_energy: 0.0,
+            power_timeline: Vec::new(),
+            last_completion: 0.0,
+            event_log: crate::EventLog::default(),
+            cfg,
+        }
+    }
+
+    fn log(&mut self, event: crate::LogEvent) {
+        if self.cfg.record_event_log {
+            self.event_log.push(self.now, event);
+        }
+    }
+
+    /// Register tasks; each arrives at its `Task::arrival` time.
+    ///
+    /// # Panics
+    /// Panics on duplicate task ids.
+    pub fn add_tasks(&mut self, tasks: &[Task]) {
+        for t in tasks {
+            let prev = self.jobs.insert(
+                t.id,
+                Job {
+                    task: t.clone(),
+                    remaining: t.cycles as f64,
+                    phase: JobPhase::Future,
+                    record: TaskRecord {
+                        id: t.id,
+                        class: t.class,
+                        cycles: t.cycles,
+                        arrival: t.arrival,
+                        first_start: None,
+                        completion: None,
+                        energy_joules: 0.0,
+                        preemptions: 0,
+                    },
+                },
+            );
+            assert!(prev.is_none(), "duplicate task id {}", t.id);
+            self.queue.push(t.arrival, EventKind::Arrival { task: t.id });
+            self.total += 1;
+        }
+    }
+
+    fn busy_count(&self) -> usize {
+        self.cores.iter().filter(|c| c.running.is_some()).count()
+    }
+
+    fn contention_factor(&self, busy: usize) -> f64 {
+        match &self.cfg.contention {
+            Some(f) => {
+                let v = f(busy);
+                debug_assert!(v > 0.0 && v <= 1.0, "contention factor out of (0,1]");
+                v
+            }
+            None => 1.0,
+        }
+    }
+
+    fn rate_table(&self, j: CoreId) -> &RateTable {
+        &self.cfg.platform.core(j).expect("core in range").rates
+    }
+
+    /// Advance all cores' progress/energy accounting to `self.now`.
+    fn sync_all(&mut self) {
+        let factor = self.contention_factor(self.busy_count());
+        for j in 0..self.cores.len() {
+            let dt = self.now - self.cores[j].last_sync;
+            debug_assert!(dt >= -1e-9, "time went backwards on core {j}");
+            if dt > 0.0 {
+                if let Some(tid) = self.cores[j].running {
+                    let rp = self.rate_table(j).rate(self.cores[j].rate);
+                    // Execution speed follows the model's T(p), which the
+                    // paper publishes with rounding (Table II), rather
+                    // than the nominal frequency: Equation 2 is the
+                    // ground truth for t_k = L_k * T(p). A core stalled
+                    // by a DVFS transition draws power but makes no
+                    // progress until stall_until.
+                    let exec_dt =
+                        (self.now - self.cores[j].stall_until.max(self.cores[j].last_sync)).clamp(0.0, dt);
+                    let cycles_done = (1.0 / rp.time_per_cycle) * factor * exec_dt;
+                    let energy = rp.active_power_watts() * dt;
+                    let job = self.jobs.get_mut(&tid).expect("running job exists");
+                    job.remaining -= cycles_done;
+                    job.record.energy_joules += energy;
+                    self.active_energy += energy;
+                    self.cores[j].busy_time += dt;
+                    let rate = self.cores[j].rate;
+                    self.cores[j].residency[rate] += dt;
+                }
+            }
+            self.cores[j].last_sync = self.now;
+        }
+    }
+
+    /// Total active power right now, in watts.
+    fn total_active_power(&self) -> f64 {
+        (0..self.cores.len())
+            .filter(|&j| self.cores[j].running.is_some())
+            .map(|j| self.rate_table(j).rate(self.cores[j].rate).active_power_watts())
+            .sum()
+    }
+
+    fn record_power_point(&mut self) {
+        if self.cfg.record_power_timeline {
+            let w = self.total_active_power();
+            self.power_timeline.push((self.now, w));
+        }
+    }
+
+    /// Reschedule the completion event of core `j` (if busy) based on the
+    /// current rate and contention.
+    fn reschedule(&mut self, j: CoreId) {
+        self.cores[j].epoch += 1;
+        if let Some(tid) = self.cores[j].running {
+            let remaining = self.jobs[&tid].remaining.max(0.0);
+            let rp = self.rate_table(j).rate(self.cores[j].rate);
+            let eff = (1.0 / rp.time_per_cycle) * self.contention_factor(self.busy_count());
+            let stall = (self.cores[j].stall_until - self.now).max(0.0);
+            let t_fin = self.now + stall + remaining / eff;
+            self.queue.push(
+                t_fin,
+                EventKind::Completion {
+                    core: j,
+                    epoch: self.cores[j].epoch,
+                },
+            );
+        }
+    }
+
+    /// Reschedule completions after a change that may alter effective
+    /// speeds: the mutated core always, every busy core when contention
+    /// is active (the busy count moved).
+    fn reschedule_after_mutation(&mut self, mutated: CoreId) {
+        if self.cfg.contention.is_some() {
+            for j in 0..self.cores.len() {
+                if j == mutated || self.cores[j].running.is_some() {
+                    self.reschedule(j);
+                }
+            }
+        } else {
+            self.reschedule(mutated);
+        }
+        self.record_power_point();
+    }
+
+    /// Run the simulation to completion and report.
+    ///
+    /// # Panics
+    /// Panics when the event queue drains while tasks remain unfinished
+    /// (the policy failed to dispatch them), or when the event budget is
+    /// exceeded.
+    pub fn run(&mut self, policy: &mut dyn Policy) -> SimReport {
+        // Kick off governor ticks.
+        for j in 0..self.cores.len() {
+            if let Some(p) = self.cores[j].governor.period() {
+                self.queue.push(p, EventKind::GovernorTick { core: j });
+            }
+        }
+        let mut processed: u64 = 0;
+        while self.done < self.total {
+            let ev = self.queue.pop().unwrap_or_else(|| {
+                panic!(
+                    "event queue drained with {} of {} tasks unfinished: the policy \
+                     failed to dispatch them",
+                    self.total - self.done,
+                    self.total
+                )
+            });
+            processed += 1;
+            assert!(
+                processed <= self.cfg.event_budget,
+                "event budget exceeded: likely a policy/governor livelock"
+            );
+            debug_assert!(ev.time >= self.now - 1e-9, "event time precedes now");
+            self.now = self.now.max(ev.time);
+            match ev.kind {
+                EventKind::Arrival { task } => {
+                    self.sync_all();
+                    let job = self.jobs.get_mut(&task).expect("arrival for known task");
+                    debug_assert_eq!(job.phase, JobPhase::Future);
+                    job.phase = JobPhase::Ready;
+                    let t = job.task.clone();
+                    self.log(crate::LogEvent::Arrival { task: t.id });
+                    policy.on_arrival(&mut SimView { sim: self }, &t);
+                }
+                EventKind::Completion { core, epoch } => {
+                    if self.cores[core].epoch != epoch {
+                        continue; // stale
+                    }
+                    self.sync_all();
+                    let tid = self.cores[core]
+                        .running
+                        .expect("valid completion implies a running task");
+                    {
+                        let job = self.jobs.get_mut(&tid).expect("job exists");
+                        debug_assert!(
+                            job.remaining.abs() < 1.0,
+                            "completion fired with {} cycles left",
+                            job.remaining
+                        );
+                        job.remaining = 0.0;
+                        job.phase = JobPhase::Done;
+                        job.record.completion = Some(self.now);
+                    }
+                    self.cores[core].running = None;
+                    self.done += 1;
+                    self.last_completion = self.now;
+                    self.log(crate::LogEvent::Completion { core, task: tid });
+                    self.reschedule_after_mutation(core);
+                    let t = self.jobs[&tid].task.clone();
+                    policy.on_completion(&mut SimView { sim: self }, core, &t);
+                }
+                EventKind::GovernorTick { core } => {
+                    self.sync_all();
+                    let c = &self.cores[core];
+                    let period = c.governor.period().expect("tick implies periodic governor");
+                    let load = ((c.busy_time - c.busy_at_last_tick) / period).clamp(0.0, 1.0);
+                    let next = c.governor.next_rate(load, c.rate, c.max_allowed);
+                    self.cores[core].busy_at_last_tick = self.cores[core].busy_time;
+                    if next != self.cores[core].rate {
+                        let from = self.cores[core].rate;
+                        self.cores[core].rate = next;
+                        if self.cfg.switch_latency_s > 0.0 {
+                            self.cores[core].stall_until =
+                                self.now + self.cfg.switch_latency_s;
+                        }
+                        self.log(crate::LogEvent::RateChange { core, from, to: next });
+                        self.reschedule_after_mutation(core);
+                    }
+                    if self.done < self.total {
+                        self.queue
+                            .push(self.now + period, EventKind::GovernorTick { core });
+                    }
+                    policy.on_tick(&mut SimView { sim: self }, core);
+                }
+            }
+        }
+        self.finalize(policy.name())
+    }
+
+    fn finalize(&mut self, policy: String) -> SimReport {
+        self.sync_all();
+        let makespan = self.last_completion;
+        let idle_energy: f64 = (0..self.cores.len())
+            .map(|j| {
+                let idle = (makespan - self.cores[j].busy_time).max(0.0);
+                self.cfg.platform.core(j).expect("in range").idle_power_watts * idle
+            })
+            .sum();
+        SimReport {
+            policy,
+            tasks: self
+                .jobs
+                .iter()
+                .map(|(id, job)| (*id, job.record))
+                .collect(),
+            active_energy_joules: self.active_energy,
+            idle_energy_joules: idle_energy,
+            makespan,
+            power_timeline: std::mem::take(&mut self.power_timeline),
+            core_busy: self.cores.iter().map(|c| c.busy_time).collect(),
+            rate_residency: self.cores.iter().map(|c| c.residency.clone()).collect(),
+            event_log: std::mem::take(&mut self.event_log),
+        }
+    }
+}
+
+/// The mutable window a [`Policy`] gets into the simulation.
+pub struct SimView<'a> {
+    sim: &'a mut Simulator,
+}
+
+impl SimView<'_> {
+    /// Current simulation time in seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.sim.now
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.sim.cores.len()
+    }
+
+    /// The rate table of core `j`.
+    ///
+    /// # Panics
+    /// Panics when `j` is out of range.
+    #[must_use]
+    pub fn rate_table(&self, j: CoreId) -> &RateTable {
+        self.sim.rate_table(j)
+    }
+
+    /// Highest rate index the core is allowed to use.
+    #[must_use]
+    pub fn max_allowed_rate(&self, j: CoreId) -> RateIdx {
+        self.sim.cores[j].max_allowed
+    }
+
+    /// Current rate index of core `j`.
+    #[must_use]
+    pub fn current_rate(&self, j: CoreId) -> RateIdx {
+        self.sim.cores[j].rate
+    }
+
+    /// Task currently running on core `j`.
+    #[must_use]
+    pub fn running_task(&self, j: CoreId) -> Option<TaskId> {
+        self.sim.cores[j].running
+    }
+
+    /// Whether core `j` has no running task.
+    #[must_use]
+    pub fn is_idle(&self, j: CoreId) -> bool {
+        self.sim.cores[j].running.is_none()
+    }
+
+    /// Remaining cycles of a task (full cycles if it never ran).
+    ///
+    /// # Panics
+    /// Panics for an unknown task id.
+    #[must_use]
+    pub fn remaining_cycles(&self, t: TaskId) -> f64 {
+        self.sim.jobs[&t].remaining.max(0.0)
+    }
+
+    /// The immutable task definition.
+    ///
+    /// # Panics
+    /// Panics for an unknown task id.
+    #[must_use]
+    pub fn task(&self, t: TaskId) -> &Task {
+        &self.sim.jobs[&t].task
+    }
+
+    /// Set the frequency of core `j` (userspace control). Takes effect
+    /// immediately; an in-flight task simply proceeds at the new speed,
+    /// as per-core DVFS allows in the online mode.
+    ///
+    /// # Panics
+    /// Panics when the rate exceeds the core's allowed cap.
+    pub fn set_rate(&mut self, j: CoreId, rate: RateIdx) {
+        assert!(
+            rate <= self.sim.cores[j].max_allowed,
+            "rate {rate} above allowed cap {} on core {j}",
+            self.sim.cores[j].max_allowed
+        );
+        if self.sim.cores[j].rate == rate {
+            return;
+        }
+        self.sim.sync_all();
+        let from = self.sim.cores[j].rate;
+        self.sim.cores[j].rate = rate;
+        if self.sim.cfg.switch_latency_s > 0.0 {
+            self.sim.cores[j].stall_until = self.sim.now + self.sim.cfg.switch_latency_s;
+        }
+        self.sim.log(crate::LogEvent::RateChange { core: j, from, to: rate });
+        self.sim.reschedule_after_mutation(j);
+    }
+
+    /// Start `task` on idle core `j`, optionally setting the rate first.
+    ///
+    /// # Panics
+    /// Panics when the core is busy, the task is not ready (not yet
+    /// arrived, already running, or done), or the rate is above the cap.
+    pub fn dispatch(&mut self, j: CoreId, task: TaskId, rate: Option<RateIdx>) {
+        assert!(
+            self.sim.cores[j].running.is_none(),
+            "dispatch onto busy core {j}"
+        );
+        self.sim.sync_all();
+        if let Some(r) = rate {
+            assert!(
+                r <= self.sim.cores[j].max_allowed,
+                "rate {r} above allowed cap on core {j}"
+            );
+            if r != self.sim.cores[j].rate && self.sim.cfg.switch_latency_s > 0.0 {
+                self.sim.cores[j].stall_until = self.sim.now + self.sim.cfg.switch_latency_s;
+            }
+            self.sim.cores[j].rate = r;
+        }
+        let now = self.sim.now;
+        let job = self.sim.jobs.get_mut(&task).expect("dispatch unknown task");
+        assert_eq!(
+            job.phase,
+            JobPhase::Ready,
+            "task {task} not ready for dispatch"
+        );
+        job.phase = JobPhase::Running(j);
+        if job.record.first_start.is_none() {
+            job.record.first_start = Some(now);
+        }
+        self.sim.cores[j].running = Some(task);
+        let rate_now = self.sim.cores[j].rate;
+        self.sim.log(crate::LogEvent::Dispatch {
+            core: j,
+            task,
+            rate: rate_now,
+        });
+        self.sim.reschedule_after_mutation(j);
+    }
+
+    /// Preempt the task running on core `j`, returning its id. Progress
+    /// is preserved; the task becomes ready for a later dispatch.
+    ///
+    /// # Panics
+    /// Panics when the core is idle.
+    pub fn preempt(&mut self, j: CoreId) -> TaskId {
+        let tid = self.sim.cores[j]
+            .running
+            .expect("preempt on an idle core");
+        self.sim.sync_all();
+        let job = self.sim.jobs.get_mut(&tid).expect("job exists");
+        job.phase = JobPhase::Ready;
+        job.record.preemptions += 1;
+        self.sim.cores[j].running = None;
+        self.sim.log(crate::LogEvent::Preempt { core: j, task: tid });
+        self.sim.reschedule_after_mutation(j);
+        tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_model::{CoreSpec, TaskClass};
+
+    /// Runs every batch task on core 0 at a fixed rate, FIFO.
+    struct Fifo {
+        rate: RateIdx,
+        queue: std::collections::VecDeque<TaskId>,
+    }
+
+    impl Fifo {
+        fn new(rate: RateIdx) -> Self {
+            Fifo {
+                rate,
+                queue: Default::default(),
+            }
+        }
+    }
+
+    impl Policy for Fifo {
+        fn name(&self) -> String {
+            "fifo-test".into()
+        }
+        fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            self.queue.push_back(task.id);
+            if sim.is_idle(0) {
+                let next = self.queue.pop_front().expect("just pushed");
+                sim.dispatch(0, next, Some(self.rate));
+            }
+        }
+        fn on_completion(&mut self, sim: &mut SimView<'_>, _core: CoreId, _task: &Task) {
+            if let Some(next) = self.queue.pop_front() {
+                sim.dispatch(0, next, Some(self.rate));
+            }
+        }
+    }
+
+    fn single_core_platform() -> Platform {
+        Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap()
+    }
+
+    #[test]
+    fn single_task_timing_and_energy_exact() {
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        // 1.6e9 cycles at 1.6 GHz (rate 0): exactly 1 s, 5.4 J.
+        sim.add_tasks(&[Task::batch(1, 1_600_000_000).unwrap()]);
+        let report = sim.run(&mut Fifo::new(0));
+        let rec = report.tasks[&TaskId(1)];
+        assert!((rec.completion.unwrap() - 1.0).abs() < 1e-9);
+        assert!((rec.energy_joules - 5.4).abs() < 1e-6);
+        assert!((report.active_energy_joules - 5.4).abs() < 1e-6);
+        assert!((report.makespan - 1.0).abs() < 1e-9);
+        assert_eq!(report.completed(), 1);
+    }
+
+    #[test]
+    fn fifo_turnarounds_accumulate() {
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        // Two 1-second tasks back to back: completions at 1 s and 2 s.
+        sim.add_tasks(&[
+            Task::batch(1, 1_600_000_000).unwrap(),
+            Task::batch(2, 1_600_000_000).unwrap(),
+        ]);
+        let report = sim.run(&mut Fifo::new(0));
+        assert!((report.total_turnaround() - 3.0).abs() < 1e-9);
+        assert!((report.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_rate_shortens_time_but_raises_energy() {
+        let run_at = |rate: RateIdx| {
+            let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+            sim.add_tasks(&[Task::batch(1, 3_000_000_000).unwrap()]);
+            sim.run(&mut Fifo::new(rate))
+        };
+        let slow = run_at(0);
+        let fast = run_at(4);
+        assert!(fast.makespan < slow.makespan);
+        assert!(fast.active_energy_joules > slow.active_energy_joules);
+    }
+
+    #[test]
+    fn mid_task_rate_change_is_honored() {
+        /// Dispatch at low rate, then raise to max at arrival of a
+        /// sentinel second task.
+        struct Switcher;
+        impl Policy for Switcher {
+            fn name(&self) -> String {
+                "switcher".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                if task.id == TaskId(1) {
+                    sim.dispatch(0, task.id, Some(0));
+                } else {
+                    // Sentinel arrival: crank the frequency.
+                    sim.set_rate(0, 4);
+                }
+            }
+            fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, task: &Task) {
+                if task.id == TaskId(1) {
+                    sim.dispatch(0, TaskId(2), None);
+                }
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        // Task 1: 3.2e9 cycles. At 1.6 GHz alone it would take 2 s.
+        // At t=1 s (1.6e9 cycles done) we switch to the top level, whose
+        // per-cycle time is T=0.33 ns (Table II), so the remaining
+        // 1.6e9 cycles take 1.6e9 * 0.33 ns = 0.528 s.
+        let t1 = Task::batch(1, 3_200_000_000).unwrap();
+        let t2 = Task::online(2, 1_000, 1.0, None, TaskClass::Batch).unwrap();
+        sim.add_tasks(&[t1, t2]);
+        let report = sim.run(&mut Switcher);
+        let done1 = report.tasks[&TaskId(1)].completion.unwrap();
+        assert!((done1 - (1.0 + 0.528)).abs() < 1e-6, "got {done1}");
+        // Energy: 1 s at 1.6 GHz power + 0.528 s at top-level power.
+        let p_slow = 3.375e-9 / 0.625e-9;
+        let p_fast = 7.1e-9 / 0.33e-9;
+        let expect = p_slow * 1.0 + p_fast * 0.528;
+        let e1 = report.tasks[&TaskId(1)].energy_joules;
+        assert!((e1 - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn preemption_preserves_progress() {
+        /// Runs task 1; at task 2's arrival preempts and runs task 2,
+        /// then resumes task 1.
+        struct Preemptor {
+            resumed: Option<TaskId>,
+        }
+        impl Policy for Preemptor {
+            fn name(&self) -> String {
+                "preemptor".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                if task.id == TaskId(1) {
+                    sim.dispatch(0, task.id, Some(0));
+                } else {
+                    let prev = sim.preempt(0);
+                    self.resumed = Some(prev);
+                    sim.dispatch(0, task.id, Some(4));
+                }
+            }
+            fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, task: &Task) {
+                if task.id == TaskId(2) {
+                    let prev = self.resumed.take().expect("preempted task saved");
+                    sim.dispatch(0, prev, Some(0));
+                }
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        // Task 1: 3.2e9 cycles at 1.6 GHz = 2 s if uninterrupted.
+        // Task 2 arrives at t=1 (task 1 half done), runs 3e9 cycles at
+        // the top level (T=0.33 ns) = 0.99 s. Task 1 resumes at t=1.99,
+        // finishes remaining 1.6e9 cycles at 1.6 GHz in 1 s → t=2.99.
+        sim.add_tasks(&[
+            Task::batch(1, 3_200_000_000).unwrap(),
+            Task::online(2, 3_000_000_000, 1.0, None, TaskClass::Interactive).unwrap(),
+        ]);
+        let report = sim.run(&mut Preemptor { resumed: None });
+        let r1 = report.tasks[&TaskId(1)];
+        let r2 = report.tasks[&TaskId(2)];
+        assert!((r2.completion.unwrap() - 1.99).abs() < 1e-9);
+        assert!((r1.completion.unwrap() - 2.99).abs() < 1e-9);
+        assert_eq!(r1.preemptions, 1);
+        assert_eq!(r2.preemptions, 0);
+    }
+
+    #[test]
+    fn contention_dilates_execution_and_energy() {
+        /// Dispatches task k on core k at max rate.
+        struct OnePerCore;
+        impl Policy for OnePerCore {
+            fn name(&self) -> String {
+                "one-per-core".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                let core = task.id.0 as usize;
+                let max = sim.max_allowed_rate(core);
+                sim.dispatch(core, task.id, Some(max));
+            }
+            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+        }
+        let platform = Platform::i7_950_quad();
+        let tasks: Vec<Task> = (0..4)
+            .map(|i| Task::batch(i, 3_000_000_000).unwrap())
+            .collect();
+
+        let mut ideal = Simulator::new(SimConfig::new(platform.clone()));
+        ideal.add_tasks(&tasks);
+        let ideal_report = ideal.run(&mut OnePerCore);
+
+        let mut contended = Simulator::new(SimConfig::new(platform).with_contention(Box::new(
+            |busy| {
+                if busy <= 1 {
+                    1.0
+                } else {
+                    1.0 / (1.0 + 0.04 * (busy as f64 - 1.0))
+                }
+            },
+        )));
+        contended.add_tasks(&tasks);
+        let contended_report = contended.run(&mut OnePerCore);
+
+        // 4 busy cores → factor 1/1.12: makespan stretches ~12%.
+        let ideal_span = 3.0e9 * 0.33e-9; // T(p_max) = 0.33 ns
+        assert!((ideal_report.makespan - ideal_span).abs() < 1e-9);
+        let ratio = contended_report.makespan / ideal_report.makespan;
+        assert!(ratio > 1.11 && ratio < 1.13, "got ratio {ratio}");
+        assert!(contended_report.active_energy_joules > ideal_report.active_energy_joules * 1.11);
+    }
+
+    #[test]
+    fn ondemand_governor_ramps_up_under_load() {
+        /// Dispatches everything on core 0 FIFO *without* setting rates,
+        /// leaving frequency to the governor.
+        struct GovFifo {
+            queue: std::collections::VecDeque<TaskId>,
+        }
+        impl Policy for GovFifo {
+            fn name(&self) -> String {
+                "gov-fifo".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                self.queue.push_back(task.id);
+                if sim.is_idle(0) {
+                    let next = self.queue.pop_front().expect("just pushed");
+                    sim.dispatch(0, next, None);
+                }
+            }
+            fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, _t: &Task) {
+                if let Some(next) = self.queue.pop_front() {
+                    sim.dispatch(0, next, None);
+                }
+            }
+        }
+        let platform = single_core_platform();
+        let cfg = SimConfig::new(platform).with_governor(GovernorKind::ondemand_paper());
+        let mut sim = Simulator::new(cfg);
+        // 16e9 cycles: at 1.6 GHz would take 10 s; the governor ramps to
+        // 3.0 GHz after the first 1 s tick, so the run must finish in
+        // well under 10 s but more than the 3 GHz-only 5.33 s.
+        sim.add_tasks(&[Task::batch(1, 16_000_000_000).unwrap()]);
+        let report = sim.run(&mut GovFifo {
+            queue: Default::default(),
+        });
+        let t = report.makespan;
+        assert!(t > 5.3 && t < 6.5, "governor ramp produced makespan {t}");
+    }
+
+    #[test]
+    fn power_saving_cap_limits_frequency() {
+        struct MaxFifo;
+        impl Policy for MaxFifo {
+            fn name(&self) -> String {
+                "max-fifo".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                let cap = sim.max_allowed_rate(0);
+                sim.dispatch(0, task.id, Some(cap));
+            }
+            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+        }
+        let cfg = SimConfig::new(single_core_platform()).with_rate_cap(2);
+        let mut sim = Simulator::new(cfg);
+        // 2.4e9 cycles at the capped 2.4 GHz finish in exactly 1 s ×
+        // T(2.4 GHz)=0.42ns/cycle → 1.008 s (Table II rounding).
+        sim.add_tasks(&[Task::batch(1, 2_400_000_000).unwrap()]);
+        let report = sim.run(&mut MaxFifo);
+        assert!((report.makespan - 2.4e9 * 0.42e-9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_energy_accounts_for_unused_cores() {
+        struct CoreZeroOnly;
+        impl Policy for CoreZeroOnly {
+            fn name(&self) -> String {
+                "core-zero".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                sim.dispatch(0, task.id, Some(0));
+            }
+            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+        }
+        let mut sim = Simulator::new(SimConfig::new(Platform::i7_950_quad()));
+        sim.add_tasks(&[Task::batch(1, 1_600_000_000).unwrap()]);
+        let report = sim.run(&mut CoreZeroOnly);
+        // 3 idle cores × 2 W × 1 s makespan.
+        assert!((report.idle_energy_joules - 6.0).abs() < 1e-6);
+        assert!((report.core_busy[0] - 1.0).abs() < 1e-9);
+        assert_eq!(report.core_busy[1], 0.0);
+    }
+
+    #[test]
+    fn power_timeline_records_step_changes() {
+        let cfg = SimConfig::new(single_core_platform()).with_power_timeline();
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&[Task::batch(1, 1_600_000_000).unwrap()]);
+        let report = sim.run(&mut Fifo::new(0));
+        assert!(!report.power_timeline.is_empty());
+        // First point: dispatch at t=0 with 1.6 GHz power.
+        let (t0, w0) = report.power_timeline[0];
+        assert_eq!(t0, 0.0);
+        assert!((w0 - 3.375 / 0.625).abs() < 1e-9);
+        // Last point: completion back to 0 W.
+        let (_, wlast) = *report.power_timeline.last().unwrap();
+        assert_eq!(wlast, 0.0);
+    }
+
+    #[test]
+    fn switch_latency_stalls_execution() {
+        // Same Switcher scenario as mid_task_rate_change_is_honored, but
+        // with a 10 ms transition latency: the completion shifts by
+        // exactly that stall.
+        struct Switcher;
+        impl Policy for Switcher {
+            fn name(&self) -> String {
+                "switcher".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                if task.id == TaskId(1) {
+                    sim.dispatch(0, task.id, Some(0));
+                } else {
+                    sim.set_rate(0, 4);
+                }
+            }
+            fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, task: &Task) {
+                if task.id == TaskId(1) {
+                    sim.dispatch(0, TaskId(2), None);
+                }
+            }
+        }
+        let cfg = SimConfig::new(single_core_platform()).with_switch_latency(0.010);
+        let mut sim = Simulator::new(cfg);
+        let t1 = Task::batch(1, 3_200_000_000).unwrap();
+        let t2 = Task::online(2, 1_000, 1.0, None, TaskClass::Batch).unwrap();
+        sim.add_tasks(&[t1, t2]);
+        let report = sim.run(&mut Switcher);
+        let done1 = report.tasks[&TaskId(1)].completion.unwrap();
+        // Without latency: 1.0 + 0.528 (see the sibling test); the
+        // 10 ms stall adds exactly on top.
+        assert!(
+            (done1 - (1.0 + 0.010 + 0.528)).abs() < 1e-6,
+            "got {done1}"
+        );
+        // Energy includes the stall at the new rate's active power.
+        let p_slow = 3.375e-9 / 0.625e-9;
+        let p_fast = 7.1e-9 / 0.33e-9;
+        let expect = p_slow * 1.0 + p_fast * (0.528 + 0.010);
+        let e1 = report.tasks[&TaskId(1)].energy_joules;
+        assert!((e1 - expect).abs() / expect < 1e-6, "energy {e1} vs {expect}");
+    }
+
+    #[test]
+    fn zero_latency_dispatch_rate_change_costs_nothing() {
+        let cfg = SimConfig::new(single_core_platform()).with_switch_latency(0.0);
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&[Task::batch(1, 3_000_000_000).unwrap()]);
+        let report = sim.run(&mut Fifo::new(4)); // dispatch switches 0 → 4
+        assert!((report.makespan - 3.0e9 * 0.33e-9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispatch_rate_change_also_stalls() {
+        let cfg = SimConfig::new(single_core_platform()).with_switch_latency(0.025);
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&[Task::batch(1, 3_000_000_000).unwrap()]);
+        let report = sim.run(&mut Fifo::new(4));
+        assert!(
+            (report.makespan - (0.025 + 3.0e9 * 0.33e-9)).abs() < 1e-9,
+            "got {}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn event_log_records_lifecycle() {
+        let cfg = SimConfig::new(single_core_platform()).with_event_log();
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&[
+            Task::batch(1, 1_600_000_000).unwrap(),
+            Task::batch(2, 1_600_000_000).unwrap(),
+        ]);
+        let report = sim.run(&mut Fifo::new(2));
+        let log = &report.event_log;
+        assert!(!log.is_empty());
+        use crate::LogEvent;
+        let count = |pred: fn(&LogEvent) -> bool| {
+            log.entries.iter().filter(|e| pred(&e.event)).count()
+        };
+        assert_eq!(count(|e| matches!(e, LogEvent::Arrival { .. })), 2);
+        assert_eq!(count(|e| matches!(e, LogEvent::Dispatch { .. })), 2);
+        assert_eq!(count(|e| matches!(e, LogEvent::Completion { .. })), 2);
+        assert_eq!(
+            log.rate_changes(),
+            0,
+            "dispatch-time rate selection is logged as the dispatch itself"
+        );
+        // Per-task view has arrival -> dispatch -> completion in order.
+        let t1: Vec<_> = log.for_task(TaskId(1)).collect();
+        assert_eq!(t1.len(), 3);
+        assert!(t1.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn event_log_off_by_default() {
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        sim.add_tasks(&[Task::batch(1, 100_000).unwrap()]);
+        let report = sim.run(&mut Fifo::new(0));
+        assert!(report.event_log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "above allowed cap")]
+    fn set_rate_above_cap_panics() {
+        struct Overclocker;
+        impl Policy for Overclocker {
+            fn name(&self) -> String {
+                "overclocker".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                sim.dispatch(0, task.id, Some(2));
+                sim.set_rate(0, 4); // cap is 2
+            }
+            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+        }
+        let cfg = SimConfig::new(single_core_platform()).with_rate_cap(2);
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&[Task::batch(1, 1_000_000).unwrap()]);
+        sim.run(&mut Overclocker);
+    }
+
+    #[test]
+    #[should_panic(expected = "preempt on an idle core")]
+    fn preempt_idle_core_panics() {
+        struct BadPreemptor;
+        impl Policy for BadPreemptor {
+            fn name(&self) -> String {
+                "bad".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                let _ = sim.preempt(0);
+                sim.dispatch(0, task.id, None);
+            }
+            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+        }
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        sim.add_tasks(&[Task::batch(1, 1_000_000).unwrap()]);
+        sim.run(&mut BadPreemptor);
+    }
+
+    #[test]
+    fn contention_and_switch_latency_compose() {
+        // Both features on at once: a 2-core platform, two tasks, one
+        // rate switch each; timings must include both effects without
+        // the accounting drifting.
+        struct PerCore;
+        impl Policy for PerCore {
+            fn name(&self) -> String {
+                "per-core".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                let core = task.id.0 as usize;
+                sim.dispatch(core, task.id, Some(4));
+            }
+            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+        }
+        let platform =
+            Platform::homogeneous(2, dvfs_model::CoreSpec::new(RateTable::i7_950_table2()))
+                .unwrap();
+        let cfg = SimConfig::new(platform)
+            .with_contention(Box::new(|busy| if busy <= 1 { 1.0 } else { 0.5 }))
+            .with_switch_latency(0.1);
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&[
+            Task::batch(0, 3_000_000_000).unwrap(),
+            Task::batch(1, 3_000_000_000).unwrap(),
+        ]);
+        let report = sim.run(&mut PerCore);
+        assert_eq!(report.completed(), 2);
+        // Each task: 0.1 s stall + 0.99 s of work at half speed while
+        // both run. Both dispatched at t=0, both stalled to 0.1, then
+        // run together at factor 0.5: 0.99/0.5 = 1.98 s → finish ~2.08.
+        assert!(
+            (report.makespan - 2.08).abs() < 1e-6,
+            "makespan {}",
+            report.makespan
+        );
+        // Energy conservation still holds.
+        let task_energy: f64 = report.tasks.values().map(|t| t.energy_joules).sum();
+        assert!((task_energy - report.active_energy_joules).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to dispatch")]
+    fn undelivered_tasks_panic() {
+        struct Lazy;
+        impl Policy for Lazy {
+            fn name(&self) -> String {
+                "lazy".into()
+            }
+            fn on_arrival(&mut self, _s: &mut SimView<'_>, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+        }
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        sim.add_tasks(&[Task::batch(1, 100).unwrap()]);
+        sim.run(&mut Lazy);
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch onto busy core")]
+    fn double_dispatch_panics() {
+        struct Doubler;
+        impl Policy for Doubler {
+            fn name(&self) -> String {
+                "doubler".into()
+            }
+            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+                sim.dispatch(0, task.id, Some(0));
+            }
+            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+        }
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        sim.add_tasks(&[
+            Task::batch(1, 1_600_000_000).unwrap(),
+            Task::batch(2, 1_600_000_000).unwrap(),
+        ]);
+        sim.run(&mut Doubler);
+    }
+}

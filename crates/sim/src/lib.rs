@@ -1,0 +1,49 @@
+//! # dvfs-sim
+//!
+//! An event-driven multi-core simulator with **per-core DVFS**, built as
+//! the experimental substrate for the ICPP 2014 scheduler reproduction.
+//! The paper evaluates on a quad-core Intel i7-950 with individually
+//! tunable core frequencies; this crate substitutes that testbed with a
+//! simulator implementing the same execution model:
+//!
+//! * each core runs at one of its discrete rates `p ∈ P`, executing
+//!   `p` cycles per second and drawing `E(p)/T(p)` watts while busy;
+//! * a [`Policy`] decides task placement, ordering, preemption, and
+//!   per-core frequency (the paper's schedulers and baselines all
+//!   implement this trait);
+//! * frequency *governors* (Linux `ondemand`-style) can own a core's
+//!   frequency instead of the policy, for the baseline comparisons;
+//! * an optional **contention model** dilates execution when several
+//!   cores are busy, reproducing the sim-vs-experiment gap of Fig. 1;
+//! * the engine records per-task metrics, active/idle energy, and a
+//!   platform power timeline that `dvfs-power` can "measure" the way the
+//!   paper's DW-6091 power meter does.
+//!
+//! ## Execution semantics
+//!
+//! Progress is tracked in continuous cycles: a core at frequency `f` with
+//! contention factor `s ∈ (0, 1]` completes `f·s` cycles of the running
+//! task per second. Completion events carry a per-core *epoch*; any
+//! mutation (dispatch, preemption, rate change, contention change)
+//! invalidates outstanding completions by bumping the epoch, so stale
+//! events are discarded when popped.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod engine;
+pub mod event;
+pub mod eventlog;
+pub mod governor;
+pub mod metrics;
+pub mod plan;
+pub mod policy;
+
+pub use analysis::{gantt, queue_depth_series, GanttSegment};
+pub use engine::{SimConfig, SimView, Simulator};
+pub use eventlog::{EventLog, LogEntry, LogEvent};
+pub use governor::GovernorKind;
+pub use metrics::{SimReport, TaskRecord};
+pub use plan::{BatchPlan, PlanPolicy};
+pub use policy::Policy;

@@ -1,0 +1,93 @@
+//! Trace serialization: JSON-lines task traces.
+
+use dvfs_model::Task;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Write tasks as JSON lines (one task per line).
+///
+/// # Errors
+/// Propagates serialization and I/O failures as `std::io::Error`.
+pub fn write_trace<W: Write>(mut w: W, tasks: &[Task]) -> std::io::Result<()> {
+    for t in tasks {
+        let line = serde_json::to_string(t).map_err(std::io::Error::other)?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Read a JSON-lines task trace, skipping blank lines.
+///
+/// # Errors
+/// Propagates parse and I/O failures as `std::io::Error`.
+pub fn read_trace<R: Read>(r: R) -> std::io::Result<Vec<Task>> {
+    let reader = BufReader::new(r);
+    let mut tasks = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        tasks.push(serde_json::from_str(&line).map_err(std::io::Error::other)?);
+    }
+    Ok(tasks)
+}
+
+/// Save a trace to a file path.
+///
+/// # Errors
+/// Propagates file-creation and serialization failures.
+pub fn save_trace(path: &std::path::Path, tasks: &[Task]) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_trace(std::io::BufWriter::new(f), tasks)
+}
+
+/// Load a trace from a file path.
+///
+/// # Errors
+/// Propagates file-open and parse failures.
+pub fn load_trace(path: &std::path::Path) -> std::io::Result<Vec<Task>> {
+    read_trace(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::judge::JudgeTraceConfig;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let trace = JudgeTraceConfig::paper_scaled(11, 200).generate();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let trace = JudgeTraceConfig::paper_scaled(1, 500).generate();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace.len(), back.len());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        let got = read_trace(&b"{not json}\n"[..]);
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("dvfs-workloads-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let trace = JudgeTraceConfig::paper_scaled(2, 300).generate();
+        save_trace(&path, &trace).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,25 @@
+//! # dvfs-workloads
+//!
+//! The workloads of the paper's evaluation (Section V):
+//!
+//! * [`spec`] — the SPEC2006int execution-time table (Table I: 12
+//!   benchmarks × {train, ref} inputs measured at 1.6 GHz) and the batch
+//!   workload derived from it exactly the way the paper does (cycles =
+//!   average execution time × 1.6 GHz);
+//! * [`judge`] — a seeded synthesizer for Judgegirl-like online-judge
+//!   traces matching the published aggregates (half an hour of a final
+//!   exam, 5 problems, 768 non-interactive submissions, 50525
+//!   interactive score/problem queries);
+//! * [`io`] — JSON-lines serialization for task traces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod io;
+pub mod judge;
+pub mod spec;
+pub mod synthetic;
+
+pub use judge::{JudgeTraceConfig, TraceStats};
+pub use synthetic::{DiurnalTrace, PoissonTrace};
+pub use spec::{spec_batch_tasks, SpecInput, SPEC2006INT};

@@ -1,0 +1,153 @@
+//! SPEC2006int workloads (Table I).
+//!
+//! The paper measures each benchmark's average execution time over ten
+//! runs at the lowest frequency (1.6 GHz) and estimates the cycle
+//! requirement as `time × 1.6 GHz`. The measured seconds are reproduced
+//! here verbatim from Table I.
+
+use dvfs_model::{Task, TaskId};
+
+/// One Table I row: benchmark name with train/ref execution times in
+/// seconds at 1.6 GHz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Average execution time of the `train` input, seconds.
+    pub train_s: f64,
+    /// Average execution time of the `ref` input, seconds.
+    pub ref_s: f64,
+}
+
+/// Table I of the paper: average execution times of the 12 SPEC2006int
+/// benchmarks, `train` and `ref` inputs, at 1.6 GHz.
+pub const SPEC2006INT: [SpecRow; 12] = [
+    SpecRow { name: "perlbench", train_s: 43.516, ref_s: 749.624 },
+    SpecRow { name: "bzip", train_s: 98.683, ref_s: 1297.587 },
+    SpecRow { name: "gcc", train_s: 1.63, ref_s: 552.611 },
+    SpecRow { name: "mcf", train_s: 17.568, ref_s: 397.782 },
+    SpecRow { name: "gobmk", train_s: 189.218, ref_s: 993.54 },
+    SpecRow { name: "hmmer", train_s: 109.44, ref_s: 1106.88 },
+    SpecRow { name: "sjeng", train_s: 224.398, ref_s: 1074.126 },
+    SpecRow { name: "libquantum", train_s: 5.146, ref_s: 1092.185 },
+    SpecRow { name: "h264ref", train_s: 218.285, ref_s: 1549.734 },
+    SpecRow { name: "omnetpp", train_s: 108.661, ref_s: 439.393 },
+    SpecRow { name: "astar", train_s: 191.073, ref_s: 880.951 },
+    SpecRow { name: "xalancbmk", train_s: 142.344, ref_s: 453.463 },
+];
+
+/// The measurement frequency behind Table I.
+pub const MEASURE_FREQ_HZ: f64 = 1.6e9;
+
+/// Which Table I inputs to include in a batch workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecInput {
+    /// Only the `train` inputs (12 tasks).
+    Train,
+    /// Only the `ref` inputs (12 tasks).
+    Ref,
+    /// Both inputs — the paper's 24-workload batch.
+    Both,
+}
+
+/// Cycle estimate for a measured execution time: `seconds × 1.6 GHz`,
+/// the paper's Section V-A.1 procedure.
+#[must_use]
+pub fn cycles_from_seconds(seconds: f64) -> u64 {
+    (seconds * MEASURE_FREQ_HZ).round() as u64
+}
+
+/// The batch workload of Section V-A: one task per selected Table I
+/// entry, ids assigned in table order (`train` rows first for `Both`).
+#[must_use]
+pub fn spec_batch_tasks(input: SpecInput) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    let mut id = 0u64;
+    let push = |seconds: f64, tasks: &mut Vec<Task>, id: &mut u64| {
+        tasks.push(
+            Task::batch(*id, cycles_from_seconds(seconds)).expect("Table I times are positive"),
+        );
+        *id += 1;
+    };
+    if matches!(input, SpecInput::Train | SpecInput::Both) {
+        for row in &SPEC2006INT {
+            push(row.train_s, &mut tasks, &mut id);
+        }
+    }
+    if matches!(input, SpecInput::Ref | SpecInput::Both) {
+        for row in &SPEC2006INT {
+            push(row.ref_s, &mut tasks, &mut id);
+        }
+    }
+    tasks
+}
+
+/// Human-readable workload name for a batch task id produced by
+/// [`spec_batch_tasks`] with [`SpecInput::Both`].
+#[must_use]
+pub fn workload_name(id: TaskId) -> String {
+    let i = id.0 as usize;
+    if i < 12 {
+        format!("{}.train", SPEC2006INT[i].name)
+    } else if i < 24 {
+        format!("{}.ref", SPEC2006INT[i - 12].name)
+    } else {
+        format!("unknown.{i}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_12_benchmarks() {
+        assert_eq!(SPEC2006INT.len(), 12);
+        assert_eq!(SPEC2006INT[0].name, "perlbench");
+        assert_eq!(SPEC2006INT[11].name, "xalancbmk");
+    }
+
+    #[test]
+    fn ref_inputs_run_longer_than_train() {
+        for row in &SPEC2006INT {
+            assert!(row.ref_s > row.train_s, "{} ref must exceed train", row.name);
+        }
+    }
+
+    #[test]
+    fn cycle_estimation_matches_paper_procedure() {
+        // gcc train: 1.63 s × 1.6 GHz = 2.608e9 cycles.
+        assert_eq!(cycles_from_seconds(1.63), 2_608_000_000);
+    }
+
+    #[test]
+    fn both_produces_24_batch_tasks() {
+        let tasks = spec_batch_tasks(SpecInput::Both);
+        assert_eq!(tasks.len(), 24);
+        assert!(tasks.iter().all(|t| t.arrival == 0.0 && t.deadline.is_none()));
+        // Train block first, then ref.
+        assert_eq!(tasks[0].cycles, cycles_from_seconds(43.516));
+        assert_eq!(tasks[12].cycles, cycles_from_seconds(749.624));
+    }
+
+    #[test]
+    fn train_and_ref_subsets() {
+        assert_eq!(spec_batch_tasks(SpecInput::Train).len(), 12);
+        assert_eq!(spec_batch_tasks(SpecInput::Ref).len(), 12);
+    }
+
+    #[test]
+    fn workload_names_resolve() {
+        assert_eq!(workload_name(TaskId(0)), "perlbench.train");
+        assert_eq!(workload_name(TaskId(13)), "bzip.ref");
+        assert_eq!(workload_name(TaskId(99)), "unknown.99");
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let tasks = spec_batch_tasks(SpecInput::Both);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.id.0, i as u64);
+        }
+    }
+}

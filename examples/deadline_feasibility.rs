@@ -1,0 +1,75 @@
+//! Deadline-constrained scheduling is NP-complete (Theorems 1 and 2):
+//! demonstrates the Partition reduction in both directions, then uses
+//! the exact Pareto solver to find minimum-energy schedules under a
+//! common deadline.
+//!
+//! ```text
+//! cargo run --example deadline_feasibility
+//! ```
+
+use dvfs_suite::core::deadline::{
+    min_energy_under_deadline, reduction_from_partition, solve_partition_via_reduction,
+    two_core_deadline_feasible,
+};
+use dvfs_suite::model::RateTable;
+
+fn main() {
+    // Theorem 1: Partition ≤p Deadline-SingleCore.
+    let a = [7u64, 3, 5, 4, 9, 2];
+    let inst = reduction_from_partition(&a);
+    println!(
+        "Partition instance {a:?} → Deadline-SingleCore with time budget {} and energy budget {}",
+        inst.deadline, inst.energy_budget
+    );
+    match solve_partition_via_reduction(&a) {
+        Some(mask) => {
+            let left: Vec<u64> = a
+                .iter()
+                .zip(&mask)
+                .filter(|&(_, &m)| m)
+                .map(|(&v, _)| v)
+                .collect();
+            let right: Vec<u64> = a
+                .iter()
+                .zip(&mask)
+                .filter(|&(_, &m)| !m)
+                .map(|(&v, _)| v)
+                .collect();
+            println!("  feasible → partition {left:?} | {right:?}");
+        }
+        None => println!("  infeasible → no equal partition exists"),
+    }
+
+    // Theorem 2: two cores, common deadline S/2.
+    let b = [2u64, 2, 2, 10];
+    println!("\nTwo-core instance {b:?} with deadline S/2 = 8:");
+    match two_core_deadline_feasible(&b, 8.0) {
+        Some(_) => println!("  feasible"),
+        None => println!("  infeasible (10 alone already exceeds the deadline budget)"),
+    }
+
+    // Minimum-energy scheduling under a sweep of deadlines.
+    let table = RateTable::i7_950_table2();
+    let cycles = [2_000_000_000u64, 1_500_000_000, 800_000_000];
+    let total: u64 = cycles.iter().sum();
+    println!(
+        "\nMinimum-energy schedules for {:.1} Gcycles under tightening deadlines:",
+        total as f64 / 1e9
+    );
+    println!(
+        "{:>10} {:>12} {:>24}",
+        "deadline", "energy (J)", "rates (GHz)"
+    );
+    for deadline in [3.0, 2.2, 1.8, 1.6, 1.45, 1.40] {
+        match min_energy_under_deadline(&cycles, &table, deadline) {
+            Some((rates, energy)) => {
+                let ghz: Vec<String> = rates
+                    .iter()
+                    .map(|&r| format!("{:.1}", table.rate(r).freq_hz / 1e9))
+                    .collect();
+                println!("{deadline:>9.2}s {energy:>12.2} {:>24}", ghz.join("/"));
+            }
+            None => println!("{deadline:>9.2}s  infeasible even at 3.0 GHz"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: schedule a batch of tasks with the paper's algorithms.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dvfs_suite::core::batch::predict_plan_cost;
+use dvfs_suite::core::{schedule_single_core, schedule_wbg, DominatingRanges};
+use dvfs_suite::model::task::batch_workload;
+use dvfs_suite::model::{CostParams, Platform, RateTable};
+use dvfs_suite::sim::{PlanPolicy, SimConfig, Simulator};
+
+fn main() {
+    // The hardware: Table II's five frequency levels.
+    let table = RateTable::i7_950_table2();
+    // The economics: 0.1 ¢ per joule, 0.4 ¢ per second of waiting.
+    let params = CostParams::batch_paper();
+
+    // Which frequency is optimal at each backward queue position?
+    let ranges = DominatingRanges::compute(&table, params);
+    println!("Dominating position ranges (Algorithm 1):");
+    for e in ranges.entries() {
+        let ghz = table.rate(e.rate).freq_hz / 1e9;
+        match e.ub {
+            Some(ub) => println!("  positions [{:>2}, {:>2})  ->  {ghz:.1} GHz", e.lb, ub),
+            None => println!("  positions [{:>2},  ∞)  ->  {ghz:.1} GHz", e.lb),
+        }
+    }
+
+    // A single-core batch: cycles in billions.
+    let tasks = batch_workload(&[
+        8_000_000_000,
+        1_000_000_000,
+        3_500_000_000,
+        12_000_000_000,
+        500_000_000,
+    ]);
+    let plan = schedule_single_core(&tasks, &table, params);
+    println!("\nSingle-core optimal order (Longest Task Last, Algorithm 2):");
+    for (tid, rate) in &plan.order {
+        let t = tasks.iter().find(|t| t.id == *tid).expect("task exists");
+        println!(
+            "  {} ({:>5.1} Gcycles) at {:.1} GHz",
+            tid,
+            t.cycles as f64 / 1e9,
+            table.rate(*rate).freq_hz / 1e9
+        );
+    }
+    println!("  predicted cost: {:.2} cents", plan.predicted_cost);
+
+    // The same tasks over the quad-core platform with Workload Based
+    // Greedy (Algorithm 3), then executed on the simulator.
+    let platform = Platform::i7_950_quad();
+    let wbg = schedule_wbg(&tasks, &platform, params);
+    let predicted = predict_plan_cost(&wbg, &tasks, &platform, params);
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(&tasks);
+    let report = sim.run(&mut PlanPolicy::new(wbg));
+    let measured = report.cost(params);
+    println!("\nQuad-core WBG (Algorithm 3):");
+    println!("  predicted cost: {predicted:.2} cents");
+    println!("  simulated cost: {:.2} cents", measured.total());
+    println!(
+        "  energy {:.1} J, total waiting {:.1} s, makespan {:.2} s",
+        measured.energy_joules, measured.waiting_seconds, report.makespan
+    );
+}

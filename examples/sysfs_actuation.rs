@@ -1,0 +1,66 @@
+//! Drives a WBG plan's starting frequencies through the cpufreq sysfs
+//! protocol of Section V: `scaling_governor = userspace`, write
+//! `scaling_setspeed`, verify via `scaling_cur_freq`. Uses the real
+//! `/sys` tree when this host exposes cpufreq (reads always work;
+//! writes need root), otherwise the simulated tree with identical
+//! semantics.
+//!
+//! ```text
+//! cargo run --example sysfs_actuation
+//! ```
+
+use dvfs_suite::core::schedule_wbg;
+use dvfs_suite::model::task::batch_workload;
+use dvfs_suite::model::{CostParams, Platform, RateTable};
+use dvfs_suite::sysfs::{Cpufreq, DvfsActuator, RealSysfs, SimulatedSysfs};
+
+fn main() {
+    let table = RateTable::i7_950_table2();
+    let platform = Platform::i7_950_quad();
+    let tasks = batch_workload(&[9_000_000_000, 5_000_000_000, 2_000_000_000, 800_000_000]);
+    let plan = schedule_wbg(&tasks, &platform, CostParams::batch_paper());
+
+    // The first task on each core determines its starting frequency.
+    let start_rates: Vec<usize> = (0..4)
+        .map(|j| plan.per_core[j].first().map_or(0, |&(_, r)| r))
+        .collect();
+    println!("WBG starting rates per core: {start_rates:?}");
+
+    if let Some(real) = RealSysfs::detect() {
+        println!(
+            "\nHost exposes cpufreq for {} CPUs; reading (writes need root):",
+            real.num_cpus()
+        );
+        for cpu in 0..real.num_cpus().min(4) {
+            let gov = real.governor(cpu).unwrap_or_else(|e| format!("<{e}>"));
+            let cur = real
+                .current_frequency(cpu)
+                .map(|khz| format!("{khz} kHz"))
+                .unwrap_or_else(|e| format!("<{e}>"));
+            println!("  cpu{cpu}: governor={gov}, cur_freq={cur}");
+        }
+    } else {
+        println!("\nNo host cpufreq tree detected.");
+    }
+
+    println!("\nActuating on the simulated sysfs tree:");
+    let tree = SimulatedSysfs::new(4, &table);
+    let mut act = DvfsActuator::new(tree.clone(), table.clone()).expect("sim tree accepts writes");
+    act.apply_all(&start_rates).expect("all rates are listed");
+    for cpu in 0..4 {
+        println!(
+            "  cpu{cpu}: governor={}, cur_freq={} kHz",
+            tree.governor(cpu).expect("exists"),
+            tree.current_frequency(cpu).expect("exists")
+        );
+    }
+    // The kernel semantics are enforced: a non-listed frequency fails.
+    let mut rogue = tree.clone();
+    let err = rogue.set_speed(0, 2_500_000).expect_err("2.5 GHz is not offered");
+    println!("\nWriting an unlisted frequency fails as on real hardware:\n  {err}");
+    act.release().expect("release to ondemand");
+    println!(
+        "Released: cpu0 governor={}",
+        tree.governor(0).expect("exists")
+    );
+}

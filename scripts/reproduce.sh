@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerate every table, figure, ablation, and extension experiment.
+# Output lands in results/ (one text file per artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+run() {
+  local name="$1"; shift
+  echo "== $name =="
+  cargo run --release -q -p dvfs-bench --bin "$name" -- "$@" | tee "results/$name.txt"
+  echo
+}
+
+cargo build --release -p dvfs-bench
+
+# The paper's tables and figures.
+run table1
+run table2
+run fig1
+run fig2
+run fig3
+
+# Sweeps and robustness.
+run fig1_sweep
+run fig2_sweep
+run fig3_sweep
+run fig3_seeds
+
+# Extension experiments.
+run lmc_vs_wbg_online
+run switch_latency
+run idle_energy
+run governors
+run hetero_online
+run deadline_sweep
+run budget_sweep
+run yds_compare
+run validate_wbg
+run lmc_variants
+run qos_misses
+
+# Markdown summary (the EXPERIMENTS.md data source).
+cargo run --release -q -p dvfs-bench --bin experiments | tee results/experiments.md
+
+echo "All experiment outputs written to results/"

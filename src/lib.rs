@@ -1,0 +1,29 @@
+//! # dvfs-suite
+//!
+//! Facade crate for the ICPP 2014 reproduction *"An Energy-efficient Task
+//! Scheduler for Multi-core Platforms with per-core DVFS Based on Task
+//! Characteristics"*. Re-exports every workspace crate under one roof so
+//! examples and downstream users can depend on a single crate.
+//!
+//! ```
+//! use dvfs_suite::model::{CostParams, RateTable};
+//! use dvfs_suite::core::batch::schedule_single_core;
+//!
+//! let table = RateTable::i7_950_table2();
+//! let params = CostParams::batch_paper();
+//! let tasks = dvfs_suite::model::task::batch_workload(&[4_000_000_000, 1_000_000_000]);
+//! let plan = schedule_single_core(&tasks, &table, params);
+//! assert_eq!(plan.order.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dvfs_baselines as baselines;
+pub use dvfs_core as core;
+pub use dvfs_model as model;
+pub use dvfs_ostree as ostree;
+pub use dvfs_power as power;
+pub use dvfs_sim as sim;
+pub use dvfs_sysfs as sysfs;
+pub use dvfs_workloads as workloads;

@@ -1,0 +1,133 @@
+//! Invariants that tie the crates together: the dynamic ledger, the
+//! static batch scheduler, and the closed-form model must all agree.
+
+use dvfs_suite::core::{schedule_single_core, CostLedger, DominatingRanges};
+use dvfs_suite::model::task::batch_workload;
+use dvfs_suite::model::{CostParams, RateTable};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Building a ledger from a task set must yield exactly the optimal
+/// static cost of Algorithm 2: both are `Σ C^B(k)·L_k` with the rates
+/// of the dominating position ranges.
+#[test]
+fn ledger_cost_equals_optimal_batch_plan_cost() {
+    let table = RateTable::i7_950_table2();
+    let params = CostParams::batch_paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    for n in [1usize, 2, 5, 24, 100, 1000] {
+        let cycles: Vec<u64> = (0..n).map(|_| rng.gen_range(1..50_000_000_000)).collect();
+        let tasks = batch_workload(&cycles);
+        let plan = schedule_single_core(&tasks, &table, params);
+
+        let mut ledger = CostLedger::new(&table, params);
+        for &c in &cycles {
+            ledger.insert(c);
+        }
+        let lc = ledger.total_cost();
+        assert!(
+            (lc - plan.predicted_cost).abs() / plan.predicted_cost < 1e-9,
+            "n={n}: ledger {lc} vs plan {}",
+            plan.predicted_cost
+        );
+    }
+}
+
+/// The ledger's per-position rates must match the dominating ranges the
+/// batch scheduler assigns.
+#[test]
+fn ledger_rates_match_plan_rates() {
+    let table = RateTable::i7_950_table2();
+    let params = CostParams::batch_paper();
+    let cycles: Vec<u64> = (1..=40).map(|i| i * 777_777_777).collect();
+    let tasks = batch_workload(&cycles);
+    let plan = schedule_single_core(&tasks, &table, params);
+
+    let mut ledger = CostLedger::new(&table, params);
+    for &c in &cycles {
+        ledger.insert(c);
+    }
+    // Plan order is ascending cycles; position i (0-based) has backward
+    // position n - i. The ledger's rate at that backward position must
+    // be the plan's rate.
+    let n = cycles.len() as u64;
+    for (i, &(_, rate)) in plan.order.iter().enumerate() {
+        let kb = n - i as u64;
+        assert_eq!(ledger.rate_at(kb), rate, "position {i}");
+    }
+}
+
+/// Removing every task one at a time keeps the ledger consistent with a
+/// freshly scheduled plan over the survivors.
+#[test]
+fn ledger_stays_optimal_under_churn() {
+    let table = RateTable::i7_950_table2();
+    let params = CostParams::batch_paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let cycles: Vec<u64> = (0..60).map(|_| rng.gen_range(1..10_000_000_000)).collect();
+
+    let mut ledger = CostLedger::new(&table, params);
+    let mut handles: Vec<_> = cycles.iter().map(|&c| ledger.insert(c)).collect();
+    let mut live = cycles.clone();
+
+    while !handles.is_empty() {
+        let i = rng.gen_range(0..handles.len());
+        ledger.remove(handles.swap_remove(i));
+        live.swap_remove(i);
+
+        let tasks = batch_workload(&live);
+        let plan = schedule_single_core(&tasks, &table, params);
+        let denom = plan.predicted_cost.max(1e-30);
+        assert!(
+            (ledger.total_cost() - plan.predicted_cost).abs() / denom < 1e-9,
+            "{} live tasks: ledger {} vs plan {}",
+            live.len(),
+            ledger.total_cost(),
+            plan.predicted_cost
+        );
+    }
+    assert_eq!(ledger.total_cost(), 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dominating ranges and the model-crate linear scan agree on every
+    /// position for arbitrary synthetic tables.
+    #[test]
+    fn prop_ranges_agree_with_model_scan(
+        levels in 2usize..10,
+        re in 0.01f64..5.0,
+        rt in 0.01f64..5.0,
+        positions in prop::collection::vec(1u64..100_000, 1..30),
+    ) {
+        let table = RateTable::synthetic_quadratic(levels, 0.4, 3.8);
+        let params = CostParams::new(re, rt).unwrap();
+        let dr = DominatingRanges::compute(&table, params);
+        for k in positions {
+            let (expect_cost, expect_rate) = params.c_backward_min(&table, k as usize);
+            prop_assert_eq!(dr.rate_for(k), expect_rate);
+            prop_assert!((dr.cost_at(k) - expect_cost).abs() <= expect_cost * 1e-12);
+        }
+    }
+
+    /// Ledger == plan cost under arbitrary workloads and parameters.
+    #[test]
+    fn prop_ledger_equals_plan(
+        cycles in prop::collection::vec(1u64..1_000_000_000, 1..80),
+        re in 0.05f64..2.0,
+        rt in 0.05f64..2.0,
+    ) {
+        let table = RateTable::i7_950_table2();
+        let params = CostParams::new(re, rt).unwrap();
+        let tasks = batch_workload(&cycles);
+        let plan = schedule_single_core(&tasks, &table, params);
+        let mut ledger = CostLedger::new(&table, params);
+        for &c in &cycles {
+            ledger.insert(c);
+        }
+        let denom = plan.predicted_cost.max(1e-30);
+        prop_assert!((ledger.total_cost() - plan.predicted_cost).abs() / denom < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-crate integration: batch-mode pipeline from scheduling through
+//! simulation, actuation, and measurement.
+
+use dvfs_suite::baselines::{olb_assignment, power_saving_config, GovernedPlanPolicy};
+use dvfs_suite::core::batch::predict_plan_cost;
+use dvfs_suite::core::{schedule_single_core, schedule_wbg};
+use dvfs_suite::model::task::batch_workload;
+use dvfs_suite::model::{CostParams, Platform, RateTable};
+use dvfs_suite::power::{memory_contention, PowerMeter};
+use dvfs_suite::sim::{GovernorKind, PlanPolicy, SimConfig, Simulator};
+use dvfs_suite::sysfs::{Cpufreq, DvfsActuator, SimulatedSysfs};
+use dvfs_suite::workloads::{spec_batch_tasks, SpecInput};
+
+#[test]
+fn analytic_model_matches_simulator_exactly() {
+    // The simulator's execution semantics are Equation 1/2; on an ideal
+    // (contention-free) platform the analytic plan cost and the
+    // simulated cost must agree to float precision.
+    let params = CostParams::batch_paper();
+    let platform = Platform::i7_950_quad();
+    let tasks = spec_batch_tasks(SpecInput::Both);
+    let plan = schedule_wbg(&tasks, &platform, params);
+    let predicted = predict_plan_cost(&plan, &tasks, &platform, params);
+
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(&tasks);
+    let report = sim.run(&mut PlanPolicy::new(plan));
+    let simulated = report.cost(params).total();
+    assert!(
+        (predicted - simulated).abs() / predicted < 1e-9,
+        "model {predicted} vs simulator {simulated}"
+    );
+}
+
+#[test]
+fn wbg_beats_both_baselines_on_spec() {
+    let params = CostParams::batch_paper();
+    let tasks = spec_batch_tasks(SpecInput::Both);
+
+    let platform = Platform::i7_950_quad();
+    let plan = schedule_wbg(&tasks, &platform, params);
+    let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+    sim.add_tasks(&tasks);
+    let wbg = sim.run(&mut PlanPolicy::new(plan)).cost(params);
+
+    let seqs = olb_assignment(&tasks, &platform, None);
+    let mut sim = Simulator::new(
+        SimConfig::new(platform.clone()).with_governor(GovernorKind::ondemand_paper()),
+    );
+    sim.add_tasks(&tasks);
+    let olb = sim
+        .run(&mut GovernedPlanPolicy::new("olb", seqs))
+        .cost(params);
+
+    let seqs = olb_assignment(&tasks, &platform, Some(2));
+    let mut sim = Simulator::new(power_saving_config(platform, 2));
+    sim.add_tasks(&tasks);
+    let ps = sim
+        .run(&mut GovernedPlanPolicy::new("ps", seqs))
+        .cost(params);
+
+    assert!(wbg.total() < olb.total());
+    assert!(wbg.total() < ps.total());
+    assert!(wbg.energy_joules < ps.energy_joules);
+    assert!(ps.energy_joules < olb.energy_joules);
+}
+
+#[test]
+fn contention_raises_cost_and_meter_measures_it() {
+    let params = CostParams::batch_paper();
+    let platform = Platform::i7_950_quad();
+    let tasks = spec_batch_tasks(SpecInput::Train);
+    let plan = schedule_wbg(&tasks, &platform, params);
+
+    let mut ideal_sim = Simulator::new(SimConfig::new(platform.clone()).with_power_timeline());
+    ideal_sim.add_tasks(&tasks);
+    let ideal = ideal_sim.run(&mut PlanPolicy::new(plan.clone()));
+
+    let mut contended_sim = Simulator::new(
+        SimConfig::new(platform.clone())
+            .with_contention(memory_contention(0.03))
+            .with_power_timeline(),
+    );
+    contended_sim.add_tasks(&tasks);
+    let contended = contended_sim.run(&mut PlanPolicy::new(plan));
+
+    assert!(contended.cost(params).total() > ideal.cost(params).total());
+
+    // The idle-subtracted meter reading must land near the simulator's
+    // own energy accounting (within noise and sampling quantization).
+    let idle = platform.total_idle_power();
+    let meter = PowerMeter::dw6091_like(5);
+    let reading = meter.measure(&contended.power_timeline, contended.makespan, idle);
+    let measured = reading.active_energy(idle);
+    let truth = contended.active_energy_joules;
+    assert!(
+        (measured - truth).abs() / truth < 0.02,
+        "meter {measured} vs simulator {truth}"
+    );
+}
+
+#[test]
+fn wbg_plan_actuates_through_sysfs() {
+    let params = CostParams::batch_paper();
+    let table = RateTable::i7_950_table2();
+    let platform = Platform::i7_950_quad();
+    let tasks = batch_workload(&[8_000_000_000, 4_000_000_000, 2_000_000_000, 1_000_000_000]);
+    let plan = schedule_wbg(&tasks, &platform, params);
+
+    let tree = SimulatedSysfs::new(4, &table);
+    let mut act = DvfsActuator::new(tree.clone(), table.clone()).expect("writable tree");
+    for (core, seq) in plan.per_core.iter().enumerate() {
+        if let Some(&(_, rate)) = seq.first() {
+            let khz = act.apply(core, rate).expect("listed frequency");
+            assert_eq!(khz, (table.rate(rate).freq_hz / 1e3).round() as u64);
+            assert_eq!(tree.current_frequency(core).unwrap(), khz);
+        }
+    }
+}
+
+#[test]
+fn single_core_plan_equals_wbg_on_one_core_platform() {
+    use dvfs_suite::model::CoreSpec;
+    let params = CostParams::batch_paper();
+    let table = RateTable::i7_950_table2();
+    let tasks = spec_batch_tasks(SpecInput::Train);
+    let single = schedule_single_core(&tasks, &table, params);
+    let platform = Platform::homogeneous(1, CoreSpec::new(table)).unwrap();
+    let wbg = schedule_wbg(&tasks, &platform, params);
+    assert_eq!(wbg.per_core[0], single.order);
+    let predicted = predict_plan_cost(&wbg, &tasks, &platform, params);
+    assert!((predicted - single.predicted_cost).abs() / predicted < 1e-12);
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: online-mode pipeline — trace synthesis,
+//! serialization, scheduling, and baseline comparison.
+
+use dvfs_suite::baselines::{OlbOnline, OnDemandOnline};
+use dvfs_suite::core::LeastMarginalCost;
+use dvfs_suite::model::{CostParams, Platform, TaskClass};
+use dvfs_suite::sim::{GovernorKind, SimConfig, SimReport, Simulator};
+use dvfs_suite::workloads::io::{read_trace, write_trace};
+use dvfs_suite::workloads::JudgeTraceConfig;
+
+fn scaled_trace(seed: u64) -> Vec<dvfs_suite::model::Task> {
+    let mut cfg = JudgeTraceConfig::paper_heavy(seed);
+    cfg.non_interactive = 48;
+    cfg.interactive = 1500;
+    cfg.generate()
+}
+
+fn run_lmc(trace: &[dvfs_suite::model::Task]) -> SimReport {
+    let platform = Platform::i7_950_quad();
+    let mut policy = LeastMarginalCost::new(&platform, CostParams::online_paper());
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(trace);
+    sim.run(&mut policy)
+}
+
+#[test]
+fn lmc_beats_olb_and_ondemand_on_judge_trace() {
+    let trace = scaled_trace(3);
+    let params = CostParams::online_paper();
+    let platform = Platform::i7_950_quad();
+
+    let lmc = run_lmc(&trace).cost(params);
+
+    let mut policy = OlbOnline::new(4);
+    let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+    sim.add_tasks(&trace);
+    let olb = sim.run(&mut policy).cost(params);
+
+    let mut policy = OnDemandOnline::new(4);
+    let mut sim =
+        Simulator::new(SimConfig::new(platform).with_governor(GovernorKind::ondemand_paper()));
+    sim.add_tasks(&trace);
+    let od = sim.run(&mut policy).cost(params);
+
+    assert!(lmc.total() < olb.total(), "LMC {} OLB {}", lmc.total(), olb.total());
+    assert!(lmc.total() < od.total(), "LMC {} OD {}", lmc.total(), od.total());
+    assert!(lmc.energy_joules < olb.energy_joules);
+}
+
+#[test]
+fn every_task_completes_under_every_policy() {
+    let trace = scaled_trace(9);
+    let platform = Platform::i7_950_quad();
+    let n = trace.len();
+
+    assert_eq!(run_lmc(&trace).completed(), n);
+
+    let mut policy = OlbOnline::new(4);
+    let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+    sim.add_tasks(&trace);
+    assert_eq!(sim.run(&mut policy).completed(), n);
+
+    let mut policy = OnDemandOnline::new(4);
+    let mut sim =
+        Simulator::new(SimConfig::new(platform).with_governor(GovernorKind::ondemand_paper()));
+    sim.add_tasks(&trace);
+    assert_eq!(sim.run(&mut policy).completed(), n);
+}
+
+#[test]
+fn interactive_latency_is_protected_under_load() {
+    let trace = scaled_trace(5);
+    let report = run_lmc(&trace);
+    let mean_i = report
+        .mean_turnaround(TaskClass::Interactive)
+        .expect("interactive tasks completed");
+    let mean_n = report
+        .mean_turnaround(TaskClass::NonInteractive)
+        .expect("submissions completed");
+    // Interactive queries preempt and run at max frequency: their mean
+    // turnaround must be orders of magnitude below the submissions'.
+    assert!(
+        mean_i * 100.0 < mean_n,
+        "interactive {mean_i} vs submissions {mean_n}"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let a = run_lmc(&scaled_trace(7));
+    let b = run_lmc(&scaled_trace(7));
+    assert_eq!(a.active_energy_joules, b.active_energy_joules);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.total_turnaround(), b.total_turnaround());
+}
+
+#[test]
+fn trace_survives_serialization_before_scheduling() {
+    let trace = scaled_trace(11);
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).expect("serialize");
+    let back = read_trace(buf.as_slice()).expect("parse");
+    assert_eq!(trace, back);
+    let direct = run_lmc(&trace);
+    let roundtripped = run_lmc(&back);
+    assert_eq!(direct.active_energy_joules, roundtripped.active_energy_joules);
+    assert_eq!(direct.makespan, roundtripped.makespan);
+}

@@ -1,0 +1,193 @@
+//! Property tests on simulator conservation laws, exercised through the
+//! real scheduling policies on random traces.
+
+use dvfs_suite::baselines::OlbOnline;
+use dvfs_suite::core::LeastMarginalCost;
+use dvfs_suite::model::{CostParams, Platform, Task, TaskClass};
+use dvfs_suite::sim::{SimConfig, SimReport, Simulator};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Vec<Task>> {
+    prop::collection::vec(
+        (
+            1u64..5_000_000_000,
+            0.0f64..100.0,
+            prop::bool::ANY, // interactive?
+        ),
+        1..60,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cycles, arrival, interactive))| {
+                let class = if interactive {
+                    TaskClass::Interactive
+                } else {
+                    TaskClass::NonInteractive
+                };
+                Task::online(i as u64, cycles, arrival, None, class).expect("valid")
+            })
+            .collect()
+    })
+}
+
+fn run_lmc(trace: &[Task]) -> SimReport {
+    let platform = Platform::i7_950_quad();
+    let mut policy = LeastMarginalCost::new(&platform, CostParams::online_paper());
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(trace);
+    sim.run(&mut policy)
+}
+
+fn run_olb(trace: &[Task]) -> SimReport {
+    let platform = Platform::i7_950_quad();
+    let mut policy = OlbOnline::new(4);
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(trace);
+    sim.run(&mut policy)
+}
+
+fn check_conservation(trace: &[Task], report: &SimReport) -> Result<(), TestCaseError> {
+    // Everyone finishes.
+    prop_assert_eq!(report.completed(), trace.len());
+
+    // Energy attributed to tasks sums to the platform's active energy.
+    let task_energy: f64 = report.tasks.values().map(|t| t.energy_joules).sum();
+    prop_assert!(
+        (task_energy - report.active_energy_joules).abs()
+            <= report.active_energy_joules * 1e-9 + 1e-9,
+        "task energy {} vs platform {}",
+        task_energy,
+        report.active_energy_joules
+    );
+
+    // Per-task physics: completion after arrival by at least the
+    // fastest-possible execution time; start not before arrival.
+    let table = dvfs_suite::model::RateTable::i7_950_table2();
+    for t in trace {
+        let rec = &report.tasks[&t.id];
+        let done = rec.completion.expect("completed");
+        let best_case = table.exec_time(table.max_rate(), t.cycles);
+        prop_assert!(
+            done >= t.arrival + best_case - 1e-9,
+            "task {} finished impossibly fast: {} < {} + {}",
+            t.id,
+            done,
+            t.arrival,
+            best_case
+        );
+        let start = rec.first_start.expect("started");
+        prop_assert!(start >= t.arrival - 1e-9);
+        prop_assert!(done <= report.makespan + 1e-9);
+        // Energy bounds: between all-at-min and all-at-max per-cycle
+        // energy for the cycles executed.
+        let e_lo = table.energy(0, t.cycles);
+        let e_hi = table.energy(table.max_rate(), t.cycles);
+        prop_assert!(
+            rec.energy_joules >= e_lo * (1.0 - 1e-9) && rec.energy_joules <= e_hi * (1.0 + 1e-9),
+            "task {} energy {} outside [{}, {}]",
+            t.id,
+            rec.energy_joules,
+            e_lo,
+            e_hi
+        );
+    }
+
+    // Core busy time: non-negative, bounded by the makespan, and the
+    // total busy time is consistent with total work at some valid rate.
+    for &busy in &report.core_busy {
+        prop_assert!(busy >= 0.0 && busy <= report.makespan + 1e-9);
+    }
+    let total_cycles: f64 = trace.iter().map(|t| t.cycles as f64).sum();
+    let busy_total: f64 = report.core_busy.iter().sum();
+    let min_busy = total_cycles * table.rate(table.max_rate()).time_per_cycle;
+    let max_busy = total_cycles * table.rate(0).time_per_cycle;
+    prop_assert!(
+        busy_total >= min_busy - 1e-6 && busy_total <= max_busy + 1e-6,
+        "busy {} outside [{}, {}]",
+        busy_total,
+        min_busy,
+        max_busy
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lmc_preserves_conservation_laws(trace in arb_trace()) {
+        let report = run_lmc(&trace);
+        check_conservation(&trace, &report)?;
+    }
+
+    #[test]
+    fn conservation_holds_with_switch_latency_and_governor(
+        trace in arb_trace(),
+        latency_us in 0.0f64..500.0,
+    ) {
+        use dvfs_suite::baselines::OnDemandOnline;
+        use dvfs_suite::sim::GovernorKind;
+        let platform = Platform::i7_950_quad();
+        let cfg = SimConfig::new(platform.clone())
+            .with_governor(GovernorKind::ondemand_paper())
+            .with_switch_latency(latency_us * 1e-6);
+        let mut policy = OnDemandOnline::new(4);
+        let mut sim = Simulator::new(cfg);
+        sim.add_tasks(&trace);
+        let report = sim.run(&mut policy);
+        prop_assert_eq!(report.completed(), trace.len());
+        // Energy attribution still conserves under stalls + governor.
+        let task_energy: f64 = report.tasks.values().map(|t| t.energy_joules).sum();
+        prop_assert!(
+            (task_energy - report.active_energy_joules).abs()
+                <= report.active_energy_joules * 1e-9 + 1e-9
+        );
+        // Stalls only lengthen runs, never shorten them below physics.
+        let table = dvfs_suite::model::RateTable::i7_950_table2();
+        for t in &trace {
+            let rec = &report.tasks[&t.id];
+            let done = rec.completion.expect("completed");
+            let best_case = table.exec_time(table.max_rate(), t.cycles);
+            prop_assert!(done >= t.arrival + best_case - 1e-9);
+        }
+        // Residency sums to busy time per core.
+        for j in 0..4 {
+            let residency_total: f64 = report.rate_residency[j].iter().sum();
+            prop_assert!((residency_total - report.core_busy[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn olb_preserves_conservation_laws(trace in arb_trace()) {
+        let report = run_olb(&trace);
+        check_conservation(&trace, &report)?;
+        // OLB pins max frequency: every task's energy is exactly the
+        // max-rate energy.
+        let table = dvfs_suite::model::RateTable::i7_950_table2();
+        for t in &trace {
+            let rec = &report.tasks[&t.id];
+            let expect = table.energy(table.max_rate(), t.cycles);
+            prop_assert!((rec.energy_joules - expect).abs() <= expect * 1e-9 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn lmc_cost_never_exceeds_olb_by_much_on_batched_arrivals(
+        cycles in prop::collection::vec(1u64..2_000_000_000, 2..40),
+    ) {
+        // All-at-once non-interactive arrivals: LMC implements the
+        // optimal single-queue orders, so its total cost must never be
+        // dramatically worse than OLB's — and usually far better.
+        let trace: Vec<Task> = cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Task::non_interactive(i as u64, c, 0.0).expect("valid"))
+            .collect();
+        let params = CostParams::online_paper();
+        let lmc = run_lmc(&trace).cost(params).total();
+        let olb = run_olb(&trace).cost(params).total();
+        prop_assert!(lmc <= olb * 1.05, "LMC {} vs OLB {}", lmc, olb);
+    }
+}

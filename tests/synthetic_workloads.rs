@@ -1,0 +1,93 @@
+//! The schedulers must behave across workload shapes beyond the judge
+//! trace: Poisson and diurnal arrivals from `dvfs-workloads::synthetic`.
+
+use dvfs_suite::baselines::OlbOnline;
+use dvfs_suite::core::{LeastMarginalCost, WbgReassign};
+use dvfs_suite::model::{CostParams, Platform};
+use dvfs_suite::sim::{SimConfig, SimReport, Simulator};
+use dvfs_suite::workloads::{DiurnalTrace, PoissonTrace};
+
+fn run(policy_kind: &str, trace: &[dvfs_suite::model::Task]) -> SimReport {
+    let platform = Platform::i7_950_quad();
+    let params = CostParams::online_paper();
+    let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+    sim.add_tasks(trace);
+    match policy_kind {
+        "lmc" => {
+            let mut p = LeastMarginalCost::new(&platform, params);
+            sim.run(&mut p)
+        }
+        "wbg" => {
+            let mut p = WbgReassign::new(&platform, params);
+            sim.run(&mut p)
+        }
+        _ => {
+            let mut p = OlbOnline::new(4);
+            sim.run(&mut p)
+        }
+    }
+}
+
+#[test]
+fn poisson_all_policies_complete() {
+    let trace = PoissonTrace {
+        duration_s: 120.0,
+        rate_per_s: 4.0,
+        ..PoissonTrace::default_config(17)
+    }
+    .generate();
+    for policy in ["lmc", "wbg", "olb"] {
+        let report = run(policy, &trace);
+        assert_eq!(report.completed(), trace.len(), "{policy} left tasks behind");
+    }
+}
+
+#[test]
+fn lmc_beats_olb_on_loaded_poisson() {
+    // Push utilization high enough that queues form.
+    let trace = PoissonTrace {
+        duration_s: 300.0,
+        rate_per_s: 6.0,
+        median_cycles: 1.6e9,
+        ..PoissonTrace::default_config(23)
+    }
+    .generate();
+    let params = CostParams::online_paper();
+    let lmc = run("lmc", &trace).cost(params).total();
+    let olb = run("olb", &trace).cost(params).total();
+    assert!(lmc < olb, "LMC {lmc} vs OLB {olb}");
+}
+
+#[test]
+fn diurnal_peak_queues_drain_by_trough() {
+    let cfg = DiurnalTrace::default_config(31);
+    let trace = cfg.generate();
+    let report = run("lmc", &trace);
+    assert_eq!(report.completed(), trace.len());
+    // The makespan should not run far past the trace end: the trough
+    // gives the platform room to drain the peak's backlog.
+    let last_arrival = trace
+        .iter()
+        .map(|t| t.arrival)
+        .fold(0.0f64, f64::max);
+    assert!(
+        report.makespan < last_arrival + 120.0,
+        "backlog not drained: makespan {} vs last arrival {last_arrival}",
+        report.makespan
+    );
+}
+
+#[test]
+fn deterministic_across_workload_kinds() {
+    for seed in [1u64, 2] {
+        let p1 = PoissonTrace::default_config(seed).generate();
+        let p2 = PoissonTrace::default_config(seed).generate();
+        assert_eq!(p1, p2);
+        let d1 = DiurnalTrace::default_config(seed).generate();
+        let d2 = DiurnalTrace::default_config(seed).generate();
+        assert_eq!(d1, d2);
+        let a = run("lmc", &p1);
+        let b = run("lmc", &p2);
+        assert_eq!(a.active_energy_joules, b.active_energy_joules);
+    }
+}

@@ -1,0 +1,158 @@
+//! One named test per theorem/lemma in the paper — the reproduction
+//! certificate. Each test states the claim and checks it on instances
+//! large enough to be meaningful but small enough to verify exactly.
+
+use dvfs_suite::core::deadline::{solve_partition_via_reduction, two_core_deadline_feasible};
+use dvfs_suite::core::{schedule_single_core, schedule_wbg, DominatingRanges};
+use dvfs_suite::model::cost::sequence_cost;
+use dvfs_suite::model::task::batch_workload;
+use dvfs_suite::model::{CostParams, Platform, RateTable};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Theorem 1: Deadline-SingleCore is NP-complete (via Partition). We
+/// certify the reduction's correctness: the constructed instance is
+/// feasible exactly when the Partition instance is a yes-instance.
+#[test]
+fn theorem1_reduction_is_faithful() {
+    // Yes-instances.
+    for a in [vec![3u64, 5, 8], vec![1, 1], vec![2, 4, 6, 8, 10, 30]] {
+        assert!(
+            solve_partition_via_reduction(&a).is_some(),
+            "{a:?} partitions"
+        );
+    }
+    // No-instances.
+    for a in [vec![1u64], vec![1, 2, 4], vec![2, 2, 2, 10]] {
+        assert!(
+            solve_partition_via_reduction(&a).is_none(),
+            "{a:?} does not partition"
+        );
+    }
+}
+
+/// Theorem 2: Deadline-MultiCore (two unit cores, deadline S/2) is
+/// Partition.
+#[test]
+fn theorem2_two_core_deadline_is_partition() {
+    assert!(two_core_deadline_feasible(&[3, 5, 8], 8.0).is_some());
+    assert!(two_core_deadline_feasible(&[2, 2, 2, 10], 8.0).is_none());
+}
+
+/// Lemma 1: the optimal rate for a position depends only on the
+/// position, not on the task placed there — certified by the fact that
+/// DominatingRanges is computed with no workload input at all, and
+/// matches the per-position scan.
+#[test]
+fn lemma1_rates_are_position_functions() {
+    let table = RateTable::i7_950_table2();
+    let params = CostParams::batch_paper();
+    let dr = DominatingRanges::compute(&table, params);
+    for k in 1..=1000u64 {
+        let (_, best) = params.c_backward_min(&table, k as usize);
+        assert_eq!(dr.rate_for(k), best);
+    }
+}
+
+/// Lemma 2: `C*(k)` decreases in the forward position — equivalently the
+/// backward-position optimum strictly increases.
+#[test]
+fn lemma2_positional_cost_monotone() {
+    let table = RateTable::i7_950_table2();
+    let params = CostParams::batch_paper();
+    let dr = DominatingRanges::compute(&table, params);
+    let mut prev = 0.0;
+    for kb in 1..=10_000u64 {
+        let c = dr.cost_at(kb);
+        assert!(c > prev, "C^B*({kb}) must strictly increase");
+        prev = c;
+    }
+}
+
+/// Lemma 3 (the exchange inequality) / Theorem 3: the non-decreasing
+/// cycle order is optimal — certified by checking that every adjacent
+/// transposition of the LTL order does not decrease the cost.
+#[test]
+fn theorem3_adjacent_swaps_never_help() {
+    let table = RateTable::i7_950_table2();
+    let params = CostParams::batch_paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for _ in 0..20 {
+        let n = rng.gen_range(2..20);
+        let cycles: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10_000_000_000)).collect();
+        let tasks = batch_workload(&cycles);
+        let plan = schedule_single_core(&tasks, &table, params);
+        let base_seq: Vec<(u64, usize)> = plan
+            .order
+            .iter()
+            .map(|&(tid, r)| (tasks.iter().find(|t| t.id == tid).unwrap().cycles, r))
+            .collect();
+        let base = sequence_cost(params, &table, &base_seq).total();
+        for i in 0..base_seq.len() - 1 {
+            // Swap tasks i and i+1 but keep the positional rates (the
+            // rates belong to positions per Lemma 1).
+            let mut seq = base_seq.clone();
+            let (ci, cj) = (seq[i].0, seq[i + 1].0);
+            seq[i].0 = cj;
+            seq[i + 1].0 = ci;
+            let swapped = sequence_cost(params, &table, &seq).total();
+            assert!(
+                swapped >= base * (1.0 - 1e-12),
+                "adjacent swap at {i} improved the optimal order"
+            );
+        }
+    }
+}
+
+/// Theorem 4: round-robin over sorted tasks is optimal on homogeneous
+/// multi-cores — certified against the heap-based WBG (proved optimal by
+/// Theorem 5 and cross-checked against brute force in unit tests).
+#[test]
+fn theorem4_round_robin_matches_heap_greedy() {
+    use dvfs_suite::core::batch::predict_plan_cost;
+    use dvfs_suite::core::schedule_homogeneous;
+    let table = RateTable::i7_950_table2();
+    let params = CostParams::batch_paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for ncores in [2usize, 3, 4, 8] {
+        let cycles: Vec<u64> = (0..37).map(|_| rng.gen_range(1..20_000_000_000)).collect();
+        let tasks = batch_workload(&cycles);
+        let platform = Platform::homogeneous(
+            ncores,
+            dvfs_suite::model::CoreSpec::new(table.clone()),
+        )
+        .unwrap();
+        let rr = schedule_homogeneous(&tasks, &table, ncores, params);
+        let heap = schedule_wbg(&tasks, &platform, params);
+        let c_rr = predict_plan_cost(&rr, &tasks, &platform, params);
+        let c_heap = predict_plan_cost(&heap, &tasks, &platform, params);
+        assert!(
+            (c_rr - c_heap).abs() / c_heap < 1e-12,
+            "{ncores} cores: round-robin {c_rr} vs heap {c_heap}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 5 (sampled): the greedy heap assignment beats any random
+    /// placement/order/rates on heterogeneous platforms.
+    #[test]
+    fn theorem5_greedy_beats_random_plans(
+        cycles in prop::collection::vec(1u64..20_000_000_000, 1..25),
+        seed in 0u64..500,
+    ) {
+        use dvfs_suite::core::batch::predict_plan_cost;
+        use dvfs_suite::core::validate::random_plan;
+        let params = CostParams::batch_paper();
+        let platform = Platform::big_little(2, 2);
+        let tasks = batch_workload(&cycles);
+        let wbg = schedule_wbg(&tasks, &platform, params);
+        let wbg_cost = predict_plan_cost(&wbg, &tasks, &platform, params);
+        let rand = random_plan(&tasks, &platform, seed);
+        let rand_cost = predict_plan_cost(&rand, &tasks, &platform, params);
+        prop_assert!(wbg_cost <= rand_cost * (1.0 + 1e-9));
+    }
+}
