@@ -155,7 +155,11 @@ mod tests {
         assert_eq!(report.completed(), 4);
         // The governor ramps from 1.6 GHz to 3 GHz after the first tick:
         // faster than all-slow (2.5 s) but slower than all-fast (1.32 s).
-        assert!(report.makespan < 2.5 && report.makespan > 1.32, "{}", report.makespan);
+        assert!(
+            report.makespan < 2.5 && report.makespan > 1.32,
+            "{}",
+            report.makespan
+        );
     }
 
     #[test]

@@ -68,5 +68,10 @@ fn bench_marginal_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert_delete, bench_cost_paths, bench_marginal_cost);
+criterion_group!(
+    benches,
+    bench_insert_delete,
+    bench_cost_paths,
+    bench_marginal_cost
+);
 criterion_main!(benches);

@@ -12,7 +12,11 @@ use rand_chacha::ChaCha8Rng;
 
 fn tasks(n: usize) -> Vec<dvfs_model::Task> {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
-    batch_workload(&(0..n).map(|_| rng.gen_range(1_000_000..1_000_000_000)).collect::<Vec<_>>())
+    batch_workload(
+        &(0..n)
+            .map(|_| rng.gen_range(1_000_000..1_000_000_000))
+            .collect::<Vec<_>>(),
+    )
 }
 
 fn bench_sim(c: &mut Criterion) {

@@ -23,7 +23,9 @@ fn main() {
         "{:>10} {:>12} {:>12} {:>12} {:>12}",
         "deadline", "makespan", "energy (J)", "waiting (s)", "total cost"
     );
-    for deadline in [1e9f64, 400.0, 300.0, 250.0, 200.0, 170.0, 150.0, 140.0, 130.0] {
+    for deadline in [
+        1e9f64, 400.0, 300.0, 250.0, 200.0, 170.0, 150.0, 140.0, 130.0,
+    ] {
         match schedule_multicore_with_deadline(&tasks, &platform, params, deadline) {
             Some(plan) => {
                 let mut sim = Simulator::new(SimConfig::new(platform.clone()));

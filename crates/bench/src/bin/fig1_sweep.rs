@@ -35,8 +35,8 @@ fn main() {
         let meter = PowerMeter::dw6091_like(1);
         let idle = platform.total_idle_power();
         let reading = meter.measure(&report.power_timeline, report.makespan, idle);
-        let exp_cost = params.re * reading.active_energy(idle)
-            + params.rt * report.total_turnaround();
+        let exp_cost =
+            params.re * reading.active_energy(idle) + params.rt * report.total_turnaround();
         println!(
             "{:>8.2} {:>12.1} {:>11.1}%",
             alpha,

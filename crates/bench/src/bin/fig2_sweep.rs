@@ -44,9 +44,8 @@ fn main() {
         let wbg = sim.run(&mut PlanPolicy::new(plan)).cost(params);
 
         let seqs = olb_assignment(&tasks, &platform, None);
-        let mut sim = Simulator::new(
-            SimConfig::new(platform).with_governor(GovernorKind::ondemand_paper()),
-        );
+        let mut sim =
+            Simulator::new(SimConfig::new(platform).with_governor(GovernorKind::ondemand_paper()));
         sim.add_tasks(&tasks);
         let olb = sim
             .run(&mut GovernedPlanPolicy::new("olb", seqs))

@@ -47,20 +47,45 @@ fn main() {
         })
         .collect();
 
-    println!(
-        "FIG. 3 over {n_seeds} trace seeds (scale {scale}): LMC deltas, mean ± sd\n"
-    );
+    println!("FIG. 3 over {n_seeds} trace seeds (scale {scale}): LMC deltas, mean ± sd\n");
     let report = |label: &str, xs: Vec<f64>, paper: f64| {
         let (m, sd) = mean_sd(&xs);
         println!("{label:<22} {m:>8.1}% ± {sd:>5.1}   (paper {paper:+.0}%)");
     };
-    report("vs OLB energy", deltas.iter().map(|d| d.olb_energy).collect(), -11.0);
-    report("vs OLB time cost", deltas.iter().map(|d| d.olb_time).collect(), -31.0);
-    report("vs OLB total", deltas.iter().map(|d| d.olb_total).collect(), -17.0);
-    report("vs OD energy", deltas.iter().map(|d| d.od_energy).collect(), -11.0);
-    report("vs OD time cost", deltas.iter().map(|d| d.od_time).collect(), -46.0);
-    report("vs OD total", deltas.iter().map(|d| d.od_total).collect(), -24.0);
+    report(
+        "vs OLB energy",
+        deltas.iter().map(|d| d.olb_energy).collect(),
+        -11.0,
+    );
+    report(
+        "vs OLB time cost",
+        deltas.iter().map(|d| d.olb_time).collect(),
+        -31.0,
+    );
+    report(
+        "vs OLB total",
+        deltas.iter().map(|d| d.olb_total).collect(),
+        -17.0,
+    );
+    report(
+        "vs OD energy",
+        deltas.iter().map(|d| d.od_energy).collect(),
+        -11.0,
+    );
+    report(
+        "vs OD time cost",
+        deltas.iter().map(|d| d.od_time).collect(),
+        -46.0,
+    );
+    report(
+        "vs OD total",
+        deltas.iter().map(|d| d.od_total).collect(),
+        -24.0,
+    );
 
-    let wins = deltas.iter().filter(|d| d.olb_total < 0.0 && d.od_total < 0.0).count();
+    let wins = deltas
+        .iter()
+        .filter(|d| d.olb_total < 0.0 && d.od_total < 0.0)
+        .count();
     println!("\nLMC wins total cost against both baselines in {wins}/{n_seeds} seeds.");
 }

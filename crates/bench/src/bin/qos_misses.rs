@@ -61,9 +61,8 @@ fn main() {
             .iter()
             .filter(|t| t.class == TaskClass::Interactive)
             .count();
-        let rate = |r: &SimReport| {
-            100.0 * r.deadline_misses(&deadlines) as f64 / n_interactive as f64
-        };
+        let rate =
+            |r: &SimReport| 100.0 * r.deadline_misses(&deadlines) as f64 / n_interactive as f64;
         let lmc = run(&platform, &trace, "lmc");
         let olb = run(&platform, &trace, "olb");
         let od = run(&platform, &trace, "od");

@@ -37,17 +37,15 @@ fn main() {
         let latency = latency_us * 1e-6;
         let lmc = {
             let mut p = LeastMarginalCost::new(&platform, params);
-            let mut sim = Simulator::new(
-                SimConfig::new(platform.clone()).with_switch_latency(latency),
-            );
+            let mut sim =
+                Simulator::new(SimConfig::new(platform.clone()).with_switch_latency(latency));
             sim.add_tasks(&trace);
             sim.run(&mut p).cost(params).total()
         };
         let olb = {
             let mut p = OlbOnline::new(platform.num_cores());
-            let mut sim = Simulator::new(
-                SimConfig::new(platform.clone()).with_switch_latency(latency),
-            );
+            let mut sim =
+                Simulator::new(SimConfig::new(platform.clone()).with_switch_latency(latency));
             sim.add_tasks(&trace);
             sim.run(&mut p).cost(params).total()
         };

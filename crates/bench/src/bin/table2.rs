@@ -32,8 +32,14 @@ fn main() {
     for e in dr.entries() {
         let rate_ghz = table.rate(e.rate).freq_hz / 1e9;
         match e.ub {
-            Some(ub) => println!("  {:>4.1} GHz dominates backward positions [{}, {})", rate_ghz, e.lb, ub),
-            None => println!("  {:>4.1} GHz dominates backward positions [{}, inf)", rate_ghz, e.lb),
+            Some(ub) => println!(
+                "  {:>4.1} GHz dominates backward positions [{}, {})",
+                rate_ghz, e.lb, ub
+            ),
+            None => println!(
+                "  {:>4.1} GHz dominates backward positions [{}, inf)",
+                rate_ghz, e.lb
+            ),
         }
     }
 }

@@ -9,8 +9,8 @@
 //! Usage: `validate_wbg [n_instances] [tasks_per_instance] [moves]`
 
 use dvfs_core::batch::predict_plan_cost;
-use dvfs_core::validate::{local_search, random_plan};
 use dvfs_core::schedule_wbg;
+use dvfs_core::validate::{local_search, random_plan};
 use dvfs_model::task::batch_workload;
 use dvfs_model::{CostParams, Platform};
 use rand::{Rng, SeedableRng};
@@ -28,8 +28,9 @@ fn main() {
         .into_par_iter()
         .map(|seed| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let cycles: Vec<u64> =
-                (0..n_tasks).map(|_| rng.gen_range(1..50_000_000_000)).collect();
+            let cycles: Vec<u64> = (0..n_tasks)
+                .map(|_| rng.gen_range(1..50_000_000_000))
+                .collect();
             let tasks = batch_workload(&cycles);
             let platform = Platform::big_little(2, 2);
             let wbg = schedule_wbg(&tasks, &platform, params);

@@ -1,6 +1,8 @@
 //! The reproduction of every evaluation artifact in Section V.
 
-use dvfs_baselines::{olb_assignment, power_saving_config, GovernedPlanPolicy, OlbOnline, OnDemandOnline};
+use dvfs_baselines::{
+    olb_assignment, power_saving_config, GovernedPlanPolicy, OlbOnline, OnDemandOnline,
+};
 use dvfs_core::batch::predict_plan_cost;
 use dvfs_core::{schedule_wbg, LeastMarginalCost};
 use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task};
@@ -96,8 +98,7 @@ pub fn run_fig1(seed: u64) -> Fig1Result {
     // "Sim": the analytic model (Equations 1–8) applied to the plan.
     let predicted_total = predict_plan_cost(&plan, &tasks, &platform, params);
     // Decompose analytically per core for the energy/time split.
-    let lookup: std::collections::HashMap<_, _> =
-        tasks.iter().map(|t| (t.id, t.cycles)).collect();
+    let lookup: std::collections::HashMap<_, _> = tasks.iter().map(|t| (t.id, t.cycles)).collect();
     let (mut energy, mut waiting, mut makespan) = (0.0f64, 0.0f64, 0.0f64);
     for (j, seq) in plan.per_core.iter().enumerate() {
         let table = &platform.core(j).expect("in range").rates;
@@ -294,7 +295,10 @@ mod tests {
     fn fig3_scaled_lmc_wins_total_cost() {
         let r = run_fig3(7, 64);
         assert!(r.lmc.total() < r.olb.total(), "LMC must beat OLB: {r:#?}");
-        assert!(r.lmc.total() < r.od.total(), "LMC must beat On-demand: {r:#?}");
+        assert!(
+            r.lmc.total() < r.od.total(),
+            "LMC must beat On-demand: {r:#?}"
+        );
         assert!(r.lmc.energy_joules < r.olb.energy_joules);
     }
 }

@@ -11,6 +11,4 @@
 pub mod experiments;
 pub mod format;
 
-pub use experiments::{
-    run_fig1, run_fig2, run_fig3, CostRow, Fig1Result, Fig2Result, Fig3Result,
-};
+pub use experiments::{run_fig1, run_fig2, run_fig3, CostRow, Fig1Result, Fig2Result, Fig3Result};

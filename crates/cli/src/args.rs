@@ -88,8 +88,11 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_switches() {
-        let a = Args::parse(&sv(&["--seed", "7", "--heavy", "--out", "x.jsonl"]), &["heavy"])
-            .unwrap();
+        let a = Args::parse(
+            &sv(&["--seed", "7", "--heavy", "--out", "x.jsonl"]),
+            &["heavy"],
+        )
+        .unwrap();
         assert_eq!(a.get("seed"), Some("7"));
         assert_eq!(a.get("out"), Some("x.jsonl"));
         assert!(a.switch("heavy"));

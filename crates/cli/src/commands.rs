@@ -21,9 +21,16 @@ USAGE:
              [--cores N] [--re X] [--rt Y] [--report FILE] [--log FILE]
   dvfs-sched analyze --report FILE [--gantt FILE.csv] [--queue FILE.csv]
   dvfs-sched ranges [--re X] [--rt Y]
+  dvfs-sched serve (--socket PATH | --tcp ADDR) [--mode replay|paced]
+             [--speed X] [--cores N] [--re X] [--rt Y] [--queue-cap N]
+             [--snapshot FILE] [--snapshot-period-s S]
+  dvfs-sched loadgen (--socket PATH | --tcp ADDR) --mode replay|poisson|closed
+             [--trace FILE] [--rate HZ] [--duration-s S] [--clients N]
+             [--requests N] [--interactive-frac F] [--mean-cycles C]
+             [--seed N] [--shutdown]
 
 Cost parameters default to the paper's: batch Re=0.1 Rt=0.4 for
-schedule-batch/ranges, online Re=0.4 Rt=0.1 for simulate.";
+schedule-batch/ranges, online Re=0.4 Rt=0.1 for simulate/serve.";
 
 fn cost_params(args: &Args, default: CostParams) -> Result<CostParams, String> {
     let re = args.num("re", default.re)?;
@@ -54,6 +61,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "simulate" => simulate(rest),
         "analyze" => analyze(rest),
         "ranges" => ranges(rest),
+        "serve" => serve_cmd(rest),
+        "loadgen" => loadgen_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -93,10 +102,13 @@ fn generate_trace(argv: &[String]) -> Result<(), String> {
             cfg.period_s /= scale as f64;
             cfg.generate()
         }
-        other => return Err(format!("unknown trace kind `{other}` (judge|poisson|diurnal)")),
+        other => {
+            return Err(format!(
+                "unknown trace kind `{other}` (judge|poisson|diurnal)"
+            ))
+        }
     };
-    dvfs_workloads::io::save_trace(std::path::Path::new(out), &trace)
-        .map_err(|e| e.to_string())?;
+    dvfs_workloads::io::save_trace(std::path::Path::new(out), &trace).map_err(|e| e.to_string())?;
     let stats = TraceStats::of(&trace);
     println!(
         "wrote {} tasks ({} interactive, {} non-interactive, span {:.0} s) to {out}",
@@ -128,7 +140,10 @@ fn schedule_batch(argv: &[String]) -> Result<(), String> {
     for (j, seq) in plan.per_core.iter().enumerate() {
         println!("  core {j}:");
         for &(tid, rate) in seq {
-            let t = tasks.iter().find(|t| t.id == tid).expect("task exists");
+            let t = tasks
+                .iter()
+                .find(|t| t.id == tid)
+                .ok_or_else(|| format!("plan references unknown task {tid}"))?;
             println!(
                 "    {} {:>12.3} Gcycles @ {:.1} GHz",
                 tid,
@@ -240,9 +255,7 @@ fn analyze(argv: &[String]) -> Result<(), String> {
         println!("core {j}  : busy {busy:.1} s  [{residency}]");
     }
     if report.event_log.is_empty() {
-        println!(
-            "no decision log embedded — run `simulate` with `--log` to enable recording"
-        );
+        println!("no decision log embedded — run `simulate` with `--log` to enable recording");
         return Ok(());
     }
     let segments = dvfs_sim::gantt(&report.event_log);
@@ -272,12 +285,121 @@ fn analyze(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn endpoint(args: &Args) -> Result<dvfs_serve::Endpoint, String> {
+    match (args.get("socket"), args.get("tcp")) {
+        (Some(path), None) => Ok(dvfs_serve::Endpoint::Unix(path.into())),
+        (None, Some(addr)) => Ok(dvfs_serve::Endpoint::Tcp(addr.to_string())),
+        (Some(_), Some(_)) => Err("give either `--socket` or `--tcp`, not both".into()),
+        (None, None) => Err("an endpoint is required: `--socket PATH` or `--tcp ADDR`".into()),
+    }
+}
+
+fn serve_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let endpoint = endpoint(&args)?;
+    let params = cost_params(&args, CostParams::online_paper())?;
+    let cores: usize = args.num("cores", 4)?;
+    if cores == 0 {
+        return Err("`--cores` must be positive".into());
+    }
+    let queue_capacity: usize = args.num("queue-cap", 1024)?;
+    if queue_capacity == 0 {
+        return Err("`--queue-cap` must be positive".into());
+    }
+    let mode = match args.get("mode").unwrap_or("replay") {
+        "replay" => dvfs_serve::Mode::Replay,
+        "paced" => {
+            let speed: f64 = args.num("speed", 1.0)?;
+            if !(speed.is_finite() && speed > 0.0) {
+                return Err("`--speed` must be a positive number".into());
+            }
+            dvfs_serve::Mode::Paced { speed }
+        }
+        other => return Err(format!("unknown serve mode `{other}` (replay|paced)")),
+    };
+    let mut cfg = dvfs_serve::ServerConfig::new(endpoint);
+    cfg.scheduler = dvfs_serve::SchedulerConfig {
+        cores,
+        params,
+        mode,
+        queue_capacity,
+    };
+    cfg.snapshot_path = args.get("snapshot").map(Into::into);
+    let period: f64 = args.num("snapshot-period-s", 1.0)?;
+    if !(period.is_finite() && period > 0.0) {
+        return Err("`--snapshot-period-s` must be a positive number".into());
+    }
+    cfg.snapshot_period = std::time::Duration::from_secs_f64(period);
+    let handle = dvfs_serve::serve(cfg).map_err(|e| e.to_string())?;
+    match handle.endpoint() {
+        dvfs_serve::Endpoint::Unix(path) => {
+            println!("dvfs-serve listening on unix socket {}", path.display());
+        }
+        dvfs_serve::Endpoint::Tcp(addr) => println!("dvfs-serve listening on tcp {addr}"),
+    }
+    println!("send {{\"cmd\":\"shutdown\"}} to stop");
+    handle.wait();
+    println!("dvfs-serve stopped");
+    Ok(())
+}
+
+fn loadgen_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["shutdown"])?;
+    let endpoint = endpoint(&args)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let interactive_fraction: f64 = args.num("interactive-frac", 0.3)?;
+    let mean_cycles: f64 = args.num("mean-cycles", 2.0e8)?;
+    let mode = match args.require("mode")? {
+        "replay" => {
+            let trace_path = args.require("trace")?;
+            let trace = dvfs_workloads::io::load_trace(std::path::Path::new(trace_path))
+                .map_err(|e| e.to_string())?;
+            if trace.is_empty() {
+                return Err("trace is empty".into());
+            }
+            dvfs_serve::LoadMode::Replay { trace }
+        }
+        "poisson" => dvfs_serve::LoadMode::Poisson {
+            rate_hz: args.num("rate", 50.0)?,
+            duration: std::time::Duration::from_secs_f64(args.num("duration-s", 5.0)?),
+            seed,
+            interactive_fraction,
+            mean_cycles,
+        },
+        "closed" => dvfs_serve::LoadMode::Closed {
+            clients: args.num("clients", 4)?,
+            requests_per_client: args.num("requests", 100)?,
+            seed,
+            interactive_fraction,
+            mean_cycles,
+        },
+        other => {
+            return Err(format!(
+                "unknown loadgen mode `{other}` (replay|poisson|closed)"
+            ))
+        }
+    };
+    let report = dvfs_serve::loadgen::run(&endpoint, &mode).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if args.switch("shutdown") {
+        let mut conn =
+            dvfs_serve::loadgen::Connection::open(&endpoint).map_err(|e| e.to_string())?;
+        conn.round_trip("{\"cmd\":\"shutdown\"}")
+            .map_err(|e| e.to_string())?;
+        println!("server shutdown requested");
+    }
+    Ok(())
+}
+
 fn ranges(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     let params = cost_params(&args, CostParams::batch_paper())?;
     let table = RateTable::i7_950_table2();
     let dr = DominatingRanges::compute(&table, params);
-    println!("Dominating position ranges (Re={}, Rt={}):", params.re, params.rt);
+    println!(
+        "Dominating position ranges (Re={}, Rt={}):",
+        params.re, params.rt
+    );
     for e in dr.entries() {
         let ghz = table.rate(e.rate).freq_hz / 1e9;
         match e.ub {
@@ -317,7 +439,14 @@ mod tests {
     fn schedule_batch_validates_input() {
         assert!(dispatch(&sv(&["schedule-batch"])).is_err());
         assert!(dispatch(&sv(&["schedule-batch", "--cycles", "abc"])).is_err());
-        assert!(dispatch(&sv(&["schedule-batch", "--cycles", "1e9,2e9", "--cores", "2"])).is_ok());
+        assert!(dispatch(&sv(&[
+            "schedule-batch",
+            "--cycles",
+            "1e9,2e9",
+            "--cores",
+            "2"
+        ]))
+        .is_ok());
         assert!(dispatch(&sv(&["schedule-batch", "--cycles", "1e9", "--cores", "0"])).is_err());
     }
 
@@ -451,14 +580,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.jsonl");
         let path_s = path.to_str().unwrap();
-        dispatch(&sv(&[
-            "generate-trace",
-            "--out",
-            path_s,
-            "--scale",
-            "2000",
-        ]))
-        .unwrap();
+        dispatch(&sv(&["generate-trace", "--out", path_s, "--scale", "2000"])).unwrap();
         assert!(dispatch(&sv(&["simulate", "--trace", path_s, "--policy", "turbo"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

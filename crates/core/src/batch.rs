@@ -106,9 +106,7 @@ impl PartialOrd for SlotKey {
 pub fn schedule_wbg(tasks: &[Task], platform: &Platform, params: CostParams) -> BatchPlan {
     let ncores = platform.num_cores();
     let ranges: Vec<DominatingRanges> = (0..ncores)
-        .map(|j| {
-            DominatingRanges::compute(&platform.core(j).expect("core in range").rates, params)
-        })
+        .map(|j| DominatingRanges::compute(&platform.core(j).expect("core in range").rates, params))
         .collect();
 
     // Heaviest first (ties by id for determinism).
@@ -189,7 +187,12 @@ pub fn schedule_homogeneous(
 /// Panics when the plan references a task id absent from `tasks` or a
 /// core outside the platform.
 #[must_use]
-pub fn predict_plan_cost(plan: &BatchPlan, tasks: &[Task], platform: &Platform, params: CostParams) -> f64 {
+pub fn predict_plan_cost(
+    plan: &BatchPlan,
+    tasks: &[Task],
+    platform: &Platform,
+    params: CostParams,
+) -> f64 {
     let lookup: std::collections::HashMap<TaskId, u64> =
         tasks.iter().map(|t| (t.id, t.cycles)).collect();
     plan.per_core
@@ -197,10 +200,8 @@ pub fn predict_plan_cost(plan: &BatchPlan, tasks: &[Task], platform: &Platform, 
         .enumerate()
         .map(|(j, seq)| {
             let table = &platform.core(j).expect("core in range").rates;
-            let pairs: Vec<(u64, RateIdx)> = seq
-                .iter()
-                .map(|&(tid, r)| (lookup[&tid], r))
-                .collect();
+            let pairs: Vec<(u64, RateIdx)> =
+                seq.iter().map(|&(tid, r)| (lookup[&tid], r)).collect();
             dvfs_model::cost::sequence_cost(params, table, &pairs).total()
         })
         .sum()
@@ -297,7 +298,11 @@ mod tests {
         let table = RateTable::i7_950_two_rates();
         let params = CostParams::new(0.1, 1e-10).unwrap();
         // Heavily energy-weighted and heavily time-weighted variants.
-        for params in [params, CostParams::new(1e-10, 0.4).unwrap(), CostParams::batch_paper()] {
+        for params in [
+            params,
+            CostParams::new(1e-10, 0.4).unwrap(),
+            CostParams::batch_paper(),
+        ] {
             for cycles in [
                 vec![3_000_000_000u64, 1_000_000_000, 2_000_000_000],
                 vec![5u64, 5, 5, 5],
@@ -415,10 +420,10 @@ mod tests {
             }
             let ta = batch_workload(&a);
             let tb = batch_workload(&b);
-            let ca = schedule_single_core(&ta, &platform.core(0).unwrap().rates, params)
-                .predicted_cost;
-            let cb = schedule_single_core(&tb, &platform.core(1).unwrap().rates, params)
-                .predicted_cost;
+            let ca =
+                schedule_single_core(&ta, &platform.core(0).unwrap().rates, params).predicted_cost;
+            let cb =
+                schedule_single_core(&tb, &platform.core(1).unwrap().rates, params).predicted_cost;
             best = best.min(ca + cb);
         }
         best
@@ -430,7 +435,13 @@ mod tests {
         let params = CostParams::batch_paper();
         for cycles in [
             vec![1_000_000_000u64, 2_000_000_000, 3_000_000_000],
-            vec![5_000_000_000u64, 10_000_000, 10_000_000, 700_000_000, 1_234_567],
+            vec![
+                5_000_000_000u64,
+                10_000_000,
+                10_000_000,
+                700_000_000,
+                1_234_567,
+            ],
             vec![42u64],
         ] {
             let tasks = batch_workload(&cycles);

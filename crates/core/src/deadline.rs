@@ -330,7 +330,12 @@ mod tests {
         // deadline = S/2 ⇔ Partition (Theorem 2).
         let a = [3u64, 5, 8];
         let mask = two_core_deadline_feasible(&a, 8.0).expect("partitionable");
-        let s0: u64 = a.iter().zip(&mask).filter(|&(_, &m)| m).map(|(&c, _)| c).sum();
+        let s0: u64 = a
+            .iter()
+            .zip(&mask)
+            .filter(|&(_, &m)| m)
+            .map(|(&c, _)| c)
+            .sum();
         assert_eq!(s0, 8); // both halves are 8
         assert!(two_core_deadline_feasible(&[2, 2, 2, 10], 8.0).is_none());
         // Looser deadline admits unbalanced splits.

@@ -143,7 +143,8 @@ pub fn anneal_under_deadline(
 
     let eval = |cycles: &[u64], rates: &[RateIdx]| -> f64 {
         // SPT order for fixed per-task rates.
-        let mut seq: Vec<(u64, RateIdx)> = cycles.iter().copied().zip(rates.iter().copied()).collect();
+        let mut seq: Vec<(u64, RateIdx)> =
+            cycles.iter().copied().zip(rates.iter().copied()).collect();
         seq.sort_by(|a, b| {
             table
                 .exec_time(a.1, a.0)
@@ -450,8 +451,7 @@ mod tests {
         let tasks = batch_workload(&cycles);
         let params = CostParams::batch_paper();
         for deadline in [0.5f64, 1.0, 1.42, 1.45, 1.6, 2.0, 3.0] {
-            let heuristic =
-                schedule_single_core_with_deadline(&tasks, &table(), params, deadline);
+            let heuristic = schedule_single_core_with_deadline(&tasks, &table(), params, deadline);
             let exact = min_energy_under_deadline(&cycles, &table(), deadline);
             assert_eq!(
                 heuristic.is_some(),
@@ -497,7 +497,12 @@ mod tests {
 
     /// Brute-force minimum cost under a deadline: all orders × all rate
     /// assignments. Tiny instances only.
-    fn brute_force(cycles: &[u64], table: &RateTable, params: CostParams, deadline: f64) -> Option<f64> {
+    fn brute_force(
+        cycles: &[u64],
+        table: &RateTable,
+        params: CostParams,
+        deadline: f64,
+    ) -> Option<f64> {
         fn perms(v: &mut Vec<u64>, k: usize, out: &mut Vec<Vec<u64>>) {
             if k == v.len() {
                 out.push(v.clone());
@@ -569,7 +574,13 @@ mod tests {
     fn anneal_never_worse_than_greedy_and_respects_deadline() {
         let table = table();
         let params = CostParams::batch_paper();
-        let cycles = [4_000_000_000u64, 3_000_000_000, 2_000_000_000, 900_000_000, 5_500_000_000];
+        let cycles = [
+            4_000_000_000u64,
+            3_000_000_000,
+            2_000_000_000,
+            900_000_000,
+            5_500_000_000,
+        ];
         let tasks = batch_workload(&cycles);
         for deadline in [5.2f64, 6.0, 7.5, 10.0] {
             let greedy = schedule_single_core_with_deadline(&tasks, &table, params, deadline);
@@ -615,7 +626,11 @@ mod tests {
         assert_eq!(a, b);
     }
 
-    fn budget_plan_energy(plan: &SingleCorePlan, tasks: &[dvfs_model::Task], table: &RateTable) -> f64 {
+    fn budget_plan_energy(
+        plan: &SingleCorePlan,
+        tasks: &[dvfs_model::Task],
+        table: &RateTable,
+    ) -> f64 {
         plan.order
             .iter()
             .map(|&(tid, r)| {
@@ -657,20 +672,18 @@ mod tests {
         let params = CostParams::batch_paper();
         let tasks = batch_workload(&[3_000_000_000]);
         // Time-impossible: below the all-max span.
-        assert!(schedule_single_core_with_budgets(&tasks, &table, params, Some(0.5), None)
-            .is_none());
+        assert!(
+            schedule_single_core_with_budgets(&tasks, &table, params, Some(0.5), None).is_none()
+        );
         // Energy-impossible: below the all-min energy (3e9 × 3.375 nJ).
-        assert!(schedule_single_core_with_budgets(&tasks, &table, params, None, Some(10.0))
-            .is_none());
+        assert!(
+            schedule_single_core_with_budgets(&tasks, &table, params, None, Some(10.0)).is_none()
+        );
         // Both generous: feasible.
-        assert!(schedule_single_core_with_budgets(
-            &tasks,
-            &table,
-            params,
-            Some(10.0),
-            Some(100.0)
-        )
-        .is_some());
+        assert!(
+            schedule_single_core_with_budgets(&tasks, &table, params, Some(10.0), Some(100.0))
+                .is_some()
+        );
     }
 
     #[test]

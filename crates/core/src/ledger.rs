@@ -269,7 +269,11 @@ impl CostLedger {
             s.x += lt;
             s.d += s.len() as u128 * lt;
         }
-        debug_assert_eq!(i, self.ranges.range_index_for(kb), "cascade must stop at the target range");
+        debug_assert_eq!(
+            i,
+            self.ranges.range_index_for(kb),
+            "cascade must stop at the target range"
+        );
         // Remove the task from its own range (paper line 20 with the
         // sign typo fixed: trailing tasks shift down, subtract their ξ).
         let shift = self.tree.xi_range(kb as usize + 1, self.st[i].b as usize);
@@ -315,7 +319,9 @@ impl CostLedger {
         let n = self.tree.len() as u64;
         let mut c = 0.0;
         for (i, e) in self.ranges.entries().iter().enumerate() {
-            let Some(end) = e.clamped_end(n) else { continue };
+            let Some(end) = e.clamped_end(n) else {
+                continue;
+            };
             let (re_e, rt_t) = self.ranges.coeffs(i);
             let xi = self.tree.xi_range(e.lb as usize, end as usize);
             let gamma = self.tree.gamma_range(e.lb as usize, end as usize);

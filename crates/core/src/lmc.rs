@@ -112,7 +112,10 @@ impl LeastMarginalCost {
     /// from its backward position `N_waiting_in_ledger + 1`.
     fn running_rate(&self, sim: &SimView<'_>, j: CoreId) -> RateIdx {
         let kb = self.cores[j].ledger.len() as u64 + 1;
-        self.cores[j].ledger.rate_at(kb).min(sim.max_allowed_rate(j))
+        self.cores[j]
+            .ledger
+            .rate_at(kb)
+            .min(sim.max_allowed_rate(j))
     }
 
     /// Dispatch the next unit of work on an idle core, if any.
@@ -146,13 +149,17 @@ impl LeastMarginalCost {
 
     fn handle_interactive(&mut self, sim: &mut SimView<'_>, task: &Task) {
         let best = match self.placement {
-            InteractivePlacement::MarginalCost => (0..self.cores.len())
-                .map(|j| (self.interactive_marginal_cost(sim, j, task.cycles), j))
-                .min_by(|a, b| {
-                    a.0.partial_cmp(&b.0).expect("finite costs").then(a.1.cmp(&b.1))
-                })
-                .expect("platform has cores")
-                .1,
+            InteractivePlacement::MarginalCost => {
+                (0..self.cores.len())
+                    .map(|j| (self.interactive_marginal_cost(sim, j, task.cycles), j))
+                    .min_by(|a, b| {
+                        a.0.partial_cmp(&b.0)
+                            .expect("finite costs")
+                            .then(a.1.cmp(&b.1))
+                    })
+                    .expect("platform has cores")
+                    .1
+            }
             InteractivePlacement::LeastQueue => (0..self.cores.len())
                 .min_by_key(|&j| (self.cores[j].n_waiting(), j))
                 .expect("platform has cores"),
@@ -189,7 +196,11 @@ impl LeastMarginalCost {
     fn handle_non_interactive(&mut self, sim: &mut SimView<'_>, task: &Task) {
         let best = (0..self.cores.len())
             .map(|j| (self.cores[j].ledger.marginal_insert_cost(task.cycles), j))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs").then(a.1.cmp(&b.1)))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite costs")
+                    .then(a.1.cmp(&b.1))
+            })
             .expect("platform has cores")
             .1;
         let h = self.cores[best].ledger.insert(task.cycles);
@@ -267,8 +278,7 @@ mod tests {
 
     #[test]
     fn interactive_preempts_running_non_interactive() {
-        let platform =
-            Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         let big = Task::non_interactive(1, 16_000_000_000, 0.0).unwrap();
         let small = Task::interactive(2, 300_000_000, 1.0).unwrap();
         let report = run(platform, vec![big, small]);
@@ -291,8 +301,7 @@ mod tests {
         // spread the two NI tasks across cores. Load three NI tasks so
         // queues are (2,1) or (1,2), then check the interactive task is
         // served without waiting behind a queue.
-        let platform =
-            Platform::homogeneous(2, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(2, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         let tasks = vec![
             Task::non_interactive(1, 8_000_000_000, 0.0).unwrap(),
             Task::non_interactive(2, 8_000_000_000, 0.0).unwrap(),
@@ -307,8 +316,7 @@ mod tests {
 
     #[test]
     fn non_interactive_shortest_runs_first_within_a_core() {
-        let platform =
-            Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         // Arrive together at t=0 via three arrivals at the same instant;
         // a tiny runner task is dispatched first (whichever arrives
         // first), then the queue drains shortest-first.
@@ -327,8 +335,7 @@ mod tests {
 
     #[test]
     fn back_to_back_interactive_tasks_fifo_on_same_core() {
-        let platform =
-            Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         let tasks = vec![
             Task::interactive(1, 3_000_000_000, 0.0).unwrap(), // ~0.99 s at max
             Task::interactive(2, 3_000_000_000, 0.1).unwrap(),
@@ -337,14 +344,16 @@ mod tests {
         let c1 = report.tasks[&TaskId(1)].completion.unwrap();
         let c2 = report.tasks[&TaskId(2)].completion.unwrap();
         assert!((c1 - 0.99).abs() < 1e-6);
-        assert!((c2 - 1.98).abs() < 1e-6, "second runs right after the first");
+        assert!(
+            (c2 - 1.98).abs() < 1e-6,
+            "second runs right after the first"
+        );
         assert_eq!(report.tasks[&TaskId(1)].preemptions, 0);
     }
 
     #[test]
     fn suspended_task_resumes_after_interactive_burst() {
-        let platform =
-            Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         let tasks = vec![
             Task::non_interactive(1, 3_200_000_000, 0.0).unwrap(),
             Task::interactive(2, 1_600_000_000, 0.5).unwrap(),
@@ -367,8 +376,7 @@ mod tests {
                 if i % 4 == 0 {
                     Task::interactive(i, 2_000_000, i as f64 * 0.05).unwrap()
                 } else {
-                    Task::non_interactive(i, 100_000_000 + i * 7_000_000, i as f64 * 0.05)
-                        .unwrap()
+                    Task::non_interactive(i, 100_000_000 + i * 7_000_000, i as f64 * 0.05).unwrap()
                 }
             })
             .collect();
@@ -440,8 +448,7 @@ mod tests {
         // rate), then flood the queue; the running task's rate should
         // rise, finishing it sooner than the all-alone schedule would at
         // the same rate... measurable via energy: more energy per cycle.
-        let platform =
-            Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         let mut tasks = vec![Task::non_interactive(0, 16_000_000_000, 0.0).unwrap()];
         for i in 1..=30 {
             tasks.push(Task::non_interactive(i, 1_000_000_000, 0.1).unwrap());

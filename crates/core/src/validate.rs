@@ -168,7 +168,8 @@ mod tests {
         let wbg = schedule_wbg(&tasks, &platform, params);
         let outcome = local_search(&wbg, &tasks, &platform, params, 20_000, 7);
         assert_eq!(
-            outcome.improvements, 0,
+            outcome.improvements,
+            0,
             "local search found a plan beating WBG by {:.6}",
             predict_plan_cost(&wbg, &tasks, &platform, params) - outcome.cost
         );
@@ -178,8 +179,12 @@ mod tests {
     fn random_starts_never_beat_wbg() {
         let (tasks, platform) = medium_instance();
         let params = CostParams::batch_paper();
-        let wbg_cost =
-            predict_plan_cost(&schedule_wbg(&tasks, &platform, params), &tasks, &platform, params);
+        let wbg_cost = predict_plan_cost(
+            &schedule_wbg(&tasks, &platform, params),
+            &tasks,
+            &platform,
+            params,
+        );
         for seed in 0..5 {
             let start = random_plan(&tasks, &platform, seed);
             let outcome = local_search(&start, &tasks, &platform, params, 5_000, seed + 100);

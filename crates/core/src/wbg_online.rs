@@ -74,9 +74,7 @@ impl WbgReassign {
         let mut pool: Vec<Task> = Vec::new();
         for c in &self.cores {
             for &(tid, _) in &c.queue {
-                pool.push(
-                    Task::batch(tid.0, self.cycles[&tid]).expect("known tasks have cycles"),
-                );
+                pool.push(Task::batch(tid.0, self.cycles[&tid]).expect("known tasks have cycles"));
             }
         }
         if let Some(tid) = extra {
@@ -84,9 +82,7 @@ impl WbgReassign {
         }
         let plan = schedule_wbg(&pool, &self.platform, self.params);
         for (j, seq) in plan.per_core.into_iter().enumerate() {
-            self.cores[j].queue = seq
-                .into_iter()
-                .collect();
+            self.cores[j].queue = seq.into_iter().collect();
         }
     }
 
@@ -126,7 +122,8 @@ impl WbgReassign {
                 let r = sim.rate_table(j).rate(sim.max_allowed_rate(j));
                 let l = task.cycles as f64;
                 let nj = (self.cores[j].queue.len()
-                    + usize::from(self.cores[j].suspended.is_some())) as f64;
+                    + usize::from(self.cores[j].suspended.is_some()))
+                    as f64;
                 let cost = self.params.re * l * r.energy_per_cycle
                     + self.params.rt * l * r.time_per_cycle * (1.0 + nj);
                 (cost, j)
@@ -212,8 +209,12 @@ mod tests {
         }
         for _ in 0..n_i {
             out.push(
-                Task::interactive(id, rng.gen_range(500_000..5_000_000), rng.gen_range(0.0..300.0))
-                    .unwrap(),
+                Task::interactive(
+                    id,
+                    rng.gen_range(500_000..5_000_000),
+                    rng.gen_range(0.0..300.0),
+                )
+                .unwrap(),
             );
             id += 1;
         }

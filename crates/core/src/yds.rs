@@ -70,7 +70,10 @@ impl YdsSchedule {
     /// Speed assigned to a job id.
     #[must_use]
     pub fn speed_of(&self, id: u64) -> Option<f64> {
-        self.assignments.iter().find(|a| a.id == id).map(|a| a.speed)
+        self.assignments
+            .iter()
+            .find(|a| a.id == id)
+            .map(|a| a.speed)
     }
 }
 
@@ -161,7 +164,10 @@ pub fn yds(jobs: &[YdsJob]) -> YdsSchedule {
 /// a discrete table — the standard way to apply YDS on real DVFS
 /// hardware. Returns `None` when even the top rate is too slow.
 #[must_use]
-pub fn quantize_speed_up(table: &dvfs_model::RateTable, speed_hz: f64) -> Option<dvfs_model::RateIdx> {
+pub fn quantize_speed_up(
+    table: &dvfs_model::RateTable,
+    speed_hz: f64,
+) -> Option<dvfs_model::RateIdx> {
     // Execution speed of rate r is 1/T(r) cycles per second.
     (0..table.len()).find(|&r| 1.0 / table.rate(r).time_per_cycle >= speed_hz - 1e-6)
 }

@@ -66,7 +66,10 @@ impl fmt::Display for ModelError {
                 "per-cycle time must strictly decrease with frequency (index {index})"
             ),
             ModelError::InvalidRatePoint { index } => {
-                write!(f, "rate point {index} has non-finite or non-positive values")
+                write!(
+                    f,
+                    "rate point {index} has non-finite or non-positive values"
+                )
             }
             ModelError::DeadlineBeforeArrival => {
                 write!(f, "task deadline must be strictly after its arrival")
@@ -80,7 +83,10 @@ impl fmt::Display for ModelError {
             }
             ModelError::EmptyPlatform => write!(f, "platform must contain at least one core"),
             ModelError::CoreOutOfRange { core, ncores } => {
-                write!(f, "core {core} out of range for platform with {ncores} cores")
+                write!(
+                    f,
+                    "core {core} out of range for platform with {ncores} cores"
+                )
             }
         }
     }

@@ -9,7 +9,7 @@
 
 /// No contention: every busy count runs at full speed.
 #[must_use]
-pub fn no_contention() -> Box<dyn Fn(usize) -> f64> {
+pub fn no_contention() -> Box<dyn Fn(usize) -> f64 + Send + Sync> {
     Box::new(|_| 1.0)
 }
 
@@ -21,7 +21,7 @@ pub fn no_contention() -> Box<dyn Fn(usize) -> f64> {
 /// # Panics
 /// Panics when `alpha` is negative or not finite.
 #[must_use]
-pub fn memory_contention(alpha: f64) -> Box<dyn Fn(usize) -> f64> {
+pub fn memory_contention(alpha: f64) -> Box<dyn Fn(usize) -> f64 + Send + Sync> {
     assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
     Box::new(move |busy| {
         if busy <= 1 {
@@ -38,7 +38,7 @@ pub fn memory_contention(alpha: f64) -> Box<dyn Fn(usize) -> f64> {
 /// # Panics
 /// Panics when the parameters are negative or not finite.
 #[must_use]
-pub fn saturating_contention(alpha: f64, cap: f64) -> Box<dyn Fn(usize) -> f64> {
+pub fn saturating_contention(alpha: f64, cap: f64) -> Box<dyn Fn(usize) -> f64 + Send + Sync> {
     assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
     assert!(cap.is_finite() && cap >= 0.0, "cap must be >= 0");
     Box::new(move |busy| {

@@ -1,0 +1,234 @@
+//! Bounded admission with class-aware shedding.
+//!
+//! The service accepts work through one bounded queue. When the queue
+//! fills, new submissions are *shed* with an explicit overload response
+//! rather than buffered without bound — the client sees backpressure
+//! immediately instead of a timeout later. A slice of the capacity is
+//! reserved for interactive tasks (the paper's latency-critical class):
+//! non-interactive work is shed first, so a burst of batch submissions
+//! cannot starve the class the scheduler exists to protect.
+
+use dvfs_model::{Task, TaskClass};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue is at capacity for this task class.
+    QueueFull {
+        /// Depth at refusal time.
+        depth: usize,
+        /// Effective capacity for the refused class.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull { depth, cap } => {
+                write!(f, "admission queue full ({depth} of {cap})")
+            }
+        }
+    }
+}
+
+/// The pure admission decision, separated from the queue so the policy
+/// is unit-testable.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Total queue slots.
+    pub capacity: usize,
+    /// Slots only interactive tasks may occupy. Must be `< capacity`
+    /// for non-interactive work to be admissible at all.
+    pub interactive_reserve: usize,
+}
+
+impl AdmissionPolicy {
+    /// A policy with `capacity` slots, reserving a tenth (at least one
+    /// when capacity permits) for interactive tasks.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let interactive_reserve = if capacity > 1 {
+            (capacity / 10).max(1)
+        } else {
+            0
+        };
+        AdmissionPolicy {
+            capacity,
+            interactive_reserve,
+        }
+    }
+
+    /// Effective capacity for a class: interactive tasks may use every
+    /// slot; other classes stop short of the reserve.
+    #[must_use]
+    pub fn effective_cap(&self, class: TaskClass) -> usize {
+        match class {
+            TaskClass::Interactive => self.capacity,
+            TaskClass::NonInteractive | TaskClass::Batch => {
+                self.capacity.saturating_sub(self.interactive_reserve)
+            }
+        }
+    }
+
+    /// Decide whether a task of `class` may join a queue at `depth`.
+    ///
+    /// # Errors
+    /// Returns the shed reason when the class's effective capacity is
+    /// exhausted.
+    pub fn admit(&self, depth: usize, class: TaskClass) -> Result<(), ShedReason> {
+        let cap = self.effective_cap(class);
+        if depth >= cap {
+            return Err(ShedReason::QueueFull { depth, cap });
+        }
+        Ok(())
+    }
+}
+
+/// The bounded FIFO the connection handlers feed and the scheduler
+/// drains.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    policy: AdmissionPolicy,
+    inner: Mutex<VecDeque<Task>>,
+    nonempty: Condvar,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under `policy`.
+    #[must_use]
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionQueue {
+            policy,
+            inner: Mutex::new(VecDeque::new()),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Admit `task` or shed it. On success returns the queue depth
+    /// *including* the new task, which the submit response reports so
+    /// clients can self-throttle before hard shedding starts.
+    ///
+    /// # Errors
+    /// Returns the shed reason when the queue is full for this class.
+    pub fn try_submit(&self, task: Task) -> Result<usize, ShedReason> {
+        let mut q = self.lock();
+        self.policy.admit(q.len(), task.class)?;
+        q.push_back(task);
+        let depth = q.len();
+        drop(q);
+        self.nonempty.notify_one();
+        Ok(depth)
+    }
+
+    /// Take every queued task (scheduler side).
+    pub fn drain(&self) -> Vec<Task> {
+        self.lock().drain(..).collect()
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Block until the queue is non-empty or `timeout` passes; returns
+    /// the depth observed. Lets a paced scheduler sleep between ticks
+    /// without missing a burst.
+    pub fn wait_nonempty(&self, timeout: std::time::Duration) -> usize {
+        let q = self.lock();
+        if !q.is_empty() {
+            return q.len();
+        }
+        let (q, _) = self
+            .nonempty
+            .wait_timeout(q, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64, class: TaskClass) -> Task {
+        Task::online(id, 1_000, 0.0, None, class).unwrap()
+    }
+
+    #[test]
+    fn policy_sheds_at_class_capacity() {
+        let p = AdmissionPolicy {
+            capacity: 10,
+            interactive_reserve: 2,
+        };
+        // Non-interactive work stops at capacity - reserve.
+        assert!(p.admit(7, TaskClass::NonInteractive).is_ok());
+        assert_eq!(
+            p.admit(8, TaskClass::NonInteractive),
+            Err(ShedReason::QueueFull { depth: 8, cap: 8 })
+        );
+        assert_eq!(
+            p.admit(8, TaskClass::Batch),
+            Err(ShedReason::QueueFull { depth: 8, cap: 8 })
+        );
+        // Interactive tasks may use the reserve.
+        assert!(p.admit(8, TaskClass::Interactive).is_ok());
+        assert!(p.admit(9, TaskClass::Interactive).is_ok());
+        assert_eq!(
+            p.admit(10, TaskClass::Interactive),
+            Err(ShedReason::QueueFull { depth: 10, cap: 10 })
+        );
+    }
+
+    #[test]
+    fn default_reserve_scales_with_capacity() {
+        assert_eq!(AdmissionPolicy::with_capacity(100).interactive_reserve, 10);
+        assert_eq!(AdmissionPolicy::with_capacity(5).interactive_reserve, 1);
+        // A single-slot queue cannot afford a reserve.
+        assert_eq!(AdmissionPolicy::with_capacity(1).interactive_reserve, 0);
+        assert!(AdmissionPolicy::with_capacity(1)
+            .admit(0, TaskClass::NonInteractive)
+            .is_ok());
+    }
+
+    #[test]
+    fn queue_enforces_policy_and_drains_fifo() {
+        let q = AdmissionQueue::new(AdmissionPolicy {
+            capacity: 3,
+            interactive_reserve: 1,
+        });
+        assert_eq!(q.try_submit(task(1, TaskClass::NonInteractive)), Ok(1));
+        assert_eq!(q.try_submit(task(2, TaskClass::NonInteractive)), Ok(2));
+        // Reserve slot: non-interactive shed, interactive admitted.
+        assert!(q.try_submit(task(3, TaskClass::NonInteractive)).is_err());
+        assert_eq!(q.try_submit(task(4, TaskClass::Interactive)), Ok(3));
+        assert!(q.try_submit(task(5, TaskClass::Interactive)).is_err());
+        let drained = q.drain();
+        assert_eq!(
+            drained.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn wait_nonempty_returns_immediately_when_fed() {
+        let q = AdmissionQueue::new(AdmissionPolicy::with_capacity(4));
+        q.try_submit(task(1, TaskClass::Interactive)).unwrap();
+        let depth = q.wait_nonempty(std::time::Duration::from_millis(1));
+        assert_eq!(depth, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! `dvfs-serve` — a long-running scheduler service around the paper's
+//! Least-Marginal-Cost policy.
+//!
+//! The library crates schedule workloads that are handed over whole;
+//! this crate turns them into a daemon that accepts task submissions
+//! over a newline-delimited-JSON wire protocol (Unix-domain socket or
+//! TCP), admits them through a bounded queue with class-aware shedding,
+//! drives the discrete-event simulator either paced against the wall
+//! clock or as-fast-as-possible on `drain`, mirrors every frequency
+//! decision onto the `dvfs-sysfs` actuator, and publishes counters,
+//! gauges, and log-bucketed latency/cost histograms through a metrics
+//! registry — queryable over the wire (`stats`) and flushed to JSONL
+//! snapshots.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — wire request/response encoding.
+//! * [`admission`] — the bounded queue and shed policy.
+//! * [`metrics`] — counters, gauges, histograms, the registry.
+//! * [`service`] — the scheduler proper (engine + policy + actuator).
+//! * [`server`] — listeners, connection handling, graceful shutdown.
+//! * [`snapshot`] — periodic JSONL state snapshots.
+//! * [`loadgen`] — the companion load generator (replay, open-loop
+//!   Poisson, closed-loop clients).
+
+pub mod admission;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+
+pub use admission::{AdmissionPolicy, AdmissionQueue, ShedReason};
+pub use loadgen::{DrainSummary, LoadMode, LoadReport};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use protocol::{ErrorKind, Request, Response};
+pub use server::{serve, Endpoint, ServerConfig, ServerHandle};
+pub use service::{service_platform, Mode, Scheduler, SchedulerConfig};
+pub use snapshot::SnapshotWriter;

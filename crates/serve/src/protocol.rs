@@ -1,0 +1,403 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request and response is one JSON object on one line. Requests
+//! carry a `"cmd"` discriminator; responses carry `"ok"`. A malformed
+//! line yields a `bad_request` error response and the connection stays
+//! open — a misbehaving client can never take the server down.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"cmd":"submit","cycles":N,"class":"interactive"|"non_interactive"|"batch"
+//!                 [,"id":N][,"arrival":S]}
+//! {"cmd":"stats"}     → metrics registry snapshot
+//! {"cmd":"drain"}     → run the buffered workload, return the report
+//! {"cmd":"ping"}      → liveness probe
+//! {"cmd":"shutdown"}  → graceful stop: drain, flush snapshot, exit
+//! ```
+//!
+//! Responses: `{"ok":true, ...}` or
+//! `{"ok":false,"kind":"bad_request"|"overloaded"|"shutting_down"|"internal","error":"..."}`.
+
+use dvfs_model::TaskClass;
+use serde::{Number, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one task for scheduling.
+    Submit {
+        /// Client-chosen id; the server assigns one when absent.
+        id: Option<u64>,
+        /// Work size in CPU cycles (`L_k`).
+        cycles: u64,
+        /// Scheduling class.
+        class: TaskClass,
+        /// Explicit arrival time in seconds (replay mode); paced mode
+        /// stamps the submission with the current sim time instead.
+        arrival: Option<f64>,
+    },
+    /// Fetch the metrics registry snapshot.
+    Stats,
+    /// Run everything buffered so far and report cost/latency totals.
+    Drain,
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown: drain, flush the final snapshot, stop.
+    Shutdown,
+}
+
+/// Error classes a client can dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line failed to parse or validate.
+    BadRequest,
+    /// Admission control shed the task; retry with backoff.
+    Overloaded,
+    /// The server is draining; no new work accepted.
+    ShuttingDown,
+    /// The server failed internally; the request may be retried.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_request" => ErrorKind::BadRequest,
+            "overloaded" => ErrorKind::Overloaded,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A server response: payload fields on success, kind + message on
+/// failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `{"ok":true}` plus the given payload fields.
+    Ok(Vec<(String, Value)>),
+    /// `{"ok":false,"kind":...,"error":...}`.
+    Err {
+        /// Machine-readable class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// An empty success.
+    #[must_use]
+    pub fn ok() -> Self {
+        Response::Ok(Vec::new())
+    }
+
+    /// A failure of `kind`.
+    #[must_use]
+    pub fn err(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response::Err {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Whether this is a success.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+
+    /// Payload field by name (success only).
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Response::Ok(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            Response::Err { .. } => None,
+        }
+    }
+
+    /// Encode as one wire line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let obj = match self {
+            Response::Ok(fields) => {
+                let mut pairs = vec![("ok".to_string(), Value::Bool(true))];
+                pairs.extend(fields.iter().cloned());
+                Value::Object(pairs)
+            }
+            Response::Err { kind, message } => Value::Object(vec![
+                ("ok".to_string(), Value::Bool(false)),
+                ("kind".to_string(), Value::String(kind.as_str().to_string())),
+                ("error".to_string(), Value::String(message.clone())),
+            ]),
+        };
+        serde_json::to_string(&obj).expect("value serialization is infallible")
+    }
+
+    /// Decode a wire line (client side).
+    ///
+    /// # Errors
+    /// Describes the malformation.
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let Some(obj) = v.as_object() else {
+            return Err("response is not a JSON object".into());
+        };
+        match v.get("ok") {
+            Some(Value::Bool(true)) => Ok(Response::Ok(
+                obj.iter().filter(|(k, _)| k != "ok").cloned().collect(),
+            )),
+            Some(Value::Bool(false)) => {
+                let kind = match v.get("kind") {
+                    Some(Value::String(s)) => {
+                        ErrorKind::from_str(s).ok_or_else(|| format!("unknown error kind `{s}`"))?
+                    }
+                    _ => return Err("error response missing `kind`".into()),
+                };
+                let message = match v.get("error") {
+                    Some(Value::String(s)) => s.clone(),
+                    _ => String::new(),
+                };
+                Ok(Response::Err { kind, message })
+            }
+            _ => Err("response missing boolean `ok`".into()),
+        }
+    }
+}
+
+/// Convenience: a `u64` payload field.
+#[must_use]
+pub fn field_u64(name: &str, v: u64) -> (String, Value) {
+    (name.to_string(), Value::Number(Number::PosInt(v)))
+}
+
+/// Convenience: an `f64` payload field.
+#[must_use]
+pub fn field_f64(name: &str, v: f64) -> (String, Value) {
+    (name.to_string(), Value::Number(Number::Float(v)))
+}
+
+/// Read a `u64` out of a payload value.
+#[must_use]
+pub fn value_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Number(Number::PosInt(n)) => Some(*n),
+        Value::Number(Number::NegInt(n)) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+/// Read an `f64` out of a payload value.
+#[must_use]
+pub fn value_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Number(Number::PosInt(n)) => Some(*n as f64),
+        Value::Number(Number::NegInt(n)) => Some(*n as f64),
+        Value::Number(Number::Float(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+fn parse_class(s: &str) -> Result<TaskClass, String> {
+    match s {
+        "interactive" => Ok(TaskClass::Interactive),
+        "non_interactive" => Ok(TaskClass::NonInteractive),
+        "batch" => Ok(TaskClass::Batch),
+        other => Err(format!(
+            "unknown class `{other}` (expected interactive|non_interactive|batch)"
+        )),
+    }
+}
+
+/// Wire name of a task class.
+#[must_use]
+pub fn class_name(class: TaskClass) -> &'static str {
+    match class {
+        TaskClass::Interactive => "interactive",
+        TaskClass::NonInteractive => "non_interactive",
+        TaskClass::Batch => "batch",
+    }
+}
+
+/// Parse one request line.
+///
+/// # Errors
+/// Describes the malformation; the server wraps this in a
+/// `bad_request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("request is not a JSON object".into());
+    }
+    let cmd = match v.get("cmd") {
+        Some(Value::String(s)) => s.as_str(),
+        Some(_) => return Err("`cmd` must be a string".into()),
+        None => return Err("request missing `cmd`".into()),
+    };
+    match cmd {
+        "submit" => {
+            let cycles = match v.get("cycles") {
+                Some(n) => value_u64(n).ok_or("`cycles` must be a positive integer")?,
+                None => return Err("submit missing `cycles`".into()),
+            };
+            let class = match v.get("class") {
+                Some(Value::String(s)) => parse_class(s)?,
+                Some(_) => return Err("`class` must be a string".into()),
+                None => return Err("submit missing `class`".into()),
+            };
+            let id = match v.get("id") {
+                Some(n) => Some(value_u64(n).ok_or("`id` must be a non-negative integer")?),
+                None => None,
+            };
+            let arrival = match v.get("arrival") {
+                Some(n) => Some(value_f64(n).ok_or("`arrival` must be a number")?),
+                None => None,
+            };
+            Ok(Request::Submit {
+                id,
+                cycles,
+                class,
+                arrival,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+/// Encode a submit request line for a task (client side; no trailing
+/// newline).
+#[must_use]
+pub fn encode_submit(
+    id: Option<u64>,
+    cycles: u64,
+    class: TaskClass,
+    arrival: Option<f64>,
+) -> String {
+    let mut pairs = vec![("cmd".to_string(), Value::String("submit".to_string()))];
+    if let Some(id) = id {
+        pairs.push(field_u64("id", id));
+    }
+    pairs.push(field_u64("cycles", cycles));
+    pairs.push((
+        "class".to_string(),
+        Value::String(class_name(class).to_string()),
+    ));
+    if let Some(a) = arrival {
+        pairs.push(field_f64("arrival", a));
+    }
+    serde_json::to_string(&Value::Object(pairs)).expect("value serialization is infallible")
+}
+
+/// Encode a bare command request line (`stats`, `drain`, `ping`,
+/// `shutdown`).
+#[must_use]
+pub fn encode_command(cmd: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![(
+        "cmd".to_string(),
+        Value::String(cmd.to_string()),
+    )]))
+    .expect("value serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrip() {
+        let line = encode_submit(Some(7), 1_000_000, TaskClass::Interactive, Some(1.5));
+        let req = parse_request(&line).unwrap();
+        assert_eq!(
+            req,
+            Request::Submit {
+                id: Some(7),
+                cycles: 1_000_000,
+                class: TaskClass::Interactive,
+                arrival: Some(1.5),
+            }
+        );
+        // Optional fields may be omitted.
+        let req = parse_request(r#"{"cmd":"submit","cycles":5,"class":"batch"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Submit {
+                id: None,
+                cycles: 5,
+                class: TaskClass::Batch,
+                arrival: None,
+            }
+        );
+    }
+
+    #[test]
+    fn bare_commands_parse() {
+        for (cmd, want) in [
+            ("stats", Request::Stats),
+            ("drain", Request::Drain),
+            ("ping", Request::Ping),
+            ("shutdown", Request::Shutdown),
+        ] {
+            assert_eq!(parse_request(&encode_command(cmd)).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_explain_themselves() {
+        assert!(parse_request("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(parse_request("[1,2]")
+            .unwrap_err()
+            .contains("not a JSON object"));
+        assert!(parse_request(r#"{"x":1}"#)
+            .unwrap_err()
+            .contains("missing `cmd`"));
+        assert!(parse_request(r#"{"cmd":"fly"}"#)
+            .unwrap_err()
+            .contains("unknown cmd"));
+        assert!(parse_request(r#"{"cmd":"submit","class":"batch"}"#)
+            .unwrap_err()
+            .contains("missing `cycles`"));
+        assert!(
+            parse_request(r#"{"cmd":"submit","cycles":5,"class":"warp"}"#)
+                .unwrap_err()
+                .contains("unknown class")
+        );
+        assert!(
+            parse_request(r#"{"cmd":"submit","cycles":-3,"class":"batch"}"#)
+                .unwrap_err()
+                .contains("positive integer")
+        );
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let ok = Response::Ok(vec![field_u64("id", 3), field_f64("cost", 1.25)]);
+        let line = ok.encode();
+        assert_eq!(Response::decode(&line).unwrap(), ok);
+        assert_eq!(value_u64(ok.field("id").unwrap()), Some(3));
+        assert_eq!(value_f64(ok.field("cost").unwrap()), Some(1.25));
+
+        let err = Response::err(ErrorKind::Overloaded, "queue full");
+        let back = Response::decode(&err.encode()).unwrap();
+        assert_eq!(back, err);
+        assert!(!back.is_ok());
+    }
+}

@@ -1,0 +1,381 @@
+//! The connection-handling daemon.
+//!
+//! One accept loop (Unix-domain socket or TCP), one thread per
+//! connection, one shared [`Scheduler`]. Request lines are parsed,
+//! dispatched, and answered on the same connection; a malformed line
+//! produces a `bad_request` response and the loop continues — client
+//! input can never crash the server. Shutdown (wire `shutdown` command
+//! or [`ServerHandle::shutdown`]) drains the scheduler backlog, flushes
+//! a final metrics snapshot, and joins every thread before
+//! [`ServerHandle::wait`] returns.
+
+use crate::metrics::Registry;
+use crate::protocol::{parse_request, ErrorKind, Request, Response};
+use crate::service::{Mode, Scheduler, SchedulerConfig};
+use crate::snapshot::SnapshotWriter;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the server listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this path (removed on bind and on
+    /// shutdown).
+    Unix(PathBuf),
+    /// A TCP bind address, e.g. `127.0.0.1:7077`.
+    Tcp(String),
+}
+
+/// Full server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listening endpoint.
+    pub endpoint: Endpoint,
+    /// Scheduler parameters (cores, cost weights, mode, queue bound).
+    pub scheduler: SchedulerConfig,
+    /// Paced-mode tick interval.
+    pub tick: Duration,
+    /// Snapshot file (JSONL); `None` disables snapshots.
+    pub snapshot_path: Option<PathBuf>,
+    /// How often to append a metrics snapshot line.
+    pub snapshot_period: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults around an endpoint: 4 cores, replay mode, 1024-slot
+    /// queue, 10 ms ticks, 1 s snapshots (disabled without a path).
+    #[must_use]
+    pub fn new(endpoint: Endpoint) -> Self {
+        ServerConfig {
+            endpoint,
+            scheduler: SchedulerConfig::default(),
+            tick: Duration::from_millis(10),
+            snapshot_path: None,
+            snapshot_period: Duration::from_secs(1),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+struct Shared {
+    scheduler: Scheduler,
+    metrics: Arc<Registry>,
+    snapshot: Option<SnapshotWriter>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn write_snapshot(&self) {
+        if let Some(snap) = &self.snapshot {
+            let uptime = self.started.elapsed().as_secs_f64();
+            let sim_now = match self.scheduler.stats() {
+                Response::Ok(ref fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == "sim_now_s")
+                    .and_then(|(_, v)| crate::protocol::value_f64(v))
+                    .unwrap_or(0.0),
+                Response::Err { .. } => 0.0,
+            };
+            if snap.write_metrics(uptime, sim_now, &self.metrics).is_err() {
+                self.metrics.counter("snapshot_errors").inc();
+            }
+        }
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    endpoint: Endpoint,
+    accept_thread: Option<JoinHandle<()>>,
+    ticker_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The endpoint the server is bound to (for TCP with port 0, the
+    /// resolved address).
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The shared metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Request shutdown programmatically (same path as the wire
+    /// command).
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Block until the server has fully shut down (all threads joined,
+    /// final snapshot flushed).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.ticker_thread.take() {
+            let _ = t.join();
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn begin_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    shared.scheduler.begin_shutdown();
+    shared.write_snapshot();
+}
+
+/// Bind and serve. Returns once the listener is accepting, leaving the
+/// accept loop, connection handlers, and (in paced mode) the ticker on
+/// background threads.
+///
+/// # Errors
+/// Propagates bind and snapshot-file failures.
+pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let metrics = Arc::new(Registry::new());
+    let scheduler = Scheduler::new(cfg.scheduler, Arc::clone(&metrics));
+    let snapshot = match &cfg.snapshot_path {
+        Some(path) => Some(SnapshotWriter::create(path)?),
+        None => None,
+    };
+
+    let (listener, endpoint) = match &cfg.endpoint {
+        Endpoint::Unix(path) => {
+            // A stale socket file from a crashed run would fail the
+            // bind; remove it first.
+            let _ = std::fs::remove_file(path);
+            (
+                Listener::Unix(UnixListener::bind(path)?),
+                Endpoint::Unix(path.clone()),
+            )
+        }
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr)?;
+            let resolved = l.local_addr()?.to_string();
+            (Listener::Tcp(l), Endpoint::Tcp(resolved))
+        }
+    };
+
+    let shared = Arc::new(Shared {
+        scheduler,
+        metrics,
+        snapshot,
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+    });
+    shared.scheduler.start_clock();
+
+    let ticker_thread = match cfg.scheduler.mode {
+        Mode::Paced { .. } => {
+            let shared = Arc::clone(&shared);
+            let tick = cfg.tick;
+            let period = cfg.snapshot_period;
+            Some(std::thread::spawn(move || {
+                let mut last_snapshot = Instant::now();
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.scheduler.queue().wait_nonempty(tick);
+                    shared.scheduler.tick();
+                    if last_snapshot.elapsed() >= period {
+                        shared.write_snapshot();
+                        last_snapshot = Instant::now();
+                    }
+                }
+            }))
+        }
+        Mode::Replay => None,
+    };
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        Some(std::thread::spawn(move || accept_loop(&listener, &shared)))
+    };
+
+    Ok(ServerHandle {
+        shared,
+        endpoint,
+        accept_thread,
+        ticker_thread,
+    })
+}
+
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
+    match listener {
+        Listener::Unix(l) => l
+            .set_nonblocking(true)
+            .expect("socket supports nonblocking"),
+        Listener::Tcp(l) => l
+            .set_nonblocking(true)
+            .expect("socket supports nonblocking"),
+    }
+    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let accepted = match listener {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                shared.metrics.counter("connections").inc();
+                let shared = Arc::clone(shared);
+                let h = std::thread::spawn(move || handle_connection(stream, &shared));
+                handlers
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(h);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handlers
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        let _ = h.join();
+    }
+}
+
+fn dispatch(req: Request, shared: &Shared) -> (Response, bool) {
+    match req {
+        Request::Submit {
+            id,
+            cycles,
+            class,
+            arrival,
+        } => (shared.scheduler.submit(id, cycles, class, arrival), false),
+        Request::Stats => (shared.scheduler.stats(), false),
+        Request::Drain => {
+            let resp = shared.scheduler.drain_run();
+            shared.write_snapshot();
+            (resp, false)
+        }
+        Request::Ping => (Response::ok(), false),
+        Request::Shutdown => (Response::ok(), true),
+    }
+}
+
+fn handle_connection(stream: Stream, shared: &Arc<Shared>) {
+    // Poll the shutdown flag between lines so idle connections don't
+    // pin the server open.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(writer);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Timeout may fire mid-line; keep the partial read and
+                // re-check the shutdown flag.
+                continue;
+            }
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        let (response, shutdown) = match parse_request(line.trim()) {
+            Ok(req) => dispatch(req, shared),
+            Err(msg) => {
+                shared.metrics.counter("malformed_requests").inc();
+                (Response::err(ErrorKind::BadRequest, msg), false)
+            }
+        };
+        line.clear();
+        let ok = writeln!(writer, "{}", response.encode()).is_ok() && writer.flush().is_ok();
+        if !ok {
+            break;
+        }
+        if shutdown {
+            begin_shutdown(shared);
+            break;
+        }
+    }
+}

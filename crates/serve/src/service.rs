@@ -1,0 +1,519 @@
+//! The scheduler service: wire requests in, LMC scheduling decisions
+//! out.
+//!
+//! Two operating modes:
+//!
+//! * **Replay** — submissions buffer in the admission queue with their
+//!   explicit arrival times; a `drain` command runs the whole workload
+//!   through the simulator at once. Because the buffered tasks reach
+//!   the engine in submission order with untouched arrivals, a drained
+//!   round is *bit-identical* to running [`LeastMarginalCost`] over the
+//!   same trace in-process — the determinism contract the end-to-end
+//!   tests pin.
+//! * **Paced** — a ticker thread maps wall time onto simulation time
+//!   (`sim_seconds = wall_seconds * speed`) and steps the engine
+//!   incrementally; submissions arrive at the current sim time and
+//!   completions stream into the latency/cost histograms as they
+//!   happen.
+//!
+//! Either way, every frequency decision the policy or engine makes is
+//! mirrored onto a [`DvfsActuator`] over a simulated sysfs tree — the
+//! same actuation path a real deployment would use, minus root.
+
+use crate::admission::{AdmissionPolicy, AdmissionQueue};
+use crate::metrics::Registry;
+use crate::protocol::{field_f64, field_u64, ErrorKind, Response};
+use dvfs_core::LeastMarginalCost;
+use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass};
+use dvfs_sim::{LogEvent, SimConfig, SimReport, Simulator, TaskRecord};
+use dvfs_sysfs::{DvfsActuator, SimulatedSysfs};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// How the service maps submissions onto simulation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Buffer submissions (explicit arrivals) and run on `drain`.
+    Replay,
+    /// Step the simulator in real time, `speed` sim seconds per wall
+    /// second.
+    Paced {
+        /// Sim-seconds advanced per wall-second (1.0 = real time).
+        speed: f64,
+    },
+}
+
+/// Scheduler construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Number of homogeneous i7-950 cores to schedule onto.
+    pub cores: usize,
+    /// Cost weights for reporting and the LMC policy.
+    pub params: CostParams,
+    /// Replay or paced operation.
+    pub mode: Mode,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            cores: 4,
+            params: CostParams::online_paper(),
+            mode: Mode::Replay,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// The platform a scheduler with `cores` cores runs on. Exposed so
+/// out-of-process clients (tests, analysis) can reproduce server runs
+/// exactly.
+#[must_use]
+pub fn service_platform(cores: usize) -> Platform {
+    Platform::homogeneous(cores, CoreSpec::new(RateTable::i7_950_table2()))
+        .expect("positive core count")
+}
+
+struct Inner {
+    sim: Simulator,
+    policy: LeastMarginalCost,
+    actuator: DvfsActuator<SimulatedSysfs>,
+    /// Event-log entries already mirrored onto the actuator.
+    log_cursor: usize,
+    /// Task ids in the current round (client-chosen and auto-assigned).
+    used_ids: HashSet<u64>,
+    next_auto_id: u64,
+    /// Wall-clock anchor for paced time mapping.
+    anchor: Option<Instant>,
+    shutting_down: bool,
+}
+
+fn fresh_engine(cores: usize, params: CostParams) -> (Simulator, LeastMarginalCost) {
+    let platform = service_platform(cores);
+    let policy = LeastMarginalCost::new(&platform, params);
+    let sim = Simulator::new(SimConfig::new(platform).with_event_log());
+    (sim, policy)
+}
+
+fn fresh_actuator(cores: usize) -> DvfsActuator<SimulatedSysfs> {
+    let table = RateTable::i7_950_table2();
+    let backend = SimulatedSysfs::new(cores, &table);
+    DvfsActuator::new(backend, table).expect("simulated sysfs accepts the userspace governor")
+}
+
+/// The long-running scheduler: admission queue, simulator, policy,
+/// actuator, and metrics behind one lock.
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    queue: AdmissionQueue,
+    metrics: Arc<Registry>,
+    inner: Mutex<Inner>,
+}
+
+impl Scheduler {
+    /// Build a scheduler publishing into `metrics`.
+    #[must_use]
+    pub fn new(cfg: SchedulerConfig, metrics: Arc<Registry>) -> Self {
+        let (sim, policy) = fresh_engine(cfg.cores, cfg.params);
+        Scheduler {
+            cfg,
+            queue: AdmissionQueue::new(AdmissionPolicy::with_capacity(cfg.queue_capacity)),
+            metrics,
+            inner: Mutex::new(Inner {
+                sim,
+                policy,
+                actuator: fresh_actuator(cfg.cores),
+                log_cursor: 0,
+                used_ids: HashSet::new(),
+                next_auto_id: 0,
+                anchor: None,
+                shutting_down: false,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// The metrics registry this scheduler publishes into.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// The admission queue (exposed for backpressure-aware callers).
+    #[must_use]
+    pub fn queue(&self) -> &AdmissionQueue {
+        &self.queue
+    }
+
+    /// Whether shutdown has begun.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.lock().shutting_down
+    }
+
+    /// Start the paced clock (no-op in replay mode). Called once when
+    /// the server begins serving.
+    pub fn start_clock(&self) {
+        let mut inner = self.lock();
+        if inner.anchor.is_none() {
+            inner.anchor = Some(Instant::now());
+        }
+    }
+
+    /// Wall-mapped target simulation time for paced mode (0 in replay).
+    fn target_sim_time(&self, inner: &Inner) -> f64 {
+        match (self.cfg.mode, inner.anchor) {
+            (Mode::Paced { speed }, Some(t0)) => t0.elapsed().as_secs_f64() * speed,
+            _ => 0.0,
+        }
+    }
+
+    /// Handle a submit request end to end: id assignment, validation,
+    /// admission, metrics.
+    pub fn submit(
+        &self,
+        id: Option<u64>,
+        cycles: u64,
+        class: TaskClass,
+        arrival: Option<f64>,
+    ) -> Response {
+        self.metrics.counter("submitted").inc();
+        let mut inner = self.lock();
+        if inner.shutting_down {
+            return Response::err(ErrorKind::ShuttingDown, "server is draining");
+        }
+        let id = match id {
+            Some(id) => {
+                if inner.used_ids.contains(&id) {
+                    self.metrics.counter("rejected_duplicate_id").inc();
+                    return Response::err(
+                        ErrorKind::BadRequest,
+                        format!("task id {id} already used this round"),
+                    );
+                }
+                id
+            }
+            None => {
+                while inner.used_ids.contains(&inner.next_auto_id) {
+                    inner.next_auto_id += 1;
+                }
+                inner.next_auto_id
+            }
+        };
+        let arrival = match self.cfg.mode {
+            Mode::Replay => arrival.unwrap_or(0.0),
+            // Paced submissions arrive "now" on the sim clock; an
+            // explicit arrival in the future is honored, the past is
+            // clamped forward by the engine.
+            Mode::Paced { .. } => {
+                let now = self.target_sim_time(&inner);
+                arrival.unwrap_or(now).max(now)
+            }
+        };
+        let task = match Task::online(id, cycles, arrival, None, class) {
+            Ok(t) => t,
+            Err(e) => {
+                self.metrics.counter("rejected_invalid").inc();
+                return Response::err(ErrorKind::BadRequest, e.to_string());
+            }
+        };
+        match self.queue.try_submit(task) {
+            Ok(depth) => {
+                inner.used_ids.insert(id);
+                self.metrics.counter("admitted").inc();
+                self.metrics.gauge("queue_depth").set(depth as i64);
+                Response::Ok(vec![field_u64("id", id), field_u64("depth", depth as u64)])
+            }
+            Err(shed) => {
+                self.metrics.counter("shed").inc();
+                Response::err(ErrorKind::Overloaded, shed.to_string())
+            }
+        }
+    }
+
+    /// Record a finished task into the latency/cost histograms.
+    fn observe_completion(&self, rec: &TaskRecord, params: CostParams) {
+        self.metrics.counter("completed").inc();
+        if let Some(turnaround) = rec.turnaround() {
+            self.metrics.histogram("task_latency_s").record(turnaround);
+            let cost = params.re * rec.energy_joules + params.rt * turnaround;
+            self.metrics.histogram("task_cost").record(cost);
+        }
+    }
+
+    /// Mirror engine frequency decisions since the last call onto the
+    /// actuator (the sysfs protocol a real deployment would drive).
+    fn actuate_new_decisions(inner: &mut Inner, metrics: &Registry) {
+        let decisions: Vec<_> = inner.sim.event_log().entries[inner.log_cursor..]
+            .iter()
+            .filter_map(|entry| match entry.event {
+                LogEvent::Dispatch { core, rate, .. }
+                | LogEvent::RateChange { core, to: rate, .. } => Some((core, rate)),
+                _ => None,
+            })
+            .collect();
+        inner.log_cursor = inner.sim.event_log().entries.len();
+        for (core, rate) in decisions {
+            if inner.actuator.apply(core, rate).is_ok() {
+                metrics.counter("actuations").inc();
+            } else {
+                metrics.counter("actuation_errors").inc();
+            }
+        }
+    }
+
+    /// One paced step: pull admitted work into the engine, advance the
+    /// sim clock to the wall-mapped target, stream completions into the
+    /// histograms, actuate frequency decisions.
+    pub fn tick(&self) {
+        let params = self.cfg.params;
+        let mut inner = self.lock();
+        let target = self.target_sim_time(&inner);
+        for task in self.queue.drain() {
+            inner.sim.push_task(&task);
+        }
+        self.metrics.gauge("queue_depth").set(0);
+        let inner = &mut *inner;
+        inner.sim.step_until(&mut inner.policy, target);
+        for rec in inner.sim.take_completions() {
+            self.observe_completion(&rec, params);
+        }
+        Self::actuate_new_decisions(inner, &self.metrics);
+        self.metrics
+            .gauge("pending_tasks")
+            .set(inner.sim.pending_tasks() as i64);
+    }
+
+    /// Run everything buffered (and, in paced mode, everything still in
+    /// flight) to completion and report. Resets the engine for the next
+    /// round.
+    pub fn drain_run(&self) -> Response {
+        let params = self.cfg.params;
+        let mut inner = self.lock();
+        self.metrics.counter("drains").inc();
+        for task in self.queue.drain() {
+            inner.sim.push_task(&task);
+        }
+        self.metrics.gauge("queue_depth").set(0);
+        let report = {
+            let inner = &mut *inner;
+            inner.sim.run(&mut inner.policy)
+        };
+        // The engine is finalized; stand up a fresh round.
+        let (sim, policy) = fresh_engine(self.cfg.cores, params);
+        inner.sim = sim;
+        inner.policy = policy;
+        inner.log_cursor = 0;
+        inner.used_ids.clear();
+        inner.next_auto_id = 0;
+        drop(inner);
+        self.summarize_round(&report, params)
+    }
+
+    /// Metrics + response assembly for a finished round.
+    fn summarize_round(&self, report: &SimReport, params: CostParams) -> Response {
+        let mut fresh = 0u64;
+        for rec in report.tasks.values() {
+            if rec.completion.is_some() {
+                self.observe_completion(rec, params);
+                fresh += 1;
+            }
+        }
+        // Mirror the round's frequency decisions onto a fresh actuator.
+        {
+            let mut actuator = fresh_actuator(self.cfg.cores);
+            for entry in &report.event_log.entries {
+                if let LogEvent::Dispatch { core, rate, .. }
+                | LogEvent::RateChange { core, to: rate, .. } = entry.event
+                {
+                    if actuator.apply(core, rate).is_ok() {
+                        self.metrics.counter("actuations").inc();
+                    } else {
+                        self.metrics.counter("actuation_errors").inc();
+                    }
+                }
+            }
+        }
+        self.metrics.gauge("pending_tasks").set(0);
+        Response::Ok(vec![
+            field_u64("completed", fresh),
+            field_f64("total_cost", report.cost(params).total()),
+            field_f64("active_energy_joules", report.active_energy_joules),
+            field_f64("total_turnaround_s", report.total_turnaround()),
+            field_f64("makespan_s", report.makespan),
+        ])
+    }
+
+    /// Handle a stats request: registry snapshot plus live depths.
+    pub fn stats(&self) -> Response {
+        let inner = self.lock();
+        let pending = inner.sim.pending_tasks() as u64;
+        let now = inner.sim.now();
+        drop(inner);
+        Response::Ok(vec![
+            ("metrics".to_string(), self.metrics.snapshot()),
+            field_u64("queue_depth", self.queue.depth() as u64),
+            field_u64("pending_tasks", pending),
+            field_f64("sim_now_s", now),
+        ])
+    }
+
+    /// Begin graceful shutdown: refuse new submissions, then drain the
+    /// backlog so nothing admitted is lost.
+    pub fn begin_shutdown(&self) {
+        self.lock().shutting_down = true;
+        let has_work = self.queue.depth() > 0 || self.lock().sim.pending_tasks() > 0;
+        if has_work {
+            let _ = self.drain_run();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::value_u64;
+    use dvfs_sim::SimConfig;
+
+    fn scheduler(capacity: usize) -> Scheduler {
+        Scheduler::new(
+            SchedulerConfig {
+                cores: 2,
+                queue_capacity: capacity,
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        )
+    }
+
+    #[test]
+    fn replay_drain_matches_library_run() {
+        let s = scheduler(64);
+        let trace: Vec<Task> = (0..12)
+            .map(|i| {
+                let class = if i % 3 == 0 {
+                    TaskClass::Interactive
+                } else {
+                    TaskClass::NonInteractive
+                };
+                Task::online(i, (i + 1) * 40_000_000, i as f64 * 0.01, None, class).unwrap()
+            })
+            .collect();
+        for t in &trace {
+            let r = s.submit(Some(t.id.0), t.cycles, t.class, Some(t.arrival));
+            assert!(r.is_ok(), "submit failed: {r:?}");
+        }
+        let served = s.drain_run();
+        assert!(served.is_ok());
+
+        // Reference: the same trace through the library, in process.
+        let platform = service_platform(2);
+        let params = CostParams::online_paper();
+        let mut policy = LeastMarginalCost::new(&platform, params);
+        let mut sim = Simulator::new(SimConfig::new(platform));
+        sim.add_tasks(&trace);
+        let want = sim.run(&mut policy);
+
+        let got_cost = crate::protocol::value_f64(served.field("total_cost").unwrap()).unwrap();
+        assert!(
+            (got_cost - want.cost(params).total()).abs() < 1e-12,
+            "served cost {got_cost} != library cost {}",
+            want.cost(params).total()
+        );
+        let got_makespan = crate::protocol::value_f64(served.field("makespan_s").unwrap()).unwrap();
+        assert!((got_makespan - want.makespan).abs() < 1e-12);
+        assert_eq!(value_u64(served.field("completed").unwrap()), Some(12));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_within_a_round_and_allowed_across() {
+        let s = scheduler(8);
+        assert!(s
+            .submit(Some(1), 1_000, TaskClass::Interactive, None)
+            .is_ok());
+        let dup = s.submit(Some(1), 1_000, TaskClass::Interactive, None);
+        assert!(!dup.is_ok());
+        assert!(s.drain_run().is_ok());
+        // New round, id space reset.
+        assert!(s
+            .submit(Some(1), 1_000, TaskClass::Interactive, None)
+            .is_ok());
+    }
+
+    #[test]
+    fn overflow_sheds_with_overloaded_kind() {
+        let s = scheduler(2);
+        // capacity 2, reserve 1 → one non-interactive slot.
+        assert!(s
+            .submit(None, 1_000, TaskClass::NonInteractive, None)
+            .is_ok());
+        let shed = s.submit(None, 1_000, TaskClass::NonInteractive, None);
+        match shed {
+            Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::Overloaded),
+            Response::Ok(_) => panic!("expected shed"),
+        }
+        assert_eq!(s.metrics().counter("shed").get(), 1);
+        // The interactive reserve still admits.
+        assert!(s.submit(None, 1_000, TaskClass::Interactive, None).is_ok());
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_drains_backlog() {
+        let s = scheduler(8);
+        assert!(s
+            .submit(Some(5), 2_000_000, TaskClass::NonInteractive, None)
+            .is_ok());
+        s.begin_shutdown();
+        assert!(s.is_shutting_down());
+        assert_eq!(s.metrics().counter("completed").get(), 1, "backlog drained");
+        let r = s.submit(Some(6), 1_000, TaskClass::Interactive, None);
+        match r {
+            Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::ShuttingDown),
+            Response::Ok(_) => panic!("submit must fail during shutdown"),
+        }
+    }
+
+    #[test]
+    fn paced_ticks_complete_tasks_and_actuate() {
+        let s = Scheduler::new(
+            SchedulerConfig {
+                cores: 1,
+                queue_capacity: 16,
+                // Very fast pacing so the test finishes instantly: one
+                // wall millisecond ≈ many sim seconds.
+                mode: Mode::Paced { speed: 10_000.0 },
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        );
+        s.start_clock();
+        assert!(s
+            .submit(None, 1_600_000_000, TaskClass::NonInteractive, None)
+            .is_ok());
+        // Tick until the task completes (bounded wait).
+        let mut done = false;
+        for _ in 0..200 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            s.tick();
+            if s.metrics().counter("completed").get() == 1 {
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "paced task never completed");
+        assert!(s.metrics().counter("actuations").get() >= 1);
+        assert_eq!(s.metrics().histogram("task_latency_s").count(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Periodic JSONL state snapshots.
+//!
+//! The server appends one JSON object per line to a snapshot file:
+//! `{"kind":"metrics",...}` lines carry the registry state, and
+//! `{"kind":"sim_event",...}` lines carry engine decisions serialized
+//! through the simulator's own [`LogEntry`] type — so offline tooling
+//! that already reads `dvfs-sim` event logs reads service snapshots
+//! unchanged.
+
+use crate::metrics::Registry;
+use serde::{Number, Serialize, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+/// Append-only JSONL snapshot sink, safe to share across threads.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl SnapshotWriter {
+    /// Create (truncate) the snapshot file at `path`.
+    ///
+    /// # Errors
+    /// Propagates file-creation failures.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(SnapshotWriter {
+            file: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn write_line(&self, value: &Value) -> std::io::Result<()> {
+        let line = serde_json::to_string(value).map_err(std::io::Error::other)?;
+        let mut f = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        writeln!(f, "{line}")?;
+        f.flush()
+    }
+
+    /// Append a metrics snapshot stamped with the wall uptime and sim
+    /// time.
+    ///
+    /// # Errors
+    /// Propagates serialization and I/O failures.
+    pub fn write_metrics(
+        &self,
+        uptime_s: f64,
+        sim_now_s: f64,
+        registry: &Registry,
+    ) -> std::io::Result<()> {
+        self.write_line(&Value::Object(vec![
+            ("kind".into(), Value::String("metrics".into())),
+            ("uptime_s".into(), Value::Number(Number::Float(uptime_s))),
+            ("sim_now_s".into(), Value::Number(Number::Float(sim_now_s))),
+            ("metrics".into(), registry.snapshot()),
+        ]))
+    }
+
+    /// Append engine decisions, one line per entry, reusing the
+    /// simulator's `LogEntry` serialization.
+    ///
+    /// # Errors
+    /// Propagates serialization and I/O failures.
+    pub fn write_sim_events(&self, entries: &[dvfs_sim::LogEntry]) -> std::io::Result<()> {
+        for entry in entries {
+            self.write_line(&Value::Object(vec![
+                ("kind".into(), Value::String("sim_event".into())),
+                ("entry".into(), entry.serialize()),
+            ]))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_model::TaskId;
+    use dvfs_sim::{LogEntry, LogEvent};
+
+    #[test]
+    fn snapshot_lines_are_valid_jsonl() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("dvfs-serve-snap-{}.jsonl", std::process::id()));
+        let w = SnapshotWriter::create(&path).unwrap();
+        let reg = Registry::new();
+        reg.counter("completed").add(3);
+        w.write_metrics(1.5, 0.75, &reg).unwrap();
+        w.write_sim_events(&[LogEntry {
+            time: 0.25,
+            event: LogEvent::Arrival { task: TaskId(9) },
+        }])
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let metrics: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(metrics.get("kind"), Some(&Value::String("metrics".into())));
+        let event: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(event.get("kind"), Some(&Value::String("sim_event".into())));
+        // The embedded entry deserializes back through the sim's type.
+        let entry: LogEntry =
+            serde_json::from_str(&serde_json::to_string(event.get("entry").unwrap()).unwrap())
+                .unwrap();
+        assert_eq!(entry.event, LogEvent::Arrival { task: TaskId(9) });
+    }
+}

@@ -137,10 +137,17 @@ pub fn queue_depth_series(log: &EventLog) -> Vec<(f64, usize)> {
 ///
 /// # Errors
 /// Propagates I/O failures.
-pub fn write_gantt_csv<W: std::io::Write>(mut w: W, segments: &[GanttSegment]) -> std::io::Result<()> {
+pub fn write_gantt_csv<W: std::io::Write>(
+    mut w: W,
+    segments: &[GanttSegment],
+) -> std::io::Result<()> {
     writeln!(w, "core,task,start,end,rate")?;
     for s in segments {
-        writeln!(w, "{},{},{},{},{}", s.core, s.task.0, s.start, s.end, s.rate)?;
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            s.core, s.task.0, s.start, s.end, s.rate
+        )?;
     }
     Ok(())
 }
@@ -175,8 +182,7 @@ mod tests {
     }
 
     fn run_logged(tasks: &[Task]) -> crate::SimReport {
-        let platform =
-            Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(1, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         let mut sim = Simulator::new(SimConfig::new(platform).with_event_log());
         sim.add_tasks(tasks);
         sim.run(&mut Fifo {

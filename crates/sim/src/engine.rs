@@ -9,8 +9,9 @@ use std::collections::HashMap;
 
 /// Contention factor: given the number of simultaneously busy cores,
 /// return the effective speed multiplier in `(0, 1]`. `None` models an
-/// ideal (contention-free) machine.
-pub type ContentionFn = Box<dyn Fn(usize) -> f64>;
+/// ideal (contention-free) machine. `Send + Sync` so a simulator can
+/// live behind a lock in a multi-threaded service.
+pub type ContentionFn = Box<dyn Fn(usize) -> f64 + Send + Sync>;
 
 /// Simulator configuration.
 pub struct SimConfig {
@@ -69,12 +70,7 @@ impl SimConfig {
     #[must_use]
     pub fn with_rate_cap(mut self, idx: RateIdx) -> Self {
         for (j, cap) in self.max_allowed_rate.iter_mut().enumerate() {
-            let hw_max = self
-                .platform
-                .core(j)
-                .expect("in range")
-                .rates
-                .max_rate();
+            let hw_max = self.platform.core(j).expect("in range").rates.max_rate();
             *cap = idx.min(hw_max);
         }
         self
@@ -181,6 +177,15 @@ pub struct Simulator {
     power_timeline: Vec<(f64, f64)>,
     last_completion: f64,
     event_log: crate::EventLog,
+    /// Whether governor ticks have been primed (first run/step).
+    started: bool,
+    /// Incremental mode: tasks may keep arriving via [`Simulator::push_task`],
+    /// so periodic governors re-arm even when the current backlog drains.
+    incremental: bool,
+    /// Events processed so far (budget accounting across steps).
+    processed: u64,
+    /// Completions since the last [`Simulator::take_completions`] drain.
+    fresh_completions: Vec<TaskId>,
 }
 
 impl Simulator {
@@ -223,6 +228,10 @@ impl Simulator {
             power_timeline: Vec::new(),
             last_completion: 0.0,
             event_log: crate::EventLog::default(),
+            started: false,
+            incremental: false,
+            processed: 0,
+            fresh_completions: Vec::new(),
             cfg,
         }
     }
@@ -258,7 +267,8 @@ impl Simulator {
                 },
             );
             assert!(prev.is_none(), "duplicate task id {}", t.id);
-            self.queue.push(t.arrival, EventKind::Arrival { task: t.id });
+            self.queue
+                .push(t.arrival, EventKind::Arrival { task: t.id });
             self.total += 1;
         }
     }
@@ -297,8 +307,9 @@ impl Simulator {
                     // ground truth for t_k = L_k * T(p). A core stalled
                     // by a DVFS transition draws power but makes no
                     // progress until stall_until.
-                    let exec_dt =
-                        (self.now - self.cores[j].stall_until.max(self.cores[j].last_sync)).clamp(0.0, dt);
+                    let exec_dt = (self.now
+                        - self.cores[j].stall_until.max(self.cores[j].last_sync))
+                    .clamp(0.0, dt);
                     let cycles_done = (1.0 / rp.time_per_cycle) * factor * exec_dt;
                     let energy = rp.active_power_watts() * dt;
                     let job = self.jobs.get_mut(&tid).expect("running job exists");
@@ -318,7 +329,11 @@ impl Simulator {
     fn total_active_power(&self) -> f64 {
         (0..self.cores.len())
             .filter(|&j| self.cores[j].running.is_some())
-            .map(|j| self.rate_table(j).rate(self.cores[j].rate).active_power_watts())
+            .map(|j| {
+                self.rate_table(j)
+                    .rate(self.cores[j].rate)
+                    .active_power_watts()
+            })
             .sum()
     }
 
@@ -365,20 +380,107 @@ impl Simulator {
         self.record_power_point();
     }
 
+    /// Prime periodic governor ticks; idempotent across run/step calls.
+    fn start_ticks(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for j in 0..self.cores.len() {
+            if let Some(p) = self.cores[j].governor.period() {
+                self.queue.push(p, EventKind::GovernorTick { core: j });
+            }
+        }
+    }
+
+    /// Process one event against the policy.
+    fn process_event(&mut self, policy: &mut dyn Policy, ev: crate::event::Event) {
+        self.processed += 1;
+        assert!(
+            self.processed <= self.cfg.event_budget,
+            "event budget exceeded: likely a policy/governor livelock"
+        );
+        debug_assert!(ev.time >= self.now - 1e-9, "event time precedes now");
+        self.now = self.now.max(ev.time);
+        match ev.kind {
+            EventKind::Arrival { task } => {
+                self.sync_all();
+                let job = self.jobs.get_mut(&task).expect("arrival for known task");
+                debug_assert_eq!(job.phase, JobPhase::Future);
+                job.phase = JobPhase::Ready;
+                let t = job.task.clone();
+                self.log(crate::LogEvent::Arrival { task: t.id });
+                policy.on_arrival(&mut SimView { sim: self }, &t);
+            }
+            EventKind::Completion { core, epoch } => {
+                if self.cores[core].epoch != epoch {
+                    return; // stale
+                }
+                self.sync_all();
+                let tid = self.cores[core]
+                    .running
+                    .expect("valid completion implies a running task");
+                {
+                    let job = self.jobs.get_mut(&tid).expect("job exists");
+                    debug_assert!(
+                        job.remaining.abs() < 1.0,
+                        "completion fired with {} cycles left",
+                        job.remaining
+                    );
+                    job.remaining = 0.0;
+                    job.phase = JobPhase::Done;
+                    job.record.completion = Some(self.now);
+                }
+                self.cores[core].running = None;
+                self.done += 1;
+                self.last_completion = self.now;
+                self.fresh_completions.push(tid);
+                self.log(crate::LogEvent::Completion { core, task: tid });
+                self.reschedule_after_mutation(core);
+                let t = self.jobs[&tid].task.clone();
+                policy.on_completion(&mut SimView { sim: self }, core, &t);
+            }
+            EventKind::GovernorTick { core } => {
+                self.sync_all();
+                let c = &self.cores[core];
+                let period = c.governor.period().expect("tick implies periodic governor");
+                let load = ((c.busy_time - c.busy_at_last_tick) / period).clamp(0.0, 1.0);
+                let next = c.governor.next_rate(load, c.rate, c.max_allowed);
+                self.cores[core].busy_at_last_tick = self.cores[core].busy_time;
+                if next != self.cores[core].rate {
+                    let from = self.cores[core].rate;
+                    self.cores[core].rate = next;
+                    if self.cfg.switch_latency_s > 0.0 {
+                        self.cores[core].stall_until = self.now + self.cfg.switch_latency_s;
+                    }
+                    self.log(crate::LogEvent::RateChange {
+                        core,
+                        from,
+                        to: next,
+                    });
+                    self.reschedule_after_mutation(core);
+                }
+                if self.done < self.total || self.incremental {
+                    self.queue
+                        .push(self.now + period, EventKind::GovernorTick { core });
+                }
+                policy.on_tick(&mut SimView { sim: self }, core);
+            }
+        }
+    }
+
     /// Run the simulation to completion and report.
+    ///
+    /// In incremental mode (after [`Simulator::push_task`] /
+    /// [`Simulator::step_until`]) this drains the remaining backlog —
+    /// the natural "graceful shutdown" path for a service.
     ///
     /// # Panics
     /// Panics when the event queue drains while tasks remain unfinished
     /// (the policy failed to dispatch them), or when the event budget is
     /// exceeded.
     pub fn run(&mut self, policy: &mut dyn Policy) -> SimReport {
-        // Kick off governor ticks.
-        for j in 0..self.cores.len() {
-            if let Some(p) = self.cores[j].governor.period() {
-                self.queue.push(p, EventKind::GovernorTick { core: j });
-            }
-        }
-        let mut processed: u64 = 0;
+        self.start_ticks();
         while self.done < self.total {
             let ev = self.queue.pop().unwrap_or_else(|| {
                 panic!(
@@ -388,76 +490,103 @@ impl Simulator {
                     self.total
                 )
             });
-            processed += 1;
-            assert!(
-                processed <= self.cfg.event_budget,
-                "event budget exceeded: likely a policy/governor livelock"
-            );
-            debug_assert!(ev.time >= self.now - 1e-9, "event time precedes now");
-            self.now = self.now.max(ev.time);
-            match ev.kind {
-                EventKind::Arrival { task } => {
-                    self.sync_all();
-                    let job = self.jobs.get_mut(&task).expect("arrival for known task");
-                    debug_assert_eq!(job.phase, JobPhase::Future);
-                    job.phase = JobPhase::Ready;
-                    let t = job.task.clone();
-                    self.log(crate::LogEvent::Arrival { task: t.id });
-                    policy.on_arrival(&mut SimView { sim: self }, &t);
-                }
-                EventKind::Completion { core, epoch } => {
-                    if self.cores[core].epoch != epoch {
-                        continue; // stale
-                    }
-                    self.sync_all();
-                    let tid = self.cores[core]
-                        .running
-                        .expect("valid completion implies a running task");
-                    {
-                        let job = self.jobs.get_mut(&tid).expect("job exists");
-                        debug_assert!(
-                            job.remaining.abs() < 1.0,
-                            "completion fired with {} cycles left",
-                            job.remaining
-                        );
-                        job.remaining = 0.0;
-                        job.phase = JobPhase::Done;
-                        job.record.completion = Some(self.now);
-                    }
-                    self.cores[core].running = None;
-                    self.done += 1;
-                    self.last_completion = self.now;
-                    self.log(crate::LogEvent::Completion { core, task: tid });
-                    self.reschedule_after_mutation(core);
-                    let t = self.jobs[&tid].task.clone();
-                    policy.on_completion(&mut SimView { sim: self }, core, &t);
-                }
-                EventKind::GovernorTick { core } => {
-                    self.sync_all();
-                    let c = &self.cores[core];
-                    let period = c.governor.period().expect("tick implies periodic governor");
-                    let load = ((c.busy_time - c.busy_at_last_tick) / period).clamp(0.0, 1.0);
-                    let next = c.governor.next_rate(load, c.rate, c.max_allowed);
-                    self.cores[core].busy_at_last_tick = self.cores[core].busy_time;
-                    if next != self.cores[core].rate {
-                        let from = self.cores[core].rate;
-                        self.cores[core].rate = next;
-                        if self.cfg.switch_latency_s > 0.0 {
-                            self.cores[core].stall_until =
-                                self.now + self.cfg.switch_latency_s;
-                        }
-                        self.log(crate::LogEvent::RateChange { core, from, to: next });
-                        self.reschedule_after_mutation(core);
-                    }
-                    if self.done < self.total {
-                        self.queue
-                            .push(self.now + period, EventKind::GovernorTick { core });
-                    }
-                    policy.on_tick(&mut SimView { sim: self }, core);
-                }
-            }
+            self.process_event(policy, ev);
         }
         self.finalize(policy.name())
+    }
+
+    /// Register one task while the simulation is (possibly) underway:
+    /// the arrival fires at `task.arrival` or now, whichever is later.
+    /// Switches the simulator into incremental mode.
+    ///
+    /// # Panics
+    /// Panics on a duplicate task id.
+    pub fn push_task(&mut self, task: &Task) {
+        self.incremental = true;
+        let arrival = task.arrival.max(self.now);
+        let prev = self.jobs.insert(
+            task.id,
+            Job {
+                task: task.clone(),
+                remaining: task.cycles as f64,
+                phase: JobPhase::Future,
+                record: TaskRecord {
+                    id: task.id,
+                    class: task.class,
+                    cycles: task.cycles,
+                    arrival,
+                    first_start: None,
+                    completion: None,
+                    energy_joules: 0.0,
+                    preemptions: 0,
+                },
+            },
+        );
+        assert!(prev.is_none(), "duplicate task id {}", task.id);
+        self.queue
+            .push(arrival, EventKind::Arrival { task: task.id });
+        self.total += 1;
+    }
+
+    /// Advance the simulation clock to `t`, processing every event due
+    /// at or before it. Time then rests exactly at `t` (cores idle or
+    /// mid-task), ready for more [`Simulator::push_task`] calls — the
+    /// paced-real-time driver of a long-running service.
+    ///
+    /// # Panics
+    /// Panics when `t` is not finite or precedes the current time by
+    /// more than rounding error, or when the event budget is exceeded.
+    pub fn step_until(&mut self, policy: &mut dyn Policy, t: f64) {
+        assert!(t.is_finite(), "step_until: time must be finite");
+        assert!(
+            t >= self.now - 1e-9,
+            "step_until: t={t} precedes now={}",
+            self.now
+        );
+        self.incremental = true;
+        self.start_ticks();
+        while self.queue.peek().is_some_and(|ev| ev.time <= t) {
+            let ev = self.queue.pop().expect("peeked");
+            self.process_event(policy, ev);
+        }
+        self.now = self.now.max(t);
+        self.sync_all();
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Tasks registered but not yet completed.
+    #[must_use]
+    pub fn pending_tasks(&self) -> usize {
+        self.total - self.done
+    }
+
+    /// Drain the records of tasks completed since the previous drain
+    /// (completion order).
+    pub fn take_completions(&mut self) -> Vec<TaskRecord> {
+        std::mem::take(&mut self.fresh_completions)
+            .into_iter()
+            .map(|tid| self.jobs[&tid].record)
+            .collect()
+    }
+
+    /// The decision log accumulated so far (empty unless
+    /// [`SimConfig::with_event_log`]). Incremental drivers can diff
+    /// this between steps to mirror rate changes onto an actuator.
+    #[must_use]
+    pub fn event_log(&self) -> &crate::EventLog {
+        &self.event_log
+    }
+
+    /// Snapshot a report of everything simulated so far without
+    /// consuming the simulator (the timeline, busy counters, and event
+    /// log move out; incremental callers should treat this as final).
+    pub fn report(&mut self, policy_name: String) -> SimReport {
+        self.finalize(policy_name)
     }
 
     fn finalize(&mut self, policy: String) -> SimReport {
@@ -466,7 +595,12 @@ impl Simulator {
         let idle_energy: f64 = (0..self.cores.len())
             .map(|j| {
                 let idle = (makespan - self.cores[j].busy_time).max(0.0);
-                self.cfg.platform.core(j).expect("in range").idle_power_watts * idle
+                self.cfg
+                    .platform
+                    .core(j)
+                    .expect("in range")
+                    .idle_power_watts
+                    * idle
             })
             .sum();
         SimReport {
@@ -577,7 +711,11 @@ impl SimView<'_> {
         if self.sim.cfg.switch_latency_s > 0.0 {
             self.sim.cores[j].stall_until = self.sim.now + self.sim.cfg.switch_latency_s;
         }
-        self.sim.log(crate::LogEvent::RateChange { core: j, from, to: rate });
+        self.sim.log(crate::LogEvent::RateChange {
+            core: j,
+            from,
+            to: rate,
+        });
         self.sim.reschedule_after_mutation(j);
     }
 
@@ -629,15 +767,14 @@ impl SimView<'_> {
     /// # Panics
     /// Panics when the core is idle.
     pub fn preempt(&mut self, j: CoreId) -> TaskId {
-        let tid = self.sim.cores[j]
-            .running
-            .expect("preempt on an idle core");
+        let tid = self.sim.cores[j].running.expect("preempt on an idle core");
         self.sim.sync_all();
         let job = self.sim.jobs.get_mut(&tid).expect("job exists");
         job.phase = JobPhase::Ready;
         job.record.preemptions += 1;
         self.sim.cores[j].running = None;
-        self.sim.log(crate::LogEvent::Preempt { core: j, task: tid });
+        self.sim
+            .log(crate::LogEvent::Preempt { core: j, task: tid });
         self.sim.reschedule_after_mutation(j);
         tid
     }
@@ -836,15 +973,14 @@ mod tests {
         ideal.add_tasks(&tasks);
         let ideal_report = ideal.run(&mut OnePerCore);
 
-        let mut contended = Simulator::new(SimConfig::new(platform).with_contention(Box::new(
-            |busy| {
+        let mut contended =
+            Simulator::new(SimConfig::new(platform).with_contention(Box::new(|busy| {
                 if busy <= 1 {
                     1.0
                 } else {
                     1.0 / (1.0 + 0.04 * (busy as f64 - 1.0))
                 }
-            },
-        )));
+            })));
         contended.add_tasks(&tasks);
         let contended_report = contended.run(&mut OnePerCore);
 
@@ -985,16 +1121,16 @@ mod tests {
         let done1 = report.tasks[&TaskId(1)].completion.unwrap();
         // Without latency: 1.0 + 0.528 (see the sibling test); the
         // 10 ms stall adds exactly on top.
-        assert!(
-            (done1 - (1.0 + 0.010 + 0.528)).abs() < 1e-6,
-            "got {done1}"
-        );
+        assert!((done1 - (1.0 + 0.010 + 0.528)).abs() < 1e-6, "got {done1}");
         // Energy includes the stall at the new rate's active power.
         let p_slow = 3.375e-9 / 0.625e-9;
         let p_fast = 7.1e-9 / 0.33e-9;
         let expect = p_slow * 1.0 + p_fast * (0.528 + 0.010);
         let e1 = report.tasks[&TaskId(1)].energy_joules;
-        assert!((e1 - expect).abs() / expect < 1e-6, "energy {e1} vs {expect}");
+        assert!(
+            (e1 - expect).abs() / expect < 1e-6,
+            "energy {e1} vs {expect}"
+        );
     }
 
     #[test]
@@ -1031,9 +1167,8 @@ mod tests {
         let log = &report.event_log;
         assert!(!log.is_empty());
         use crate::LogEvent;
-        let count = |pred: fn(&LogEvent) -> bool| {
-            log.entries.iter().filter(|e| pred(&e.event)).count()
-        };
+        let count =
+            |pred: fn(&LogEvent) -> bool| log.entries.iter().filter(|e| pred(&e.event)).count();
         assert_eq!(count(|e| matches!(e, LogEvent::Arrival { .. })), 2);
         assert_eq!(count(|e| matches!(e, LogEvent::Dispatch { .. })), 2);
         assert_eq!(count(|e| matches!(e, LogEvent::Completion { .. })), 2);
@@ -1151,6 +1286,64 @@ mod tests {
         let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
         sim.add_tasks(&[Task::batch(1, 100).unwrap()]);
         sim.run(&mut Lazy);
+    }
+
+    #[test]
+    fn incremental_stepping_matches_batch_run() {
+        // Batch reference: both tasks known upfront.
+        let mut batch = Simulator::new(SimConfig::new(single_core_platform()));
+        batch.add_tasks(&[
+            Task::batch(1, 1_600_000_000).unwrap(),
+            Task::batch(2, 1_600_000_000).unwrap(),
+        ]);
+        let want = batch.run(&mut Fifo::new(0));
+
+        // Incremental: push the same tasks mid-run, step in small
+        // slices, then drain.
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        let mut policy = Fifo::new(0);
+        sim.push_task(&Task::batch(1, 1_600_000_000).unwrap());
+        sim.step_until(&mut policy, 0.5);
+        assert_eq!(sim.pending_tasks(), 1);
+        assert!(sim.take_completions().is_empty());
+        sim.push_task(&Task::batch(2, 1_600_000_000).unwrap());
+        sim.step_until(&mut policy, 1.5);
+        let first = sim.take_completions();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].id, TaskId(1));
+        assert!((first[0].completion.unwrap() - 1.0).abs() < 1e-9);
+        let got = sim.run(&mut policy);
+        assert!((got.makespan - want.makespan).abs() < 1e-9);
+        assert!((got.active_energy_joules - want.active_energy_joules).abs() < 1e-9);
+        for (id, rec) in &want.tasks {
+            let g = got.tasks[id];
+            assert!((g.completion.unwrap() - rec.completion.unwrap()).abs() < 1e-9);
+            assert!((g.energy_joules - rec.energy_joules).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn step_until_advances_clock_when_idle() {
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        let mut policy = Fifo::new(0);
+        sim.step_until(&mut policy, 2.5);
+        assert!((sim.now() - 2.5).abs() < 1e-12);
+        assert_eq!(sim.pending_tasks(), 0);
+        // A task pushed after idle time arrives at the current clock.
+        sim.push_task(&Task::batch(1, 1_600_000_000).unwrap());
+        sim.step_until(&mut policy, 4.0);
+        let done = sim.take_completions();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].completion.unwrap() - 3.5).abs() < 1e-9);
+        assert!((done[0].arrival - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate task id")]
+    fn push_task_rejects_duplicate_ids() {
+        let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
+        sim.push_task(&Task::batch(1, 100).unwrap());
+        sim.push_task(&Task::batch(1, 100).unwrap());
     }
 
     #[test]

@@ -103,6 +103,12 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// The earliest pending event, without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek()
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {

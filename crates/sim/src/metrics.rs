@@ -66,10 +66,7 @@ impl SimReport {
     /// mode since batch arrivals are 0).
     #[must_use]
     pub fn total_turnaround(&self) -> f64 {
-        self.tasks
-            .values()
-            .filter_map(TaskRecord::turnaround)
-            .sum()
+        self.tasks.values().filter_map(TaskRecord::turnaround).sum()
     }
 
     /// Number of completed tasks.

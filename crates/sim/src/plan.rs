@@ -108,18 +108,14 @@ mod tests {
 
     #[test]
     fn plan_replays_in_order_at_planned_rates() {
-        let platform =
-            Platform::homogeneous(2, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(2, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         let tasks = vec![
             Task::batch(0, 1_600_000_000).unwrap(), // 1 s @1.6GHz
             Task::batch(1, 3_000_000_000).unwrap(), // 0.99 s @3GHz (0.33ns/c)
             Task::batch(2, 1_600_000_000).unwrap(),
         ];
         let plan = BatchPlan {
-            per_core: vec![
-                vec![(TaskId(0), 0), (TaskId(2), 0)],
-                vec![(TaskId(1), 4)],
-            ],
+            per_core: vec![vec![(TaskId(0), 0), (TaskId(2), 0)], vec![(TaskId(1), 4)]],
         };
         assert_eq!(plan.num_tasks(), 3);
         assert_eq!(plan.entries().count(), 3);
@@ -136,8 +132,7 @@ mod tests {
 
     #[test]
     fn empty_core_sequences_are_fine() {
-        let platform =
-            Platform::homogeneous(4, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let platform = Platform::homogeneous(4, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
         let tasks = vec![Task::batch(0, 1_000_000).unwrap()];
         let mut plan = BatchPlan::empty(4);
         plan.per_core[2].push((TaskId(0), 1));

@@ -186,7 +186,8 @@ mod tests {
     fn kernel_paths_read() {
         let c = PowercapEmulator::default();
         assert_eq!(
-            c.read_path("/sys/class/powercap/intel-rapl:0/name").unwrap(),
+            c.read_path("/sys/class/powercap/intel-rapl:0/name")
+                .unwrap(),
             "package-0"
         );
         c.charge_joules(2.0);
@@ -200,7 +201,9 @@ mod tests {
                 .unwrap(),
             DEFAULT_MAX_ENERGY_RANGE_UJ.to_string()
         );
-        assert!(c.read_path("/sys/class/powercap/intel-rapl:1/energy_uj").is_err());
+        assert!(c
+            .read_path("/sys/class/powercap/intel-rapl:1/energy_uj")
+            .is_err());
     }
 
     #[test]

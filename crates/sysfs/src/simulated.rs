@@ -263,7 +263,10 @@ mod tests {
     fn available_frequencies_listed_descending() {
         let t = tree();
         let khz = t.available_frequencies(0).unwrap();
-        assert_eq!(khz, vec![3_000_000, 2_800_000, 2_400_000, 2_000_000, 1_600_000]);
+        assert_eq!(
+            khz,
+            vec![3_000_000, 2_800_000, 2_400_000, 2_000_000, 1_600_000]
+        );
     }
 
     #[test]

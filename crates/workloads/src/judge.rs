@@ -162,8 +162,8 @@ impl JudgeTraceConfig {
         for _ in 0..self.interactive {
             let problem = rng.gen_range(0..self.problems);
             let t = arrival(&mut rng, problem);
-            let cycles = (self.interactive_mean_cycles * lognormal_factor(&mut rng, 0.3))
-                .max(1.0) as u64;
+            let cycles =
+                (self.interactive_mean_cycles * lognormal_factor(&mut rng, 0.3)).max(1.0) as u64;
             let deadline = self.interactive_deadline_s.map(|d| t + d);
             tasks.push(
                 Task::online(id, cycles, t, deadline, TaskClass::Interactive)

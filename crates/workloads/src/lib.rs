@@ -21,5 +21,5 @@ pub mod spec;
 pub mod synthetic;
 
 pub use judge::{JudgeTraceConfig, TraceStats};
-pub use synthetic::{DiurnalTrace, PoissonTrace};
 pub use spec::{spec_batch_tasks, SpecInput, SPEC2006INT};
+pub use synthetic::{DiurnalTrace, PoissonTrace};

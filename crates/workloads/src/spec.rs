@@ -22,18 +22,66 @@ pub struct SpecRow {
 /// Table I of the paper: average execution times of the 12 SPEC2006int
 /// benchmarks, `train` and `ref` inputs, at 1.6 GHz.
 pub const SPEC2006INT: [SpecRow; 12] = [
-    SpecRow { name: "perlbench", train_s: 43.516, ref_s: 749.624 },
-    SpecRow { name: "bzip", train_s: 98.683, ref_s: 1297.587 },
-    SpecRow { name: "gcc", train_s: 1.63, ref_s: 552.611 },
-    SpecRow { name: "mcf", train_s: 17.568, ref_s: 397.782 },
-    SpecRow { name: "gobmk", train_s: 189.218, ref_s: 993.54 },
-    SpecRow { name: "hmmer", train_s: 109.44, ref_s: 1106.88 },
-    SpecRow { name: "sjeng", train_s: 224.398, ref_s: 1074.126 },
-    SpecRow { name: "libquantum", train_s: 5.146, ref_s: 1092.185 },
-    SpecRow { name: "h264ref", train_s: 218.285, ref_s: 1549.734 },
-    SpecRow { name: "omnetpp", train_s: 108.661, ref_s: 439.393 },
-    SpecRow { name: "astar", train_s: 191.073, ref_s: 880.951 },
-    SpecRow { name: "xalancbmk", train_s: 142.344, ref_s: 453.463 },
+    SpecRow {
+        name: "perlbench",
+        train_s: 43.516,
+        ref_s: 749.624,
+    },
+    SpecRow {
+        name: "bzip",
+        train_s: 98.683,
+        ref_s: 1297.587,
+    },
+    SpecRow {
+        name: "gcc",
+        train_s: 1.63,
+        ref_s: 552.611,
+    },
+    SpecRow {
+        name: "mcf",
+        train_s: 17.568,
+        ref_s: 397.782,
+    },
+    SpecRow {
+        name: "gobmk",
+        train_s: 189.218,
+        ref_s: 993.54,
+    },
+    SpecRow {
+        name: "hmmer",
+        train_s: 109.44,
+        ref_s: 1106.88,
+    },
+    SpecRow {
+        name: "sjeng",
+        train_s: 224.398,
+        ref_s: 1074.126,
+    },
+    SpecRow {
+        name: "libquantum",
+        train_s: 5.146,
+        ref_s: 1092.185,
+    },
+    SpecRow {
+        name: "h264ref",
+        train_s: 218.285,
+        ref_s: 1549.734,
+    },
+    SpecRow {
+        name: "omnetpp",
+        train_s: 108.661,
+        ref_s: 439.393,
+    },
+    SpecRow {
+        name: "astar",
+        train_s: 191.073,
+        ref_s: 880.951,
+    },
+    SpecRow {
+        name: "xalancbmk",
+        train_s: 142.344,
+        ref_s: 453.463,
+    },
 ];
 
 /// The measurement frequency behind Table I.
@@ -110,7 +158,11 @@ mod tests {
     #[test]
     fn ref_inputs_run_longer_than_train() {
         for row in &SPEC2006INT {
-            assert!(row.ref_s > row.train_s, "{} ref must exceed train", row.name);
+            assert!(
+                row.ref_s > row.train_s,
+                "{} ref must exceed train",
+                row.name
+            );
         }
     }
 
@@ -124,7 +176,9 @@ mod tests {
     fn both_produces_24_batch_tasks() {
         let tasks = spec_batch_tasks(SpecInput::Both);
         assert_eq!(tasks.len(), 24);
-        assert!(tasks.iter().all(|t| t.arrival == 0.0 && t.deadline.is_none()));
+        assert!(tasks
+            .iter()
+            .all(|t| t.arrival == 0.0 && t.deadline.is_none()));
         // Train block first, then ref.
         assert_eq!(tasks[0].cycles, cycles_from_seconds(43.516));
         assert_eq!(tasks[12].cycles, cycles_from_seconds(749.624));

@@ -28,8 +28,14 @@ fn main() {
 
     for (label, params) in [
         ("balanced (paper batch)", CostParams::batch_paper()),
-        ("energy-dominated", CostParams::new(10.0, 0.01).expect("valid")),
-        ("latency-dominated", CostParams::new(0.001, 10.0).expect("valid")),
+        (
+            "energy-dominated",
+            CostParams::new(10.0, 0.01).expect("valid"),
+        ),
+        (
+            "latency-dominated",
+            CostParams::new(0.001, 10.0).expect("valid"),
+        ),
     ] {
         let plan = schedule_wbg(&tasks, &platform, params);
         let predicted = predict_plan_cost(&plan, &tasks, &platform, params);

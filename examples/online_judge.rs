@@ -68,7 +68,6 @@ fn main() {
     let olb_report = sim.run(&mut olb);
     describe(&olb_report, params);
 
-    let saving =
-        (1.0 - lmc_report.cost(params).total() / olb_report.cost(params).total()) * 100.0;
+    let saving = (1.0 - lmc_report.cost(params).total() / olb_report.cost(params).total()) * 100.0;
     println!("\nLMC saves {saving:.1}% total cost on this trace.");
 }

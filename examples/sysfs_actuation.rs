@@ -56,7 +56,9 @@ fn main() {
     }
     // The kernel semantics are enforced: a non-listed frequency fails.
     let mut rogue = tree.clone();
-    let err = rogue.set_speed(0, 2_500_000).expect_err("2.5 GHz is not offered");
+    let err = rogue
+        .set_speed(0, 2_500_000)
+        .expect_err("2.5 GHz is not offered");
     println!("\nWriting an unlisted frequency fails as on real hardware:\n  {err}");
     act.release().expect("release to ondemand");
     println!(

@@ -75,7 +75,11 @@ fn main() {
 
     // Backlog over time.
     let depth = queue_depth_series(&report.event_log);
-    let peak = depth.iter().max_by_key(|&&(_, d)| d).copied().unwrap_or((0.0, 0));
+    let peak = depth
+        .iter()
+        .max_by_key(|&&(_, d)| d)
+        .copied()
+        .unwrap_or((0.0, 0));
     println!(
         "\nPeak waiting-queue depth: {} tasks at t = {:.1} s",
         peak.1, peak.0

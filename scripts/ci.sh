@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, release build, full test suite.
+#
+# Everything resolves offline — external dependencies are local path
+# shims under shims/ and Cargo.lock is committed — so this script is
+# deterministic on a machine with only the Rust toolchain installed.
+#
+# Usage: ./scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test -q
+
+echo "ci: all gates passed"

@@ -1,0 +1,119 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Covers the one pattern the workspace uses —
+//! `collection.into_par_iter().map(f).collect()` — with real parallelism:
+//! items are split into per-thread chunks and mapped under
+//! `std::thread::scope`, preserving input order. There is no work
+//! stealing; chunks are static, which is fine for the embarrassingly
+//! parallel seed sweeps this backs.
+
+/// Anything iterable becomes a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; [`ParMap::collect`] runs the map.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let ParMap { mut items, f } = self;
+        let n = items.len();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        // Static split into per-thread chunks, order preserved.
+        let chunk_len = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        while items.len() > chunk_len {
+            let rest = items.split_off(items.len() - chunk_len);
+            chunks.push(rest);
+        }
+        chunks.push(items);
+        chunks.reverse(); // split_off peeled from the tail
+
+        let f = &f;
+        let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect()
+        });
+        mapped.into_iter().flatten().collect()
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

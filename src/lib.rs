@@ -24,6 +24,7 @@ pub use dvfs_core as core;
 pub use dvfs_model as model;
 pub use dvfs_ostree as ostree;
 pub use dvfs_power as power;
+pub use dvfs_serve as serve;
 pub use dvfs_sim as sim;
 pub use dvfs_sysfs as sysfs;
 pub use dvfs_workloads as workloads;

@@ -42,8 +42,18 @@ fn lmc_beats_olb_and_ondemand_on_judge_trace() {
     sim.add_tasks(&trace);
     let od = sim.run(&mut policy).cost(params);
 
-    assert!(lmc.total() < olb.total(), "LMC {} OLB {}", lmc.total(), olb.total());
-    assert!(lmc.total() < od.total(), "LMC {} OD {}", lmc.total(), od.total());
+    assert!(
+        lmc.total() < olb.total(),
+        "LMC {} OLB {}",
+        lmc.total(),
+        olb.total()
+    );
+    assert!(
+        lmc.total() < od.total(),
+        "LMC {} OD {}",
+        lmc.total(),
+        od.total()
+    );
     assert!(lmc.energy_joules < olb.energy_joules);
 }
 
@@ -103,6 +113,9 @@ fn trace_survives_serialization_before_scheduling() {
     assert_eq!(trace, back);
     let direct = run_lmc(&trace);
     let roundtripped = run_lmc(&back);
-    assert_eq!(direct.active_energy_joules, roundtripped.active_energy_joules);
+    assert_eq!(
+        direct.active_energy_joules,
+        roundtripped.active_energy_joules
+    );
     assert_eq!(direct.makespan, roundtripped.makespan);
 }

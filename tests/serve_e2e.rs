@@ -1,0 +1,273 @@
+//! End-to-end tests for `dvfs-serve`: a real server on a real socket,
+//! driven by the companion load generator over the NDJSON wire
+//! protocol.
+//!
+//! The headline property is *determinism*: a replay-mode server fed a
+//! trace over a Unix-domain socket must serve exactly the schedule the
+//! library produces for the same trace in process — same total cost,
+//! same makespan. The rest pins the operational contract: malformed
+//! input cannot crash the server, queue overflow sheds with an explicit
+//! `overloaded` error, and the wire `shutdown` command drains the
+//! backlog and flushes a final metrics snapshot.
+
+use dvfs_serve::loadgen::{self, Connection, LoadMode};
+use dvfs_serve::protocol::{encode_command, encode_submit, value_f64, ErrorKind, Response};
+use dvfs_serve::service::service_platform;
+use dvfs_serve::{serve, Endpoint, SchedulerConfig, ServerConfig};
+use dvfs_suite::core::LeastMarginalCost;
+use dvfs_suite::model::{Task, TaskClass};
+use dvfs_suite::sim::{SimConfig, Simulator};
+use std::path::PathBuf;
+
+/// A collision-free scratch path per test (the process id keeps
+/// parallel `cargo test` invocations apart; the name keeps tests within
+/// one run apart).
+fn scratch(name: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dvfs-serve-e2e-{}-{name}.{ext}",
+        std::process::id()
+    ))
+}
+
+/// A small mixed trace: interleaved interactive / non-interactive tasks
+/// with staggered arrivals and unequal sizes, enough to force
+/// non-trivial LMC decisions on two cores.
+fn mixed_trace() -> Vec<Task> {
+    (0..10u64)
+        .map(|i| {
+            let class = if i % 3 == 0 {
+                TaskClass::Interactive
+            } else {
+                TaskClass::NonInteractive
+            };
+            Task::online(i, (i + 1) * 50_000_000, i as f64 * 0.02, None, class)
+                .expect("valid synthetic task")
+        })
+        .collect()
+}
+
+#[test]
+fn replay_over_unix_socket_matches_in_process_lmc() {
+    let sock = scratch("replay", "sock");
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            cores: 2,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::new(Endpoint::Unix(sock))
+    };
+    let cores = cfg.scheduler.cores;
+    let params = cfg.scheduler.params;
+    let handle = serve(cfg).expect("server binds");
+
+    let trace = mixed_trace();
+    let report = loadgen::run(
+        handle.endpoint(),
+        &LoadMode::Replay {
+            trace: trace.clone(),
+        },
+    )
+    .expect("loadgen run succeeds");
+
+    handle.shutdown();
+    handle.wait();
+
+    assert_eq!(report.sent, trace.len() as u64);
+    assert_eq!(report.admitted, trace.len() as u64, "nothing shed");
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.errors, 0);
+    assert_eq!(
+        report.rtt.count(),
+        trace.len() as u64,
+        "every ack latency recorded"
+    );
+    assert!(report.throughput_rps > 0.0);
+
+    // Reference: the identical trace through the library, in process.
+    let platform = service_platform(cores);
+    let mut policy = LeastMarginalCost::new(&platform, params);
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(&trace);
+    let want = sim.run(&mut policy);
+
+    let served = report.drain.expect("replay reports drain totals");
+    assert_eq!(served.completed, trace.len() as u64);
+    assert!(
+        (served.total_cost - want.cost(params).total()).abs() < 1e-12,
+        "served cost {} != library cost {}",
+        served.total_cost,
+        want.cost(params).total()
+    );
+    assert!(
+        (served.makespan_s - want.makespan).abs() < 1e-12,
+        "served makespan {} != library makespan {}",
+        served.makespan_s,
+        want.makespan
+    );
+    assert!(
+        (served.active_energy_joules - want.active_energy_joules).abs() < 1e-12,
+        "served energy {} != library energy {}",
+        served.active_energy_joules,
+        want.active_energy_joules
+    );
+}
+
+#[test]
+fn malformed_input_cannot_crash_the_server() {
+    let sock = scratch("malformed", "sock");
+    let handle = serve(ServerConfig::new(Endpoint::Unix(sock))).expect("server binds");
+    let mut conn = Connection::open(handle.endpoint()).expect("client connects");
+
+    for garbage in [
+        "this is not json",
+        "{\"cmd\":\"submit\"}",              // missing cycles
+        "{\"cmd\":\"no-such-command\"}",     // unknown cmd
+        "[1,2,3]",                           // not an object
+        "{\"cmd\":\"submit\",\"cycles\":0}", // zero cycles rejected by the model
+    ] {
+        let resp = conn.round_trip(garbage).expect("server keeps answering");
+        match resp {
+            Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest, "{garbage}"),
+            Response::Ok(_) => panic!("garbage accepted: {garbage}"),
+        }
+    }
+
+    // The connection — and the server — are still fully functional.
+    let pong = conn
+        .round_trip(&encode_command("ping"))
+        .expect("ping round-trips");
+    assert!(pong.is_ok());
+    let submit = conn
+        .round_trip(&encode_submit(
+            None,
+            1_000_000,
+            TaskClass::Interactive,
+            None,
+        ))
+        .expect("submit round-trips");
+    assert!(submit.is_ok());
+    assert!(handle.metrics().counter("malformed_requests").get() >= 5);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn queue_overflow_sheds_with_explicit_overloaded_error() {
+    let sock = scratch("overflow", "sock");
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            // Capacity 2 with one slot reserved for interactive tasks:
+            // the second non-interactive submission must shed.
+            queue_capacity: 2,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::new(Endpoint::Unix(sock))
+    };
+    let handle = serve(cfg).expect("server binds");
+    let mut conn = Connection::open(handle.endpoint()).expect("client connects");
+
+    let admit = conn
+        .round_trip(&encode_submit(None, 1_000, TaskClass::NonInteractive, None))
+        .expect("first submit round-trips");
+    assert!(admit.is_ok());
+
+    let shed = conn
+        .round_trip(&encode_submit(None, 1_000, TaskClass::NonInteractive, None))
+        .expect("second submit round-trips");
+    match shed {
+        Response::Err { kind, message } => {
+            assert_eq!(kind, ErrorKind::Overloaded);
+            assert!(message.contains("queue full"), "message: {message}");
+        }
+        Response::Ok(_) => panic!("expected overloaded shed"),
+    }
+
+    // The reserve still admits interactive work under pressure.
+    let reserved = conn
+        .round_trip(&encode_submit(None, 1_000, TaskClass::Interactive, None))
+        .expect("interactive submit round-trips");
+    assert!(reserved.is_ok());
+    assert_eq!(handle.metrics().counter("shed").get(), 1);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn wire_shutdown_drains_backlog_and_flushes_snapshot() {
+    let sock = scratch("shutdown", "sock");
+    let snap = scratch("shutdown", "jsonl");
+    let cfg = ServerConfig {
+        snapshot_path: Some(snap.clone()),
+        ..ServerConfig::new(Endpoint::Unix(sock))
+    };
+    let handle = serve(cfg).expect("server binds");
+    let metrics = handle.metrics();
+    let mut conn = Connection::open(handle.endpoint()).expect("client connects");
+
+    let admit = conn
+        .round_trip(&encode_submit(
+            Some(7),
+            40_000_000,
+            TaskClass::NonInteractive,
+            Some(0.0),
+        ))
+        .expect("submit round-trips");
+    assert!(admit.is_ok());
+
+    let bye = conn
+        .round_trip(&encode_command("shutdown"))
+        .expect("shutdown acknowledged before the socket closes");
+    assert!(bye.is_ok());
+    handle.wait();
+
+    // Graceful shutdown drained the admitted backlog...
+    assert_eq!(metrics.counter("completed").get(), 1, "backlog drained");
+    // ...and flushed a final snapshot of valid JSONL metrics lines.
+    let body = std::fs::read_to_string(&snap).expect("snapshot file written");
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "snapshot has at least the final line");
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("snapshot line is valid JSON");
+        match v.get("kind") {
+            Some(serde_json::Value::String(kind)) => assert_eq!(kind, "metrics", "line: {line}"),
+            other => panic!("unexpected kind {other:?} in line: {line}"),
+        }
+        assert!(v.get("metrics").is_some(), "line: {line}");
+    }
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn tcp_endpoint_serves_the_same_protocol() {
+    let cfg = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".to_string()));
+    let handle = serve(cfg).expect("server binds an ephemeral port");
+    // Port 0 resolves to the actual bound address.
+    match handle.endpoint() {
+        Endpoint::Tcp(addr) => assert!(!addr.ends_with(":0"), "resolved addr: {addr}"),
+        Endpoint::Unix(_) => panic!("expected a TCP endpoint"),
+    }
+    let mut conn = Connection::open(handle.endpoint()).expect("client connects over TCP");
+    assert!(conn
+        .round_trip(&encode_command("ping"))
+        .expect("ping round-trips")
+        .is_ok());
+    assert!(conn
+        .round_trip(&encode_submit(None, 2_000_000, TaskClass::Batch, None))
+        .expect("submit round-trips")
+        .is_ok());
+    let drained = conn
+        .round_trip(&encode_command("drain"))
+        .expect("drain round-trips");
+    assert_eq!(
+        drained
+            .field("completed")
+            .and_then(dvfs_serve::protocol::value_u64),
+        Some(1)
+    );
+    assert!(value_f64(drained.field("total_cost").expect("cost field")).is_some());
+
+    handle.shutdown();
+    handle.wait();
+}

@@ -38,7 +38,11 @@ fn poisson_all_policies_complete() {
     .generate();
     for policy in ["lmc", "wbg", "olb"] {
         let report = run(policy, &trace);
-        assert_eq!(report.completed(), trace.len(), "{policy} left tasks behind");
+        assert_eq!(
+            report.completed(),
+            trace.len(),
+            "{policy} left tasks behind"
+        );
     }
 }
 
@@ -66,10 +70,7 @@ fn diurnal_peak_queues_drain_by_trough() {
     assert_eq!(report.completed(), trace.len());
     // The makespan should not run far past the trace end: the trough
     // gives the platform room to drain the peak's backlog.
-    let last_arrival = trace
-        .iter()
-        .map(|t| t.arrival)
-        .fold(0.0f64, f64::max);
+    let last_arrival = trace.iter().map(|t| t.arrival).fold(0.0f64, f64::max);
     assert!(
         report.makespan < last_arrival + 120.0,
         "backlog not drained: makespan {} vs last arrival {last_arrival}",

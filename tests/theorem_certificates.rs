@@ -118,11 +118,8 @@ fn theorem4_round_robin_matches_heap_greedy() {
     for ncores in [2usize, 3, 4, 8] {
         let cycles: Vec<u64> = (0..37).map(|_| rng.gen_range(1..20_000_000_000)).collect();
         let tasks = batch_workload(&cycles);
-        let platform = Platform::homogeneous(
-            ncores,
-            dvfs_suite::model::CoreSpec::new(table.clone()),
-        )
-        .unwrap();
+        let platform =
+            Platform::homogeneous(ncores, dvfs_suite::model::CoreSpec::new(table.clone())).unwrap();
         let rr = schedule_homogeneous(&tasks, &table, ncores, params);
         let heap = schedule_wbg(&tasks, &platform, params);
         let c_rr = predict_plan_cost(&rr, &tasks, &platform, params);
