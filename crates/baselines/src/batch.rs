@@ -1,7 +1,8 @@
 //! Batch-mode baselines: OLB placement and the Power Saving setup.
 
+use dvfs_core::sched::{ExecutorView, Scheduler};
 use dvfs_model::{CoreId, Platform, RateIdx, Task, TaskId};
-use dvfs_sim::{GovernorKind, Policy, SimConfig, SimView};
+use dvfs_sim::{GovernorKind, SimConfig};
 
 /// OLB placement: walk the tasks in their given order and put each on
 /// the core with the earliest ready-to-execute time, estimating each
@@ -86,7 +87,7 @@ impl GovernedPlanPolicy {
         }
     }
 
-    fn dispatch_next(&mut self, sim: &mut SimView<'_>, core: CoreId) {
+    fn dispatch_next(&mut self, sim: &mut dyn ExecutorView, core: CoreId) {
         let pos = self.cursor[core];
         if let Some(&tid) = self.seqs[core].get(pos) {
             self.cursor[core] += 1;
@@ -95,12 +96,12 @@ impl GovernedPlanPolicy {
     }
 }
 
-impl Policy for GovernedPlanPolicy {
+impl Scheduler for GovernedPlanPolicy {
     fn name(&self) -> String {
         self.name.clone()
     }
 
-    fn on_arrival(&mut self, sim: &mut SimView<'_>, _task: &Task) {
+    fn on_arrival(&mut self, sim: &mut dyn ExecutorView, _task: &Task) {
         self.arrived += 1;
         if self.arrived == self.expected {
             for core in 0..sim.num_cores() {
@@ -111,7 +112,7 @@ impl Policy for GovernedPlanPolicy {
         }
     }
 
-    fn on_completion(&mut self, sim: &mut SimView<'_>, core: CoreId, _task: &Task) {
+    fn on_completion(&mut self, sim: &mut dyn ExecutorView, core: CoreId, _task: &Task) {
         self.dispatch_next(sim, core);
     }
 }

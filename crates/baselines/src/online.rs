@@ -7,8 +7,8 @@
 //! On-demand places arrivals round-robin and leaves frequencies to the
 //! `ondemand` governor.
 
+use dvfs_core::sched::{ExecutorView, Scheduler};
 use dvfs_model::{CoreId, Task, TaskClass, TaskId};
-use dvfs_sim::{Policy, SimView};
 use std::collections::VecDeque;
 
 #[derive(Debug, Default)]
@@ -58,7 +58,7 @@ impl OlbOnline {
     }
 
     /// Estimated seconds until core `j` would start a newly queued task.
-    fn ready_time(&self, sim: &SimView<'_>, j: CoreId) -> f64 {
+    fn ready_time(&self, sim: &dyn ExecutorView, j: CoreId) -> f64 {
         let table = sim.rate_table(j);
         let top = sim.max_allowed_rate(j);
         let t_cycle = table.rate(top).time_per_cycle;
@@ -69,7 +69,7 @@ impl OlbOnline {
         cycles * t_cycle
     }
 
-    fn dispatch_next(&mut self, sim: &mut SimView<'_>, j: CoreId) {
+    fn dispatch_next(&mut self, sim: &mut dyn ExecutorView, j: CoreId) {
         if let Some(tid) = self.queues[j].pop() {
             let top = sim.max_allowed_rate(j);
             sim.dispatch(j, tid, Some(top));
@@ -77,12 +77,12 @@ impl OlbOnline {
     }
 }
 
-impl Policy for OlbOnline {
+impl Scheduler for OlbOnline {
     fn name(&self) -> String {
         "opportunistic-load-balancing".into()
     }
 
-    fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+    fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
         let j = (0..self.queues.len())
             .min_by(|&a, &b| {
                 self.ready_time(sim, a)
@@ -97,7 +97,7 @@ impl Policy for OlbOnline {
         }
     }
 
-    fn on_completion(&mut self, sim: &mut SimView<'_>, core: CoreId, _task: &Task) {
+    fn on_completion(&mut self, sim: &mut dyn ExecutorView, core: CoreId, _task: &Task) {
         self.dispatch_next(sim, core);
     }
 }
@@ -121,19 +121,19 @@ impl OnDemandOnline {
         }
     }
 
-    fn dispatch_next(&mut self, sim: &mut SimView<'_>, j: CoreId) {
+    fn dispatch_next(&mut self, sim: &mut dyn ExecutorView, j: CoreId) {
         if let Some(tid) = self.queues[j].pop() {
             sim.dispatch(j, tid, None); // governor decides
         }
     }
 }
 
-impl Policy for OnDemandOnline {
+impl Scheduler for OnDemandOnline {
     fn name(&self) -> String {
         "ondemand-round-robin".into()
     }
 
-    fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+    fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
         let j = self.next_core;
         self.next_core = (self.next_core + 1) % self.queues.len();
         self.queues[j].push(task.id, task.cycles, task.class);
@@ -142,7 +142,7 @@ impl Policy for OnDemandOnline {
         }
     }
 
-    fn on_completion(&mut self, sim: &mut SimView<'_>, core: CoreId, _task: &Task) {
+    fn on_completion(&mut self, sim: &mut dyn ExecutorView, core: CoreId, _task: &Task) {
         self.dispatch_next(sim, core);
     }
 }

@@ -1,12 +1,114 @@
 //! E-A4: per-event overhead of the online policies — full trace replays
-//! of LMC, OLB, and On-demand, reported per task.
+//! of LMC, OLB, and On-demand, reported per task, plus the policy's
+//! bare decision latency through the `dvfs_core::sched` trait object
+//! with the executor stripped out entirely.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dvfs_baselines::{OlbOnline, OnDemandOnline};
+use dvfs_core::sched::{ExecutorView, Scheduler};
 use dvfs_core::LeastMarginalCost;
-use dvfs_model::{CostParams, Platform};
+use dvfs_model::{CoreId, CostParams, Platform, RateIdx, RateTable, TaskId};
 use dvfs_sim::{GovernorKind, SimConfig, Simulator};
 use dvfs_workloads::JudgeTraceConfig;
+
+/// The cheapest possible [`ExecutorView`]: no clock, no events, no
+/// accounting — just enough occupancy state to keep a policy's
+/// invariants honest. Benchmarking a policy against it isolates the
+/// *decision* latency (Equation 27 scans, ledger insertions) from any
+/// engine overhead; it is also the minimal worked example of writing a
+/// new executor against the `dvfs_core::sched` interface.
+struct NullExecutor {
+    table: RateTable,
+    running: Vec<Option<TaskId>>,
+    rates: Vec<RateIdx>,
+    max_rate: RateIdx,
+}
+
+impl NullExecutor {
+    fn new(platform: &Platform) -> Self {
+        let table = platform.cores()[0].rates.clone();
+        let max_rate = table.max_rate();
+        NullExecutor {
+            table,
+            running: vec![None; platform.cores().len()],
+            rates: vec![0; platform.cores().len()],
+            max_rate,
+        }
+    }
+}
+
+impl ExecutorView for NullExecutor {
+    fn now(&self) -> f64 {
+        0.0
+    }
+    fn num_cores(&self) -> usize {
+        self.running.len()
+    }
+    fn rate_table(&self, _j: CoreId) -> &RateTable {
+        &self.table
+    }
+    fn max_allowed_rate(&self, _j: CoreId) -> RateIdx {
+        self.max_rate
+    }
+    fn current_rate(&self, j: CoreId) -> RateIdx {
+        self.rates[j]
+    }
+    fn running_task(&self, j: CoreId) -> Option<TaskId> {
+        self.running[j]
+    }
+    fn remaining_cycles(&self, _t: TaskId) -> f64 {
+        0.0
+    }
+    fn set_rate(&mut self, j: CoreId, rate: RateIdx) {
+        assert!(rate <= self.max_rate, "rate above cap");
+        self.rates[j] = rate;
+    }
+    fn dispatch(&mut self, j: CoreId, task: TaskId, rate: Option<RateIdx>) {
+        assert!(self.running[j].is_none(), "dispatch to busy core");
+        if let Some(r) = rate {
+            self.set_rate(j, r);
+        }
+        self.running[j] = Some(task);
+    }
+    fn preempt(&mut self, j: CoreId) -> TaskId {
+        self.running[j].take().expect("preempt of idle core")
+    }
+}
+
+/// Per-arrival decision latency of LMC through `&mut dyn ExecutorView`:
+/// every task in the trace is fed to `on_arrival` against the null
+/// executor, so the measurement is the policy alone — core selection,
+/// marginal-cost evaluation, ledger maintenance — with dynamic dispatch
+/// included, exactly as both real executors invoke it.
+fn bench_decision_latency(c: &mut Criterion) {
+    let platform = Platform::i7_950_quad();
+    let params = CostParams::online_paper();
+    let mut group = c.benchmark_group("lmc_decision_latency");
+    group.sample_size(10);
+    for scale in [32usize, 8] {
+        let mut cfg = JudgeTraceConfig::paper_heavy(1);
+        cfg.non_interactive = (cfg.non_interactive / scale).max(1);
+        cfg.interactive = (cfg.interactive / scale).max(1);
+        let trace = cfg.generate();
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("per_arrival", trace.len()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut policy = LeastMarginalCost::new(&platform, params);
+                    let mut exec = NullExecutor::new(&platform);
+                    let view: &mut dyn ExecutorView = &mut exec;
+                    for task in trace {
+                        policy.on_arrival(view, task);
+                    }
+                    exec.running.iter().filter(|r| r.is_some()).count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
 
 fn bench_online(c: &mut Criterion) {
     let platform = Platform::i7_950_quad();
@@ -55,5 +157,5 @@ fn bench_online(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_online);
+criterion_group!(benches, bench_online, bench_decision_latency);
 criterion_main!(benches);

@@ -15,10 +15,14 @@
 //! cost model; the tests cross-check against exhaustive search.
 
 use crate::dominating::DominatingRanges;
-use dvfs_model::{CostParams, Platform, RateIdx, RateTable, Task, TaskId};
-use dvfs_sim::BatchPlan;
+use dvfs_model::{BatchPlan, CostParams, Platform, RateIdx, RateTable, Task, TaskId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+// Plan cost prediction moved to `dvfs_model::plan` with [`BatchPlan`];
+// re-exported here so existing `dvfs_core::batch::predict_plan_cost`
+// callers keep working.
+pub use dvfs_model::predict_plan_cost;
 
 /// A single-core batch schedule: the execution order with per-task rates,
 /// plus the model-predicted total cost.
@@ -178,33 +182,6 @@ pub fn schedule_homogeneous(
             })
             .collect(),
     }
-}
-
-/// Predict the analytic total cost of a batch plan on a platform:
-/// per-core first-principles sequence cost (Equation 8), summed.
-///
-/// # Panics
-/// Panics when the plan references a task id absent from `tasks` or a
-/// core outside the platform.
-#[must_use]
-pub fn predict_plan_cost(
-    plan: &BatchPlan,
-    tasks: &[Task],
-    platform: &Platform,
-    params: CostParams,
-) -> f64 {
-    let lookup: std::collections::HashMap<TaskId, u64> =
-        tasks.iter().map(|t| (t.id, t.cycles)).collect();
-    plan.per_core
-        .iter()
-        .enumerate()
-        .map(|(j, seq)| {
-            let table = &platform.core(j).expect("core in range").rates;
-            let pairs: Vec<(u64, RateIdx)> =
-                seq.iter().map(|&(tid, r)| (lookup[&tid], r)).collect();
-            dvfs_model::cost::sequence_cost(params, table, &pairs).total()
-        })
-        .sum()
 }
 
 #[cfg(test)]

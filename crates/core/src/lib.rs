@@ -14,9 +14,14 @@
 //! * [`ledger`] — Section IV-A: the **dynamic cost ledger** supporting
 //!   task insertion/deletion in `O(|P̂| + log N)` with Θ(1) total-cost
 //!   retrieval (Algorithms 4–6), built on `dvfs-ostree`.
+//! * [`sched`] — the engine-agnostic scheduling interface: the
+//!   [`Scheduler`](sched::Scheduler) event hooks over an abstract
+//!   [`ExecutorView`](sched::ExecutorView), implemented by both the
+//!   virtual-time simulator (`dvfs-sim`) and the wall-clock service
+//!   executor (`dvfs-serve`).
 //! * [`lmc`] — Section IV: the **Least Marginal Cost** online scheduling
 //!   policy for mixed interactive / non-interactive workloads,
-//!   implemented against the `dvfs-sim` policy interface.
+//!   implemented against the [`sched`] interface.
 //! * [`deadline`] — Section III-A: the NP-completeness reduction from
 //!   Partition (Theorems 1–2) and exact solvers for the constructed
 //!   instances plus small general instances.
@@ -30,6 +35,7 @@ pub mod deadline_batch;
 pub mod dominating;
 pub mod ledger;
 pub mod lmc;
+pub mod sched;
 pub mod validate;
 pub mod wbg_online;
 pub mod yds;
@@ -38,4 +44,5 @@ pub use batch::{schedule_homogeneous, schedule_single_core, schedule_wbg, Single
 pub use dominating::{DominatingRanges, RangeEntry};
 pub use ledger::CostLedger;
 pub use lmc::{InteractivePlacement, LeastMarginalCost};
+pub use sched::{ExecutorView, PlanPolicy, Scheduler};
 pub use wbg_online::WbgReassign;

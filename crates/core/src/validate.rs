@@ -11,8 +11,8 @@
 //! scale in the `validate_wbg` experiment binary.
 
 use crate::batch::predict_plan_cost;
+use dvfs_model::BatchPlan;
 use dvfs_model::{CostParams, Platform, Task};
-use dvfs_sim::BatchPlan;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 

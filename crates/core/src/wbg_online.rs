@@ -17,8 +17,8 @@
 //! up — the trade the paper asserts but does not measure.
 
 use crate::batch::schedule_wbg;
+use crate::sched::{ExecutorView, Scheduler};
 use dvfs_model::{CoreId, CostParams, Platform, RateIdx, Task, TaskClass, TaskId};
-use dvfs_sim::{Policy, SimView};
 use std::collections::{HashMap, VecDeque};
 
 struct CoreState {
@@ -86,13 +86,13 @@ impl WbgReassign {
         }
     }
 
-    fn rate_for_running(&self, sim: &SimView<'_>, j: CoreId) -> RateIdx {
+    fn rate_for_running(&self, sim: &dyn ExecutorView, j: CoreId) -> RateIdx {
         // Backward position of the running task = waiting queue + itself.
         let kb = self.cores[j].queue.len() as u64 + 1;
         self.ranges[j].rate_for(kb).min(sim.max_allowed_rate(j))
     }
 
-    fn dispatch_next(&mut self, sim: &mut SimView<'_>, j: CoreId) {
+    fn dispatch_next(&mut self, sim: &mut dyn ExecutorView, j: CoreId) {
         debug_assert!(sim.is_idle(j));
         if let Some(tid) = self.cores[j].interactive.pop_front() {
             let pm = sim.max_allowed_rate(j);
@@ -115,7 +115,7 @@ impl WbgReassign {
         self.cores[j].running = None;
     }
 
-    fn handle_interactive(&mut self, sim: &mut SimView<'_>, task: &Task) {
+    fn handle_interactive(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
         // Equation 27 core choice, as in LMC.
         let best = (0..self.cores.len())
             .map(|j| {
@@ -152,12 +152,12 @@ impl WbgReassign {
     }
 }
 
-impl Policy for WbgReassign {
+impl Scheduler for WbgReassign {
     fn name(&self) -> String {
         "wbg-reassign".into()
     }
 
-    fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+    fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
         self.cycles.insert(task.id, task.cycles);
         match task.class {
             TaskClass::Interactive => self.handle_interactive(sim, task),
@@ -177,123 +177,10 @@ impl Policy for WbgReassign {
         }
     }
 
-    fn on_completion(&mut self, sim: &mut SimView<'_>, core: CoreId, task: &Task) {
+    fn on_completion(&mut self, sim: &mut dyn ExecutorView, core: CoreId, task: &Task) {
         debug_assert_eq!(self.cores[core].running.map(|(t, _)| t), Some(task.id));
         self.cores[core].running = None;
         self.cycles.remove(&task.id);
         self.dispatch_next(sim, core);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::LeastMarginalCost;
-    use dvfs_sim::{SimConfig, SimReport, Simulator};
-
-    fn trace(seed: u64, n_ni: u64, n_i: u64) -> Vec<Task> {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let mut out = Vec::new();
-        let mut id = 0;
-        for _ in 0..n_ni {
-            out.push(
-                Task::non_interactive(
-                    id,
-                    rng.gen_range(100_000_000..20_000_000_000),
-                    rng.gen_range(0.0..300.0),
-                )
-                .unwrap(),
-            );
-            id += 1;
-        }
-        for _ in 0..n_i {
-            out.push(
-                Task::interactive(
-                    id,
-                    rng.gen_range(500_000..5_000_000),
-                    rng.gen_range(0.0..300.0),
-                )
-                .unwrap(),
-            );
-            id += 1;
-        }
-        out.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap());
-        out
-    }
-
-    fn run(policy_kind: &str, tasks: &[Task]) -> SimReport {
-        let platform = Platform::i7_950_quad();
-        let params = CostParams::online_paper();
-        let mut sim = Simulator::new(SimConfig::new(platform.clone()));
-        sim.add_tasks(tasks);
-        match policy_kind {
-            "wbg" => {
-                let mut p = WbgReassign::new(&platform, params);
-                sim.run(&mut p)
-            }
-            _ => {
-                let mut p = LeastMarginalCost::new(&platform, params);
-                sim.run(&mut p)
-            }
-        }
-    }
-
-    #[test]
-    fn completes_mixed_workloads() {
-        let tasks = trace(1, 60, 200);
-        let report = run("wbg", &tasks);
-        assert_eq!(report.completed(), tasks.len());
-    }
-
-    #[test]
-    fn interactive_still_preempts() {
-        let platform = Platform::i7_950_quad();
-        let params = CostParams::online_paper();
-        let tasks = vec![
-            Task::non_interactive(0, 30_000_000_000, 0.0).unwrap(),
-            Task::non_interactive(1, 30_000_000_000, 0.0).unwrap(),
-            Task::non_interactive(2, 30_000_000_000, 0.0).unwrap(),
-            Task::non_interactive(3, 30_000_000_000, 0.0).unwrap(),
-            Task::interactive(4, 100_000_000, 1.0).unwrap(),
-        ];
-        let mut sim = Simulator::new(SimConfig::new(platform.clone()));
-        sim.add_tasks(&tasks);
-        let mut p = WbgReassign::new(&platform, params);
-        let report = sim.run(&mut p);
-        let r = report.tasks[&dvfs_model::TaskId(4)];
-        assert!(r.turnaround().unwrap() < 0.05, "{:?}", r.turnaround());
-    }
-
-    #[test]
-    fn reassignment_cost_at_most_lmc_on_batch_bursts() {
-        // A burst of simultaneous non-interactive arrivals: WBG reassign
-        // converges to the optimal batch plan, so it must not lose to
-        // the no-migration heuristic by more than a whisker.
-        let params = CostParams::online_paper();
-        let mut tasks = Vec::new();
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
-        for id in 0..32 {
-            tasks.push(
-                Task::non_interactive(id, rng.gen_range(1_000_000_000..30_000_000_000), 0.0)
-                    .unwrap(),
-            );
-        }
-        let wbg = run("wbg", &tasks).cost(params).total();
-        let lmc = run("lmc", &tasks).cost(params).total();
-        assert!(
-            wbg <= lmc * 1.02,
-            "free-migration WBG {wbg} should not lose to LMC {lmc}"
-        );
-    }
-
-    #[test]
-    fn deterministic_runs() {
-        let tasks = trace(9, 40, 100);
-        let a = run("wbg", &tasks);
-        let b = run("wbg", &tasks);
-        assert_eq!(a.active_energy_joules, b.active_energy_joules);
-        assert_eq!(a.makespan, b.makespan);
     }
 }

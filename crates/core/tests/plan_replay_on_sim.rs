@@ -1,0 +1,62 @@
+//! `PlanPolicy` replay and deadline-plan behavior on the virtual-time
+//! executor (integration tests — see `lmc_on_sim.rs` for why these are
+//! not unit tests).
+
+use dvfs_core::PlanPolicy;
+use dvfs_model::task::batch_workload;
+use dvfs_model::{BatchPlan, CoreSpec, CostParams, Platform, RateTable, Task, TaskId};
+use dvfs_sim::{SimConfig, Simulator};
+
+#[test]
+fn plan_replays_in_order_at_planned_rates() {
+    let platform = Platform::homogeneous(2, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+    let tasks = vec![
+        Task::batch(0, 1_600_000_000).unwrap(), // 1 s @1.6GHz
+        Task::batch(1, 3_000_000_000).unwrap(), // 0.99 s @3GHz (0.33ns/c)
+        Task::batch(2, 1_600_000_000).unwrap(),
+    ];
+    let plan = BatchPlan {
+        per_core: vec![vec![(TaskId(0), 0), (TaskId(2), 0)], vec![(TaskId(1), 4)]],
+    };
+    assert_eq!(plan.num_tasks(), 3);
+    assert_eq!(plan.entries().count(), 3);
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(&tasks);
+    let report = sim.run(&mut PlanPolicy::new(plan));
+    let c0 = report.tasks[&TaskId(0)].completion.unwrap();
+    let c1 = report.tasks[&TaskId(1)].completion.unwrap();
+    let c2 = report.tasks[&TaskId(2)].completion.unwrap();
+    assert!((c0 - 1.0).abs() < 1e-9);
+    assert!((c1 - 3.0e9 * 0.33e-9).abs() < 1e-9);
+    assert!((c2 - 2.0).abs() < 1e-9, "task 2 queued behind task 0");
+}
+
+#[test]
+fn empty_core_sequences_are_fine() {
+    let platform = Platform::homogeneous(4, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+    let tasks = vec![Task::batch(0, 1_000_000).unwrap()];
+    let mut plan = BatchPlan::empty(4);
+    plan.per_core[2].push((TaskId(0), 1));
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(&tasks);
+    let report = sim.run(&mut PlanPolicy::new(plan));
+    assert_eq!(report.completed(), 1);
+}
+
+#[test]
+fn multicore_deadline_plan_executes_within_deadline() {
+    // Companion to the analytic span check in `deadline_batch`'s unit
+    // tests: the same plan, replayed end-to-end on the simulator, must
+    // finish by the deadline.
+    let platform = Platform::i7_950_quad();
+    let params = CostParams::batch_paper();
+    let cycles: Vec<u64> = (1..=12).map(|i| i * 800_000_000).collect();
+    let tasks = batch_workload(&cycles);
+    let plan =
+        dvfs_core::deadline_batch::schedule_multicore_with_deadline(&tasks, &platform, params, 7.0)
+            .expect("feasible with escalation");
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(&tasks);
+    let report = sim.run(&mut PlanPolicy::new(plan));
+    assert!(report.makespan <= 7.0 + 1e-9);
+}

@@ -1,0 +1,112 @@
+//! WBG online-reassignment behavior pinned on the virtual-time
+//! executor (integration tests — see `lmc_on_sim.rs` for why these are
+//! not unit tests).
+
+use dvfs_core::{LeastMarginalCost, WbgReassign};
+use dvfs_model::{CostParams, Platform, Task};
+use dvfs_sim::{SimConfig, SimReport, Simulator};
+
+fn trace(seed: u64, n_ni: u64, n_i: u64) -> Vec<Task> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut id = 0;
+    for _ in 0..n_ni {
+        out.push(
+            Task::non_interactive(
+                id,
+                rng.gen_range(100_000_000..20_000_000_000),
+                rng.gen_range(0.0..300.0),
+            )
+            .unwrap(),
+        );
+        id += 1;
+    }
+    for _ in 0..n_i {
+        out.push(
+            Task::interactive(
+                id,
+                rng.gen_range(500_000..5_000_000),
+                rng.gen_range(0.0..300.0),
+            )
+            .unwrap(),
+        );
+        id += 1;
+    }
+    out.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap());
+    out
+}
+
+fn run(policy_kind: &str, tasks: &[Task]) -> SimReport {
+    let platform = Platform::i7_950_quad();
+    let params = CostParams::online_paper();
+    let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+    sim.add_tasks(tasks);
+    match policy_kind {
+        "wbg" => {
+            let mut p = WbgReassign::new(&platform, params);
+            sim.run(&mut p)
+        }
+        _ => {
+            let mut p = LeastMarginalCost::new(&platform, params);
+            sim.run(&mut p)
+        }
+    }
+}
+
+#[test]
+fn completes_mixed_workloads() {
+    let tasks = trace(1, 60, 200);
+    let report = run("wbg", &tasks);
+    assert_eq!(report.completed(), tasks.len());
+}
+
+#[test]
+fn interactive_still_preempts() {
+    let platform = Platform::i7_950_quad();
+    let params = CostParams::online_paper();
+    let tasks = vec![
+        Task::non_interactive(0, 30_000_000_000, 0.0).unwrap(),
+        Task::non_interactive(1, 30_000_000_000, 0.0).unwrap(),
+        Task::non_interactive(2, 30_000_000_000, 0.0).unwrap(),
+        Task::non_interactive(3, 30_000_000_000, 0.0).unwrap(),
+        Task::interactive(4, 100_000_000, 1.0).unwrap(),
+    ];
+    let mut sim = Simulator::new(SimConfig::new(platform.clone()));
+    sim.add_tasks(&tasks);
+    let mut p = WbgReassign::new(&platform, params);
+    let report = sim.run(&mut p);
+    let r = report.tasks[&dvfs_model::TaskId(4)];
+    assert!(r.turnaround().unwrap() < 0.05, "{:?}", r.turnaround());
+}
+
+#[test]
+fn reassignment_cost_at_most_lmc_on_batch_bursts() {
+    // A burst of simultaneous non-interactive arrivals: WBG reassign
+    // converges to the optimal batch plan, so it must not lose to
+    // the no-migration heuristic by more than a whisker.
+    let params = CostParams::online_paper();
+    let mut tasks = Vec::new();
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    for id in 0..32 {
+        tasks.push(
+            Task::non_interactive(id, rng.gen_range(1_000_000_000..30_000_000_000), 0.0).unwrap(),
+        );
+    }
+    let wbg = run("wbg", &tasks).cost(params).total();
+    let lmc = run("lmc", &tasks).cost(params).total();
+    assert!(
+        wbg <= lmc * 1.02,
+        "free-migration WBG {wbg} should not lose to LMC {lmc}"
+    );
+}
+
+#[test]
+fn deterministic_runs() {
+    let tasks = trace(9, 40, 100);
+    let a = run("wbg", &tasks);
+    let b = run("wbg", &tasks);
+    assert_eq!(a.active_energy_joules, b.active_energy_joules);
+    assert_eq!(a.makespan, b.makespan);
+}

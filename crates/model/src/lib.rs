@@ -19,6 +19,10 @@
 //!   cost functions `C(k, p)` and `C^B(k, p)` from Equations 12 and 20.
 //! * [`Platform`] — a set of cores, each with a rate table and idle power,
 //!   with homogeneous and heterogeneous presets.
+//! * [`BatchPlan`] — per-core `(task, rate)` execution sequences: the
+//!   output of the batch algorithms, replayable by any executor.
+//! * [`TaskRecord`] — the per-task lifecycle measurement every executor
+//!   reports.
 //!
 //! All cycle counts are exact integers (`u64`); all times are seconds and
 //! all energies joules, carried as `f64`.
@@ -28,12 +32,16 @@
 
 pub mod cost;
 pub mod error;
+pub mod plan;
 pub mod platform;
 pub mod rates;
+pub mod record;
 pub mod task;
 
 pub use cost::{CostBreakdown, CostParams};
 pub use error::ModelError;
+pub use plan::{predict_plan_cost, BatchPlan};
 pub use platform::{CoreId, CoreSpec, Platform};
 pub use rates::{RateIdx, RatePoint, RateTable};
+pub use record::TaskRecord;
 pub use task::{Task, TaskClass, TaskId};

@@ -1,0 +1,133 @@
+//! Batch execution plans.
+//!
+//! Batch-mode schedulers (LTL, WBG, the batch baselines) produce a
+//! *plan*: for each core, an execution sequence of `(task, rate)` pairs.
+//! The plan is a pure model artifact — the algorithms in `dvfs-core`
+//! produce one, and any executor (the virtual-time simulator, the
+//! wall-clock service) can replay it.
+
+use crate::cost::{sequence_cost, CostParams};
+use crate::platform::{CoreId, Platform};
+use crate::rates::RateIdx;
+use crate::task::{Task, TaskId};
+
+/// A batch execution plan: per-core ordered `(task, rate)` sequences.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchPlan {
+    /// `per_core[j]` is the execution order on core `j` with the rate
+    /// each task runs at (rates are indices into core `j`'s table).
+    pub per_core: Vec<Vec<(TaskId, RateIdx)>>,
+}
+
+impl BatchPlan {
+    /// Plan with `n` empty core sequences.
+    #[must_use]
+    pub fn empty(n_cores: usize) -> Self {
+        BatchPlan {
+            per_core: vec![Vec::new(); n_cores],
+        }
+    }
+
+    /// Total number of planned task placements.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.per_core.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate all `(core, position, task, rate)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (CoreId, usize, TaskId, RateIdx)> + '_ {
+        self.per_core.iter().enumerate().flat_map(|(j, seq)| {
+            seq.iter()
+                .enumerate()
+                .map(move |(pos, &(t, r))| (j, pos, t, r))
+        })
+    }
+}
+
+/// Predict the analytic total cost of a batch plan on a platform:
+/// per-core first-principles sequence cost (Equation 8), summed.
+///
+/// # Panics
+/// Panics when the plan references a task id absent from `tasks` or a
+/// core outside the platform.
+#[must_use]
+pub fn predict_plan_cost(
+    plan: &BatchPlan,
+    tasks: &[Task],
+    platform: &Platform,
+    params: CostParams,
+) -> f64 {
+    let lookup: std::collections::HashMap<TaskId, u64> =
+        tasks.iter().map(|t| (t.id, t.cycles)).collect();
+    plan.per_core
+        .iter()
+        .enumerate()
+        .map(|(j, seq)| {
+            let table = &platform.core(j).expect("core in range").rates;
+            let pairs: Vec<(u64, RateIdx)> =
+                seq.iter().map(|&(tid, r)| (lookup[&tid], r)).collect();
+            sequence_cost(params, table, &pairs).total()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CoreSpec;
+    use crate::rates::RateTable;
+    use crate::task::batch_workload;
+
+    #[test]
+    fn empty_plan_has_no_tasks() {
+        let plan = BatchPlan::empty(4);
+        assert_eq!(plan.per_core.len(), 4);
+        assert_eq!(plan.num_tasks(), 0);
+        assert_eq!(plan.entries().count(), 0);
+    }
+
+    #[test]
+    fn entries_enumerate_positions_in_order() {
+        let plan = BatchPlan {
+            per_core: vec![vec![(TaskId(3), 0), (TaskId(1), 2)], vec![(TaskId(2), 4)]],
+        };
+        assert_eq!(plan.num_tasks(), 3);
+        let got: Vec<_> = plan.entries().collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, 0, TaskId(3), 0),
+                (0, 1, TaskId(1), 2),
+                (1, 0, TaskId(2), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn predicted_cost_matches_sequence_cost_per_core() {
+        let platform = Platform::homogeneous(2, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
+        let tasks = batch_workload(&[1_000_000_000, 2_000_000_000, 500_000_000]);
+        let params = CostParams::batch_paper();
+        let plan = BatchPlan {
+            per_core: vec![vec![(TaskId(2), 0), (TaskId(0), 1)], vec![(TaskId(1), 3)]],
+        };
+        let want: f64 = [
+            sequence_cost(
+                params,
+                &platform.core(0).unwrap().rates,
+                &[(500_000_000, 0), (1_000_000_000, 1)],
+            )
+            .total(),
+            sequence_cost(
+                params,
+                &platform.core(1).unwrap().rates,
+                &[(2_000_000_000, 3)],
+            )
+            .total(),
+        ]
+        .iter()
+        .sum();
+        let got = predict_plan_cost(&plan, &tasks, &platform, params);
+        assert!((got - want).abs() < 1e-12);
+    }
+}

@@ -5,25 +5,29 @@
 //! this crate turns them into a daemon that accepts task submissions
 //! over a newline-delimited-JSON wire protocol (Unix-domain socket or
 //! TCP), admits them through a bounded queue with class-aware shedding,
-//! drives the discrete-event simulator either paced against the wall
-//! clock or as-fast-as-possible on `drain`, mirrors every frequency
-//! decision onto the `dvfs-sysfs` actuator, and publishes counters,
-//! gauges, and log-bucketed latency/cost histograms through a metrics
-//! registry — queryable over the wire (`stats`) and flushed to JSONL
-//! snapshots.
+//! and runs the policy on its own **wall-clock executor** — the second
+//! implementation of the engine-agnostic `dvfs_core::sched` interface
+//! (the virtual-time simulator in `dvfs-sim` is the first). The
+//! executor is paced against the wall clock or run as-fast-as-possible
+//! on `drain`, applies every frequency decision to the `dvfs-sysfs`
+//! actuator as it is made, and the service publishes counters, gauges,
+//! and log-bucketed latency/cost histograms through a metrics registry
+//! — queryable over the wire (`stats`) and flushed to JSONL snapshots.
 //!
 //! Module map:
 //!
 //! * [`protocol`] — wire request/response encoding.
 //! * [`admission`] — the bounded queue and shed policy.
 //! * [`metrics`] — counters, gauges, histograms, the registry.
-//! * [`service`] — the scheduler proper (engine + policy + actuator).
+//! * [`executor`] — the wall-clock `ExecutorView` implementation.
+//! * [`service`] — the scheduler proper (executor + policy + locks).
 //! * [`server`] — listeners, connection handling, graceful shutdown.
 //! * [`snapshot`] — periodic JSONL state snapshots.
 //! * [`loadgen`] — the companion load generator (replay, open-loop
 //!   Poisson, closed-loop clients).
 
 pub mod admission;
+pub mod executor;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -32,6 +36,7 @@ pub mod service;
 pub mod snapshot;
 
 pub use admission::{AdmissionPolicy, AdmissionQueue, ShedReason};
+pub use executor::{RealTimeExecutor, RoundReport};
 pub use loadgen::{DrainSummary, LoadMode, LoadReport};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use protocol::{ErrorKind, Request, Response};

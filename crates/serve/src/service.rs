@@ -5,41 +5,51 @@
 //!
 //! * **Replay** — submissions buffer in the admission queue with their
 //!   explicit arrival times; a `drain` command runs the whole workload
-//!   through the simulator at once. Because the buffered tasks reach
-//!   the engine in submission order with untouched arrivals, a drained
-//!   round is *bit-identical* to running [`LeastMarginalCost`] over the
-//!   same trace in-process — the determinism contract the end-to-end
-//!   tests pin.
-//! * **Paced** — a ticker thread maps wall time onto simulation time
-//!   (`sim_seconds = wall_seconds * speed`) and steps the engine
-//!   incrementally; submissions arrive at the current sim time and
+//!   through the wall-clock executor at once. Because the buffered
+//!   tasks reach the engine in submission order with untouched
+//!   arrivals, a drained round is *bit-identical* to running
+//!   [`LeastMarginalCost`] over the same trace on the simulator — the
+//!   determinism contract the end-to-end tests pin.
+//! * **Paced** — a ticker thread maps wall time onto the executor
+//!   clock (`engine_seconds = wall_seconds * speed`) and steps it
+//!   incrementally; submissions arrive at the current engine time and
 //!   completions stream into the latency/cost histograms as they
 //!   happen.
 //!
-//! Either way, every frequency decision the policy or engine makes is
-//! mirrored onto a [`DvfsActuator`] over a simulated sysfs tree — the
-//! same actuation path a real deployment would use, minus root.
+//! Either way, the policy runs through the engine-agnostic
+//! `dvfs_core::sched` interface against [`RealTimeExecutor`], which
+//! applies every frequency decision to its `dvfs-sysfs` actuator the
+//! moment the policy makes it.
+//!
+//! ## Locking
+//!
+//! The submission path never touches the engine: it reads an atomic
+//! shutdown flag, reserves the task id under a small id-ledger mutex,
+//! and hands the task to the admission queue (which has its own lock).
+//! The engine mutex — executor plus policy state — is taken only by
+//! `tick`, `drain`, `stats`, and shutdown, so a slow scheduling round
+//! never blocks admission.
 
 use crate::admission::{AdmissionPolicy, AdmissionQueue};
+use crate::executor::{RealTimeExecutor, RoundReport};
 use crate::metrics::Registry;
 use crate::protocol::{field_f64, field_u64, ErrorKind, Response};
 use dvfs_core::LeastMarginalCost;
-use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass};
-use dvfs_sim::{LogEvent, SimConfig, SimReport, Simulator, TaskRecord};
-use dvfs_sysfs::{DvfsActuator, SimulatedSysfs};
+use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass, TaskRecord};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-/// How the service maps submissions onto simulation time.
+/// How the service maps submissions onto engine time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Mode {
     /// Buffer submissions (explicit arrivals) and run on `drain`.
     Replay,
-    /// Step the simulator in real time, `speed` sim seconds per wall
+    /// Step the executor in real time, `speed` engine seconds per wall
     /// second.
     Paced {
-        /// Sim-seconds advanced per wall-second (1.0 = real time).
+        /// Engine-seconds advanced per wall-second (1.0 = real time).
         speed: f64,
     },
 }
@@ -77,66 +87,65 @@ pub fn service_platform(cores: usize) -> Platform {
         .expect("positive core count")
 }
 
-struct Inner {
-    sim: Simulator,
+/// The executor/policy pair — the only state behind the engine lock.
+struct Engine {
+    exec: RealTimeExecutor,
     policy: LeastMarginalCost,
-    actuator: DvfsActuator<SimulatedSysfs>,
-    /// Event-log entries already mirrored onto the actuator.
-    log_cursor: usize,
-    /// Task ids in the current round (client-chosen and auto-assigned).
-    used_ids: HashSet<u64>,
-    next_auto_id: u64,
-    /// Wall-clock anchor for paced time mapping.
-    anchor: Option<Instant>,
-    shutting_down: bool,
 }
 
-fn fresh_engine(cores: usize, params: CostParams) -> (Simulator, LeastMarginalCost) {
-    let platform = service_platform(cores);
-    let policy = LeastMarginalCost::new(&platform, params);
-    let sim = Simulator::new(SimConfig::new(platform).with_event_log());
-    (sim, policy)
+impl Engine {
+    fn fresh(cores: usize, params: CostParams) -> Self {
+        let platform = service_platform(cores);
+        Engine {
+            policy: LeastMarginalCost::new(&platform, params),
+            exec: RealTimeExecutor::new(platform),
+        }
+    }
 }
 
-fn fresh_actuator(cores: usize) -> DvfsActuator<SimulatedSysfs> {
-    let table = RateTable::i7_950_table2();
-    let backend = SimulatedSysfs::new(cores, &table);
-    DvfsActuator::new(backend, table).expect("simulated sysfs accepts the userspace governor")
+/// The task-id ledger for the current round.
+struct IdLedger {
+    used: HashSet<u64>,
+    next_auto: u64,
 }
 
-/// The long-running scheduler: admission queue, simulator, policy,
-/// actuator, and metrics behind one lock.
+/// The long-running scheduler: admission queue, wall-clock executor,
+/// policy, and metrics — each behind its own narrow lock.
 pub struct Scheduler {
     cfg: SchedulerConfig,
     queue: AdmissionQueue,
     metrics: Arc<Registry>,
-    inner: Mutex<Inner>,
+    shutting_down: AtomicBool,
+    ids: Mutex<IdLedger>,
+    /// Wall-clock anchor for paced time mapping.
+    anchor: Mutex<Option<Instant>>,
+    engine: Mutex<Engine>,
 }
 
 impl Scheduler {
     /// Build a scheduler publishing into `metrics`.
     #[must_use]
     pub fn new(cfg: SchedulerConfig, metrics: Arc<Registry>) -> Self {
-        let (sim, policy) = fresh_engine(cfg.cores, cfg.params);
         Scheduler {
-            cfg,
             queue: AdmissionQueue::new(AdmissionPolicy::with_capacity(cfg.queue_capacity)),
             metrics,
-            inner: Mutex::new(Inner {
-                sim,
-                policy,
-                actuator: fresh_actuator(cfg.cores),
-                log_cursor: 0,
-                used_ids: HashSet::new(),
-                next_auto_id: 0,
-                anchor: None,
-                shutting_down: false,
+            shutting_down: AtomicBool::new(false),
+            ids: Mutex::new(IdLedger {
+                used: HashSet::new(),
+                next_auto: 0,
             }),
+            anchor: Mutex::new(None),
+            engine: Mutex::new(Engine::fresh(cfg.cores, cfg.params)),
+            cfg,
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_engine(&self) -> MutexGuard<'_, Engine> {
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_ids(&self) -> MutexGuard<'_, IdLedger> {
+        self.ids.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The configuration in force.
@@ -160,28 +169,31 @@ impl Scheduler {
     /// Whether shutdown has begun.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
-        self.lock().shutting_down
+        self.shutting_down.load(Ordering::SeqCst)
     }
 
     /// Start the paced clock (no-op in replay mode). Called once when
     /// the server begins serving.
     pub fn start_clock(&self) {
-        let mut inner = self.lock();
-        if inner.anchor.is_none() {
-            inner.anchor = Some(Instant::now());
+        let mut anchor = self.anchor.lock().unwrap_or_else(PoisonError::into_inner);
+        if anchor.is_none() {
+            *anchor = Some(Instant::now());
         }
     }
 
-    /// Wall-mapped target simulation time for paced mode (0 in replay).
-    fn target_sim_time(&self, inner: &Inner) -> f64 {
-        match (self.cfg.mode, inner.anchor) {
+    /// Wall-mapped target engine time for paced mode (0 in replay).
+    /// Reads only the anchor — never the engine lock.
+    fn target_time(&self) -> f64 {
+        let anchor = *self.anchor.lock().unwrap_or_else(PoisonError::into_inner);
+        match (self.cfg.mode, anchor) {
             (Mode::Paced { speed }, Some(t0)) => t0.elapsed().as_secs_f64() * speed,
             _ => 0.0,
         }
     }
 
     /// Handle a submit request end to end: id assignment, validation,
-    /// admission, metrics.
+    /// admission, metrics. Touches the id ledger and the admission
+    /// queue, never the engine.
     pub fn submit(
         &self,
         id: Option<u64>,
@@ -190,53 +202,60 @@ impl Scheduler {
         arrival: Option<f64>,
     ) -> Response {
         self.metrics.counter("submitted").inc();
-        let mut inner = self.lock();
-        if inner.shutting_down {
+        if self.is_shutting_down() {
             return Response::err(ErrorKind::ShuttingDown, "server is draining");
         }
-        let id = match id {
-            Some(id) => {
-                if inner.used_ids.contains(&id) {
-                    self.metrics.counter("rejected_duplicate_id").inc();
-                    return Response::err(
-                        ErrorKind::BadRequest,
-                        format!("task id {id} already used this round"),
-                    );
+        // Reserve the id so concurrent submitters can't race to the
+        // same one; released again if validation or admission fails.
+        let id = {
+            let mut ids = self.lock_ids();
+            let id = match id {
+                Some(id) => {
+                    if ids.used.contains(&id) {
+                        self.metrics.counter("rejected_duplicate_id").inc();
+                        return Response::err(
+                            ErrorKind::BadRequest,
+                            format!("task id {id} already used this round"),
+                        );
+                    }
+                    id
                 }
-                id
-            }
-            None => {
-                while inner.used_ids.contains(&inner.next_auto_id) {
-                    inner.next_auto_id += 1;
+                None => {
+                    while ids.used.contains(&ids.next_auto) {
+                        ids.next_auto += 1;
+                    }
+                    ids.next_auto
                 }
-                inner.next_auto_id
-            }
+            };
+            ids.used.insert(id);
+            id
         };
         let arrival = match self.cfg.mode {
             Mode::Replay => arrival.unwrap_or(0.0),
-            // Paced submissions arrive "now" on the sim clock; an
+            // Paced submissions arrive "now" on the engine clock; an
             // explicit arrival in the future is honored, the past is
-            // clamped forward by the engine.
+            // clamped forward by the executor.
             Mode::Paced { .. } => {
-                let now = self.target_sim_time(&inner);
+                let now = self.target_time();
                 arrival.unwrap_or(now).max(now)
             }
         };
         let task = match Task::online(id, cycles, arrival, None, class) {
             Ok(t) => t,
             Err(e) => {
+                self.lock_ids().used.remove(&id);
                 self.metrics.counter("rejected_invalid").inc();
                 return Response::err(ErrorKind::BadRequest, e.to_string());
             }
         };
         match self.queue.try_submit(task) {
             Ok(depth) => {
-                inner.used_ids.insert(id);
                 self.metrics.counter("admitted").inc();
                 self.metrics.gauge("queue_depth").set(depth as i64);
                 Response::Ok(vec![field_u64("id", id), field_u64("depth", depth as u64)])
             }
             Err(shed) => {
+                self.lock_ids().used.remove(&id);
                 self.metrics.counter("shed").inc();
                 Response::err(ErrorKind::Overloaded, shed.to_string())
             }
@@ -253,115 +272,90 @@ impl Scheduler {
         }
     }
 
-    /// Mirror engine frequency decisions since the last call onto the
-    /// actuator (the sysfs protocol a real deployment would drive).
-    fn actuate_new_decisions(inner: &mut Inner, metrics: &Registry) {
-        let decisions: Vec<_> = inner.sim.event_log().entries[inner.log_cursor..]
-            .iter()
-            .filter_map(|entry| match entry.event {
-                LogEvent::Dispatch { core, rate, .. }
-                | LogEvent::RateChange { core, to: rate, .. } => Some((core, rate)),
-                _ => None,
-            })
-            .collect();
-        inner.log_cursor = inner.sim.event_log().entries.len();
-        for (core, rate) in decisions {
-            if inner.actuator.apply(core, rate).is_ok() {
-                metrics.counter("actuations").inc();
-            } else {
-                metrics.counter("actuation_errors").inc();
-            }
-        }
+    /// Publish the executor's actuation counters since the last drain.
+    fn publish_actuations(&self, engine: &mut Engine) {
+        let (applied, errored) = engine.exec.take_actuations();
+        self.metrics.counter("actuations").add(applied);
+        self.metrics.counter("actuation_errors").add(errored);
     }
 
     /// One paced step: pull admitted work into the engine, advance the
-    /// sim clock to the wall-mapped target, stream completions into the
-    /// histograms, actuate frequency decisions.
+    /// executor clock to the wall-mapped target, stream completions
+    /// into the histograms.
     pub fn tick(&self) {
         let params = self.cfg.params;
-        let mut inner = self.lock();
-        let target = self.target_sim_time(&inner);
+        let target = self.target_time();
+        let mut engine = self.lock_engine();
         for task in self.queue.drain() {
-            inner.sim.push_task(&task);
+            engine.exec.push_task(&task);
         }
         self.metrics.gauge("queue_depth").set(0);
-        let inner = &mut *inner;
-        inner.sim.step_until(&mut inner.policy, target);
-        for rec in inner.sim.take_completions() {
+        let engine = &mut *engine;
+        engine.exec.step_until(&mut engine.policy, target);
+        for rec in engine.exec.take_completions() {
             self.observe_completion(&rec, params);
         }
-        Self::actuate_new_decisions(inner, &self.metrics);
+        self.publish_actuations(engine);
         self.metrics
             .gauge("pending_tasks")
-            .set(inner.sim.pending_tasks() as i64);
+            .set(engine.exec.pending_tasks() as i64);
     }
 
     /// Run everything buffered (and, in paced mode, everything still in
-    /// flight) to completion and report. Resets the engine for the next
-    /// round.
-    pub fn drain_run(&self) -> Response {
+    /// flight) to completion; return the round's report and reset the
+    /// engine for the next round. The programmatic form of the wire
+    /// `drain` — end-to-end tests use it to compare served rounds
+    /// against library runs task by task.
+    pub fn drain_round(&self) -> RoundReport {
         let params = self.cfg.params;
-        let mut inner = self.lock();
+        let mut engine = self.lock_engine();
         self.metrics.counter("drains").inc();
         for task in self.queue.drain() {
-            inner.sim.push_task(&task);
+            engine.exec.push_task(&task);
         }
         self.metrics.gauge("queue_depth").set(0);
-        let report = {
-            let inner = &mut *inner;
-            inner.sim.run(&mut inner.policy)
-        };
-        // The engine is finalized; stand up a fresh round.
-        let (sim, policy) = fresh_engine(self.cfg.cores, params);
-        inner.sim = sim;
-        inner.policy = policy;
-        inner.log_cursor = 0;
-        inner.used_ids.clear();
-        inner.next_auto_id = 0;
-        drop(inner);
-        self.summarize_round(&report, params)
-    }
-
-    /// Metrics + response assembly for a finished round.
-    fn summarize_round(&self, report: &SimReport, params: CostParams) -> Response {
-        let mut fresh = 0u64;
-        for rec in report.tasks.values() {
-            if rec.completion.is_some() {
-                self.observe_completion(rec, params);
-                fresh += 1;
-            }
-        }
-        // Mirror the round's frequency decisions onto a fresh actuator.
         {
-            let mut actuator = fresh_actuator(self.cfg.cores);
-            for entry in &report.event_log.entries {
-                if let LogEvent::Dispatch { core, rate, .. }
-                | LogEvent::RateChange { core, to: rate, .. } = entry.event
-                {
-                    if actuator.apply(core, rate).is_ok() {
-                        self.metrics.counter("actuations").inc();
-                    } else {
-                        self.metrics.counter("actuation_errors").inc();
-                    }
-                }
-            }
+            let engine = &mut *engine;
+            engine.exec.run_to_completion(&mut engine.policy);
+        }
+        // Completions not yet streamed by a paced tick land in the
+        // histograms now, exactly once.
+        for rec in engine.exec.take_completions() {
+            self.observe_completion(&rec, params);
+        }
+        self.publish_actuations(&mut engine);
+        let report = engine.exec.round_report();
+        // Stand up a fresh round.
+        *engine = Engine::fresh(self.cfg.cores, params);
+        drop(engine);
+        {
+            let mut ids = self.lock_ids();
+            ids.used.clear();
+            ids.next_auto = 0;
         }
         self.metrics.gauge("pending_tasks").set(0);
+        report
+    }
+
+    /// Wire handler for `drain`: run the round and encode the report.
+    pub fn drain_run(&self) -> Response {
+        let params = self.cfg.params;
+        let report = self.drain_round();
         Response::Ok(vec![
-            field_u64("completed", fresh),
-            field_f64("total_cost", report.cost(params).total()),
+            field_u64("completed", report.records.len() as u64),
+            field_f64("total_cost", report.total_cost(params)),
             field_f64("active_energy_joules", report.active_energy_joules),
-            field_f64("total_turnaround_s", report.total_turnaround()),
-            field_f64("makespan_s", report.makespan),
+            field_f64("total_turnaround_s", report.total_turnaround_s),
+            field_f64("makespan_s", report.makespan_s),
         ])
     }
 
     /// Handle a stats request: registry snapshot plus live depths.
     pub fn stats(&self) -> Response {
-        let inner = self.lock();
-        let pending = inner.sim.pending_tasks() as u64;
-        let now = inner.sim.now();
-        drop(inner);
+        let engine = self.lock_engine();
+        let pending = engine.exec.pending_tasks() as u64;
+        let now = engine.exec.exec_now();
+        drop(engine);
         Response::Ok(vec![
             ("metrics".to_string(), self.metrics.snapshot()),
             field_u64("queue_depth", self.queue.depth() as u64),
@@ -373,8 +367,8 @@ impl Scheduler {
     /// Begin graceful shutdown: refuse new submissions, then drain the
     /// backlog so nothing admitted is lost.
     pub fn begin_shutdown(&self) {
-        self.lock().shutting_down = true;
-        let has_work = self.queue.depth() > 0 || self.lock().sim.pending_tasks() > 0;
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let has_work = self.queue.depth() > 0 || self.lock_engine().exec.pending_tasks() > 0;
         if has_work {
             let _ = self.drain_run();
         }
@@ -385,7 +379,7 @@ impl Scheduler {
 mod tests {
     use super::*;
     use crate::protocol::value_u64;
-    use dvfs_sim::SimConfig;
+    use dvfs_sim::{SimConfig, Simulator};
 
     fn scheduler(capacity: usize) -> Scheduler {
         Scheduler::new(
@@ -418,7 +412,7 @@ mod tests {
         let served = s.drain_run();
         assert!(served.is_ok());
 
-        // Reference: the same trace through the library, in process.
+        // Reference: the same trace through the simulator, in process.
         let platform = service_platform(2);
         let params = CostParams::online_paper();
         let mut policy = LeastMarginalCost::new(&platform, params);
@@ -453,20 +447,23 @@ mod tests {
     }
 
     #[test]
-    fn overflow_sheds_with_overloaded_kind() {
+    fn overflow_sheds_with_overloaded_kind_and_releases_the_id() {
         let s = scheduler(2);
         // capacity 2, reserve 1 → one non-interactive slot.
-        assert!(s
-            .submit(None, 1_000, TaskClass::NonInteractive, None)
-            .is_ok());
+        let first = s.submit(None, 1_000, TaskClass::NonInteractive, None);
+        assert!(first.is_ok());
+        assert_eq!(value_u64(first.field("id").unwrap()), Some(0));
         let shed = s.submit(None, 1_000, TaskClass::NonInteractive, None);
         match shed {
             Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::Overloaded),
             Response::Ok(_) => panic!("expected shed"),
         }
         assert_eq!(s.metrics().counter("shed").get(), 1);
-        // The interactive reserve still admits.
-        assert!(s.submit(None, 1_000, TaskClass::Interactive, None).is_ok());
+        // The interactive reserve still admits, and the shed auto-id
+        // was released for reuse.
+        let third = s.submit(None, 1_000, TaskClass::Interactive, None);
+        assert!(third.is_ok());
+        assert_eq!(value_u64(third.field("id").unwrap()), Some(1));
     }
 
     #[test]
@@ -492,7 +489,7 @@ mod tests {
                 cores: 1,
                 queue_capacity: 16,
                 // Very fast pacing so the test finishes instantly: one
-                // wall millisecond ≈ many sim seconds.
+                // wall millisecond ≈ many engine seconds.
                 mode: Mode::Paced { speed: 10_000.0 },
                 ..SchedulerConfig::default()
             },
@@ -514,6 +511,37 @@ mod tests {
         }
         assert!(done, "paced task never completed");
         assert!(s.metrics().counter("actuations").get() >= 1);
+        assert_eq!(s.metrics().histogram("task_latency_s").count(), 1);
+    }
+
+    #[test]
+    fn paced_drain_counts_streamed_completions_once() {
+        let s = Scheduler::new(
+            SchedulerConfig {
+                cores: 1,
+                queue_capacity: 16,
+                mode: Mode::Paced { speed: 10_000.0 },
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        );
+        s.start_clock();
+        assert!(s
+            .submit(None, 1_600_000_000, TaskClass::NonInteractive, None)
+            .is_ok());
+        for _ in 0..200 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            s.tick();
+            if s.metrics().counter("completed").get() == 1 {
+                break;
+            }
+        }
+        assert_eq!(s.metrics().counter("completed").get(), 1);
+        // The drain reports the round's single task but must not feed
+        // its already-streamed completion into the histograms again.
+        let report = s.drain_round();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(s.metrics().counter("completed").get(), 1);
         assert_eq!(s.metrics().histogram("task_latency_s").count(), 1);
     }
 }

@@ -1,14 +1,11 @@
 //! Periodic JSONL state snapshots.
 //!
 //! The server appends one JSON object per line to a snapshot file:
-//! `{"kind":"metrics",...}` lines carry the registry state, and
-//! `{"kind":"sim_event",...}` lines carry engine decisions serialized
-//! through the simulator's own [`LogEntry`] type — so offline tooling
-//! that already reads `dvfs-sim` event logs reads service snapshots
-//! unchanged.
+//! `{"kind":"metrics",...}` lines carry the registry state stamped
+//! with wall uptime and engine time.
 
 use crate::metrics::Registry;
-use serde::{Number, Serialize, Value};
+use serde::{Number, Value};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -61,28 +58,11 @@ impl SnapshotWriter {
             ("metrics".into(), registry.snapshot()),
         ]))
     }
-
-    /// Append engine decisions, one line per entry, reusing the
-    /// simulator's `LogEntry` serialization.
-    ///
-    /// # Errors
-    /// Propagates serialization and I/O failures.
-    pub fn write_sim_events(&self, entries: &[dvfs_sim::LogEntry]) -> std::io::Result<()> {
-        for entry in entries {
-            self.write_line(&Value::Object(vec![
-                ("kind".into(), Value::String("sim_event".into())),
-                ("entry".into(), entry.serialize()),
-            ]))?;
-        }
-        Ok(())
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvfs_model::TaskId;
-    use dvfs_sim::{LogEntry, LogEvent};
 
     #[test]
     fn snapshot_lines_are_valid_jsonl() {
@@ -92,23 +72,14 @@ mod tests {
         let reg = Registry::new();
         reg.counter("completed").add(3);
         w.write_metrics(1.5, 0.75, &reg).unwrap();
-        w.write_sim_events(&[LogEntry {
-            time: 0.25,
-            event: LogEvent::Arrival { task: TaskId(9) },
-        }])
-        .unwrap();
+        w.write_metrics(2.5, 1.75, &reg).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         let lines: Vec<&str> = body.lines().collect();
         assert_eq!(lines.len(), 2);
-        let metrics: Value = serde_json::from_str(lines[0]).unwrap();
-        assert_eq!(metrics.get("kind"), Some(&Value::String("metrics".into())));
-        let event: Value = serde_json::from_str(lines[1]).unwrap();
-        assert_eq!(event.get("kind"), Some(&Value::String("sim_event".into())));
-        // The embedded entry deserializes back through the sim's type.
-        let entry: LogEntry =
-            serde_json::from_str(&serde_json::to_string(event.get("entry").unwrap()).unwrap())
-                .unwrap();
-        assert_eq!(entry.event, LogEvent::Arrival { task: TaskId(9) });
+        for line in lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v.get("kind"), Some(&Value::String("metrics".into())));
+        }
     }
 }

@@ -155,7 +155,8 @@ pub fn write_gantt_csv<W: std::io::Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{SimConfig, SimView, Simulator};
+    use crate::engine::{SimConfig, Simulator};
+    use crate::policy::ExecutorView;
     use crate::policy::Policy;
     use dvfs_model::{CoreSpec, Platform, RateTable, Task};
 
@@ -167,14 +168,14 @@ mod tests {
         fn name(&self) -> String {
             "fifo".into()
         }
-        fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+        fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
             self.queue.push_back(task.id);
             if sim.is_idle(0) {
                 let t = self.queue.pop_front().expect("just pushed");
                 sim.dispatch(0, t, Some(self.rate));
             }
         }
-        fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, _t: &Task) {
+        fn on_completion(&mut self, sim: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {
             if let Some(t) = self.queue.pop_front() {
                 sim.dispatch(0, t, Some(self.rate));
             }

@@ -3,7 +3,7 @@
 use crate::event::{EventKind, EventQueue};
 use crate::governor::GovernorKind;
 use crate::metrics::{SimReport, TaskRecord};
-use crate::policy::Policy;
+use crate::policy::{ExecutorView, Policy};
 use dvfs_model::{CoreId, Platform, RateIdx, RateTable, Task, TaskId};
 use std::collections::HashMap;
 
@@ -621,9 +621,48 @@ impl Simulator {
     }
 }
 
-/// The mutable window a [`Policy`] gets into the simulation.
+/// The mutable window a [`Policy`] gets into the simulation: the
+/// virtual-time implementation of the engine-agnostic
+/// [`ExecutorView`]. Policies written against the trait run unchanged
+/// on any other executor (e.g. the wall-clock one in `dvfs-serve`).
 pub struct SimView<'a> {
     sim: &'a mut Simulator,
+}
+
+impl ExecutorView for SimView<'_> {
+    fn now(&self) -> f64 {
+        SimView::now(self)
+    }
+    fn num_cores(&self) -> usize {
+        SimView::num_cores(self)
+    }
+    fn rate_table(&self, j: CoreId) -> &RateTable {
+        SimView::rate_table(self, j)
+    }
+    fn max_allowed_rate(&self, j: CoreId) -> RateIdx {
+        SimView::max_allowed_rate(self, j)
+    }
+    fn current_rate(&self, j: CoreId) -> RateIdx {
+        SimView::current_rate(self, j)
+    }
+    fn running_task(&self, j: CoreId) -> Option<TaskId> {
+        SimView::running_task(self, j)
+    }
+    fn is_idle(&self, j: CoreId) -> bool {
+        SimView::is_idle(self, j)
+    }
+    fn remaining_cycles(&self, t: TaskId) -> f64 {
+        SimView::remaining_cycles(self, t)
+    }
+    fn set_rate(&mut self, j: CoreId, rate: RateIdx) {
+        SimView::set_rate(self, j, rate);
+    }
+    fn dispatch(&mut self, j: CoreId, task: TaskId, rate: Option<RateIdx>) {
+        SimView::dispatch(self, j, task, rate);
+    }
+    fn preempt(&mut self, j: CoreId) -> TaskId {
+        SimView::preempt(self, j)
+    }
 }
 
 impl SimView<'_> {
@@ -804,14 +843,14 @@ mod tests {
         fn name(&self) -> String {
             "fifo-test".into()
         }
-        fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+        fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
             self.queue.push_back(task.id);
             if sim.is_idle(0) {
                 let next = self.queue.pop_front().expect("just pushed");
                 sim.dispatch(0, next, Some(self.rate));
             }
         }
-        fn on_completion(&mut self, sim: &mut SimView<'_>, _core: CoreId, _task: &Task) {
+        fn on_completion(&mut self, sim: &mut dyn ExecutorView, _core: CoreId, _task: &Task) {
             if let Some(next) = self.queue.pop_front() {
                 sim.dispatch(0, next, Some(self.rate));
             }
@@ -871,7 +910,7 @@ mod tests {
             fn name(&self) -> String {
                 "switcher".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 if task.id == TaskId(1) {
                     sim.dispatch(0, task.id, Some(0));
                 } else {
@@ -879,7 +918,7 @@ mod tests {
                     sim.set_rate(0, 4);
                 }
             }
-            fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, task: &Task) {
+            fn on_completion(&mut self, sim: &mut dyn ExecutorView, _c: CoreId, task: &Task) {
                 if task.id == TaskId(1) {
                     sim.dispatch(0, TaskId(2), None);
                 }
@@ -915,7 +954,7 @@ mod tests {
             fn name(&self) -> String {
                 "preemptor".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 if task.id == TaskId(1) {
                     sim.dispatch(0, task.id, Some(0));
                 } else {
@@ -924,7 +963,7 @@ mod tests {
                     sim.dispatch(0, task.id, Some(4));
                 }
             }
-            fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, task: &Task) {
+            fn on_completion(&mut self, sim: &mut dyn ExecutorView, _c: CoreId, task: &Task) {
                 if task.id == TaskId(2) {
                     let prev = self.resumed.take().expect("preempted task saved");
                     sim.dispatch(0, prev, Some(0));
@@ -957,12 +996,12 @@ mod tests {
             fn name(&self) -> String {
                 "one-per-core".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 let core = task.id.0 as usize;
                 let max = sim.max_allowed_rate(core);
                 sim.dispatch(core, task.id, Some(max));
             }
-            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {}
         }
         let platform = Platform::i7_950_quad();
         let tasks: Vec<Task> = (0..4)
@@ -1003,14 +1042,14 @@ mod tests {
             fn name(&self) -> String {
                 "gov-fifo".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 self.queue.push_back(task.id);
                 if sim.is_idle(0) {
                     let next = self.queue.pop_front().expect("just pushed");
                     sim.dispatch(0, next, None);
                 }
             }
-            fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, _t: &Task) {
+            fn on_completion(&mut self, sim: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {
                 if let Some(next) = self.queue.pop_front() {
                     sim.dispatch(0, next, None);
                 }
@@ -1037,11 +1076,11 @@ mod tests {
             fn name(&self) -> String {
                 "max-fifo".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 let cap = sim.max_allowed_rate(0);
                 sim.dispatch(0, task.id, Some(cap));
             }
-            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {}
         }
         let cfg = SimConfig::new(single_core_platform()).with_rate_cap(2);
         let mut sim = Simulator::new(cfg);
@@ -1059,10 +1098,10 @@ mod tests {
             fn name(&self) -> String {
                 "core-zero".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 sim.dispatch(0, task.id, Some(0));
             }
-            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {}
         }
         let mut sim = Simulator::new(SimConfig::new(Platform::i7_950_quad()));
         sim.add_tasks(&[Task::batch(1, 1_600_000_000).unwrap()]);
@@ -1099,14 +1138,14 @@ mod tests {
             fn name(&self) -> String {
                 "switcher".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 if task.id == TaskId(1) {
                     sim.dispatch(0, task.id, Some(0));
                 } else {
                     sim.set_rate(0, 4);
                 }
             }
-            fn on_completion(&mut self, sim: &mut SimView<'_>, _c: CoreId, task: &Task) {
+            fn on_completion(&mut self, sim: &mut dyn ExecutorView, _c: CoreId, task: &Task) {
                 if task.id == TaskId(1) {
                     sim.dispatch(0, TaskId(2), None);
                 }
@@ -1199,11 +1238,11 @@ mod tests {
             fn name(&self) -> String {
                 "overclocker".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 sim.dispatch(0, task.id, Some(2));
                 sim.set_rate(0, 4); // cap is 2
             }
-            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {}
         }
         let cfg = SimConfig::new(single_core_platform()).with_rate_cap(2);
         let mut sim = Simulator::new(cfg);
@@ -1219,11 +1258,11 @@ mod tests {
             fn name(&self) -> String {
                 "bad".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 let _ = sim.preempt(0);
                 sim.dispatch(0, task.id, None);
             }
-            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {}
         }
         let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
         sim.add_tasks(&[Task::batch(1, 1_000_000).unwrap()]);
@@ -1240,11 +1279,11 @@ mod tests {
             fn name(&self) -> String {
                 "per-core".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 let core = task.id.0 as usize;
                 sim.dispatch(core, task.id, Some(4));
             }
-            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {}
         }
         let platform =
             Platform::homogeneous(2, dvfs_model::CoreSpec::new(RateTable::i7_950_table2()))
@@ -1280,8 +1319,8 @@ mod tests {
             fn name(&self) -> String {
                 "lazy".into()
             }
-            fn on_arrival(&mut self, _s: &mut SimView<'_>, _t: &Task) {}
-            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+            fn on_arrival(&mut self, _s: &mut dyn ExecutorView, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {}
         }
         let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
         sim.add_tasks(&[Task::batch(1, 100).unwrap()]);
@@ -1354,10 +1393,10 @@ mod tests {
             fn name(&self) -> String {
                 "doubler".into()
             }
-            fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task) {
+            fn on_arrival(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
                 sim.dispatch(0, task.id, Some(0));
             }
-            fn on_completion(&mut self, _s: &mut SimView<'_>, _c: CoreId, _t: &Task) {}
+            fn on_completion(&mut self, _s: &mut dyn ExecutorView, _c: CoreId, _t: &Task) {}
         }
         let mut sim = Simulator::new(SimConfig::new(single_core_platform()));
         sim.add_tasks(&[

@@ -8,9 +8,12 @@
 //!
 //! * each core runs at one of its discrete rates `p ∈ P`, executing
 //!   `p` cycles per second and drawing `E(p)/T(p)` watts while busy;
-//! * a [`Policy`] decides task placement, ordering, preemption, and
-//!   per-core frequency (the paper's schedulers and baselines all
-//!   implement this trait);
+//! * a [`Policy`] — the engine-agnostic `dvfs_core::sched::Scheduler`
+//!   trait — decides task placement, ordering, preemption, and per-core
+//!   frequency through the abstract `ExecutorView`, which [`SimView`]
+//!   implements here (the paper's schedulers and baselines are written
+//!   against the trait and also run on the wall-clock executor in
+//!   `dvfs-serve`);
 //! * frequency *governors* (Linux `ondemand`-style) can own a core's
 //!   frequency instead of the policy, for the baseline comparisons;
 //! * an optional **contention model** dilates execution when several
@@ -46,4 +49,4 @@ pub use eventlog::{EventLog, LogEntry, LogEvent};
 pub use governor::GovernorKind;
 pub use metrics::{SimReport, TaskRecord};
 pub use plan::{BatchPlan, PlanPolicy};
-pub use policy::Policy;
+pub use policy::{ExecutorView, Policy};

@@ -4,34 +4,10 @@ use dvfs_model::{CostBreakdown, CostParams, TaskClass, TaskId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// The lifecycle record of one task.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct TaskRecord {
-    /// Task identity.
-    pub id: TaskId,
-    /// Task class.
-    pub class: TaskClass,
-    /// Cycles the task required.
-    pub cycles: u64,
-    /// Arrival time in seconds.
-    pub arrival: f64,
-    /// First time the task ran on a core (`None` if it never started).
-    pub first_start: Option<f64>,
-    /// Completion time (`None` if unfinished when the simulation ended).
-    pub completion: Option<f64>,
-    /// Active energy attributed to this task, in joules.
-    pub energy_joules: f64,
-    /// Number of times the task was preempted.
-    pub preemptions: u32,
-}
-
-impl TaskRecord {
-    /// Turnaround time (completion − arrival), when completed.
-    #[must_use]
-    pub fn turnaround(&self) -> Option<f64> {
-        self.completion.map(|c| c - self.arrival)
-    }
-}
+// The per-task lifecycle record moved to `dvfs_model::record` so every
+// executor (this simulator, the wall-clock service) shares one type;
+// re-exported here for compatibility.
+pub use dvfs_model::TaskRecord;
 
 /// The full outcome of a simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]

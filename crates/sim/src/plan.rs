@@ -1,144 +1,10 @@
-//! Executing a precomputed batch plan.
+//! Batch-plan types — now re-exports.
 //!
-//! Batch-mode schedulers (WBG, the batch baselines) produce a *plan*: for
-//! each core, an execution sequence of `(task, rate)` pairs. The paper
-//! executes such plans on the real machine; [`PlanPolicy`] replays one on
-//! the simulator, dispatching each core's sequence in order at the
-//! planned frequencies.
+//! Deprecated location, kept for one release: [`BatchPlan`] moved to
+//! `dvfs_model::plan` (plans are pure model artifacts produced by
+//! `dvfs-core` and replayable by any executor), and [`PlanPolicy`] moved
+//! to `dvfs_core::sched` alongside the engine-agnostic scheduler traits.
+//! Import from those crates directly in new code.
 
-use crate::engine::SimView;
-use crate::policy::Policy;
-use dvfs_model::{CoreId, RateIdx, Task, TaskId};
-
-/// A batch execution plan: per-core ordered `(task, rate)` sequences.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct BatchPlan {
-    /// `per_core[j]` is the execution order on core `j` with the rate
-    /// each task runs at (rates are indices into core `j`'s table).
-    pub per_core: Vec<Vec<(TaskId, RateIdx)>>,
-}
-
-impl BatchPlan {
-    /// Plan with `n` empty core sequences.
-    #[must_use]
-    pub fn empty(n_cores: usize) -> Self {
-        BatchPlan {
-            per_core: vec![Vec::new(); n_cores],
-        }
-    }
-
-    /// Total number of planned task placements.
-    #[must_use]
-    pub fn num_tasks(&self) -> usize {
-        self.per_core.iter().map(Vec::len).sum()
-    }
-
-    /// Iterate all `(core, position, task, rate)` entries.
-    pub fn entries(&self) -> impl Iterator<Item = (CoreId, usize, TaskId, RateIdx)> + '_ {
-        self.per_core.iter().enumerate().flat_map(|(j, seq)| {
-            seq.iter()
-                .enumerate()
-                .map(move |(pos, &(t, r))| (j, pos, t, r))
-        })
-    }
-}
-
-/// Replays a [`BatchPlan`]: every task is assumed to have arrived by
-/// t = 0 (batch mode); each core starts its sequence immediately and
-/// dispatches the next task on completion.
-#[derive(Debug)]
-pub struct PlanPolicy {
-    plan: BatchPlan,
-    cursor: Vec<usize>,
-    arrived: usize,
-    expected: usize,
-}
-
-impl PlanPolicy {
-    /// Build a policy that replays `plan`.
-    #[must_use]
-    pub fn new(plan: BatchPlan) -> Self {
-        let n = plan.per_core.len();
-        let expected = plan.num_tasks();
-        PlanPolicy {
-            plan,
-            cursor: vec![0; n],
-            arrived: 0,
-            expected,
-        }
-    }
-
-    fn dispatch_next(&mut self, sim: &mut SimView<'_>, core: CoreId) {
-        let pos = self.cursor[core];
-        if let Some(&(task, rate)) = self.plan.per_core[core].get(pos) {
-            self.cursor[core] += 1;
-            sim.dispatch(core, task, Some(rate));
-        }
-    }
-}
-
-impl Policy for PlanPolicy {
-    fn name(&self) -> String {
-        "batch-plan".into()
-    }
-
-    fn on_arrival(&mut self, sim: &mut SimView<'_>, _task: &Task) {
-        self.arrived += 1;
-        // Batch semantics: all tasks arrive at t = 0; once the last
-        // arrival lands, kick every core's sequence off.
-        if self.arrived == self.expected {
-            for core in 0..sim.num_cores() {
-                if sim.is_idle(core) {
-                    self.dispatch_next(sim, core);
-                }
-            }
-        }
-    }
-
-    fn on_completion(&mut self, sim: &mut SimView<'_>, core: CoreId, _task: &Task) {
-        self.dispatch_next(sim, core);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::engine::{SimConfig, Simulator};
-    use dvfs_model::{CoreSpec, Platform, RateTable};
-
-    #[test]
-    fn plan_replays_in_order_at_planned_rates() {
-        let platform = Platform::homogeneous(2, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
-        let tasks = vec![
-            Task::batch(0, 1_600_000_000).unwrap(), // 1 s @1.6GHz
-            Task::batch(1, 3_000_000_000).unwrap(), // 0.99 s @3GHz (0.33ns/c)
-            Task::batch(2, 1_600_000_000).unwrap(),
-        ];
-        let plan = BatchPlan {
-            per_core: vec![vec![(TaskId(0), 0), (TaskId(2), 0)], vec![(TaskId(1), 4)]],
-        };
-        assert_eq!(plan.num_tasks(), 3);
-        assert_eq!(plan.entries().count(), 3);
-        let mut sim = Simulator::new(SimConfig::new(platform));
-        sim.add_tasks(&tasks);
-        let report = sim.run(&mut PlanPolicy::new(plan));
-        let c0 = report.tasks[&TaskId(0)].completion.unwrap();
-        let c1 = report.tasks[&TaskId(1)].completion.unwrap();
-        let c2 = report.tasks[&TaskId(2)].completion.unwrap();
-        assert!((c0 - 1.0).abs() < 1e-9);
-        assert!((c1 - 3.0e9 * 0.33e-9).abs() < 1e-9);
-        assert!((c2 - 2.0).abs() < 1e-9, "task 2 queued behind task 0");
-    }
-
-    #[test]
-    fn empty_core_sequences_are_fine() {
-        let platform = Platform::homogeneous(4, CoreSpec::new(RateTable::i7_950_table2())).unwrap();
-        let tasks = vec![Task::batch(0, 1_000_000).unwrap()];
-        let mut plan = BatchPlan::empty(4);
-        plan.per_core[2].push((TaskId(0), 1));
-        let mut sim = Simulator::new(SimConfig::new(platform));
-        sim.add_tasks(&tasks);
-        let report = sim.run(&mut PlanPolicy::new(plan));
-        assert_eq!(report.completed(), 1);
-    }
-}
+pub use dvfs_core::sched::PlanPolicy;
+pub use dvfs_model::BatchPlan;

@@ -1,26 +1,11 @@
-//! The scheduling-policy interface.
+//! The scheduling-policy interface — now a re-export.
+//!
+//! The hooks formerly defined here moved to `dvfs_core::sched` as the
+//! engine-agnostic [`Scheduler`](dvfs_core::sched::Scheduler) trait over
+//! [`ExecutorView`](dvfs_core::sched::ExecutorView); the simulator is
+//! one executor implementing that view (see
+//! [`SimView`](crate::engine::SimView)). `Policy` remains as an alias so
+//! simulator-facing code keeps reading naturally.
 
-use crate::engine::SimView;
-use dvfs_model::{CoreId, Task};
-
-/// A scheduling policy plugged into the simulator.
-///
-/// The simulator owns time, task progress, energy accounting, and
-/// frequency governors; the policy owns *decisions*: where tasks go, in
-/// what order they run, when to preempt, and (on `userspace` cores) at
-/// which rate to run. Policies keep their own queues and dispatch work
-/// through the [`SimView`] passed to each hook.
-pub trait Policy {
-    /// Human-readable policy name used in reports.
-    fn name(&self) -> String;
-
-    /// A task arrived at the current simulation time.
-    fn on_arrival(&mut self, sim: &mut SimView<'_>, task: &Task);
-
-    /// The task that was running on `core` completed.
-    fn on_completion(&mut self, sim: &mut SimView<'_>, core: CoreId, task: &Task);
-
-    /// A governor tick fired on `core` (after the governor adjusted the
-    /// rate). Most policies ignore this.
-    fn on_tick(&mut self, _sim: &mut SimView<'_>, _core: CoreId) {}
-}
+pub use dvfs_core::sched::ExecutorView;
+pub use dvfs_core::sched::Scheduler as Policy;

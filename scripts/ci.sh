@@ -19,5 +19,22 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q
+run cargo bench --no-run
+
+# Layering gate: policies (dvfs-core) must stay engine-agnostic. The
+# simulator may appear only as a dev-dependency (its integration tests
+# replay policies on it); a *normal* dependency would re-invert the
+# policy/engine layering this workspace is built around. Same for the
+# service crate, which runs policies on its own wall-clock executor.
+layering() {
+    local crate="$1"
+    echo "==> layering: $crate must not depend on dvfs-sim (normal deps)"
+    if cargo tree -p "$crate" -e normal --prefix none | grep -q "dvfs-sim"; then
+        echo "layering violation: $crate depends on dvfs-sim outside dev-dependencies" >&2
+        exit 1
+    fi
+}
+layering dvfs-core
+layering dvfs-serve
 
 echo "ci: all gates passed"

@@ -113,6 +113,65 @@ fn replay_over_unix_socket_matches_in_process_lmc() {
 }
 
 #[test]
+fn real_time_executor_replay_is_bit_identical_to_the_simulator() {
+    // The strong form of the determinism contract: the service's
+    // wall-clock executor must reproduce the simulator's schedule not
+    // just in the totals the wire reports, but task by task — exact
+    // (`==`, no epsilon) energy, turnaround, per-task cost, and the
+    // same completion order.
+    let params = dvfs_suite::model::CostParams::online_paper();
+    let trace = mixed_trace();
+
+    // Library reference on the virtual-time executor.
+    let platform = service_platform(2);
+    let mut policy = LeastMarginalCost::new(&platform, params);
+    let mut sim = Simulator::new(SimConfig::new(platform));
+    sim.add_tasks(&trace);
+    let want = sim.run(&mut policy);
+    let want_order: Vec<_> = sim.take_completions().iter().map(|r| r.id).collect();
+
+    // The same trace through the service's submission path and the
+    // real-time executor.
+    let scheduler = dvfs_serve::Scheduler::new(
+        SchedulerConfig {
+            cores: 2,
+            ..SchedulerConfig::default()
+        },
+        std::sync::Arc::new(dvfs_serve::Registry::new()),
+    );
+    for t in &trace {
+        let r = scheduler.submit(Some(t.id.0), t.cycles, t.class, Some(t.arrival));
+        assert!(r.is_ok(), "submit failed: {r:?}");
+    }
+    let got = scheduler.drain_round();
+
+    let got_order: Vec<_> = got.records.iter().map(|r| r.id).collect();
+    assert_eq!(got_order, want_order, "completion order must match");
+    for rec in &got.records {
+        let reference = want.tasks[&rec.id];
+        assert_eq!(rec.completion, reference.completion, "task {}", rec.id);
+        assert_eq!(rec.first_start, reference.first_start, "task {}", rec.id);
+        assert_eq!(
+            rec.energy_joules, reference.energy_joules,
+            "task {}",
+            rec.id
+        );
+        assert_eq!(rec.preemptions, reference.preemptions, "task {}", rec.id);
+        // Per-task monetary cost, computed the way the service's
+        // histograms charge it: bit-equal, not merely close.
+        let got_cost =
+            params.re * rec.energy_joules + params.rt * rec.turnaround().expect("completed task");
+        let want_cost = params.re * reference.energy_joules
+            + params.rt * reference.turnaround().expect("completed task");
+        assert_eq!(got_cost, want_cost, "task {}", rec.id);
+    }
+    assert_eq!(got.active_energy_joules, want.active_energy_joules);
+    assert_eq!(got.total_turnaround_s, want.total_turnaround());
+    assert_eq!(got.makespan_s, want.makespan);
+    assert_eq!(got.total_cost(params), want.cost(params).total());
+}
+
+#[test]
 fn malformed_input_cannot_crash_the_server() {
     let sock = scratch("malformed", "sock");
     let handle = serve(ServerConfig::new(Endpoint::Unix(sock))).expect("server binds");
