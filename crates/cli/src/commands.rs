@@ -22,8 +22,8 @@ USAGE:
   dvfs-sched analyze --report FILE [--gantt FILE.csv] [--queue FILE.csv]
   dvfs-sched ranges [--re X] [--rt Y]
   dvfs-sched serve (--socket PATH | --tcp ADDR) [--mode replay|paced]
-             [--speed X] [--cores N] [--re X] [--rt Y] [--queue-cap N]
-             [--snapshot FILE] [--snapshot-period-s S]
+             [--speed X] [--cores N] [--shards N] [--re X] [--rt Y]
+             [--queue-cap N] [--snapshot FILE] [--snapshot-period-s S]
   dvfs-sched loadgen (--socket PATH | --tcp ADDR) --mode replay|poisson|closed
              [--trace FILE] [--rate HZ] [--duration-s S] [--clients N]
              [--requests N] [--interactive-frac F] [--mean-cycles C]
@@ -306,6 +306,10 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
     if queue_capacity == 0 {
         return Err("`--queue-cap` must be positive".into());
     }
+    let shards: usize = args.num("shards", 1)?;
+    if shards == 0 {
+        return Err("`--shards` must be positive".into());
+    }
     let mode = match args.get("mode").unwrap_or("replay") {
         "replay" => dvfs_serve::Mode::Replay,
         "paced" => {
@@ -323,6 +327,7 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
         params,
         mode,
         queue_capacity,
+        shards,
     };
     cfg.snapshot_path = args.get("snapshot").map(Into::into);
     let period: f64 = args.num("snapshot-period-s", 1.0)?;
@@ -564,6 +569,11 @@ mod tests {
         assert!(q.starts_with("time,depth"));
         assert!(dispatch(&sv(&["analyze", "--report", "/nope.json"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_zero_shards() {
+        assert!(dispatch(&sv(&["serve", "--tcp", "127.0.0.1:0", "--shards", "0"])).is_err());
     }
 
     #[test]

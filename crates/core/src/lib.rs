@@ -15,8 +15,8 @@
 //!   task insertion/deletion in `O(|P̂| + log N)` with Θ(1) total-cost
 //!   retrieval (Algorithms 4–6), built on `dvfs-ostree`.
 //! * [`sched`] — the engine-agnostic scheduling interface: the
-//!   [`Scheduler`](sched::Scheduler) event hooks over an abstract
-//!   [`ExecutorView`](sched::ExecutorView), implemented by both the
+//!   [`sched::Scheduler`] event hooks over an abstract
+//!   [`sched::ExecutorView`], implemented by both the
 //!   virtual-time simulator (`dvfs-sim`) and the wall-clock service
 //!   executor (`dvfs-serve`).
 //! * [`lmc`] — Section IV: the **Least Marginal Cost** online scheduling

@@ -87,6 +87,17 @@ impl AdmissionPolicy {
     }
 }
 
+/// Outcome of a gated submit ([`AdmissionQueue::try_submit_gated`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// Admitted; carries the queue depth including the new task.
+    Admitted(usize),
+    /// Shed by the admission policy.
+    Shed(ShedReason),
+    /// The gate closure refused the submission (e.g. shutdown began).
+    Closed,
+}
+
 /// The bounded FIFO the connection handlers feed and the scheduler
 /// drains.
 #[derive(Debug)]
@@ -124,13 +135,34 @@ impl AdmissionQueue {
     /// # Errors
     /// Returns the shed reason when the queue is full for this class.
     pub fn try_submit(&self, task: Task) -> Result<usize, ShedReason> {
+        match self.try_submit_gated(task, || true) {
+            GateOutcome::Admitted(depth) => Ok(depth),
+            GateOutcome::Shed(reason) => Err(reason),
+            GateOutcome::Closed => unreachable!("gate `|| true` never closes"),
+        }
+    }
+
+    /// Admit `task`, but only if `open()` — evaluated *while the queue
+    /// lock is held* — returns true. This is the submission side of the
+    /// graceful-shutdown handshake: shutdown stores its flag and then
+    /// re-checks the queue depth under this same lock, so a submission
+    /// either lands before that re-check (and is drained) or observes
+    /// the flag inside the gate and is refused. Checking the flag
+    /// outside the lock leaves a window where a task is acknowledged
+    /// after the final drain and silently lost.
+    pub fn try_submit_gated(&self, task: Task, open: impl FnOnce() -> bool) -> GateOutcome {
         let mut q = self.lock();
-        self.policy.admit(q.len(), task.class)?;
+        if !open() {
+            return GateOutcome::Closed;
+        }
+        if let Err(reason) = self.policy.admit(q.len(), task.class) {
+            return GateOutcome::Shed(reason);
+        }
         q.push_back(task);
         let depth = q.len();
         drop(q);
         self.nonempty.notify_one();
-        Ok(depth)
+        GateOutcome::Admitted(depth)
     }
 
     /// Take every queued task (scheduler side).
@@ -222,6 +254,35 @@ mod tests {
             vec![1, 2, 4]
         );
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn gated_submit_refuses_when_closed_and_admits_when_open() {
+        let q = AdmissionQueue::new(AdmissionPolicy::with_capacity(4));
+        assert_eq!(
+            q.try_submit_gated(task(1, TaskClass::Interactive), || false),
+            GateOutcome::Closed
+        );
+        assert_eq!(q.depth(), 0, "a closed gate admits nothing");
+        assert_eq!(
+            q.try_submit_gated(task(1, TaskClass::Interactive), || true),
+            GateOutcome::Admitted(1)
+        );
+        // The gate is evaluated before the shed decision: a closed
+        // gate wins even at capacity.
+        let q = AdmissionQueue::new(AdmissionPolicy {
+            capacity: 1,
+            interactive_reserve: 0,
+        });
+        q.try_submit(task(1, TaskClass::NonInteractive)).unwrap();
+        assert_eq!(
+            q.try_submit_gated(task(2, TaskClass::NonInteractive), || false),
+            GateOutcome::Closed
+        );
+        assert!(matches!(
+            q.try_submit_gated(task(2, TaskClass::NonInteractive), || true),
+            GateOutcome::Shed(_)
+        ));
     }
 
     #[test]

@@ -158,6 +158,29 @@ impl RoundReport {
         CostBreakdown::from_totals(params, self.active_energy_joules, self.total_turnaround_s)
             .total()
     }
+
+    /// Merge per-shard reports, accumulated in the given (deterministic
+    /// shard) order: records concatenate, energy and turnaround sum,
+    /// makespan takes the maximum. Merging a single report is the exact
+    /// identity (`0.0 + x == x`, `max(0.0, x) == x` for the
+    /// non-negative totals a round produces), so a one-shard service
+    /// keeps the bit-identical replay contract.
+    #[must_use]
+    pub fn merge(reports: &[RoundReport]) -> RoundReport {
+        let mut merged = RoundReport {
+            records: Vec::with_capacity(reports.iter().map(|r| r.records.len()).sum()),
+            active_energy_joules: 0.0,
+            total_turnaround_s: 0.0,
+            makespan_s: 0.0,
+        };
+        for r in reports {
+            merged.records.extend(r.records.iter().copied());
+            merged.active_energy_joules += r.active_energy_joules;
+            merged.total_turnaround_s += r.total_turnaround_s;
+            merged.makespan_s = merged.makespan_s.max(r.makespan_s);
+        }
+        merged
+    }
 }
 
 /// A wall-clock executor: cores, a monotone clock the service advances,
@@ -619,6 +642,48 @@ mod tests {
         assert_eq!(errored, 0);
         // Drained: a second take reports nothing.
         assert_eq!(rt.take_actuations(), (0, 0));
+    }
+
+    #[test]
+    fn merging_one_report_is_the_identity_and_two_reports_sum() {
+        let run = |ids: &[u64]| {
+            let mut rt = RealTimeExecutor::new(service_platform(1));
+            let mut policy = lmc(1);
+            for &i in ids {
+                rt.push_task(
+                    &Task::online(
+                        i,
+                        (i + 1) * 40_000_000,
+                        0.0,
+                        None,
+                        TaskClass::NonInteractive,
+                    )
+                    .unwrap(),
+                );
+            }
+            rt.run_to_completion(&mut policy);
+            rt.round_report()
+        };
+        let a = run(&[0, 1]);
+        let b = run(&[2, 3, 4]);
+
+        let identity = RoundReport::merge(std::slice::from_ref(&a));
+        assert_eq!(identity.active_energy_joules, a.active_energy_joules);
+        assert_eq!(identity.total_turnaround_s, a.total_turnaround_s);
+        assert_eq!(identity.makespan_s, a.makespan_s);
+        assert_eq!(identity.records.len(), a.records.len());
+
+        let both = RoundReport::merge(&[a.clone(), b.clone()]);
+        assert_eq!(both.records.len(), 5);
+        assert_eq!(
+            both.active_energy_joules,
+            a.active_energy_joules + b.active_energy_joules
+        );
+        assert_eq!(
+            both.total_turnaround_s,
+            a.total_turnaround_s + b.total_turnaround_s
+        );
+        assert_eq!(both.makespan_s, a.makespan_s.max(b.makespan_s));
     }
 
     #[test]

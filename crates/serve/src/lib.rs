@@ -14,13 +14,24 @@
 //! and log-bucketed latency/cost histograms through a metrics registry
 //! — queryable over the wire (`stats`) and flushed to JSONL snapshots.
 //!
+//! The service is **sharded**: [`SchedulerConfig::shards`] engine
+//! instances run side by side, each with its own admission queue,
+//! executor, policy, and narrow locks. A router assigns submissions to
+//! shards — explicit ids hash (`id % shards`, reproducible for
+//! replays), auto-assigned ids go to the least-loaded shard for the
+//! task's class — and `tick`/`drain`/`stats`/`shutdown` fan out across
+//! every shard, merging the per-shard [`RoundReport`]s in deterministic
+//! shard order. With `shards = 1` the service is bit-identical to the
+//! single-engine path (and to the simulator on replayed traces).
+//!
 //! Module map:
 //!
 //! * [`protocol`] — wire request/response encoding.
 //! * [`admission`] — the bounded queue and shed policy.
 //! * [`metrics`] — counters, gauges, histograms, the registry.
 //! * [`executor`] — the wall-clock `ExecutorView` implementation.
-//! * [`service`] — the scheduler proper (executor + policy + locks).
+//! * [`service`] — the scheduler proper (shard router + per-shard
+//!   engines + locks).
 //! * [`server`] — listeners, connection handling, graceful shutdown.
 //! * [`snapshot`] — periodic JSONL state snapshots.
 //! * [`loadgen`] — the companion load generator (replay, open-loop
@@ -35,10 +46,10 @@ pub mod server;
 pub mod service;
 pub mod snapshot;
 
-pub use admission::{AdmissionPolicy, AdmissionQueue, ShedReason};
+pub use admission::{AdmissionPolicy, AdmissionQueue, GateOutcome, ShedReason};
 pub use executor::{RealTimeExecutor, RoundReport};
 pub use loadgen::{DrainSummary, LoadMode, LoadReport};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{shard_metric, Counter, Gauge, Histogram, Registry};
 pub use protocol::{ErrorKind, Request, Response};
 pub use server::{serve, Endpoint, ServerConfig, ServerHandle};
 pub use service::{service_platform, Mode, Scheduler, SchedulerConfig};

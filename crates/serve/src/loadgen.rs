@@ -23,6 +23,7 @@ use crate::server::Endpoint;
 use dvfs_model::{Task, TaskClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Value;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
@@ -66,9 +67,9 @@ pub enum LoadMode {
 }
 
 /// Served-workload totals returned by a `drain`.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DrainSummary {
-    /// Tasks completed in the drained round.
+    /// Tasks completed in the drained round (all shards).
     pub completed: u64,
     /// Monetary cost of the round (`Re·E + Rt·T`).
     pub total_cost: f64,
@@ -78,6 +79,11 @@ pub struct DrainSummary {
     pub total_turnaround_s: f64,
     /// Completion time of the last task.
     pub makespan_s: f64,
+    /// Engine shards on the server side.
+    pub shards: u64,
+    /// Completed count per shard, in shard order (empty when the
+    /// server predates the `shard_reports` field).
+    pub per_shard_completed: Vec<u64>,
 }
 
 /// What a load-generation run observed.
@@ -131,6 +137,20 @@ impl LoadReport {
                 "served: {} tasks | total cost {:.6} | energy {:.3} J | turnaround {:.3} s | makespan {:.3} s",
                 d.completed, d.total_cost, d.active_energy_joules, d.total_turnaround_s, d.makespan_s
             );
+            if d.shards > 1 {
+                let per_shard: Vec<String> = d
+                    .per_shard_completed
+                    .iter()
+                    .enumerate()
+                    .map(|(k, n)| format!("shard{k}:{n}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "shards: {} | completed per shard: {}",
+                    d.shards,
+                    per_shard.join(" ")
+                );
+            }
         }
         out
     }
@@ -236,12 +256,21 @@ fn random_task_line(rng: &mut StdRng, interactive_fraction: f64, mean_cycles: f6
 
 fn parse_drain(resp: &Response) -> Option<DrainSummary> {
     let f = |name| resp.field(name).and_then(value_f64);
+    let per_shard_completed = match resp.field("shard_reports") {
+        Some(Value::Array(reports)) => reports
+            .iter()
+            .filter_map(|r| r.get("completed").and_then(value_u64))
+            .collect(),
+        _ => Vec::new(),
+    };
     Some(DrainSummary {
         completed: resp.field("completed").and_then(value_u64)?,
         total_cost: f("total_cost")?,
         active_energy_joules: f("active_energy_joules")?,
         total_turnaround_s: f("total_turnaround_s")?,
         makespan_s: f("makespan_s")?,
+        shards: resp.field("shards").and_then(value_u64).unwrap_or(1),
+        per_shard_completed,
     })
 }
 
@@ -354,6 +383,42 @@ mod tests {
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| exp_draw(&mut rng, 2.0)).sum::<f64>() / n as f64;
         assert!((1.9..2.1).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn parse_drain_reads_per_shard_reports() {
+        use crate::protocol::{field_f64, field_u64};
+        let resp = Response::Ok(vec![
+            field_u64("completed", 7),
+            field_f64("total_cost", 1.5),
+            field_f64("active_energy_joules", 2.0),
+            field_f64("total_turnaround_s", 3.0),
+            field_f64("makespan_s", 4.0),
+            field_u64("shards", 2),
+            (
+                "shard_reports".to_string(),
+                Value::Array(vec![
+                    Value::Object(vec![field_u64("shard", 0), field_u64("completed", 4)]),
+                    Value::Object(vec![field_u64("shard", 1), field_u64("completed", 3)]),
+                ]),
+            ),
+        ]);
+        let d = parse_drain(&resp).unwrap();
+        assert_eq!(d.completed, 7);
+        assert_eq!(d.shards, 2);
+        assert_eq!(d.per_shard_completed, vec![4, 3]);
+        // A pre-shard server response still parses, defaulting to one
+        // shard and no per-shard breakdown.
+        let legacy = Response::Ok(vec![
+            field_u64("completed", 1),
+            field_f64("total_cost", 0.1),
+            field_f64("active_energy_joules", 0.2),
+            field_f64("total_turnaround_s", 0.3),
+            field_f64("makespan_s", 0.4),
+        ]);
+        let d = parse_drain(&legacy).unwrap();
+        assert_eq!(d.shards, 1);
+        assert!(d.per_shard_completed.is_empty());
     }
 
     #[test]

@@ -174,6 +174,14 @@ impl Histogram {
     }
 }
 
+/// Registry name for the per-shard variant of metric `name`
+/// (`name.shardK`). The unsuffixed name stays the merged total, so the
+/// sorted snapshot lists a metric directly above its shard breakdown.
+#[must_use]
+pub fn shard_metric(name: &str, shard: usize) -> String {
+    format!("{name}.shard{shard}")
+}
+
 fn read_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(PoisonError::into_inner)
 }
@@ -299,6 +307,36 @@ mod tests {
         assert!((0.5e-3..2.0e-3).contains(&p50), "p50 = {p50}");
         assert!((0.5..2.0).contains(&p95), "p95 = {p95}");
         assert!((0.5..2.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_edges_and_single_sample() {
+        // A single sample: every quantile, including the edges, is that
+        // sample's bucket midpoint.
+        let h = Histogram::default();
+        h.record(0.01);
+        let mid = bucket_value(bucket_index(0.01));
+        assert_eq!(h.quantile(0.0), Some(mid));
+        assert_eq!(h.quantile(0.5), Some(mid));
+        assert_eq!(h.quantile(1.0), Some(mid));
+        // Out-of-range q clamps rather than panicking or skipping
+        // buckets.
+        assert_eq!(h.quantile(-0.5), Some(mid));
+        assert_eq!(h.quantile(2.0), Some(mid));
+
+        // Two distinct buckets: q=0.0 must land in the lowest occupied
+        // bucket (rank clamps up to 1, not 0) and q=1.0 in the highest.
+        let h = Histogram::default();
+        h.record(1.0e-3);
+        h.record(1.0);
+        assert_eq!(h.quantile(0.0), Some(bucket_value(bucket_index(1.0e-3))));
+        assert_eq!(h.quantile(1.0), Some(bucket_value(bucket_index(1.0))));
+    }
+
+    #[test]
+    fn shard_metric_names_group_under_the_total() {
+        assert_eq!(shard_metric("queue_depth", 0), "queue_depth.shard0");
+        assert_eq!(shard_metric("completed", 13), "completed.shard13");
     }
 
     #[test]

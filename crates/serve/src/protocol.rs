@@ -18,6 +18,17 @@
 //!
 //! Responses: `{"ok":true, ...}` or
 //! `{"ok":false,"kind":"bad_request"|"overloaded"|"shutting_down"|"internal","error":"..."}`.
+//!
+//! Shard-aware fields (servers running more than one engine shard):
+//!
+//! * `submit` acks carry `"shard"` — the shard the task was routed to.
+//! * `stats` carries `"shards"` and a `"shard_stats"` array (per shard:
+//!   `shard`, `queue_depth`, `pending_tasks`, `sim_now_s`) alongside
+//!   the merged totals.
+//! * `drain` carries `"shards"` and a `"shard_reports"` array (per
+//!   shard: `shard`, `completed`, `total_cost`, `active_energy_joules`,
+//!   `total_turnaround_s`, `makespan_s`); the top-level fields are the
+//!   merge over shards in deterministic shard order.
 
 use dvfs_model::TaskClass;
 use serde::{Number, Value};

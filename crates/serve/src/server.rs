@@ -1,7 +1,8 @@
 //! The connection-handling daemon.
 //!
 //! One accept loop (Unix-domain socket or TCP), one thread per
-//! connection, one shared [`Scheduler`]. Request lines are parsed,
+//! connection, one shared [`Scheduler`] (which fans submissions out
+//! across its engine shards). Request lines are parsed,
 //! dispatched, and answered on the same connection; a malformed line
 //! produces a `bad_request` response and the loop continues — client
 //! input can never crash the server. Shutdown (wire `shutdown` command
@@ -201,7 +202,21 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let metrics = Arc::new(Registry::new());
     let scheduler = Scheduler::new(cfg.scheduler, Arc::clone(&metrics));
     let snapshot = match &cfg.snapshot_path {
-        Some(path) => Some(SnapshotWriter::create(path)?),
+        Some(path) => {
+            let writer = SnapshotWriter::create(path)?;
+            // Lead the file with the configuration in force, so a
+            // snapshot is interpretable without the launch command.
+            writer.write_config(
+                scheduler.shard_count(),
+                cfg.scheduler.cores,
+                cfg.scheduler.queue_capacity,
+                match cfg.scheduler.mode {
+                    Mode::Replay => "replay",
+                    Mode::Paced { .. } => "paced",
+                },
+            )?;
+            Some(writer)
+        }
         None => None,
     };
 
@@ -239,7 +254,7 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
             Some(std::thread::spawn(move || {
                 let mut last_snapshot = Instant::now();
                 while !shared.shutdown.load(Ordering::SeqCst) {
-                    shared.scheduler.queue().wait_nonempty(tick);
+                    shared.scheduler.wait_for_work(tick);
                     shared.scheduler.tick();
                     if last_snapshot.elapsed() >= period {
                         shared.write_snapshot();

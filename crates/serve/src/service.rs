@@ -3,50 +3,73 @@
 //!
 //! Two operating modes:
 //!
-//! * **Replay** — submissions buffer in the admission queue with their
+//! * **Replay** — submissions buffer in the admission queues with their
 //!   explicit arrival times; a `drain` command runs the whole workload
-//!   through the wall-clock executor at once. Because the buffered
-//!   tasks reach the engine in submission order with untouched
-//!   arrivals, a drained round is *bit-identical* to running
-//!   [`LeastMarginalCost`] over the same trace on the simulator — the
-//!   determinism contract the end-to-end tests pin.
+//!   through the wall-clock executors at once. Because the buffered
+//!   tasks reach each engine in submission order with untouched
+//!   arrivals, a drained round on a single shard is *bit-identical* to
+//!   running [`LeastMarginalCost`] over the same trace on the simulator
+//!   — the determinism contract the end-to-end tests pin.
 //! * **Paced** — a ticker thread maps wall time onto the executor
-//!   clock (`engine_seconds = wall_seconds * speed`) and steps it
+//!   clocks (`engine_seconds = wall_seconds * speed`) and steps them
 //!   incrementally; submissions arrive at the current engine time and
 //!   completions stream into the latency/cost histograms as they
-//!   happen.
+//!   happen. The paced anchor restarts together with the engines on
+//!   every drain, so a fresh round always begins near engine time zero
+//!   instead of inheriting the previous round's clock.
 //!
-//! Either way, the policy runs through the engine-agnostic
-//! `dvfs_core::sched` interface against [`RealTimeExecutor`], which
-//! applies every frequency decision to its `dvfs-sysfs` actuator the
-//! moment the policy makes it.
+//! ## Sharding
+//!
+//! The service runs `shards` independent engine instances, each owning
+//! its own [`RealTimeExecutor`], [`LeastMarginalCost`] policy state,
+//! and bounded admission queue (the configured capacity is split across
+//! shards). A router assigns each submission to a shard:
+//!
+//! * **Explicit ids** hash to `id % shards`, so replaying a recorded
+//!   trace is reproducible — the same task always lands on the same
+//!   shard.
+//! * **Auto-assigned ids** route class-aware by load: the shard with
+//!   the most admission headroom for the task's class wins, ties going
+//!   to the shallower queue and then the lower index, so a burst of
+//!   batch work cannot crowd every shard's interactive reserve at once.
+//!
+//! `tick`, `drain`, `stats`, and shutdown fan out across shards in
+//! ascending index order and merge the per-shard results
+//! deterministically. With `shards = 1` the service is exactly the
+//! single-engine scheduler it replaces.
 //!
 //! ## Locking
 //!
-//! The submission path never touches the engine: it reads an atomic
+//! The submission path never touches an engine: it reads an atomic
 //! shutdown flag, reserves the task id under a small id-ledger mutex,
-//! and hands the task to the admission queue (which has its own lock).
-//! The engine mutex — executor plus policy state — is taken only by
-//! `tick`, `drain`, `stats`, and shutdown, so a slow scheduling round
-//! never blocks admission.
+//! and hands the task to one shard's admission queue (which has its own
+//! lock and re-checks the shutdown flag inside it — see
+//! [`AdmissionQueue::try_submit_gated`]). Each shard's engine mutex —
+//! executor plus policy state — is taken only by `tick`, `drain`,
+//! `stats`, and shutdown, so a slow scheduling round never blocks
+//! admission, and a slow round on one shard never blocks the others.
+//! `drain` takes every engine lock up front in ascending shard order
+//! (the same order `tick` uses, so the two cannot deadlock): a drain is
+//! a global round barrier.
 
-use crate::admission::{AdmissionPolicy, AdmissionQueue};
+use crate::admission::{AdmissionPolicy, AdmissionQueue, GateOutcome};
 use crate::executor::{RealTimeExecutor, RoundReport};
-use crate::metrics::Registry;
+use crate::metrics::{shard_metric, Counter, Gauge, Registry};
 use crate::protocol::{field_f64, field_u64, ErrorKind, Response};
 use dvfs_core::LeastMarginalCost;
 use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass, TaskRecord};
+use serde::Value;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// How the service maps submissions onto engine time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Mode {
     /// Buffer submissions (explicit arrivals) and run on `drain`.
     Replay,
-    /// Step the executor in real time, `speed` engine seconds per wall
+    /// Step the executors in real time, `speed` engine seconds per wall
     /// second.
     Paced {
         /// Engine-seconds advanced per wall-second (1.0 = real time).
@@ -57,14 +80,18 @@ pub enum Mode {
 /// Scheduler construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedulerConfig {
-    /// Number of homogeneous i7-950 cores to schedule onto.
+    /// Number of homogeneous i7-950 cores *per shard* to schedule onto.
     pub cores: usize,
     /// Cost weights for reporting and the LMC policy.
     pub params: CostParams,
     /// Replay or paced operation.
     pub mode: Mode,
-    /// Admission queue bound.
+    /// Total admission-queue bound, split evenly across shards (every
+    /// shard keeps at least one slot).
     pub queue_capacity: usize,
+    /// Number of independent engine instances (executor + policy +
+    /// admission queue). Clamped to at least 1.
+    pub shards: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -74,20 +101,22 @@ impl Default for SchedulerConfig {
             params: CostParams::online_paper(),
             mode: Mode::Replay,
             queue_capacity: 1024,
+            shards: 1,
         }
     }
 }
 
-/// The platform a scheduler with `cores` cores runs on. Exposed so
-/// out-of-process clients (tests, analysis) can reproduce server runs
-/// exactly.
+/// The platform a scheduler shard with `cores` cores runs on. Exposed
+/// so out-of-process clients (tests, analysis) can reproduce server
+/// runs exactly.
 #[must_use]
 pub fn service_platform(cores: usize) -> Platform {
     Platform::homogeneous(cores, CoreSpec::new(RateTable::i7_950_table2()))
         .expect("positive core count")
 }
 
-/// The executor/policy pair — the only state behind the engine lock.
+/// The executor/policy pair — the only state behind a shard's engine
+/// lock.
 struct Engine {
     exec: RealTimeExecutor,
     policy: LeastMarginalCost,
@@ -103,31 +132,85 @@ impl Engine {
     }
 }
 
-/// The task-id ledger for the current round.
+/// One engine instance: admission queue, wall-clock executor, policy,
+/// and cached per-shard metric handles.
+struct Shard {
+    index: usize,
+    queue: AdmissionQueue,
+    engine: Mutex<Engine>,
+    depth_gauge: Arc<Gauge>,
+    pending_gauge: Arc<Gauge>,
+    admitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    completed: Arc<Counter>,
+}
+
+impl Shard {
+    fn lock_engine(&self) -> MutexGuard<'_, Engine> {
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The task-id ledger for the current round (global across shards, so
+/// duplicate-id rejection holds service-wide).
 struct IdLedger {
     used: HashSet<u64>,
     next_auto: u64,
 }
 
-/// The long-running scheduler: admission queue, wall-clock executor,
-/// policy, and metrics — each behind its own narrow lock.
+#[cfg(test)]
+type RoundHook = Box<dyn FnOnce(&Scheduler) + Send>;
+
+/// The long-running scheduler: a router over N shards (each an
+/// admission queue + wall-clock executor + policy behind its own narrow
+/// locks), a global id ledger, the paced-clock anchor, and metrics.
 pub struct Scheduler {
     cfg: SchedulerConfig,
-    queue: AdmissionQueue,
+    shards: Vec<Shard>,
     metrics: Arc<Registry>,
     shutting_down: AtomicBool,
     ids: Mutex<IdLedger>,
-    /// Wall-clock anchor for paced time mapping.
+    /// Wall-clock anchor for paced time mapping. Reset on every drain
+    /// so a fresh round starts near engine time zero.
     anchor: Mutex<Option<Instant>>,
-    engine: Mutex<Engine>,
+    /// Signals `wait_for_work` when any shard admits a task.
+    work_mx: Mutex<()>,
+    work_cv: Condvar,
+    /// Rotating start offset for auto-id routing, so fully tied shards
+    /// (e.g. a paced service whose ticker keeps every queue empty)
+    /// round-robin instead of piling onto shard 0.
+    router_cursor: AtomicUsize,
+    /// Test-only seam: runs once inside the next `tick`/`drain` after
+    /// the queues were drained but before the depth gauges are
+    /// published, standing in for a racing submitter.
+    #[cfg(test)]
+    round_hook: Mutex<Option<RoundHook>>,
 }
 
 impl Scheduler {
     /// Build a scheduler publishing into `metrics`.
     #[must_use]
     pub fn new(cfg: SchedulerConfig, metrics: Arc<Registry>) -> Self {
+        let n = cfg.shards.max(1);
+        let shards = (0..n)
+            .map(|k| {
+                // Split the total capacity evenly, remainder to the low
+                // shards; every shard keeps at least one slot.
+                let cap = (cfg.queue_capacity / n + usize::from(k < cfg.queue_capacity % n)).max(1);
+                Shard {
+                    index: k,
+                    queue: AdmissionQueue::new(AdmissionPolicy::with_capacity(cap)),
+                    engine: Mutex::new(Engine::fresh(cfg.cores, cfg.params)),
+                    depth_gauge: metrics.gauge(&shard_metric("queue_depth", k)),
+                    pending_gauge: metrics.gauge(&shard_metric("pending_tasks", k)),
+                    admitted: metrics.counter(&shard_metric("admitted", k)),
+                    shed: metrics.counter(&shard_metric("shed", k)),
+                    completed: metrics.counter(&shard_metric("completed", k)),
+                }
+            })
+            .collect();
         Scheduler {
-            queue: AdmissionQueue::new(AdmissionPolicy::with_capacity(cfg.queue_capacity)),
+            shards,
             metrics,
             shutting_down: AtomicBool::new(false),
             ids: Mutex::new(IdLedger {
@@ -135,13 +218,13 @@ impl Scheduler {
                 next_auto: 0,
             }),
             anchor: Mutex::new(None),
-            engine: Mutex::new(Engine::fresh(cfg.cores, cfg.params)),
+            work_mx: Mutex::new(()),
+            work_cv: Condvar::new(),
+            router_cursor: AtomicUsize::new(0),
+            #[cfg(test)]
+            round_hook: Mutex::new(None),
             cfg,
         }
-    }
-
-    fn lock_engine(&self) -> MutexGuard<'_, Engine> {
-        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn lock_ids(&self) -> MutexGuard<'_, IdLedger> {
@@ -154,16 +237,48 @@ impl Scheduler {
         &self.cfg
     }
 
+    /// Number of engine shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// The metrics registry this scheduler publishes into.
     #[must_use]
     pub fn metrics(&self) -> &Arc<Registry> {
         &self.metrics
     }
 
-    /// The admission queue (exposed for backpressure-aware callers).
+    /// Shard `k`'s admission queue (exposed for backpressure-aware
+    /// callers and tests).
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
     #[must_use]
-    pub fn queue(&self) -> &AdmissionQueue {
-        &self.queue
+    pub fn shard_queue(&self, k: usize) -> &AdmissionQueue {
+        &self.shards[k].queue
+    }
+
+    /// Total queued depth across all shards.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.depth()).sum()
+    }
+
+    /// Block until any shard's queue is non-empty or `timeout` passes;
+    /// returns the total depth observed. Lets a paced ticker sleep
+    /// between ticks without missing a burst on any shard.
+    pub fn wait_for_work(&self, timeout: Duration) -> usize {
+        let guard = self.work_mx.lock().unwrap_or_else(PoisonError::into_inner);
+        let depth = self.queue_depth();
+        if depth > 0 {
+            return depth;
+        }
+        let _unused = self
+            .work_cv
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        self.queue_depth()
     }
 
     /// Whether shutdown has begun.
@@ -181,8 +296,21 @@ impl Scheduler {
         }
     }
 
+    /// Restart the paced clock for a fresh round (no-op until
+    /// [`Scheduler::start_clock`] ran). Called by `drain` together with
+    /// standing up fresh engines: the engines restart at time zero, so
+    /// the wall-mapped target must restart with them or the next tick
+    /// would warp the fresh engines forward and clamp every later
+    /// arrival.
+    fn reset_clock(&self) {
+        let mut anchor = self.anchor.lock().unwrap_or_else(PoisonError::into_inner);
+        if anchor.is_some() {
+            *anchor = Some(Instant::now());
+        }
+    }
+
     /// Wall-mapped target engine time for paced mode (0 in replay).
-    /// Reads only the anchor — never the engine lock.
+    /// Reads only the anchor — never an engine lock.
     fn target_time(&self) -> f64 {
         let anchor = *self.anchor.lock().unwrap_or_else(PoisonError::into_inner);
         match (self.cfg.mode, anchor) {
@@ -191,9 +319,42 @@ impl Scheduler {
         }
     }
 
+    /// Route a submission to a shard. Explicit ids hash (`id % shards`)
+    /// so replays are reproducible; auto-assigned ids go to the shard
+    /// with the most admission headroom for their class, ties broken by
+    /// shallower queue and then by a rotating cursor — with every shard
+    /// equally loaded (the steady state of a fast-ticking paced
+    /// service) submissions round-robin instead of all landing on
+    /// shard 0.
+    fn route(&self, explicit: bool, id: u64, class: TaskClass) -> usize {
+        let n = self.shards.len();
+        if n == 1 {
+            return 0;
+        }
+        if explicit {
+            return (id % n as u64) as usize;
+        }
+        let start = self.router_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let mut best = start;
+        let mut best_headroom = 0usize;
+        let mut best_depth = usize::MAX;
+        for i in 0..n {
+            let k = (start + i) % n;
+            let sh = &self.shards[k];
+            let depth = sh.queue.depth();
+            let headroom = sh.queue.policy().effective_cap(class).saturating_sub(depth);
+            if headroom > best_headroom || (headroom == best_headroom && depth < best_depth) {
+                best = k;
+                best_headroom = headroom;
+                best_depth = depth;
+            }
+        }
+        best
+    }
+
     /// Handle a submit request end to end: id assignment, validation,
-    /// admission, metrics. Touches the id ledger and the admission
-    /// queue, never the engine.
+    /// shard routing, admission, metrics. Touches the id ledger and one
+    /// shard's admission queue, never an engine.
     pub fn submit(
         &self,
         id: Option<u64>,
@@ -207,6 +368,7 @@ impl Scheduler {
         }
         // Reserve the id so concurrent submitters can't race to the
         // same one; released again if validation or admission fails.
+        let explicit = id.is_some();
         let id = {
             let mut ids = self.lock_ids();
             let id = match id {
@@ -248,23 +410,44 @@ impl Scheduler {
                 return Response::err(ErrorKind::BadRequest, e.to_string());
             }
         };
-        match self.queue.try_submit(task) {
-            Ok(depth) => {
+        let shard = self.route(explicit, id, class);
+        let sh = &self.shards[shard];
+        // The gate re-checks the shutdown flag *inside* the queue lock:
+        // shutdown's post-drain depth re-check takes the same lock, so
+        // a submission either lands before that check (and is drained)
+        // or observes the flag and is refused — never silently lost.
+        match sh.queue.try_submit_gated(task, || !self.is_shutting_down()) {
+            GateOutcome::Admitted(depth) => {
                 self.metrics.counter("admitted").inc();
-                self.metrics.gauge("queue_depth").set(depth as i64);
-                Response::Ok(vec![field_u64("id", id), field_u64("depth", depth as u64)])
+                sh.admitted.inc();
+                self.publish_queue_depth();
+                // Wake a ticker sleeping in `wait_for_work`; the empty
+                // critical section orders the wake after the admit.
+                drop(self.work_mx.lock().unwrap_or_else(PoisonError::into_inner));
+                self.work_cv.notify_all();
+                Response::Ok(vec![
+                    field_u64("id", id),
+                    field_u64("depth", depth as u64),
+                    field_u64("shard", shard as u64),
+                ])
             }
-            Err(shed) => {
+            GateOutcome::Shed(shed) => {
                 self.lock_ids().used.remove(&id);
                 self.metrics.counter("shed").inc();
+                sh.shed.inc();
                 Response::err(ErrorKind::Overloaded, shed.to_string())
+            }
+            GateOutcome::Closed => {
+                self.lock_ids().used.remove(&id);
+                Response::err(ErrorKind::ShuttingDown, "server is draining")
             }
         }
     }
 
     /// Record a finished task into the latency/cost histograms.
-    fn observe_completion(&self, rec: &TaskRecord, params: CostParams) {
+    fn observe_completion(&self, rec: &TaskRecord, params: CostParams, shard: &Shard) {
         self.metrics.counter("completed").inc();
+        shard.completed.inc();
         if let Some(turnaround) = rec.turnaround() {
             self.metrics.histogram("task_latency_s").record(turnaround);
             let cost = params.re * rec.energy_joules + params.rt * turnaround;
@@ -272,104 +455,228 @@ impl Scheduler {
         }
     }
 
-    /// Publish the executor's actuation counters since the last drain.
+    /// Publish an executor's actuation counters since the last drain.
     fn publish_actuations(&self, engine: &mut Engine) {
         let (applied, errored) = engine.exec.take_actuations();
         self.metrics.counter("actuations").add(applied);
         self.metrics.counter("actuation_errors").add(errored);
     }
 
-    /// One paced step: pull admitted work into the engine, advance the
-    /// executor clock to the wall-mapped target, stream completions
-    /// into the histograms.
+    /// Recompute every depth gauge from the live queues at write time.
+    /// Snapshotting the depth earlier (a submit's post-admit depth, or
+    /// a constant zero after a drain) goes stale the moment a
+    /// concurrent submit lands.
+    fn publish_queue_depth(&self) {
+        let mut total = 0i64;
+        for sh in &self.shards {
+            let depth = sh.queue.depth() as i64;
+            sh.depth_gauge.set(depth);
+            total += depth;
+        }
+        self.metrics.gauge("queue_depth").set(total);
+    }
+
+    /// Run the test-only round hook, if one is armed (no-op otherwise
+    /// and in non-test builds).
+    fn fire_round_hook(&self) {
+        #[cfg(test)]
+        {
+            let hook = self
+                .round_hook
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(hook) = hook {
+                hook(self);
+            }
+        }
+    }
+
+    /// Arm the round hook (test builds only): runs once inside the next
+    /// `tick` or `drain`, after the queues were drained into the
+    /// engines but before the depth gauges are published — the position
+    /// of a submitter racing the round.
+    #[cfg(test)]
+    fn set_round_hook(&self, hook: impl FnOnce(&Scheduler) + Send + 'static) {
+        *self
+            .round_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Box::new(hook));
+    }
+
+    /// One paced step: per shard, pull admitted work into the engine,
+    /// advance the executor clock to the wall-mapped target, stream
+    /// completions into the histograms. Shards are stepped in ascending
+    /// order, one engine lock at a time.
     pub fn tick(&self) {
         let params = self.cfg.params;
-        let target = self.target_time();
-        let mut engine = self.lock_engine();
-        for task in self.queue.drain() {
-            engine.exec.push_task(&task);
+        let mut pending_total = 0i64;
+        for sh in &self.shards {
+            let mut engine = sh.lock_engine();
+            // Read the paced target *after* taking the engine lock: a
+            // concurrent drain resets the anchor together with the
+            // engines, and a target read before the lock could warp a
+            // fresh engine onto the previous round's clock.
+            let target = self.target_time();
+            for task in sh.queue.drain() {
+                engine.exec.push_task(&task);
+            }
+            let engine = &mut *engine;
+            engine.exec.step_until(&mut engine.policy, target);
+            for rec in engine.exec.take_completions() {
+                self.observe_completion(&rec, params, sh);
+            }
+            self.publish_actuations(engine);
+            let pending = engine.exec.pending_tasks() as i64;
+            sh.pending_gauge.set(pending);
+            pending_total += pending;
         }
-        self.metrics.gauge("queue_depth").set(0);
-        let engine = &mut *engine;
-        engine.exec.step_until(&mut engine.policy, target);
-        for rec in engine.exec.take_completions() {
-            self.observe_completion(&rec, params);
-        }
-        self.publish_actuations(engine);
-        self.metrics
-            .gauge("pending_tasks")
-            .set(engine.exec.pending_tasks() as i64);
+        self.metrics.gauge("pending_tasks").set(pending_total);
+        self.fire_round_hook();
+        self.publish_queue_depth();
     }
 
     /// Run everything buffered (and, in paced mode, everything still in
-    /// flight) to completion; return the round's report and reset the
-    /// engine for the next round. The programmatic form of the wire
-    /// `drain` — end-to-end tests use it to compare served rounds
-    /// against library runs task by task.
-    pub fn drain_round(&self) -> RoundReport {
+    /// flight) to completion on every shard; return the per-shard
+    /// reports in shard order and reset every engine — and the paced
+    /// clock — for the next round.
+    ///
+    /// Every engine lock is taken up front in ascending order (the
+    /// order `tick` locks them, so the two cannot deadlock): a drain is
+    /// a global round barrier, and the id ledger and paced anchor must
+    /// reset while no shard can step.
+    pub fn drain_shards(&self) -> Vec<RoundReport> {
         let params = self.cfg.params;
-        let mut engine = self.lock_engine();
         self.metrics.counter("drains").inc();
-        for task in self.queue.drain() {
-            engine.exec.push_task(&task);
+        let mut engines: Vec<MutexGuard<'_, Engine>> =
+            self.shards.iter().map(Shard::lock_engine).collect();
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for (sh, engine) in self.shards.iter().zip(engines.iter_mut()) {
+            for task in sh.queue.drain() {
+                engine.exec.push_task(&task);
+            }
+            {
+                let engine = &mut **engine;
+                engine.exec.run_to_completion(&mut engine.policy);
+            }
+            // Completions not yet streamed by a paced tick land in the
+            // histograms now, exactly once.
+            for rec in engine.exec.take_completions() {
+                self.observe_completion(&rec, params, sh);
+            }
+            self.publish_actuations(engine);
+            reports.push(engine.exec.round_report());
+            // Stand up a fresh round on this shard.
+            **engine = Engine::fresh(self.cfg.cores, params);
+            sh.pending_gauge.set(0);
         }
-        self.metrics.gauge("queue_depth").set(0);
-        {
-            let engine = &mut *engine;
-            engine.exec.run_to_completion(&mut engine.policy);
-        }
-        // Completions not yet streamed by a paced tick land in the
-        // histograms now, exactly once.
-        for rec in engine.exec.take_completions() {
-            self.observe_completion(&rec, params);
-        }
-        self.publish_actuations(&mut engine);
-        let report = engine.exec.round_report();
-        // Stand up a fresh round.
-        *engine = Engine::fresh(self.cfg.cores, params);
-        drop(engine);
+        // New round: the id space and the paced clock restart together
+        // with the engines, while every engine lock is still held.
         {
             let mut ids = self.lock_ids();
             ids.used.clear();
             ids.next_auto = 0;
         }
+        self.reset_clock();
+        drop(engines);
         self.metrics.gauge("pending_tasks").set(0);
-        report
+        self.fire_round_hook();
+        self.publish_queue_depth();
+        reports
     }
 
-    /// Wire handler for `drain`: run the round and encode the report.
+    /// Run the round on every shard and merge the reports in
+    /// deterministic shard order. The programmatic form of the wire
+    /// `drain` — end-to-end tests use it to compare served rounds
+    /// against library runs task by task.
+    pub fn drain_round(&self) -> RoundReport {
+        RoundReport::merge(&self.drain_shards())
+    }
+
+    /// Wire handler for `drain`: run the round and encode the merged
+    /// report plus the per-shard reports.
     pub fn drain_run(&self) -> Response {
         let params = self.cfg.params;
-        let report = self.drain_round();
+        let reports = self.drain_shards();
+        let merged = RoundReport::merge(&reports);
+        let shard_reports: Vec<Value> = reports
+            .iter()
+            .enumerate()
+            .map(|(k, r)| {
+                Value::Object(vec![
+                    field_u64("shard", k as u64),
+                    field_u64("completed", r.records.len() as u64),
+                    field_f64("total_cost", r.total_cost(params)),
+                    field_f64("active_energy_joules", r.active_energy_joules),
+                    field_f64("total_turnaround_s", r.total_turnaround_s),
+                    field_f64("makespan_s", r.makespan_s),
+                ])
+            })
+            .collect();
         Response::Ok(vec![
-            field_u64("completed", report.records.len() as u64),
-            field_f64("total_cost", report.total_cost(params)),
-            field_f64("active_energy_joules", report.active_energy_joules),
-            field_f64("total_turnaround_s", report.total_turnaround_s),
-            field_f64("makespan_s", report.makespan_s),
+            field_u64("completed", merged.records.len() as u64),
+            field_f64("total_cost", merged.total_cost(params)),
+            field_f64("active_energy_joules", merged.active_energy_joules),
+            field_f64("total_turnaround_s", merged.total_turnaround_s),
+            field_f64("makespan_s", merged.makespan_s),
+            field_u64("shards", self.shards.len() as u64),
+            ("shard_reports".to_string(), Value::Array(shard_reports)),
         ])
     }
 
-    /// Handle a stats request: registry snapshot plus live depths.
+    /// Handle a stats request: registry snapshot plus live per-shard
+    /// depths and clocks.
     pub fn stats(&self) -> Response {
-        let engine = self.lock_engine();
-        let pending = engine.exec.pending_tasks() as u64;
-        let now = engine.exec.exec_now();
-        drop(engine);
+        let mut shard_stats = Vec::with_capacity(self.shards.len());
+        let mut depth_total = 0u64;
+        let mut pending_total = 0u64;
+        let mut now_max = 0.0f64;
+        for sh in &self.shards {
+            let engine = sh.lock_engine();
+            let pending = engine.exec.pending_tasks() as u64;
+            let now = engine.exec.exec_now();
+            drop(engine);
+            let depth = sh.queue.depth() as u64;
+            depth_total += depth;
+            pending_total += pending;
+            now_max = now_max.max(now);
+            shard_stats.push(Value::Object(vec![
+                field_u64("shard", sh.index as u64),
+                field_u64("queue_depth", depth),
+                field_u64("pending_tasks", pending),
+                field_f64("sim_now_s", now),
+            ]));
+        }
         Response::Ok(vec![
             ("metrics".to_string(), self.metrics.snapshot()),
-            field_u64("queue_depth", self.queue.depth() as u64),
-            field_u64("pending_tasks", pending),
-            field_f64("sim_now_s", now),
+            field_u64("queue_depth", depth_total),
+            field_u64("pending_tasks", pending_total),
+            field_f64("sim_now_s", now_max),
+            field_u64("shards", self.shards.len() as u64),
+            ("shard_stats".to_string(), Value::Array(shard_stats)),
         ])
     }
 
     /// Begin graceful shutdown: refuse new submissions, then drain the
-    /// backlog so nothing admitted is lost.
+    /// backlog until every queue and engine is observed empty, so
+    /// nothing admitted is lost. A submitter that passed the shutdown
+    /// check before the flag was stored can still be admitted
+    /// concurrently with a drain; re-checking the depths after each
+    /// drain (under the queue locks the admission gate also takes)
+    /// catches it, and every later submit observes the flag inside the
+    /// gate and is refused — so the loop terminates.
     pub fn begin_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
-        let has_work = self.queue.depth() > 0 || self.lock_engine().exec.pending_tasks() > 0;
-        if has_work {
+        loop {
+            let queued = self.queue_depth();
+            let pending: usize = self
+                .shards
+                .iter()
+                .map(|s| s.lock_engine().exec.pending_tasks())
+                .sum();
+            if queued == 0 && pending == 0 {
+                break;
+            }
             let _ = self.drain_run();
         }
     }
@@ -378,7 +685,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::value_u64;
+    use crate::protocol::{value_f64, value_u64};
     use dvfs_sim::{SimConfig, Simulator};
 
     fn scheduler(capacity: usize) -> Scheduler {
@@ -386,6 +693,31 @@ mod tests {
             SchedulerConfig {
                 cores: 2,
                 queue_capacity: capacity,
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        )
+    }
+
+    fn sharded(shards: usize, capacity: usize) -> Scheduler {
+        Scheduler::new(
+            SchedulerConfig {
+                cores: 2,
+                queue_capacity: capacity,
+                shards,
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        )
+    }
+
+    fn paced(shards: usize, speed: f64) -> Scheduler {
+        Scheduler::new(
+            SchedulerConfig {
+                cores: 1,
+                queue_capacity: 64,
+                mode: Mode::Paced { speed },
+                shards,
                 ..SchedulerConfig::default()
             },
             Arc::new(Registry::new()),
@@ -429,6 +761,7 @@ mod tests {
         let got_makespan = crate::protocol::value_f64(served.field("makespan_s").unwrap()).unwrap();
         assert!((got_makespan - want.makespan).abs() < 1e-12);
         assert_eq!(value_u64(served.field("completed").unwrap()), Some(12));
+        assert_eq!(value_u64(served.field("shards").unwrap()), Some(1));
     }
 
     #[test]
@@ -484,17 +817,7 @@ mod tests {
 
     #[test]
     fn paced_ticks_complete_tasks_and_actuate() {
-        let s = Scheduler::new(
-            SchedulerConfig {
-                cores: 1,
-                queue_capacity: 16,
-                // Very fast pacing so the test finishes instantly: one
-                // wall millisecond ≈ many engine seconds.
-                mode: Mode::Paced { speed: 10_000.0 },
-                ..SchedulerConfig::default()
-            },
-            Arc::new(Registry::new()),
-        );
+        let s = paced(1, 10_000.0);
         s.start_clock();
         assert!(s
             .submit(None, 1_600_000_000, TaskClass::NonInteractive, None)
@@ -516,15 +839,7 @@ mod tests {
 
     #[test]
     fn paced_drain_counts_streamed_completions_once() {
-        let s = Scheduler::new(
-            SchedulerConfig {
-                cores: 1,
-                queue_capacity: 16,
-                mode: Mode::Paced { speed: 10_000.0 },
-                ..SchedulerConfig::default()
-            },
-            Arc::new(Registry::new()),
-        );
+        let s = paced(1, 10_000.0);
         s.start_clock();
         assert!(s
             .submit(None, 1_600_000_000, TaskClass::NonInteractive, None)
@@ -543,5 +858,274 @@ mod tests {
         assert_eq!(report.records.len(), 1);
         assert_eq!(s.metrics().counter("completed").get(), 1);
         assert_eq!(s.metrics().histogram("task_latency_s").count(), 1);
+    }
+
+    /// Regression (paced-clock time warp): a drain stands up fresh
+    /// engines at time zero, so the paced anchor must restart with
+    /// them. Pre-fix, `target_time()` kept growing from the original
+    /// anchor and the first tick of the next round warped the fresh
+    /// engine to the previous round's clock.
+    #[test]
+    fn paced_clock_restarts_with_the_round_on_drain() {
+        let s = paced(1, 2_000.0);
+        s.start_clock();
+        assert!(s
+            .submit(None, 1_000_000, TaskClass::NonInteractive, None)
+            .is_ok());
+        // Let the wall-mapped target grow well past 200 engine seconds.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        s.tick();
+        let round1 = s.drain_round();
+        assert_eq!(round1.records.len(), 1);
+
+        // Round two: the engine clock after one immediate tick must be
+        // near zero again, not the previous round's ~240 s.
+        assert!(s
+            .submit(None, 1_000_000, TaskClass::NonInteractive, None)
+            .is_ok());
+        s.tick();
+        let stats = s.stats();
+        let now = value_f64(stats.field("sim_now_s").unwrap()).unwrap();
+        assert!(
+            now < 100.0,
+            "fresh round time-warped to {now} engine seconds: the paced \
+             anchor was not reset on drain"
+        );
+        // And the round still completes normally.
+        let round2 = s.drain_round();
+        assert_eq!(round2.records.len(), 1);
+    }
+
+    /// Regression (shutdown/submit race): a task that enters the queue
+    /// concurrently with shutdown's drain — the hook stands in for a
+    /// submitter that passed the shutdown check before the flag was
+    /// stored — must still be completed, not silently lost.
+    #[test]
+    fn shutdown_drains_tasks_admitted_during_its_own_drain() {
+        let s = scheduler(8);
+        assert!(s
+            .submit(Some(1), 1_000_000, TaskClass::NonInteractive, None)
+            .is_ok());
+        // Fires inside the first shutdown drain, after the queue was
+        // emptied into the engine: exactly the window the single-drain
+        // shutdown lost tasks in.
+        s.set_round_hook(|s| {
+            let late = Task::online(99, 1_000_000, 0.0, None, TaskClass::NonInteractive).unwrap();
+            s.shard_queue(0).try_submit(late).expect("late admit");
+        });
+        s.begin_shutdown();
+        assert_eq!(
+            s.metrics().counter("completed").get(),
+            2,
+            "the late-admitted task must be drained, not lost"
+        );
+        assert_eq!(s.queue_depth(), 0);
+    }
+
+    /// The same race, exercised with a real racing submitter thread:
+    /// after shutdown returns, every acknowledged submission has been
+    /// completed.
+    #[test]
+    fn shutdown_races_a_live_submitter_without_losing_admitted_tasks() {
+        let s = Arc::new(scheduler(512));
+        let submitter = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut admitted = 0u64;
+                for _ in 0..100_000 {
+                    match s.submit(None, 1_000_000, TaskClass::NonInteractive, None) {
+                        Response::Ok(_) => admitted += 1,
+                        Response::Err {
+                            kind: ErrorKind::ShuttingDown,
+                            ..
+                        } => break,
+                        Response::Err { .. } => {}
+                    }
+                }
+                admitted
+            })
+        };
+        // Give the submitter a head start, then shut down mid-stream.
+        while s.metrics().counter("admitted").get() < 64 {
+            std::thread::yield_now();
+        }
+        s.begin_shutdown();
+        let admitted = submitter.join().expect("submitter thread");
+        assert_eq!(
+            s.metrics().counter("completed").get(),
+            admitted,
+            "every acknowledged submission must be completed"
+        );
+        assert_eq!(s.queue_depth(), 0);
+    }
+
+    /// Regression (stale queue-depth gauge): `tick` and `drain` used to
+    /// write a constant zero after emptying the queues, clobbering the
+    /// depth of any task admitted concurrently. The gauge must be
+    /// recomputed from the live queues at write time.
+    #[test]
+    fn queue_depth_gauge_tracks_tasks_admitted_during_a_round() {
+        let s = scheduler(8);
+        assert!(s
+            .submit(Some(1), 1_000_000, TaskClass::NonInteractive, None)
+            .is_ok());
+        // Fires inside the tick, after the queue was drained into the
+        // engine — the position of a submitter racing the tick.
+        s.set_round_hook(|s| {
+            let racing = Task::online(2, 1_000_000, 0.0, None, TaskClass::NonInteractive).unwrap();
+            s.shard_queue(0).try_submit(racing).expect("racing admit");
+        });
+        s.tick();
+        assert_eq!(s.queue_depth(), 1, "racing task still queued");
+        assert_eq!(
+            s.metrics().gauge("queue_depth").get(),
+            1,
+            "gauge must reflect the live queue, not a stale zero"
+        );
+
+        // Same window during a drain.
+        s.set_round_hook(|s| {
+            let racing = Task::online(3, 1_000_000, 0.0, None, TaskClass::NonInteractive).unwrap();
+            s.shard_queue(0).try_submit(racing).expect("racing admit");
+        });
+        let _ = s.drain_round();
+        assert_eq!(s.queue_depth(), 1);
+        assert_eq!(s.metrics().gauge("queue_depth").get(), 1);
+    }
+
+    #[test]
+    fn explicit_ids_hash_to_shards_and_auto_ids_balance() {
+        let s = sharded(4, 64);
+        // Explicit ids land on id % shards.
+        for id in 0..8u64 {
+            let r = s.submit(Some(id), 1_000, TaskClass::NonInteractive, Some(0.0));
+            assert!(r.is_ok());
+            assert_eq!(
+                value_u64(r.field("shard").unwrap()),
+                Some(id % 4),
+                "id {id} routed to the wrong shard"
+            );
+        }
+        // Auto ids spread by load: with all shards at depth 2, four
+        // more submissions land on four distinct shards.
+        let mut seen = HashSet::new();
+        for _ in 0..4 {
+            let r = s.submit(None, 1_000, TaskClass::NonInteractive, Some(0.0));
+            assert!(r.is_ok());
+            seen.insert(value_u64(r.field("shard").unwrap()).unwrap());
+        }
+        assert_eq!(seen.len(), 4, "auto ids must balance across shards");
+    }
+
+    #[test]
+    fn auto_ids_round_robin_when_every_shard_is_equally_idle() {
+        // The paced steady state: the ticker keeps every queue empty,
+        // so headroom and depth tie everywhere. The rotating cursor
+        // must spread submissions instead of piling onto shard 0.
+        let s = sharded(4, 64);
+        let mut seen = HashSet::new();
+        for _ in 0..4 {
+            let r = s.submit(None, 1_000, TaskClass::Interactive, Some(0.0));
+            assert!(r.is_ok());
+            let shard = value_u64(r.field("shard").unwrap()).unwrap();
+            seen.insert(shard);
+            // Drain the queue back to empty so the next submission
+            // sees the same all-tied state.
+            s.shard_queue(shard as usize).drain();
+        }
+        assert_eq!(seen.len(), 4, "ties must round-robin across shards");
+    }
+
+    #[test]
+    fn sharded_drain_merges_per_shard_reports() {
+        let s = sharded(2, 64);
+        // Disjoint work: even ids to shard 0, odd to shard 1.
+        for id in 0..10u64 {
+            assert!(s
+                .submit(
+                    Some(id),
+                    (id + 1) * 40_000_000,
+                    TaskClass::NonInteractive,
+                    Some(0.0)
+                )
+                .is_ok());
+        }
+        let reports = s.drain_shards();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].records.len(), 5);
+        assert_eq!(reports[1].records.len(), 5);
+        let merged = RoundReport::merge(&reports);
+        assert_eq!(merged.records.len(), 10);
+        assert_eq!(
+            merged.active_energy_joules,
+            reports[0].active_energy_joules + reports[1].active_energy_joules
+        );
+        assert_eq!(
+            merged.total_turnaround_s,
+            reports[0].total_turnaround_s + reports[1].total_turnaround_s
+        );
+        assert_eq!(
+            merged.makespan_s,
+            reports[0].makespan_s.max(reports[1].makespan_s)
+        );
+        // Per-shard completed counters saw the split.
+        assert_eq!(s.metrics().counter("completed").get(), 10);
+        assert_eq!(s.metrics().counter(&shard_metric("completed", 0)).get(), 5);
+        assert_eq!(s.metrics().counter(&shard_metric("completed", 1)).get(), 5);
+    }
+
+    #[test]
+    fn single_shard_drain_is_identical_to_the_unsharded_path() {
+        // shards = 1 must stay bit-identical to the simulator: the
+        // merge of one report is the identity.
+        let trace: Vec<Task> = (0..8)
+            .map(|i| {
+                Task::online(i, (i + 1) * 30_000_000, i as f64 * 0.02, None, {
+                    if i % 2 == 0 {
+                        TaskClass::Interactive
+                    } else {
+                        TaskClass::NonInteractive
+                    }
+                })
+                .unwrap()
+            })
+            .collect();
+        let s = sharded(1, 64);
+        for t in &trace {
+            assert!(s
+                .submit(Some(t.id.0), t.cycles, t.class, Some(t.arrival))
+                .is_ok());
+        }
+        let got = s.drain_round();
+
+        let platform = service_platform(2);
+        let params = CostParams::online_paper();
+        let mut policy = LeastMarginalCost::new(&platform, params);
+        let mut sim = Simulator::new(SimConfig::new(platform));
+        sim.add_tasks(&trace);
+        let want = sim.run(&mut policy);
+        assert_eq!(got.active_energy_joules, want.active_energy_joules);
+        assert_eq!(got.total_turnaround_s, want.total_turnaround());
+        assert_eq!(got.makespan_s, want.makespan);
+    }
+
+    #[test]
+    fn stats_reports_per_shard_fields() {
+        let s = sharded(2, 64);
+        assert!(s
+            .submit(Some(0), 1_000, TaskClass::NonInteractive, Some(0.0))
+            .is_ok());
+        let stats = s.stats();
+        assert_eq!(value_u64(stats.field("shards").unwrap()), Some(2));
+        assert_eq!(value_u64(stats.field("queue_depth").unwrap()), Some(1));
+        let Some(Value::Array(shard_stats)) = stats.field("shard_stats") else {
+            panic!("stats must carry a shard_stats array");
+        };
+        assert_eq!(shard_stats.len(), 2);
+        let depth0 = shard_stats[0]
+            .get("queue_depth")
+            .and_then(value_u64)
+            .unwrap();
+        assert_eq!(depth0, 1, "task with id 0 sits on shard 0");
     }
 }

@@ -1,8 +1,11 @@
 //! Periodic JSONL state snapshots.
 //!
-//! The server appends one JSON object per line to a snapshot file:
-//! `{"kind":"metrics",...}` lines carry the registry state stamped
-//! with wall uptime and engine time.
+//! The server appends one JSON object per line to a snapshot file: a
+//! leading `{"kind":"config",...}` line records the service shape
+//! (shards, cores per shard, queue capacity, mode), and
+//! `{"kind":"metrics",...}` lines carry the registry state — including
+//! the per-shard `*.shardK` metrics — stamped with wall uptime and
+//! engine time.
 
 use crate::metrics::Registry;
 use serde::{Number, Value};
@@ -40,6 +43,32 @@ impl SnapshotWriter {
         f.flush()
     }
 
+    /// Append the service-shape line a snapshot file starts with.
+    ///
+    /// # Errors
+    /// Propagates serialization and I/O failures.
+    pub fn write_config(
+        &self,
+        shards: usize,
+        cores: usize,
+        queue_capacity: usize,
+        mode: &str,
+    ) -> std::io::Result<()> {
+        self.write_line(&Value::Object(vec![
+            ("kind".into(), Value::String("config".into())),
+            (
+                "shards".into(),
+                Value::Number(Number::PosInt(shards as u64)),
+            ),
+            ("cores".into(), Value::Number(Number::PosInt(cores as u64))),
+            (
+                "queue_capacity".into(),
+                Value::Number(Number::PosInt(queue_capacity as u64)),
+            ),
+            ("mode".into(), Value::String(mode.into())),
+        ]))
+    }
+
     /// Append a metrics snapshot stamped with the wall uptime and sim
     /// time.
     ///
@@ -71,13 +100,17 @@ mod tests {
         let w = SnapshotWriter::create(&path).unwrap();
         let reg = Registry::new();
         reg.counter("completed").add(3);
+        w.write_config(4, 2, 1024, "paced").unwrap();
         w.write_metrics(1.5, 0.75, &reg).unwrap();
         w.write_metrics(2.5, 1.75, &reg).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         let lines: Vec<&str> = body.lines().collect();
-        assert_eq!(lines.len(), 2);
-        for line in lines {
+        assert_eq!(lines.len(), 3);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("kind"), Some(&Value::String("config".into())));
+        assert_eq!(first.get("shards"), Some(&Value::Number(Number::PosInt(4))));
+        for line in &lines[1..] {
             let v: Value = serde_json::from_str(line).unwrap();
             assert_eq!(v.get("kind"), Some(&Value::String("metrics".into())));
         }

@@ -1,4 +1,4 @@
-//! Offline analysis of a recorded [`EventLog`](crate::EventLog).
+//! Offline analysis of a recorded [`EventLog`].
 //!
 //! Reconstructs what actually happened on the platform from the decision
 //! log alone: per-core Gantt segments (who ran where, when, at which

@@ -2,7 +2,7 @@
 //!
 //! The hooks formerly defined here moved to `dvfs_core::sched` as the
 //! engine-agnostic [`Scheduler`](dvfs_core::sched::Scheduler) trait over
-//! [`ExecutorView`](dvfs_core::sched::ExecutorView); the simulator is
+//! [`ExecutorView`]; the simulator is
 //! one executor implementing that view (see
 //! [`SimView`](crate::engine::SimView)). `Policy` remains as an alias so
 //! simulator-facing code keeps reading naturally.

@@ -21,6 +21,20 @@ run cargo build --release
 run cargo test -q
 run cargo bench --no-run
 
+# Docs gate: rustdoc must build clean (broken intra-doc links and
+# malformed doc comments are errors, not warnings).
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+# Shard sweep: the serve end-to-end suite must hold at one engine shard
+# (the bit-identical-to-the-simulator pin) and at multiple shards (the
+# router, fan-out, and report merge). The e2e trace's ids all hash to
+# shard 0, so every shard count must replay it identically.
+for shards in 1 2 4; do
+    echo "==> serve e2e at DVFS_SERVE_SHARDS=$shards"
+    DVFS_SERVE_SHARDS="$shards" cargo test -q --test serve_e2e
+done
+
 # Layering gate: policies (dvfs-core) must stay engine-agnostic. The
 # simulator may appear only as a dev-dependency (its integration tests
 # replay policies on it); a *normal* dependency would re-invert the

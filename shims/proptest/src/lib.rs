@@ -191,7 +191,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Accepted length specifications for [`vec`].
+        /// Accepted length specifications for [`vec()`].
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,

@@ -9,15 +9,32 @@
 //! input cannot crash the server, queue overflow sheds with an explicit
 //! `overloaded` error, and the wire `shutdown` command drains the
 //! backlog and flushes a final metrics snapshot.
+//!
+//! The determinism tests honour `DVFS_SERVE_SHARDS` (default 1): CI
+//! replays the same pinned trace at 1, 2, and 4 shards, and because the
+//! trace's explicit ids all hash to shard 0, every shard count must
+//! produce the bit-identical schedule.
 
 use dvfs_serve::loadgen::{self, Connection, LoadMode};
-use dvfs_serve::protocol::{encode_command, encode_submit, value_f64, ErrorKind, Response};
+use dvfs_serve::protocol::{
+    encode_command, encode_submit, value_f64, value_u64, ErrorKind, Response,
+};
 use dvfs_serve::service::service_platform;
 use dvfs_serve::{serve, Endpoint, SchedulerConfig, ServerConfig};
 use dvfs_suite::core::LeastMarginalCost;
 use dvfs_suite::model::{Task, TaskClass};
 use dvfs_suite::sim::{SimConfig, Simulator};
 use std::path::PathBuf;
+
+/// Shard count under test, from `DVFS_SERVE_SHARDS` (default 1). CI
+/// sweeps 1, 2, 4.
+fn env_shards() -> usize {
+    std::env::var("DVFS_SERVE_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
 
 /// A collision-free scratch path per test (the process id keeps
 /// parallel `cargo test` invocations apart; the name keeps tests within
@@ -31,7 +48,9 @@ fn scratch(name: &str, ext: &str) -> PathBuf {
 
 /// A small mixed trace: interleaved interactive / non-interactive tasks
 /// with staggered arrivals and unequal sizes, enough to force
-/// non-trivial LMC decisions on two cores.
+/// non-trivial LMC decisions on two cores. Ids are multiples of 4 so
+/// the whole trace hashes to shard 0 at every shard count CI sweeps
+/// (1, 2, 4) — the schedule must not depend on `DVFS_SERVE_SHARDS`.
 fn mixed_trace() -> Vec<Task> {
     (0..10u64)
         .map(|i| {
@@ -40,7 +59,7 @@ fn mixed_trace() -> Vec<Task> {
             } else {
                 TaskClass::NonInteractive
             };
-            Task::online(i, (i + 1) * 50_000_000, i as f64 * 0.02, None, class)
+            Task::online(i * 4, (i + 1) * 50_000_000, i as f64 * 0.02, None, class)
                 .expect("valid synthetic task")
         })
         .collect()
@@ -52,6 +71,7 @@ fn replay_over_unix_socket_matches_in_process_lmc() {
     let cfg = ServerConfig {
         scheduler: SchedulerConfig {
             cores: 2,
+            shards: env_shards(),
             ..SchedulerConfig::default()
         },
         ..ServerConfig::new(Endpoint::Unix(sock))
@@ -135,6 +155,7 @@ fn real_time_executor_replay_is_bit_identical_to_the_simulator() {
     let scheduler = dvfs_serve::Scheduler::new(
         SchedulerConfig {
             cores: 2,
+            shards: env_shards(),
             ..SchedulerConfig::default()
         },
         std::sync::Arc::new(dvfs_serve::Registry::new()),
@@ -217,8 +238,11 @@ fn queue_overflow_sheds_with_explicit_overloaded_error() {
     let cfg = ServerConfig {
         scheduler: SchedulerConfig {
             // Capacity 2 with one slot reserved for interactive tasks:
-            // the second non-interactive submission must shed.
+            // the second non-interactive submission must shed. Pinned
+            // to one shard — more shards would split the capacity and
+            // route the second submission to an empty sibling.
             queue_capacity: 2,
+            shards: 1,
             ..SchedulerConfig::default()
         },
         ..ServerConfig::new(Endpoint::Unix(sock))
@@ -259,8 +283,13 @@ fn wire_shutdown_drains_backlog_and_flushes_snapshot() {
     let snap = scratch("shutdown", "jsonl");
     let cfg = ServerConfig {
         snapshot_path: Some(snap.clone()),
+        scheduler: SchedulerConfig {
+            shards: env_shards(),
+            ..SchedulerConfig::default()
+        },
         ..ServerConfig::new(Endpoint::Unix(sock))
     };
+    let shards = cfg.scheduler.shards;
     let handle = serve(cfg).expect("server binds");
     let metrics = handle.metrics();
     let mut conn = Connection::open(handle.endpoint()).expect("client connects");
@@ -283,11 +312,24 @@ fn wire_shutdown_drains_backlog_and_flushes_snapshot() {
 
     // Graceful shutdown drained the admitted backlog...
     assert_eq!(metrics.counter("completed").get(), 1, "backlog drained");
-    // ...and flushed a final snapshot of valid JSONL metrics lines.
+    // ...and flushed a snapshot: one leading config line describing the
+    // service shape, then valid JSONL metrics lines.
     let body = std::fs::read_to_string(&snap).expect("snapshot file written");
     let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
-    assert!(!lines.is_empty(), "snapshot has at least the final line");
-    for line in &lines {
+    assert!(lines.len() >= 2, "snapshot has the config and final lines");
+    let first: serde_json::Value =
+        serde_json::from_str(lines[0]).expect("config line is valid JSON");
+    match first.get("kind") {
+        Some(serde_json::Value::String(kind)) => assert_eq!(kind, "config", "line: {}", lines[0]),
+        other => panic!("unexpected kind {other:?} in line: {}", lines[0]),
+    }
+    assert_eq!(
+        first.get("shards").and_then(value_u64),
+        Some(shards as u64),
+        "line: {}",
+        lines[0]
+    );
+    for line in &lines[1..] {
         let v: serde_json::Value = serde_json::from_str(line).expect("snapshot line is valid JSON");
         match v.get("kind") {
             Some(serde_json::Value::String(kind)) => assert_eq!(kind, "metrics", "line: {line}"),
@@ -296,6 +338,149 @@ fn wire_shutdown_drains_backlog_and_flushes_snapshot() {
         assert!(v.get("metrics").is_some(), "line: {line}");
     }
     let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn shard_counts_1_2_4_replay_a_shard0_trace_bit_identically() {
+    // Every id in `mixed_trace` is a multiple of 4, so the whole trace
+    // hashes to shard 0 at 1, 2, and 4 shards. The sibling shards
+    // contribute empty reports, and the merge must leave the totals and
+    // the task-by-task records bit-identical (`==`, no epsilon) across
+    // shard counts.
+    let trace = mixed_trace();
+    let mut rounds = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let scheduler = dvfs_serve::Scheduler::new(
+            SchedulerConfig {
+                cores: 2,
+                shards,
+                ..SchedulerConfig::default()
+            },
+            std::sync::Arc::new(dvfs_serve::Registry::new()),
+        );
+        for t in &trace {
+            let r = scheduler.submit(Some(t.id.0), t.cycles, t.class, Some(t.arrival));
+            assert!(r.is_ok(), "submit failed at {shards} shards: {r:?}");
+        }
+        rounds.push((shards, scheduler.drain_round()));
+    }
+    let (_, reference) = &rounds[0];
+    for (shards, round) in &rounds[1..] {
+        assert_eq!(
+            round.records.len(),
+            reference.records.len(),
+            "{shards} shards"
+        );
+        for (got, want) in round.records.iter().zip(&reference.records) {
+            assert_eq!(got.id, want.id, "{shards} shards");
+            assert_eq!(got.completion, want.completion, "{shards} shards");
+            assert_eq!(got.energy_joules, want.energy_joules, "{shards} shards");
+        }
+        assert_eq!(
+            round.active_energy_joules, reference.active_energy_joules,
+            "{shards} shards"
+        );
+        assert_eq!(
+            round.total_turnaround_s, reference.total_turnaround_s,
+            "{shards} shards"
+        );
+        assert_eq!(round.makespan_s, reference.makespan_s, "{shards} shards");
+    }
+}
+
+#[test]
+fn multi_shard_drain_completes_disjoint_trace_and_merges_totals() {
+    // A trace whose ids cover both shards of a 2-shard server: every
+    // admitted task must complete, and the top-level drain totals must
+    // equal the fold of the per-shard reports (sum for completed,
+    // energy, and turnaround; max for makespan).
+    let sock = scratch("disjoint", "sock");
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            cores: 2,
+            shards: 2,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::new(Endpoint::Unix(sock))
+    };
+    let handle = serve(cfg).expect("server binds");
+    let mut conn = Connection::open(handle.endpoint()).expect("client connects");
+
+    let n_tasks = 12u64;
+    for id in 0..n_tasks {
+        let class = if id % 2 == 0 {
+            TaskClass::Interactive
+        } else {
+            TaskClass::NonInteractive
+        };
+        let resp = conn
+            .round_trip(&encode_submit(
+                Some(id),
+                (id + 1) * 30_000_000,
+                class,
+                Some(id as f64 * 0.01),
+            ))
+            .expect("submit round-trips");
+        assert!(resp.is_ok(), "submit {id}: {resp:?}");
+        // Explicit ids route by id % shards.
+        assert_eq!(
+            resp.field("shard").and_then(value_u64),
+            Some(id % 2),
+            "task {id}"
+        );
+    }
+
+    let drained = conn
+        .round_trip(&encode_command("drain"))
+        .expect("drain round-trips");
+    assert_eq!(drained.field("shards").and_then(value_u64), Some(2));
+    assert_eq!(
+        drained.field("completed").and_then(value_u64),
+        Some(n_tasks),
+        "every admitted task completes"
+    );
+
+    let reports = drained
+        .field("shard_reports")
+        .and_then(|v| v.as_array())
+        .expect("drain carries shard_reports");
+    assert_eq!(reports.len(), 2);
+    let sum = |name: &str| -> f64 {
+        reports
+            .iter()
+            .map(|r| r.get(name).and_then(value_f64).expect("report field"))
+            .sum()
+    };
+    let completed_sum: u64 = reports
+        .iter()
+        .map(|r| r.get("completed").and_then(value_u64).expect("completed"))
+        .sum();
+    assert_eq!(completed_sum, n_tasks);
+    assert!(
+        reports
+            .iter()
+            .all(|r| r.get("completed").and_then(value_u64) == Some(n_tasks / 2)),
+        "even/odd ids split evenly across 2 shards"
+    );
+    let merged_energy = drained
+        .field("active_energy_joules")
+        .and_then(value_f64)
+        .unwrap();
+    let merged_turnaround = drained
+        .field("total_turnaround_s")
+        .and_then(value_f64)
+        .unwrap();
+    let merged_makespan = drained.field("makespan_s").and_then(value_f64).unwrap();
+    let max_makespan = reports
+        .iter()
+        .map(|r| r.get("makespan_s").and_then(value_f64).expect("makespan"))
+        .fold(0.0f64, f64::max);
+    assert_eq!(merged_energy, sum("active_energy_joules"));
+    assert_eq!(merged_turnaround, sum("total_turnaround_s"));
+    assert_eq!(merged_makespan, max_makespan);
+
+    handle.shutdown();
+    handle.wait();
 }
 
 #[test]
