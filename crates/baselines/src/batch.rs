@@ -61,7 +61,7 @@ pub fn power_saving_config(platform: Platform, cap: RateIdx) -> SimConfig {
 
 /// Replays fixed per-core FIFO sequences *without* forcing frequencies:
 /// the configured governor (on-demand for OLB/Power Saving) owns the
-/// rate. The batch counterpart of `dvfs_sim::PlanPolicy` for
+/// rate. The batch counterpart of `dvfs_core::PlanPolicy` for
 /// governor-driven baselines.
 #[derive(Debug)]
 pub struct GovernedPlanPolicy {

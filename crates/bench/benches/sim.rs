@@ -3,10 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dvfs_core::schedule_wbg;
+use dvfs_core::PlanPolicy;
 use dvfs_model::task::batch_workload;
 use dvfs_model::{CoreSpec, CostParams, Platform, RateTable};
 use dvfs_power::memory_contention;
-use dvfs_sim::{PlanPolicy, SimConfig, Simulator};
+use dvfs_sim::{SimConfig, Simulator};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 

@@ -8,8 +8,9 @@
 //! feasibility frontier.
 
 use dvfs_core::deadline_batch::schedule_multicore_with_deadline;
+use dvfs_core::PlanPolicy;
 use dvfs_model::{CostParams, Platform};
-use dvfs_sim::{PlanPolicy, SimConfig, Simulator};
+use dvfs_sim::{SimConfig, Simulator};
 use dvfs_workloads::{spec_batch_tasks, SpecInput};
 
 fn main() {

@@ -9,9 +9,10 @@
 
 use dvfs_core::batch::predict_plan_cost;
 use dvfs_core::schedule_wbg;
+use dvfs_core::PlanPolicy;
 use dvfs_model::{CoreSpec, CostParams, Platform, RateTable};
 use dvfs_power::{memory_contention, PowerMeter};
-use dvfs_sim::{PlanPolicy, SimConfig, Simulator};
+use dvfs_sim::{SimConfig, Simulator};
 use dvfs_workloads::{spec_batch_tasks, SpecInput};
 
 fn main() {

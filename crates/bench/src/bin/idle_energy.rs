@@ -9,8 +9,9 @@
 
 use dvfs_baselines::{olb_assignment, GovernedPlanPolicy};
 use dvfs_core::schedule_wbg;
+use dvfs_core::PlanPolicy;
 use dvfs_model::{CoreSpec, CostParams, Platform, RateTable};
-use dvfs_sim::{GovernorKind, PlanPolicy, SimConfig, Simulator};
+use dvfs_sim::{GovernorKind, SimConfig, Simulator};
 use dvfs_workloads::{spec_batch_tasks, SpecInput};
 
 fn main() {

@@ -4,10 +4,11 @@ use dvfs_baselines::{
     olb_assignment, power_saving_config, GovernedPlanPolicy, OlbOnline, OnDemandOnline,
 };
 use dvfs_core::batch::predict_plan_cost;
+use dvfs_core::PlanPolicy;
 use dvfs_core::{schedule_wbg, LeastMarginalCost};
 use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task};
 use dvfs_power::{memory_contention, PowerMeter};
-use dvfs_sim::{GovernorKind, PlanPolicy, Policy, SimConfig, SimReport, Simulator};
+use dvfs_sim::{GovernorKind, Policy, SimConfig, SimReport, Simulator};
 use dvfs_workloads::{spec_batch_tasks, JudgeTraceConfig, SpecInput};
 
 /// One labelled cost row: absolute energy (J), waiting (s), and their

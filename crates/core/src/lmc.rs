@@ -24,11 +24,11 @@ use crate::ledger::CostLedger;
 use crate::sched::{ExecutorView, Scheduler};
 use dvfs_model::{CoreId, CostParams, Platform, RateIdx, Task, TaskClass, TaskId};
 use dvfs_ostree::Handle;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 struct CoreQueue {
     ledger: CostLedger,
-    by_handle: HashMap<Handle, TaskId>,
+    by_handle: BTreeMap<Handle, TaskId>,
     interactive: VecDeque<TaskId>,
     suspended: Option<TaskId>,
     /// Class of the task the policy last dispatched on this core.
@@ -74,7 +74,7 @@ impl LeastMarginalCost {
             .iter()
             .map(|c| CoreQueue {
                 ledger: CostLedger::new(&c.rates, params),
-                by_handle: HashMap::new(),
+                by_handle: BTreeMap::new(),
                 interactive: VecDeque::new(),
                 suspended: None,
                 running: None,

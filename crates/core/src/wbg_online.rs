@@ -19,7 +19,7 @@
 use crate::batch::schedule_wbg;
 use crate::sched::{ExecutorView, Scheduler};
 use dvfs_model::{CoreId, CostParams, Platform, RateIdx, Task, TaskClass, TaskId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 struct CoreState {
     /// Waiting non-interactive tasks in execution order (front runs
@@ -39,7 +39,7 @@ pub struct WbgReassign {
     /// Per-core dominating ranges, precomputed once.
     ranges: Vec<crate::dominating::DominatingRanges>,
     /// Cycles of every known task (WBG reschedules by original size).
-    cycles: HashMap<TaskId, u64>,
+    cycles: BTreeMap<TaskId, u64>,
 }
 
 impl WbgReassign {
@@ -64,7 +64,7 @@ impl WbgReassign {
             params,
             cores,
             ranges,
-            cycles: HashMap::new(),
+            cycles: BTreeMap::new(),
         }
     }
 

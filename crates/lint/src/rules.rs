@@ -1,0 +1,392 @@
+//! The source-level rule families: determinism (D), lock order (L),
+//! and panic-freedom (P). Each rule takes cleaned, test-masked text
+//! (see [`crate::scan`]) and returns raw violations; waiver handling
+//! happens in [`crate::run`].
+
+use crate::scan::line_of;
+use crate::Violation;
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Byte offsets of `ident` as a standalone identifier token.
+fn ident_occurrences(text: &str, ident: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = text[from..].find(ident) {
+        let at = from + p;
+        let end = at + ident.len();
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + ident.len();
+    }
+    out
+}
+
+fn next_non_ws(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_whitespace() {
+            return Some((i, bytes[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+fn prev_non_ws(bytes: &[u8], i: usize) -> Option<(usize, u8)> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !bytes[j].is_ascii_whitespace() {
+            return Some((j, bytes[j]));
+        }
+    }
+    None
+}
+
+/// Byte offsets of the path expression `first::second` (whitespace
+/// around `::` tolerated), e.g. `Instant::now`.
+fn path_occurrences(text: &str, first: &str, second: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for at in ident_occurrences(text, first) {
+        let Some((c1, b1)) = next_non_ws(bytes, at + first.len()) else {
+            continue;
+        };
+        if b1 != b':' || bytes.get(c1 + 1) != Some(&b':') {
+            continue;
+        }
+        let Some((c2, _)) = next_non_ws(bytes, c1 + 2) else {
+            continue;
+        };
+        if text[c2..].starts_with(second)
+            && bytes
+                .get(c2 + second.len())
+                .is_none_or(|&b| !is_ident_byte(b))
+        {
+            out.push(at);
+        }
+    }
+    out
+}
+
+/// Byte offsets of `.name(` method calls (receiver required).
+fn method_call_occurrences(text: &str, name: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    ident_occurrences(text, name)
+        .into_iter()
+        .filter(|&at| {
+            prev_non_ws(bytes, at).is_some_and(|(_, b)| b == b'.')
+                && next_non_ws(bytes, at + name.len()).is_some_and(|(_, b)| b == b'(')
+        })
+        .collect()
+}
+
+/// Byte offsets of `name!(`-style macro invocations.
+fn macro_occurrences(text: &str, name: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    ident_occurrences(text, name)
+        .into_iter()
+        .filter(|&at| bytes.get(at + name.len()) == Some(&b'!'))
+        .collect()
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`&mut [u8]`, `dyn [T]`, `return [..]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "dyn", "in", "as", "return", "else", "match", "if", "while", "for", "move",
+    "box", "where", "let", "const", "static", "break", "continue", "impl", "fn", "unsafe", "loop",
+    "yield", "await",
+];
+
+/// Byte offsets of `[` tokens that open an index expression: preceded
+/// (ignoring whitespace) by an identifier that is not a keyword, or by
+/// a closing `)`/`]`.
+fn index_occurrences(text: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for (at, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let Some((p, pb)) = prev_non_ws(bytes, at) else {
+            continue;
+        };
+        if pb == b')' || pb == b']' {
+            out.push(at);
+        } else if is_ident_byte(pb) {
+            let mut s = p;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            let token = &text[s..=p];
+            if !NON_INDEX_KEYWORDS.contains(&token) {
+                out.push(at);
+            }
+        }
+    }
+    out
+}
+
+fn violation(text: &str, file: &str, at: usize, rule: &str, message: String) -> Violation {
+    Violation {
+        rule: rule.to_string(),
+        file: file.to_string(),
+        line: line_of(text, at),
+        message,
+    }
+}
+
+/// Rule D over collections/RNG: no order-nondeterministic containers or
+/// ambient randomness in replay-critical code.
+pub fn determinism_collections(text: &str, file: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for ty in ["HashMap", "HashSet"] {
+        for at in ident_occurrences(text, ty) {
+            out.push(violation(
+                text,
+                file,
+                at,
+                "determinism",
+                format!("`{ty}` has nondeterministic iteration order; use `BTreeMap`/`BTreeSet` (or waive with a reason if iteration order provably never escapes)"),
+            ));
+        }
+    }
+    for at in ident_occurrences(text, "thread_rng") {
+        out.push(violation(
+            text,
+            file,
+            at,
+            "determinism",
+            "`thread_rng` is unseeded; replay-critical code must draw randomness from a seeded generator".to_string(),
+        ));
+    }
+    out
+}
+
+/// Rule D over clocks: wall time may only enter through the blessed
+/// clock seam; everything else works in engine seconds.
+pub fn determinism_clock(text: &str, file: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (first, second) in [("Instant", "now"), ("SystemTime", "now")] {
+        for at in path_occurrences(text, first, second) {
+            out.push(violation(
+                text,
+                file,
+                at,
+                "determinism",
+                format!("`{first}::{second}()` outside the clock seam; route wall-time reads through `clock::wall_now()` so the nondeterministic surface stays auditable"),
+            ));
+        }
+    }
+    out
+}
+
+/// Functions whose bodies may acquire engine locks freely: the
+/// single-lock accessor and the blessed ascending-order bulk helper.
+const BLESSED_LOCK_FNS: &[&str] = &["lock_engine", "lock_engines_ascending"];
+
+/// Tokens that acquire one engine/queue lock.
+fn lock_sites(body: &str) -> usize {
+    let mut n = ident_occurrences(body, "lock_engine").len();
+    // Field-access form: `…engine.lock(…)` / `…queue.lock(…)`.
+    let bytes = body.as_bytes();
+    for field in ["engine", "queue"] {
+        for at in ident_occurrences(body, field) {
+            let after = at + field.len();
+            if bytes.get(after) == Some(&b'.') && body[after + 1..].starts_with("lock") {
+                let end = after + 1 + "lock".len();
+                if bytes.get(end).is_none_or(|&b| !is_ident_byte(b)) {
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Rule L: a function that acquires two or more engine/queue locks must
+/// be one of the blessed ascending-order helpers; everyone else takes
+/// at most one lock at a time or calls the bulk helper (and nothing
+/// else).
+pub fn lock_order(text: &str, file: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (name, at, body) in fn_bodies(text) {
+        if BLESSED_LOCK_FNS.contains(&name.as_str()) {
+            continue;
+        }
+        let singles = lock_sites(body);
+        let bulk = ident_occurrences(body, "lock_engines_ascending").len();
+        // `lock_engine` also matches inside `lock_engines_ascending`? No:
+        // the trailing `s` is an identifier byte, so boundaries differ.
+        let bad = singles >= 2 || bulk >= 2 || (bulk >= 1 && singles >= 1);
+        if bad {
+            out.push(violation(
+                text,
+                file,
+                at,
+                "lock-order",
+                format!("fn `{name}` acquires multiple engine/queue locks ({singles} single-lock site(s), {bulk} bulk call(s)); take them through `lock_engines_ascending` only, or restructure to hold one lock at a time"),
+            ));
+        }
+    }
+    out
+}
+
+/// `(name, offset_of_fn_keyword, body_text)` for every `fn` in `text`.
+fn fn_bodies(text: &str) -> Vec<(String, usize, &str)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for at in ident_occurrences(text, "fn") {
+        let Some((ns, _)) = next_non_ws(bytes, at + 2) else {
+            continue;
+        };
+        let mut ne = ns;
+        while ne < bytes.len() && is_ident_byte(bytes[ne]) {
+            ne += 1;
+        }
+        if ne == ns {
+            continue; // `fn` not followed by a name (e.g. fn-pointer type)
+        }
+        let name = text[ns..ne].to_string();
+        // Scan to the body `{` (or `;` for trait signatures).
+        let mut i = ne;
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0i32;
+        let mut j = open;
+        let mut close = bytes.len();
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((name, at, &text[open + 1..close]));
+    }
+    out
+}
+
+/// Rule P: no panicking constructs on the wire path.
+pub fn panic_freedom(text: &str, file: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for name in ["unwrap", "expect"] {
+        for at in method_call_occurrences(text, name) {
+            out.push(violation(
+                text,
+                file,
+                at,
+                "panic",
+                format!("`.{name}(…)` can panic; the wire path must degrade gracefully (return an error response or fall back)"),
+            ));
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for at in macro_occurrences(text, mac) {
+            out.push(violation(
+                text,
+                file,
+                at,
+                "panic",
+                format!("`{mac}!` can panic; the wire path must degrade gracefully (return an error response or fall back)"),
+            ));
+        }
+    }
+    for at in index_occurrences(text) {
+        out.push(violation(
+            text,
+            file,
+            at,
+            "panic",
+            "slice/array index can panic out of bounds; use `.get(…)` on the wire path".to_string(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_occurrences_respects_boundaries() {
+        let t = "HashMap HashMapX XHashMap x.HashMap::new()";
+        assert_eq!(ident_occurrences(t, "HashMap").len(), 2);
+    }
+
+    #[test]
+    fn path_occurrences_tolerates_whitespace() {
+        let t = "let a = Instant::now(); let b = Instant ::\n now();";
+        assert_eq!(path_occurrences(t, "Instant", "now").len(), 2);
+        assert_eq!(path_occurrences(t, "Instant", "elapsed").len(), 0);
+    }
+
+    #[test]
+    fn method_calls_require_receiver_and_args() {
+        let t = "x.unwrap(); unwrap(); fn unwrap() {} y.unwrap_or(0); z.expect(\"m\");";
+        assert_eq!(method_call_occurrences(t, "unwrap").len(), 1);
+        assert_eq!(method_call_occurrences(t, "expect").len(), 1);
+    }
+
+    #[test]
+    fn index_detection_skips_types_attrs_and_macros() {
+        let flagged = "buf[0]; calls()[1]; grid[i][j];";
+        assert_eq!(index_occurrences(flagged).len(), 4);
+        let clean = "fn f(b: &mut [u8]) -> Vec<[u8; 4]> { vec![1] }\n#[derive(Debug)]\nstruct S;";
+        assert_eq!(index_occurrences(clean).len(), 0);
+    }
+
+    #[test]
+    fn lock_order_flags_double_acquisition() {
+        let src = "fn ok(&self) { let g = self.shard.lock_engine(); }\nfn bad(&self) { let a = self.a.lock_engine(); let b = self.b.lock_engine(); }\nfn bulk_ok(&self) { let gs = self.lock_engines_ascending(); }\nfn mixed_bad(&self) { let gs = self.lock_engines_ascending(); let x = self.a.lock_engine(); }\nfn lock_engines_ascending(&self) { self.shards.iter().map(Shard::lock_engine); }\n";
+        let v = lock_order(src, "f.rs");
+        let names: Vec<&str> = v
+            .iter()
+            .map(|v| {
+                let s = v.message.find('`').unwrap() + 1;
+                let e = v.message[s..].find('`').unwrap() + s;
+                &v.message[s..e]
+            })
+            .collect();
+        assert_eq!(names, vec!["bad", "mixed_bad"]);
+    }
+
+    #[test]
+    fn field_lock_form_counts() {
+        let src =
+            "fn bad(&self) { let a = self.shard.engine.lock(); let b = other.engine.lock(); }";
+        assert_eq!(lock_order(src, "f.rs").len(), 1);
+    }
+
+    #[test]
+    fn panic_rule_catches_macros_and_indexing() {
+        let src = "fn f(b: &[u8]) { let x = b[0]; m.get(k).unwrap(); unreachable!(\"no\"); }";
+        let v = panic_freedom(src, "f.rs");
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|v| v.rule == "panic"));
+    }
+}

@@ -1,0 +1,390 @@
+//! Source cleaning and waiver extraction.
+//!
+//! The rules in [`crate::rules`] are substring/token matchers, so before
+//! they run the source is *cleaned*: comment bodies and string/char
+//! literal contents are blanked to spaces (newlines preserved, so byte
+//! offsets still map to the original line numbers), and test-only items
+//! (`#[cfg(test)]` / `#[test]`) are masked out entirely. Waiver
+//! directives (`// dvfs-lint: allow(rule-id) reason`) are collected
+//! while stripping comments.
+
+/// A parsed `// dvfs-lint: allow(rule-id) reason` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the directive sits on. A waiver covers violations
+    /// on its own line and on the line directly below it.
+    pub line: usize,
+    /// Rule id being waived (e.g. `panic`).
+    pub rule: String,
+    /// Free-text justification. Required; an empty reason is itself a
+    /// violation of the `waiver` rule.
+    pub reason: String,
+}
+
+/// Output of [`clean`]: blanked source plus the waivers found in it.
+#[derive(Debug)]
+pub struct Cleaned {
+    /// Source text with comments and literal contents replaced by
+    /// spaces. Same length in lines as the input.
+    pub text: String,
+    /// Well-formed waivers (reason present).
+    pub waivers: Vec<Waiver>,
+    /// `(line, rule)` for `allow(...)` directives missing a reason.
+    pub missing_reason: Vec<(usize, String)>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Number of `#` marks opening a raw string starting at `i` (the `r` of
+/// `r"…"`/`r#"…"#`, or the `b` of `br"…"`), else `None`.
+fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<usize> {
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return None; // tail of a longer identifier like `var`
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1; // raw byte string `br"…"`; plain `b"…"` fails the `r` check
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+fn parse_waiver_comment(
+    comment: &str,
+    line: usize,
+    waivers: &mut Vec<Waiver>,
+    missing_reason: &mut Vec<(usize, String)>,
+) {
+    let Some(tag) = comment.find("dvfs-lint:") else {
+        return;
+    };
+    let rest = &comment[tag + "dvfs-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return;
+    };
+    let after_open = &rest[open + "allow(".len()..];
+    let Some(close) = after_open.find(')') else {
+        missing_reason.push((line, String::new()));
+        return;
+    };
+    let rule = after_open[..close].trim().to_string();
+    let reason = after_open[close + 1..].trim().to_string();
+    if rule.is_empty() || reason.is_empty() {
+        missing_reason.push((line, rule));
+    } else {
+        waivers.push(Waiver { line, rule, reason });
+    }
+}
+
+/// Blank comments and literal contents, preserving line structure, and
+/// collect waiver directives from the stripped comments.
+pub fn clean(src: &str) -> Cleaned {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut waivers = Vec::new();
+    let mut missing_reason = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push `n` spaces, or a newline for each newline byte in the range
+    // we are skipping — keeps offsets-to-lines stable.
+    let blank_through =
+        |out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize, line: &mut usize| {
+            for &b in &bytes[from..to] {
+                if b == b'\n' {
+                    out.push(b'\n');
+                    *line += 1;
+                } else {
+                    out.push(b' ');
+                }
+            }
+        };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                parse_waiver_comment(&src[start..i], line, &mut waivers, &mut missing_reason);
+                blank_through(&mut out, bytes, start, i, &mut line);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank_through(&mut out, bytes, start, i, &mut line);
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.push(b' ');
+                            if bytes.get(i + 1) == Some(&b'\n') {
+                                out.push(b'\n');
+                                line += 1;
+                            } else if i + 1 < bytes.len() {
+                                out.push(b' ');
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b'"');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' | b'b' => {
+                if let Some(hashes) = raw_string_hashes(bytes, i) {
+                    // Find the closing `"` followed by `hashes` hashes.
+                    let start = i;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    let body_at = src[i..].find('"').map_or(bytes.len(), |p| i + p + 1);
+                    let end = src[body_at..]
+                        .find(std::str::from_utf8(&closer).unwrap_or("\""))
+                        .map_or(bytes.len(), |p| body_at + p + closer.len());
+                    blank_through(&mut out, bytes, start, end, &mut line);
+                    i = end;
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let next = bytes.get(i + 1).copied();
+                if next == Some(b'\\') {
+                    // Escaped char literal: blank to the closing quote.
+                    let start = i;
+                    let mut j = i + 3; // past `'\x`
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    let end = (j + 1).min(bytes.len());
+                    blank_through(&mut out, bytes, start, end, &mut line);
+                    i = end;
+                } else if next.is_some_and(is_ident_byte) && bytes.get(i + 2) == Some(&b'\'') {
+                    // Simple one-byte char literal `'x'`.
+                    out.extend_from_slice(b"' '");
+                    i += 3;
+                } else {
+                    // Lifetime, loop label, or multi-byte char literal;
+                    // copy the quote and move on.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+
+    let text = String::from_utf8(out).unwrap_or_default();
+    Cleaned {
+        text,
+        waivers,
+        missing_reason,
+    }
+}
+
+/// End offset (exclusive) of the item following an attribute that ends
+/// at `from`: skips whitespace and further attributes, then consumes up
+/// to the matching `}` of the item's body, or a `;`/`,` at zero depth
+/// (unit items, struct fields, enum variants).
+fn item_end(s: &str, from: usize) -> usize {
+    let b = s.as_bytes();
+    let mut i = from;
+    loop {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'#' {
+            while i < b.len() && b[i] != b'[' {
+                i += 1;
+            }
+            let mut depth = 0i32;
+            while i < b.len() {
+                match b[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    while i < b.len() {
+        match b[i] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' => brace += 1,
+            b'}' => {
+                brace -= 1;
+                if brace == 0 && paren == 0 && bracket == 0 {
+                    return i + 1;
+                }
+            }
+            b';' | b',' if paren == 0 && bracket == 0 && brace == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Blank every `#[cfg(test)]` / `#[test]` item (mod, fn, field, …) in
+/// already-cleaned text so the rules only see production code.
+pub fn mask_tests(cleaned: &str) -> String {
+    let mut v = cleaned.as_bytes().to_vec();
+    while let Ok(text) = std::str::from_utf8(&v) {
+        let cfg = text.find("#[cfg(test)]");
+        let tst = text.find("#[test]");
+        let (start, len) = match (cfg, tst) {
+            (Some(a), Some(b)) if a <= b => (a, "#[cfg(test)]".len()),
+            (Some(a), None) => (a, "#[cfg(test)]".len()),
+            (_, Some(b)) => (b, "#[test]".len()),
+            (None, None) => break,
+        };
+        let end = item_end(text, start + len);
+        for byte in &mut v[start..end] {
+            if *byte != b'\n' {
+                *byte = b' ';
+            }
+        }
+    }
+    String::from_utf8(v).unwrap_or_default()
+}
+
+/// 1-based line number of byte `offset` in `text`.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    1 + text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings_preserving_lines() {
+        let src = "let a = \"HashMap\"; // HashMap here\nlet b = 1;\n";
+        let c = clean(src);
+        assert!(!c.text.contains("HashMap"));
+        assert_eq!(c.text.lines().count(), src.lines().count());
+        assert!(c.text.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let src = "let s = r#\"Instant::now()\"#;\nlet c = 'x';\nlet l: &'static str = \"\";\n";
+        let c = clean(src);
+        assert!(!c.text.contains("Instant"));
+        assert!(!c.text.contains('x'));
+        assert!(c.text.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        let c = clean(src);
+        assert!(!c.text.contains("outer"));
+        assert!(c.text.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn waiver_with_reason_parses() {
+        let src = "// dvfs-lint: allow(panic) statically unreachable arm\nfoo();\n";
+        let c = clean(src);
+        assert_eq!(c.waivers.len(), 1);
+        assert_eq!(c.waivers[0].rule, "panic");
+        assert_eq!(c.waivers[0].line, 1);
+        assert_eq!(c.waivers[0].reason, "statically unreachable arm");
+        assert!(c.missing_reason.is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged() {
+        let src = "fn f() {}\n// dvfs-lint: allow(determinism)\n";
+        let c = clean(src);
+        assert!(c.waivers.is_empty());
+        assert_eq!(c.missing_reason, vec![(2, "determinism".to_string())]);
+    }
+
+    #[test]
+    fn masks_cfg_test_mod_and_test_fn() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { y.unwrap(); }\n}\n#[test]\nfn t() { z.unwrap(); }\nfn prod2() {}\n";
+        let masked = mask_tests(&clean(src).text);
+        assert!(masked.contains("prod()"));
+        assert!(masked.contains("prod2()"));
+        assert!(!masked.contains("helper"));
+        assert!(!masked.contains("fn t()"));
+        assert_eq!(masked.matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn masks_cfg_test_struct_field() {
+        let src =
+            "struct S {\n    a: u32,\n    #[cfg(test)]\n    hook: Option<u32>,\n    b: u32,\n}\n";
+        let masked = mask_tests(&clean(src).text);
+        assert!(!masked.contains("hook"));
+        assert!(masked.contains("a: u32"));
+        assert!(masked.contains("b: u32"));
+    }
+}

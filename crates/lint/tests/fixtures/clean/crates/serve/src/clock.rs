@@ -1,0 +1,6 @@
+//! The blessed clock seam: the one raw wall-clock read.
+use std::time::Instant;
+
+pub fn wall_now() -> Instant {
+    Instant::now()
+}

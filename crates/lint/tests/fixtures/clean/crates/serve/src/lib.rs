@@ -1,0 +1,4 @@
+//! Clean serve fixture.
+pub mod clock;
+pub mod protocol;
+pub mod service;

@@ -1,0 +1,18 @@
+//! Clean wire path: no panicking constructs, fallbacks everywhere.
+pub fn encode(v: Option<&str>) -> String {
+    v.map(str::to_string)
+        .unwrap_or_else(|| "{\"ok\":false}".to_string())
+}
+
+pub fn first(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_index() {
+        let v = vec![1u8];
+        assert_eq!(v[0], super::first(&v).unwrap());
+    }
+}

@@ -1,0 +1,33 @@
+//! Clean lock discipline: one lock at a time, or the blessed helper.
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Shard {
+    engine: Mutex<u64>,
+}
+
+impl Shard {
+    fn lock_engine(&self) -> MutexGuard<'_, u64> {
+        self.engine.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+pub struct Scheduler {
+    shards: Vec<Shard>,
+}
+
+impl Scheduler {
+    fn lock_engines_ascending(&self) -> Vec<MutexGuard<'_, u64>> {
+        self.shards.iter().map(Shard::lock_engine).collect()
+    }
+
+    pub fn tick(&self) {
+        for sh in &self.shards {
+            let mut g = sh.lock_engine();
+            *g += 1;
+        }
+    }
+
+    pub fn drain(&self) -> u64 {
+        self.lock_engines_ascending().iter().map(|g| **g).sum()
+    }
+}

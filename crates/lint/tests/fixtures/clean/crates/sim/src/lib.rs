@@ -1,0 +1,2 @@
+//! Clean sim fixture.
+pub mod engine;

@@ -1,0 +1,15 @@
+//! Determinism violations: hash container + ambient RNG.
+use std::collections::HashMap;
+
+pub fn order_sensitive() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn roll() -> u64 {
+    let _rng = thread_rng();
+    4
+}
+
+fn thread_rng() -> u64 {
+    0
+}

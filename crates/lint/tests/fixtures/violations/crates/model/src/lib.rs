@@ -1,0 +1,2 @@
+//! Clean model so the layering chain is the only model finding.
+pub fn nothing() {}

@@ -1,0 +1,3 @@
+//! Serve fixture with lock-order, panic, and waiver violations.
+pub mod protocol;
+pub mod service;

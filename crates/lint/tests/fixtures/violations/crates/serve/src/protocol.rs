@@ -1,0 +1,18 @@
+//! Panic-freedom violations plus one malformed and one valid waiver.
+pub fn decode(line: &str) -> u8 {
+    let bytes = line.as_bytes();
+    // Slice index and unwrap: two `panic` findings.
+    let first = bytes[0];
+    let parsed: u8 = line.parse().unwrap();
+    first + parsed
+}
+
+// dvfs-lint: allow(panic)
+pub fn shouting(line: &str) -> u8 {
+    line.parse().expect("caller validated")
+}
+
+pub fn waived(line: &str) -> u8 {
+    // dvfs-lint: allow(panic) fixture: demonstrates a correctly waived expect
+    line.parse().expect("caller validated")
+}

@@ -1,0 +1,18 @@
+//! Lock-order violation: two engine-lock sites in one function.
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Shard {
+    engine: Mutex<u64>,
+}
+
+impl Shard {
+    fn lock_engine(&self) -> MutexGuard<'_, u64> {
+        self.engine.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+pub fn transfer(a: &Shard, b: &Shard) -> u64 {
+    let ga = a.lock_engine();
+    let gb = b.lock_engine();
+    *ga + *gb
+}

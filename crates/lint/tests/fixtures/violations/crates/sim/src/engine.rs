@@ -1,0 +1,4 @@
+//! Determinism violation: wall clock inside the virtual-time engine.
+pub fn now_s() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

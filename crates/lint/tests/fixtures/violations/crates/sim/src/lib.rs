@@ -1,0 +1,2 @@
+//! Sim fixture with a wall-clock leak in the engine.
+pub mod engine;

@@ -57,7 +57,7 @@ pub fn predict_plan_cost(
     platform: &Platform,
     params: CostParams,
 ) -> f64 {
-    let lookup: std::collections::HashMap<TaskId, u64> =
+    let lookup: std::collections::BTreeMap<TaskId, u64> =
         tasks.iter().map(|t| (t.id, t.cycles)).collect();
     plan.per_core
         .iter()

@@ -33,7 +33,10 @@ use std::fmt;
 const NIL: u32 = u32::MAX;
 
 /// A generational handle to an element in a [`CycleTree`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordered by `(idx, gen)` so handles can key deterministic-iteration
+/// containers (`BTreeMap`) in replay-critical code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Handle {
     idx: u32,
     gen: u32,

@@ -138,6 +138,7 @@ impl AdmissionQueue {
         match self.try_submit_gated(task, || true) {
             GateOutcome::Admitted(depth) => Ok(depth),
             GateOutcome::Shed(reason) => Err(reason),
+            // dvfs-lint: allow(panic) the gate closure is the constant `|| true`, so `Closed` is statically impossible here
             GateOutcome::Closed => unreachable!("gate `|| true` never closes"),
         }
     }

@@ -1,0 +1,17 @@
+//! The service's wall-clock seam.
+//!
+//! Every wall-time read in `dvfs-serve` goes through [`wall_now`] — the
+//! single place the wall clock enters the crate. Everything downstream
+//! either works in engine seconds (the executor clock, advanced
+//! explicitly by ticks) or handles `Instant`s obtained here. Funneling
+//! the reads keeps the determinism contract auditable: `dvfs-lint`
+//! forbids raw `Instant::now()`/`SystemTime::now()` anywhere else in
+//! the crate, so the whole nondeterministic time surface is this file.
+
+use std::time::Instant;
+
+/// Read the wall clock — the one raw `Instant::now()` in the crate.
+#[must_use]
+pub fn wall_now() -> Instant {
+    Instant::now()
+}

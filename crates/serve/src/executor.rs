@@ -29,7 +29,7 @@ use dvfs_model::{
 };
 use dvfs_sysfs::{DvfsActuator, SimulatedSysfs};
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Safety valve against policy livelock (same bound as the simulator).
 const EVENT_BUDGET: u64 = 2_000_000_000;
@@ -189,7 +189,7 @@ impl RoundReport {
 pub struct RealTimeExecutor {
     platform: Platform,
     cores: Vec<Core>,
-    jobs: HashMap<TaskId, Job>,
+    jobs: BTreeMap<TaskId, Job>,
     queue: EventQueue,
     now: f64,
     done: usize,
@@ -235,7 +235,7 @@ impl RealTimeExecutor {
         RealTimeExecutor {
             platform,
             cores,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             queue: EventQueue::default(),
             now: 0.0,
             done: 0,
@@ -463,15 +463,12 @@ impl RealTimeExecutor {
     /// library run bit for bit.
     #[must_use]
     pub fn round_report(&self) -> RoundReport {
-        // Task-id order, exactly like SimReport's BTreeMap.
-        let by_id: BTreeMap<TaskId, TaskRecord> = self
+        // `jobs` is a BTreeMap, so this sums in task-id order — exactly
+        // like SimReport's BTreeMap.
+        let total_turnaround_s = self
             .jobs
-            .iter()
-            .map(|(id, job)| (*id, job.record))
-            .collect();
-        let total_turnaround_s = by_id
             .values()
-            .filter_map(TaskRecord::turnaround)
+            .filter_map(|job| job.record.turnaround())
             .sum::<f64>();
         RoundReport {
             records: self

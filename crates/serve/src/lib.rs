@@ -28,6 +28,7 @@
 //!
 //! * [`protocol`] — wire request/response encoding.
 //! * [`admission`] — the bounded queue and shed policy.
+//! * [`clock`] — the wall-clock seam (the only raw `Instant::now`).
 //! * [`metrics`] — counters, gauges, histograms, the registry.
 //! * [`executor`] — the wall-clock `ExecutorView` implementation.
 //! * [`service`] — the scheduler proper (shard router + per-shard
@@ -38,6 +39,7 @@
 //!   Poisson, closed-loop clients).
 
 pub mod admission;
+pub mod clock;
 pub mod executor;
 pub mod loadgen;
 pub mod metrics;

@@ -28,7 +28,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What to offer the server.
 #[derive(Debug, Clone)]
@@ -231,7 +231,7 @@ fn submit_and_tally(
     rtt: &Histogram,
     tally: &mut Tally,
 ) -> std::io::Result<()> {
-    let t0 = Instant::now();
+    let t0 = crate::clock::wall_now();
     let resp = conn.round_trip(line)?;
     rtt.record(t0.elapsed().as_secs_f64());
     tally.observe(&resp);
@@ -281,7 +281,7 @@ fn parse_drain(resp: &Response) -> Option<DrainSummary> {
 /// error responses are tallied, not fatal.
 pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> {
     let rtt = Arc::new(Histogram::default());
-    let started = Instant::now();
+    let started = crate::clock::wall_now();
     let mut tally = Tally::default();
     let mut drain = None;
 

@@ -33,6 +33,16 @@
 use dvfs_model::TaskClass;
 use serde::{Number, Value};
 
+/// Encode a value, degrading to a hand-built `internal` error line if
+/// the encoder ever fails. It cannot for the values this module builds,
+/// but the wire path must not be able to panic, so the impossible case
+/// becomes a well-formed error response instead of an `expect`.
+fn encode_or_internal(obj: &Value) -> String {
+    serde_json::to_string(obj).unwrap_or_else(|_| {
+        "{\"ok\":false,\"kind\":\"internal\",\"error\":\"encoding failed\"}".to_string()
+    })
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -155,7 +165,7 @@ impl Response {
                 ("error".to_string(), Value::String(message.clone())),
             ]),
         };
-        serde_json::to_string(&obj).expect("value serialization is infallible")
+        encode_or_internal(&obj)
     }
 
     /// Decode a wire line (client side).
@@ -313,18 +323,17 @@ pub fn encode_submit(
     if let Some(a) = arrival {
         pairs.push(field_f64("arrival", a));
     }
-    serde_json::to_string(&Value::Object(pairs)).expect("value serialization is infallible")
+    encode_or_internal(&Value::Object(pairs))
 }
 
 /// Encode a bare command request line (`stats`, `drain`, `ping`,
 /// `shutdown`).
 #[must_use]
 pub fn encode_command(cmd: &str) -> String {
-    serde_json::to_string(&Value::Object(vec![(
+    encode_or_internal(&Value::Object(vec![(
         "cmd".to_string(),
         Value::String(cmd.to_string()),
     )]))
-    .expect("value serialization is infallible")
 }
 
 #[cfg(test)]

@@ -242,7 +242,7 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         metrics,
         snapshot,
         shutdown: AtomicBool::new(false),
-        started: Instant::now(),
+        started: crate::clock::wall_now(),
     });
     shared.scheduler.start_clock();
 
@@ -252,13 +252,13 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
             let tick = cfg.tick;
             let period = cfg.snapshot_period;
             Some(std::thread::spawn(move || {
-                let mut last_snapshot = Instant::now();
+                let mut last_snapshot = crate::clock::wall_now();
                 while !shared.shutdown.load(Ordering::SeqCst) {
                     shared.scheduler.wait_for_work(tick);
                     shared.scheduler.tick();
                     if last_snapshot.elapsed() >= period {
                         shared.write_snapshot();
-                        last_snapshot = Instant::now();
+                        last_snapshot = crate::clock::wall_now();
                     }
                 }
             }))
@@ -280,13 +280,17 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
 }
 
 fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
-    match listener {
-        Listener::Unix(l) => l
-            .set_nonblocking(true)
-            .expect("socket supports nonblocking"),
-        Listener::Tcp(l) => l
-            .set_nonblocking(true)
-            .expect("socket supports nonblocking"),
+    let nonblocking = match listener {
+        Listener::Unix(l) => l.set_nonblocking(true),
+        Listener::Tcp(l) => l.set_nonblocking(true),
+    };
+    if let Err(e) = nonblocking {
+        // The loop polls the shutdown flag between accepts, which needs
+        // nonblocking accepts; a blocking listener would wedge shutdown
+        // forever, so refuse to serve instead of panicking.
+        shared.metrics.counter("accept_errors").inc();
+        eprintln!("dvfs-serve: cannot set listener nonblocking ({e}); refusing connections");
+        return;
     }
     let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
     loop {

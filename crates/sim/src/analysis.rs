@@ -156,8 +156,7 @@ pub fn write_gantt_csv<W: std::io::Write>(
 mod tests {
     use super::*;
     use crate::engine::{SimConfig, Simulator};
-    use crate::policy::ExecutorView;
-    use crate::policy::Policy;
+    use dvfs_core::sched::{ExecutorView, Scheduler as Policy};
     use dvfs_model::{CoreSpec, Platform, RateTable, Task};
 
     struct Fifo {

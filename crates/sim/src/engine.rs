@@ -3,9 +3,9 @@
 use crate::event::{EventKind, EventQueue};
 use crate::governor::GovernorKind;
 use crate::metrics::{SimReport, TaskRecord};
-use crate::policy::{ExecutorView, Policy};
+use dvfs_core::sched::{ExecutorView, Scheduler as Policy};
 use dvfs_model::{CoreId, Platform, RateIdx, RateTable, Task, TaskId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Contention factor: given the number of simultaneously busy cores,
 /// return the effective speed multiplier in `(0, 1]`. `None` models an
@@ -151,8 +151,9 @@ struct Core {
 /// then [`Simulator::run`] with a policy.
 ///
 /// ```
-/// use dvfs_model::{Platform, Task, TaskId};
-/// use dvfs_sim::{BatchPlan, PlanPolicy, SimConfig, Simulator};
+/// use dvfs_core::PlanPolicy;
+/// use dvfs_model::{BatchPlan, Platform, Task, TaskId};
+/// use dvfs_sim::{SimConfig, Simulator};
 ///
 /// let platform = Platform::i7_950_quad();
 /// let task = Task::batch(0, 1_600_000_000).unwrap(); // 1 s at 1.6 GHz
@@ -168,7 +169,7 @@ struct Core {
 pub struct Simulator {
     cfg: SimConfig,
     cores: Vec<Core>,
-    jobs: HashMap<TaskId, Job>,
+    jobs: BTreeMap<TaskId, Job>,
     queue: EventQueue,
     now: f64,
     done: usize,
@@ -219,7 +220,7 @@ impl Simulator {
             .collect();
         Simulator {
             cores,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             queue: EventQueue::new(),
             now: 0.0,
             done: 0,

@@ -40,13 +40,15 @@ pub mod event;
 pub mod eventlog;
 pub mod governor;
 pub mod metrics;
-pub mod plan;
-pub mod policy;
 
 pub use analysis::{gantt, queue_depth_series, GanttSegment};
 pub use engine::{SimConfig, SimView, Simulator};
 pub use eventlog::{EventLog, LogEntry, LogEvent};
 pub use governor::GovernorKind;
 pub use metrics::{SimReport, TaskRecord};
-pub use plan::{BatchPlan, PlanPolicy};
-pub use policy::{ExecutorView, Policy};
+
+/// The engine-agnostic policy trait this executor drives. An alias for
+/// [`dvfs_core::sched::Scheduler`]; the former `dvfs_sim::{plan,
+/// policy}` re-export modules are gone — import `BatchPlan` from
+/// `dvfs_model` and `PlanPolicy`/`ExecutorView` from `dvfs_core`.
+pub use dvfs_core::sched::Scheduler as Policy;

@@ -213,7 +213,7 @@ mod tests {
             record(2, TaskClass::Interactive, 0.0, Some(5.0)), // misses 4.0
             record(3, TaskClass::Interactive, 0.0, None),      // unfinished, misses
         ]);
-        let deadlines: std::collections::HashMap<TaskId, f64> = [
+        let deadlines: std::collections::BTreeMap<TaskId, f64> = [
             (TaskId(1), 3.0),
             (TaskId(2), 4.0),
             (TaskId(3), 10.0),
@@ -222,7 +222,7 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(r.deadline_misses(&deadlines), 2);
-        let empty: std::collections::HashMap<TaskId, f64> = Default::default();
+        let empty: std::collections::BTreeMap<TaskId, f64> = Default::default();
         assert_eq!(r.deadline_misses(&empty), 0);
     }
 

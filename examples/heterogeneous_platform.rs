@@ -9,9 +9,10 @@
 
 use dvfs_suite::core::batch::predict_plan_cost;
 use dvfs_suite::core::schedule_wbg;
+use dvfs_suite::core::PlanPolicy;
 use dvfs_suite::model::task::batch_workload;
 use dvfs_suite::model::{CostParams, Platform};
-use dvfs_suite::sim::{PlanPolicy, SimConfig, Simulator};
+use dvfs_suite::sim::{SimConfig, Simulator};
 
 fn main() {
     let platform = Platform::big_little(2, 2);

@@ -5,10 +5,11 @@
 //! ```
 
 use dvfs_suite::core::batch::predict_plan_cost;
+use dvfs_suite::core::PlanPolicy;
 use dvfs_suite::core::{schedule_single_core, schedule_wbg, DominatingRanges};
 use dvfs_suite::model::task::batch_workload;
 use dvfs_suite::model::{CostParams, Platform, RateTable};
-use dvfs_suite::sim::{PlanPolicy, SimConfig, Simulator};
+use dvfs_suite::sim::{SimConfig, Simulator};
 
 fn main() {
     // The hardware: Table II's five frequency levels.

@@ -35,20 +35,15 @@ for shards in 1 2 4; do
     DVFS_SERVE_SHARDS="$shards" cargo test -q --test serve_e2e
 done
 
-# Layering gate: policies (dvfs-core) must stay engine-agnostic. The
-# simulator may appear only as a dev-dependency (its integration tests
-# replay policies on it); a *normal* dependency would re-invert the
-# policy/engine layering this workspace is built around. Same for the
-# service crate, which runs policies on its own wall-clock executor.
-layering() {
-    local crate="$1"
-    echo "==> layering: $crate must not depend on dvfs-sim (normal deps)"
-    if cargo tree -p "$crate" -e normal --prefix none | grep -q "dvfs-sim"; then
-        echo "layering violation: $crate depends on dvfs-sim outside dev-dependencies" >&2
-        exit 1
-    fi
-}
-layering dvfs-core
-layering dvfs-serve
+# Invariant gate: dvfs-lint enforces the contracts no compiler checks —
+# determinism (no hash-order iteration / raw wall-clock reads outside
+# the serve clock seam), lock order (multi-lock only via the blessed
+# ascending helper), layering (dvfs-core/dvfs-serve must not reach
+# dvfs-sim over normal deps; parsed natively from Cargo.toml, replacing
+# the old `cargo tree | grep` function), and wire-path panic-freedom.
+# See DESIGN.md "Enforced invariants" for the rule list and waiver
+# syntax.
+run cargo test -p dvfs-lint -q
+run cargo run -p dvfs-lint --release -- --deny all
 
 echo "ci: all gates passed"

@@ -3,11 +3,12 @@
 
 use dvfs_suite::baselines::{olb_assignment, power_saving_config, GovernedPlanPolicy};
 use dvfs_suite::core::batch::predict_plan_cost;
+use dvfs_suite::core::PlanPolicy;
 use dvfs_suite::core::{schedule_single_core, schedule_wbg};
 use dvfs_suite::model::task::batch_workload;
 use dvfs_suite::model::{CostParams, Platform, RateTable};
 use dvfs_suite::power::{memory_contention, PowerMeter};
-use dvfs_suite::sim::{GovernorKind, PlanPolicy, SimConfig, Simulator};
+use dvfs_suite::sim::{GovernorKind, SimConfig, Simulator};
 use dvfs_suite::sysfs::{Cpufreq, DvfsActuator, SimulatedSysfs};
 use dvfs_suite::workloads::{spec_batch_tasks, SpecInput};
 

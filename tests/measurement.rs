@@ -4,9 +4,10 @@
 //! own accounting.
 
 use dvfs_suite::core::schedule_wbg;
+use dvfs_suite::core::PlanPolicy;
 use dvfs_suite::model::{CostParams, Platform};
 use dvfs_suite::power::PowerMeter;
-use dvfs_suite::sim::{PlanPolicy, SimConfig, Simulator};
+use dvfs_suite::sim::{SimConfig, Simulator};
 use dvfs_suite::sysfs::{counter_delta, PowercapEmulator};
 use dvfs_suite::workloads::{spec_batch_tasks, SpecInput};
 
