@@ -24,13 +24,20 @@ USAGE:
   dvfs-sched serve (--socket PATH | --tcp ADDR) [--mode replay|paced]
              [--speed X] [--cores N] [--shards N] [--re X] [--rt Y]
              [--queue-cap N] [--snapshot FILE] [--snapshot-period-s S]
+             [--trace-out FILE] [--trace-cap N]
   dvfs-sched loadgen (--socket PATH | --tcp ADDR) --mode replay|poisson|closed
              [--trace FILE] [--rate HZ] [--duration-s S] [--clients N]
              [--requests N] [--interactive-frac F] [--mean-cycles C]
-             [--seed N] [--shutdown]
+             [--seed N] [--max-shed F] [--shutdown]
+  dvfs-sched trace-export --in FILE.jsonl --out FILE.json
 
 Cost parameters default to the paper's: batch Re=0.1 Rt=0.4 for
-schedule-batch/ranges, online Re=0.4 Rt=0.1 for simulate/serve.";
+schedule-batch/ranges, online Re=0.4 Rt=0.1 for simulate/serve.
+`serve --trace-cap N` enables per-shard lifecycle tracing (ring of N
+events per shard); `--trace-out` mirrors the drained trace to a JSONL
+file. `trace-export` converts that JSONL into Chrome trace_event JSON
+loadable in Perfetto (ui.perfetto.dev). `loadgen --max-shed F` exits
+nonzero when the shed ratio exceeds F.";
 
 fn cost_params(args: &Args, default: CostParams) -> Result<CostParams, String> {
     let re = args.num("re", default.re)?;
@@ -63,6 +70,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "ranges" => ranges(rest),
         "serve" => serve_cmd(rest),
         "loadgen" => loadgen_cmd(rest),
+        "trace-export" => trace_export(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -321,6 +329,11 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown serve mode `{other}` (replay|paced)")),
     };
+    let trace_capacity: usize = args.num("trace-cap", 0)?;
+    let trace_out = args.get("trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() && trace_capacity == 0 {
+        return Err("`--trace-out` requires `--trace-cap N` to enable tracing".into());
+    }
     let mut cfg = dvfs_serve::ServerConfig::new(endpoint);
     cfg.scheduler = dvfs_serve::SchedulerConfig {
         cores,
@@ -328,8 +341,10 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
         mode,
         queue_capacity,
         shards,
+        trace_capacity,
     };
     cfg.snapshot_path = args.get("snapshot").map(Into::into);
+    cfg.trace_out = trace_out;
     let period: f64 = args.num("snapshot-period-s", 1.0)?;
     if !(period.is_finite() && period > 0.0) {
         return Err("`--snapshot-period-s` must be a positive number".into());
@@ -393,6 +408,36 @@ fn loadgen_cmd(argv: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("server shutdown requested");
     }
+    if let Some(max_shed) = args.get("max-shed") {
+        let max: f64 = max_shed
+            .parse()
+            .map_err(|_| format!("`--max-shed` is not a number: `{max_shed}`"))?;
+        if !(0.0..=1.0).contains(&max) {
+            return Err("`--max-shed` must be between 0 and 1".into());
+        }
+        let ratio = report.shed_ratio();
+        if ratio > max {
+            return Err(format!(
+                "shed ratio {ratio:.4} exceeds --max-shed {max} ({} of {} submissions shed)",
+                report.shed, report.sent
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn trace_export(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let input = args.require("in")?;
+    let output = args.require("out")?;
+    let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
+    let events = dvfs_trace::export::parse_jsonl(&text).map_err(|e| e.to_string())?;
+    let json = dvfs_trace::export::chrome_trace(&events);
+    std::fs::write(output, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} events as Chrome trace JSON to {output} (open in ui.perfetto.dev)",
+        events.len()
+    );
     Ok(())
 }
 

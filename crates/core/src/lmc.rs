@@ -24,6 +24,7 @@ use crate::ledger::CostLedger;
 use crate::sched::{ExecutorView, Scheduler};
 use dvfs_model::{CoreId, CostParams, Platform, RateIdx, Task, TaskClass, TaskId};
 use dvfs_ostree::Handle;
+use dvfs_trace::EventKind;
 use std::collections::{BTreeMap, VecDeque};
 
 struct CoreQueue {
@@ -55,6 +56,19 @@ pub enum InteractivePlacement {
     LeastQueue,
     /// Round-robin, ignoring all state — the naive control.
     RoundRobin,
+}
+
+/// A placement decision's provenance, handed to
+/// [`LeastMarginalCost::record_enqueue`]: the winning core and queue
+/// position, the rate the cost was evaluated at, the per-core Eq. 27
+/// marginal costs that were compared, and the `Rt`-weighted waiting
+/// share of the winning delta.
+struct EnqueueChoice {
+    best: CoreId,
+    position: u64,
+    rate: RateIdx,
+    costs: Vec<f64>,
+    wait_delta: f64,
 }
 
 /// The Least Marginal Cost policy. Construct once per simulation run.
@@ -147,9 +161,51 @@ impl LeastMarginalCost {
         self.cores[j].running = None;
     }
 
+    /// Record the placement decision's provenance: the per-core costs
+    /// that were compared, the chosen core/position, and the Eq. 27
+    /// deltas split into the `Re`-weighted energy term and the
+    /// `Rt`-weighted waiting terms. Reads pre-action state, so it must
+    /// run before the queues mutate.
+    fn record_enqueue(&self, sim: &mut dyn ExecutorView, task: &Task, choice: EnqueueChoice) {
+        let EnqueueChoice {
+            best,
+            position,
+            rate,
+            costs,
+            wait_delta,
+        } = choice;
+        let r = sim.rate_table(best).rate(rate);
+        let l = task.cycles as f64;
+        let energy_delta = self.params.re * l * r.energy_per_cycle;
+        let now = sim.now();
+        if let Some(tr) = sim.trace() {
+            tr.record(
+                now,
+                EventKind::Enqueue {
+                    task: task.id.0,
+                    core: best as u32,
+                    position,
+                    costs,
+                    energy_delta,
+                    wait_delta,
+                },
+            );
+        }
+    }
+
     fn handle_interactive(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
+        let tracing = sim.trace().is_some();
+        let mut costs: Vec<f64> = Vec::new();
         let best = match self.placement {
             InteractivePlacement::MarginalCost => {
+                if tracing {
+                    // Provenance: re-evaluate the pure Eq. 27 scan into
+                    // a vector (identical values, identical query
+                    // order) so the decision can be audited.
+                    costs = (0..self.cores.len())
+                        .map(|j| self.interactive_marginal_cost(sim, j, task.cycles))
+                        .collect();
+                }
                 (0..self.cores.len())
                     .map(|j| (self.interactive_marginal_cost(sim, j, task.cycles), j))
                     .min_by(|a, b| {
@@ -169,6 +225,29 @@ impl LeastMarginalCost {
                 j
             }
         };
+        if tracing {
+            // Interactive work joins the FIFO (position 0) and runs at
+            // the core's maximum frequency; the waiting delta is the
+            // `Rt·L·T(p_m)·(1 + N_j)` remainder of Eq. 27, term for
+            // term.
+            let pm = sim.max_allowed_rate(best);
+            let r = sim.rate_table(best).rate(pm);
+            let l = task.cycles as f64;
+            let nj = self.cores[best].n_waiting() as f64;
+            let wait_delta =
+                self.params.rt * l * r.time_per_cycle + self.params.rt * l * r.time_per_cycle * nj;
+            self.record_enqueue(
+                sim,
+                task,
+                EnqueueChoice {
+                    best,
+                    position: 0,
+                    rate: pm,
+                    costs,
+                    wait_delta,
+                },
+            );
+        }
         match self.cores[best].running {
             None => {
                 debug_assert!(sim.is_idle(best));
@@ -194,6 +273,17 @@ impl LeastMarginalCost {
     }
 
     fn handle_non_interactive(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
+        let tracing = sim.trace().is_some();
+        let mut costs: Vec<f64> = Vec::new();
+        if tracing {
+            // Provenance: the same ledger queries in the same order,
+            // collected so the comparison the policy made is in the
+            // trace. `marginal_insert_cost` is a query (no insert), so
+            // re-running it does not perturb the decision below.
+            costs = (0..self.cores.len())
+                .map(|j| self.cores[j].ledger.marginal_insert_cost(task.cycles))
+                .collect();
+        }
         let best = (0..self.cores.len())
             .map(|j| (self.cores[j].ledger.marginal_insert_cost(task.cycles), j))
             .min_by(|a, b| {
@@ -205,6 +295,31 @@ impl LeastMarginalCost {
             .1;
         let h = self.cores[best].ledger.insert(task.cycles);
         self.cores[best].by_handle.insert(h, task.id);
+        if tracing {
+            // Theorem-3 backward position of the fresh insertion and
+            // the rate that position dominates; the waiting delta is
+            // whatever remains of the measured marginal cost after the
+            // `Re·L·E(p_k)` energy term.
+            let position = self.cores[best].ledger.backward_position(h);
+            let rate = self.cores[best]
+                .ledger
+                .rate_at(position)
+                .min(sim.max_allowed_rate(best));
+            let total = costs.get(best).copied().unwrap_or(0.0);
+            let r = sim.rate_table(best).rate(rate);
+            let energy_delta = self.params.re * task.cycles as f64 * r.energy_per_cycle;
+            self.record_enqueue(
+                sim,
+                task,
+                EnqueueChoice {
+                    best,
+                    position,
+                    rate,
+                    costs,
+                    wait_delta: total - energy_delta,
+                },
+            );
+        }
         match self.cores[best].running {
             None => {
                 debug_assert!(sim.is_idle(best));

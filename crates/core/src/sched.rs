@@ -27,6 +27,7 @@
 //! this view.
 
 use dvfs_model::{CoreId, RateIdx, RateTable, Task, TaskId};
+use dvfs_trace::TraceSink;
 
 /// What a scheduler can observe about — and command of — an executor.
 ///
@@ -80,6 +81,16 @@ pub trait ExecutorView {
     /// # Panics
     /// Implementations panic when `j` is idle.
     fn preempt(&mut self, j: CoreId) -> TaskId;
+
+    /// The lifecycle trace sink wired into this executor, if tracing is
+    /// enabled. Policies use it to attach decision provenance (e.g.
+    /// LMC's per-core marginal-cost comparison) to the event stream the
+    /// executor is already recording. The default is `None`: executors
+    /// without tracing pay one virtual call returning `None`, and
+    /// policies need no feature flags.
+    fn trace(&mut self) -> Option<&mut dyn TraceSink> {
+        None
+    }
 }
 
 /// The event hooks a scheduling policy implements.

@@ -7,14 +7,21 @@ use crate::Violation;
 use std::path::Path;
 
 /// `(from, to)` pairs that must not be reachable over normal deps.
-/// Policies stay engine-agnostic (core/model never see an executor) and
-/// the service links the real-time executor only.
+/// Policies stay engine-agnostic (core/model never see an executor),
+/// the service links the real-time executor only, and the trace event
+/// bus sits below everything: `dvfs-core -> dvfs-trace` is the only
+/// allowed edge into it, and it depends on nothing in the workspace.
 pub const FORBIDDEN: &[(&str, &str)] = &[
     ("dvfs-core", "dvfs-sim"),
     ("dvfs-core", "dvfs-serve"),
     ("dvfs-serve", "dvfs-sim"),
     ("dvfs-model", "dvfs-core"),
     ("dvfs-model", "dvfs-sim"),
+    ("dvfs-trace", "dvfs-core"),
+    ("dvfs-trace", "dvfs-model"),
+    ("dvfs-trace", "dvfs-sim"),
+    ("dvfs-trace", "dvfs-serve"),
+    ("dvfs-model", "dvfs-trace"),
 ];
 
 /// One parsed manifest: package name plus its normal dependency names

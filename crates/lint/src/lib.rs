@@ -12,7 +12,9 @@
 //! |---------------|-------------------------------------------------------|
 //! | `determinism` | no `HashMap`/`HashSet`, `Instant::now`,               |
 //! |               | `SystemTime::now`, or `thread_rng` in replay-critical |
-//! |               | code; wall time only via the serve clock seam         |
+//! |               | code; wall time only via the serve clock seam; no     |
+//! |               | clock reads or string allocation/formatting in the    |
+//! |               | `dvfs-trace` record path (rendering is drain-time)    |
 //! | `lock-order`  | at most one engine/queue lock per function outside    |
 //! |               | the blessed ascending-order helpers                   |
 //! | `layering`    | forbidden crate edges over *normal* deps, parsed      |
@@ -92,6 +94,11 @@ mod scope {
     pub const DET_CLOCK_FILES: &[&str] = &["crates/sim/src/engine.rs"];
     /// The one blessed wall-clock read.
     pub const DET_CLOCK_EXEMPT: &[&str] = &["crates/serve/src/clock.rs"];
+    /// Rule D (trace record path): the event-bus hot path must be
+    /// clock-free and allocation-free; exporters (`export.rs`,
+    /// `prom.rs`) render at drain time and are deliberately excluded.
+    pub const TRACE_RECORD_FILES: &[&str] =
+        &["crates/trace/src/lib.rs", "crates/trace/src/ring.rs"];
     /// Rule L: the sharded service (the only place with >1 engine lock).
     pub const LOCK_ORDER_DIRS: &[&str] = &["crates/serve/src"];
     /// Rule P: the wire path.
@@ -185,6 +192,10 @@ pub fn run(root: &Path) -> Report {
             scope::DET_CLOCK_EXEMPT,
         ) {
             raw.extend(rules::determinism_clock(&text, rel));
+        }
+        if in_scope(rel, &[], scope::TRACE_RECORD_FILES, &[]) {
+            raw.extend(rules::determinism_clock(&text, rel));
+            raw.extend(rules::determinism_allocation(&text, rel));
         }
         if in_scope(rel, scope::LOCK_ORDER_DIRS, &[], &[]) {
             raw.extend(rules::lock_order(&text, rel));

@@ -187,6 +187,43 @@ pub fn determinism_clock(text: &str, file: &str) -> Vec<Violation> {
     out
 }
 
+/// Rule D over trace record paths: the ring-buffer hot path must not
+/// allocate strings or format; rendering belongs in the exporters,
+/// which run off the record path.
+pub fn determinism_allocation(text: &str, file: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for mac in ["format", "write", "writeln"] {
+        for at in macro_occurrences(text, mac) {
+            out.push(violation(
+                text,
+                file,
+                at,
+                "determinism",
+                format!("`{mac}!` allocates/formats on the trace record path; defer rendering to the exporters (`export::jsonl_line` runs at drain time)"),
+            ));
+        }
+    }
+    for at in method_call_occurrences(text, "to_string") {
+        out.push(violation(
+            text,
+            file,
+            at,
+            "determinism",
+            "`.to_string()` allocates on the trace record path; record raw numeric/enum payloads and render at drain time".to_string(),
+        ));
+    }
+    for at in path_occurrences(text, "String", "from") {
+        out.push(violation(
+            text,
+            file,
+            at,
+            "determinism",
+            "`String::from` allocates on the trace record path; record raw numeric/enum payloads and render at drain time".to_string(),
+        ));
+    }
+    out
+}
+
 /// Functions whose bodies may acquire engine locks freely: the
 /// single-lock accessor and the blessed ascending-order bulk helper.
 const BLESSED_LOCK_FNS: &[&str] = &["lock_engine", "lock_engines_ascending"];
@@ -358,6 +395,16 @@ mod tests {
         assert_eq!(index_occurrences(flagged).len(), 4);
         let clean = "fn f(b: &mut [u8]) -> Vec<[u8; 4]> { vec![1] }\n#[derive(Debug)]\nstruct S;";
         assert_eq!(index_occurrences(clean).len(), 0);
+    }
+
+    #[test]
+    fn allocation_rule_catches_formatting_and_string_building() {
+        let src = "fn rec(&mut self) { let s = format!(\"{}\", 1); let t = 2.to_string(); let u = String::from(\"x\"); }";
+        let v = determinism_allocation(src, "f.rs");
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|v| v.rule == "determinism"));
+        let clean = "fn rec(&mut self) { self.buf.push_back(ev); self.next_seq += 1; }";
+        assert!(determinism_allocation(clean, "f.rs").is_empty());
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Drain-time rendering may format freely: this file is deliberately
+//! outside the record-path scope.
+use crate::Event;
+
+pub fn jsonl_line(ev: &Event) -> String {
+    format!("{{\"t\":{},\"task\":{}}}", ev.time, ev.task)
+}

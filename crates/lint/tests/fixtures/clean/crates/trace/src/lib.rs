@@ -1,0 +1,14 @@
+//! Clean trace fixture: the record path stores raw payloads and never
+//! formats or reads a clock; rendering happens in `export.rs`, which is
+//! outside the record-path scope.
+pub mod export;
+pub mod ring;
+
+pub struct Event {
+    pub time: f64,
+    pub task: u64,
+}
+
+pub fn record(ring: &mut ring::Ring, time: f64, task: u64) {
+    ring.push(Event { time, task });
+}

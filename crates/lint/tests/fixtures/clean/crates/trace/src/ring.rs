@@ -1,0 +1,26 @@
+//! Overwrite-oldest ring: push is allocation-free after warm-up.
+use crate::Event;
+
+pub struct Ring {
+    buf: std::collections::VecDeque<Event>,
+    capacity: usize,
+    pub dropped: u64,
+}
+
+impl Ring {
+    pub fn new(capacity: usize) -> Self {
+        Ring {
+            buf: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}

@@ -1,0 +1,15 @@
+//! Determinism violations in the trace record path: a wall-clock read
+//! (timestamps must come from the caller's engine clock) and a
+//! `format!` allocation (rendering belongs in the drain-time exporter).
+pub struct Event {
+    pub time: f64,
+    pub label: String,
+}
+
+pub fn record(buf: &mut Vec<Event>, task: u64) {
+    let time = std::time::Instant::now().elapsed().as_secs_f64();
+    buf.push(Event {
+        time,
+        label: format!("task-{task}"),
+    });
+}

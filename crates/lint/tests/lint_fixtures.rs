@@ -60,6 +60,13 @@ fn violating_fixture_pins_findings_to_files() {
         "crates/sim/src/engine.rs",
         "`Instant::now()`"
     ));
+    // D: wall clock and string formatting in the trace record path.
+    assert!(has(
+        "determinism",
+        "crates/trace/src/lib.rs",
+        "`Instant::now()`"
+    ));
+    assert!(has("determinism", "crates/trace/src/lib.rs", "`format!`"));
     // L: two single-lock sites in one function.
     assert!(has(
         "lock-order",
@@ -71,6 +78,12 @@ fn violating_fixture_pins_findings_to_files() {
         "layering",
         "crates/core/Cargo.toml",
         "dvfs-core -> dvfs-sim"
+    ));
+    // A: the trace bus must not depend on anything in the workspace.
+    assert!(has(
+        "layering",
+        "crates/trace/Cargo.toml",
+        "dvfs-trace -> dvfs-core"
     ));
     // P: slice index, unwrap, and the expect the malformed waiver fails
     // to cover.

@@ -28,6 +28,7 @@ use dvfs_model::{
     CoreId, CostBreakdown, CostParams, Platform, RateIdx, RateTable, Task, TaskId, TaskRecord,
 };
 use dvfs_sysfs::{DvfsActuator, SimulatedSysfs};
+use dvfs_trace::{SharedRing, TraceSink};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -204,6 +205,10 @@ pub struct RealTimeExecutor {
     actuator: DvfsActuator<SimulatedSysfs>,
     actuations: u64,
     actuation_errors: u64,
+    /// Optional lifecycle trace ring, shared with the shard that owns
+    /// this executor (the shard drains it at round boundaries). Events
+    /// carry executor seconds only, preserving the replay contract.
+    sink: Option<SharedRing>,
 }
 
 impl RealTimeExecutor {
@@ -248,6 +253,19 @@ impl RealTimeExecutor {
             actuator,
             actuations: 0,
             actuation_errors: 0,
+            sink: None,
+        }
+    }
+
+    /// Attach (or detach, with `None`) the shard's shared trace ring.
+    pub fn set_trace_ring(&mut self, sink: Option<SharedRing>) {
+        self.sink = sink;
+    }
+
+    fn trace_record(&mut self, kind: dvfs_trace::EventKind) {
+        let now = self.now;
+        if let Some(sink) = self.sink.as_mut() {
+            TraceSink::record(sink, now, kind);
         }
     }
 
@@ -346,6 +364,15 @@ impl RealTimeExecutor {
                 self.last_completion = self.now;
                 self.fresh_completions.push(tid);
                 self.completion_order.push(tid);
+                if self.sink.is_some() {
+                    let rec = self.jobs[&tid].record;
+                    self.trace_record(dvfs_trace::EventKind::Complete {
+                        task: tid.0,
+                        core: core as u32,
+                        energy_j: rec.energy_joules,
+                        turnaround_s: self.now - rec.arrival,
+                    });
+                }
                 self.reschedule(core);
                 let t = self.jobs[&tid].task.clone();
                 policy.on_completion(self, core, &t);
@@ -522,8 +549,14 @@ impl ExecutorView for RealTimeExecutor {
             return;
         }
         self.sync_all();
+        let from = self.cores[j].rate;
         self.cores[j].rate = rate;
         self.actuate(j, rate);
+        self.trace_record(dvfs_trace::EventKind::RateChange {
+            core: j as u32,
+            from: from as u32,
+            to: rate as u32,
+        });
         self.reschedule(j);
     }
 
@@ -554,6 +587,23 @@ impl ExecutorView for RealTimeExecutor {
         self.cores[j].running = Some(task);
         let rate_now = self.cores[j].rate;
         self.actuate(j, rate_now);
+        if self.sink.is_some() {
+            // Mirror `reschedule`'s exact arithmetic so predicted energy
+            // is bit-comparable with the measured accrual when the task
+            // runs in one uninterrupted slice.
+            let remaining = self.jobs[&task].remaining.max(0.0);
+            let rp = self.table(j).rate(rate_now);
+            let eff = 1.0 / rp.time_per_cycle;
+            let predicted_time_s = remaining / eff;
+            let predicted_energy_j = rp.active_power_watts() * predicted_time_s;
+            self.trace_record(dvfs_trace::EventKind::Dispatch {
+                task: task.0,
+                core: j as u32,
+                rate: rate_now as u32,
+                predicted_energy_j,
+                predicted_time_s,
+            });
+        }
         self.reschedule(j);
     }
 
@@ -564,8 +614,16 @@ impl ExecutorView for RealTimeExecutor {
         job.phase = JobPhase::Ready;
         job.record.preemptions += 1;
         self.cores[j].running = None;
+        self.trace_record(dvfs_trace::EventKind::Preempt {
+            task: tid.0,
+            core: j as u32,
+        });
         self.reschedule(j);
         tid
+    }
+
+    fn trace(&mut self) -> Option<&mut dyn TraceSink> {
+        self.sink.as_mut().map(|s| s as &mut dyn TraceSink)
     }
 }
 

@@ -50,8 +50,8 @@ pub mod snapshot;
 
 pub use admission::{AdmissionPolicy, AdmissionQueue, GateOutcome, ShedReason};
 pub use executor::{RealTimeExecutor, RoundReport};
-pub use loadgen::{DrainSummary, LoadMode, LoadReport};
-pub use metrics::{shard_metric, Counter, Gauge, Histogram, Registry};
+pub use loadgen::{class_idx, DrainSummary, LoadMode, LoadReport};
+pub use metrics::{prometheus_text, shard_metric, Counter, Gauge, Histogram, Registry};
 pub use protocol::{ErrorKind, Request, Response};
 pub use server::{serve, Endpoint, ServerConfig, ServerHandle};
 pub use service::{service_platform, Mode, Scheduler, SchedulerConfig};

@@ -97,6 +97,9 @@ pub struct LoadReport {
     pub shed: u64,
     /// Other error responses.
     pub errors: u64,
+    /// Shed submissions split by task class, indexed by [`class_idx`]
+    /// (interactive, non-interactive, batch).
+    pub shed_by_class: [u64; 3],
     /// Wall-clock seconds the run took.
     pub wall_seconds: f64,
     /// Acknowledged submissions per wall second.
@@ -107,7 +110,28 @@ pub struct LoadReport {
     pub drain: Option<DrainSummary>,
 }
 
+/// Index of a task class in [`LoadReport::shed_by_class`].
+#[must_use]
+pub fn class_idx(class: TaskClass) -> usize {
+    match class {
+        TaskClass::Interactive => 0,
+        TaskClass::NonInteractive => 1,
+        TaskClass::Batch => 2,
+    }
+}
+
 impl LoadReport {
+    /// Fraction of submissions shed by admission control (0 when
+    /// nothing was sent).
+    #[must_use]
+    pub fn shed_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.sent as f64
+        }
+    }
+
     /// Render the human-readable summary the CLI prints.
     #[must_use]
     pub fn render(&self) -> String {
@@ -118,6 +142,13 @@ impl LoadReport {
             "sent {} | admitted {} | shed {} | errors {}",
             self.sent, self.admitted, self.shed, self.errors
         );
+        if self.shed > 0 {
+            let [i, n, b] = self.shed_by_class;
+            let _ = writeln!(
+                out,
+                "shed by class: interactive {i} | non_interactive {n} | batch {b}"
+            );
+        }
         let _ = writeln!(
             out,
             "wall {:.3} s | throughput {:.1} req/s",
@@ -208,18 +239,22 @@ struct Tally {
     sent: u64,
     admitted: u64,
     shed: u64,
+    shed_by_class: [u64; 3],
     errors: u64,
 }
 
 impl Tally {
-    fn observe(&mut self, resp: &Response) {
+    fn observe(&mut self, resp: &Response, class: TaskClass) {
         self.sent += 1;
         match resp {
             Response::Ok(_) => self.admitted += 1,
             Response::Err {
                 kind: ErrorKind::Overloaded,
                 ..
-            } => self.shed += 1,
+            } => {
+                self.shed += 1;
+                self.shed_by_class[class_idx(class)] += 1;
+            }
             Response::Err { .. } => self.errors += 1,
         }
     }
@@ -228,13 +263,14 @@ impl Tally {
 fn submit_and_tally(
     conn: &mut Connection,
     line: &str,
+    class: TaskClass,
     rtt: &Histogram,
     tally: &mut Tally,
 ) -> std::io::Result<()> {
     let t0 = crate::clock::wall_now();
     let resp = conn.round_trip(line)?;
     rtt.record(t0.elapsed().as_secs_f64());
-    tally.observe(&resp);
+    tally.observe(&resp, class);
     Ok(())
 }
 
@@ -244,14 +280,18 @@ fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
     -u.ln() * mean
 }
 
-fn random_task_line(rng: &mut StdRng, interactive_fraction: f64, mean_cycles: f64) -> String {
+fn random_task_line(
+    rng: &mut StdRng,
+    interactive_fraction: f64,
+    mean_cycles: f64,
+) -> (String, TaskClass) {
     let class = if rng.gen_bool(interactive_fraction.clamp(0.0, 1.0)) {
         TaskClass::Interactive
     } else {
         TaskClass::NonInteractive
     };
     let cycles = exp_draw(rng, mean_cycles).max(1.0) as u64;
-    encode_submit(None, cycles, class, None)
+    (encode_submit(None, cycles, class, None), class)
 }
 
 fn parse_drain(resp: &Response) -> Option<DrainSummary> {
@@ -290,7 +330,7 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
             let mut conn = Connection::open(endpoint)?;
             for t in trace {
                 let line = encode_submit(Some(t.id.0), t.cycles, t.class, Some(t.arrival));
-                submit_and_tally(&mut conn, &line, &rtt, &mut tally)?;
+                submit_and_tally(&mut conn, &line, t.class, &rtt, &mut tally)?;
             }
             let resp = conn.round_trip(&encode_command("drain"))?;
             if let Response::Err { ref message, .. } = resp {
@@ -316,8 +356,8 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
                     continue;
                 }
                 next_send += exp_draw(&mut rng, mean_gap);
-                let line = random_task_line(&mut rng, *interactive_fraction, *mean_cycles);
-                submit_and_tally(&mut conn, &line, &rtt, &mut tally)?;
+                let (line, class) = random_task_line(&mut rng, *interactive_fraction, *mean_cycles);
+                submit_and_tally(&mut conn, &line, class, &rtt, &mut tally)?;
             }
         }
         LoadMode::Closed {
@@ -342,8 +382,8 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
                     let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37));
                     let mut tally = Tally::default();
                     for _ in 0..n {
-                        let line = random_task_line(&mut rng, frac, mean);
-                        submit_and_tally(&mut conn, &line, &rtt, &mut tally)?;
+                        let (line, class) = random_task_line(&mut rng, frac, mean);
+                        submit_and_tally(&mut conn, &line, class, &rtt, &mut tally)?;
                     }
                     Ok(tally)
                 }));
@@ -355,6 +395,9 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
                 tally.sent += sub.sent;
                 tally.admitted += sub.admitted;
                 tally.shed += sub.shed;
+                for (dst, src) in tally.shed_by_class.iter_mut().zip(sub.shed_by_class) {
+                    *dst += src;
+                }
                 tally.errors += sub.errors;
             }
         }
@@ -366,6 +409,7 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
         admitted: tally.admitted,
         shed: tally.shed,
         errors: tally.errors,
+        shed_by_class: tally.shed_by_class,
         wall_seconds,
         throughput_rps: tally.admitted as f64 / wall_seconds.max(1e-9),
         rtt,
@@ -422,10 +466,42 @@ mod tests {
     }
 
     #[test]
+    fn tally_splits_sheds_by_class_and_reports_ratio() {
+        let mut tally = Tally::default();
+        let shed = Response::Err {
+            kind: ErrorKind::Overloaded,
+            message: "full".to_string(),
+        };
+        tally.observe(&Response::Ok(vec![]), TaskClass::Interactive);
+        tally.observe(&shed, TaskClass::Interactive);
+        tally.observe(&shed, TaskClass::NonInteractive);
+        tally.observe(&shed, TaskClass::NonInteractive);
+        assert_eq!(tally.shed, 3);
+        assert_eq!(tally.shed_by_class, [1, 2, 0]);
+        let report = LoadReport {
+            sent: tally.sent,
+            admitted: tally.admitted,
+            shed: tally.shed,
+            errors: tally.errors,
+            shed_by_class: tally.shed_by_class,
+            wall_seconds: 1.0,
+            throughput_rps: 1.0,
+            rtt: Arc::new(Histogram::default()),
+            drain: None,
+        };
+        assert!((report.shed_ratio() - 0.75).abs() < 1e-12);
+        let text = report.render();
+        assert!(
+            text.contains("shed by class: interactive 1 | non_interactive 2 | batch 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn random_task_lines_parse_back() {
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..100 {
-            let line = random_task_line(&mut rng, 0.5, 1e8);
+            let (line, _class) = random_task_line(&mut rng, 0.5, 1e8);
             assert!(crate::protocol::parse_request(&line).is_ok(), "{line}");
         }
     }

@@ -12,6 +12,7 @@
 //!                 [,"id":N][,"arrival":S]}
 //! {"cmd":"stats"}     → metrics registry snapshot
 //! {"cmd":"drain"}     → run the buffered workload, return the report
+//! {"cmd":"trace"}     → accumulated lifecycle trace as JSONL lines
 //! {"cmd":"ping"}      → liveness probe
 //! {"cmd":"shutdown"}  → graceful stop: drain, flush snapshot, exit
 //! ```
@@ -29,6 +30,9 @@
 //!   shard: `shard`, `completed`, `total_cost`, `active_energy_joules`,
 //!   `total_turnaround_s`, `makespan_s`); the top-level fields are the
 //!   merge over shards in deterministic shard order.
+//! * `trace` carries `"count"`, `"dropped"`, and an `"events"` array of
+//!   JSONL strings — the exact lines a `--trace-out` file holds, so the
+//!   two are byte-identical (tracing must be enabled server-side).
 
 use dvfs_model::TaskClass;
 use serde::{Number, Value};
@@ -62,6 +66,8 @@ pub enum Request {
     Stats,
     /// Run everything buffered so far and report cost/latency totals.
     Drain,
+    /// Fetch the accumulated lifecycle trace as JSONL lines.
+    Trace,
     /// Liveness probe.
     Ping,
     /// Graceful shutdown: drain, flush the final snapshot, stop.
@@ -296,6 +302,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "stats" => Ok(Request::Stats),
         "drain" => Ok(Request::Drain),
+        "trace" => Ok(Request::Trace),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown cmd `{other}`")),
@@ -371,6 +378,7 @@ mod tests {
         for (cmd, want) in [
             ("stats", Request::Stats),
             ("drain", Request::Drain),
+            ("trace", Request::Trace),
             ("ping", Request::Ping),
             ("shutdown", Request::Shutdown),
         ] {

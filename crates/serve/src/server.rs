@@ -46,6 +46,10 @@ pub struct ServerConfig {
     pub snapshot_path: Option<PathBuf>,
     /// How often to append a metrics snapshot line.
     pub snapshot_period: Duration,
+    /// Lifecycle-trace file (JSONL); rewritten with the full
+    /// accumulated trace on every drain, trace fetch, and shutdown.
+    /// Requires `scheduler.trace_capacity > 0` to record anything.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -59,6 +63,7 @@ impl ServerConfig {
             tick: Duration::from_millis(10),
             snapshot_path: None,
             snapshot_period: Duration::from_secs(1),
+            trace_out: None,
         }
     }
 }
@@ -118,6 +123,10 @@ struct Shared {
     scheduler: Scheduler,
     metrics: Arc<Registry>,
     snapshot: Option<SnapshotWriter>,
+    trace_out: Option<PathBuf>,
+    /// Serializes trace-file rewrites so concurrent drains cannot
+    /// interleave partial writes.
+    trace_file_mx: Mutex<()>,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -137,6 +146,29 @@ impl Shared {
             if snap.write_metrics(uptime, sim_now, &self.metrics).is_err() {
                 self.metrics.counter("snapshot_errors").inc();
             }
+        }
+    }
+
+    /// Rewrite the trace file with the full accumulated trace. The file
+    /// always holds exactly the lines a wire `trace` response carries,
+    /// byte for byte.
+    fn flush_trace(&self) {
+        let Some(path) = &self.trace_out else { return };
+        if !self.scheduler.trace_enabled() {
+            return;
+        }
+        let lines = self.scheduler.trace_lines();
+        let mut body = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for l in &lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        let _guard = self
+            .trace_file_mx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if std::fs::write(path, body).is_err() {
+            self.metrics.counter("trace_write_errors").inc();
         }
     }
 }
@@ -190,6 +222,7 @@ fn begin_shutdown(shared: &Shared) {
     }
     shared.scheduler.begin_shutdown();
     shared.write_snapshot();
+    shared.flush_trace();
 }
 
 /// Bind and serve. Returns once the listener is accepting, leaving the
@@ -241,6 +274,8 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         scheduler,
         metrics,
         snapshot,
+        trace_out: cfg.trace_out.clone(),
+        trace_file_mx: Mutex::new(()),
         shutdown: AtomicBool::new(false),
         started: crate::clock::wall_now(),
     });
@@ -337,6 +372,12 @@ fn dispatch(req: Request, shared: &Shared) -> (Response, bool) {
         Request::Drain => {
             let resp = shared.scheduler.drain_run();
             shared.write_snapshot();
+            shared.flush_trace();
+            (resp, false)
+        }
+        Request::Trace => {
+            let resp = shared.scheduler.trace_run();
+            shared.flush_trace();
             (resp, false)
         }
         Request::Ping => (Response::ok(), false),

@@ -54,10 +54,12 @@
 
 use crate::admission::{AdmissionPolicy, AdmissionQueue, GateOutcome};
 use crate::executor::{RealTimeExecutor, RoundReport};
-use crate::metrics::{shard_metric, Counter, Gauge, Registry};
+use crate::metrics::{shard_metric, Counter, Gauge, Histogram, Registry};
 use crate::protocol::{field_f64, field_u64, ErrorKind, Response};
+use dvfs_core::sched::{ExecutorView, Scheduler as PolicyHooks};
 use dvfs_core::LeastMarginalCost;
 use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass, TaskRecord};
+use dvfs_trace::{ClassTag, EventKind as TraceKind, SharedRing, TraceEvent};
 use serde::Value;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -92,6 +94,10 @@ pub struct SchedulerConfig {
     /// Number of independent engine instances (executor + policy +
     /// admission queue). Clamped to at least 1.
     pub shards: usize,
+    /// Per-shard lifecycle trace ring capacity (events). `0` disables
+    /// tracing entirely: no rings are allocated and the executors'
+    /// record paths stay dormant.
+    pub trace_capacity: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -102,6 +108,7 @@ impl Default for SchedulerConfig {
             mode: Mode::Replay,
             queue_capacity: 1024,
             shards: 1,
+            trace_capacity: 0,
         }
     }
 }
@@ -123,12 +130,63 @@ struct Engine {
 }
 
 impl Engine {
-    fn fresh(cores: usize, params: CostParams) -> Self {
+    /// A fresh engine for a new round; `ring` re-attaches the shard's
+    /// trace ring (sequence numbers continue — a round boundary is
+    /// visible in the trace but never resets the stream).
+    fn fresh(cores: usize, params: CostParams, ring: Option<SharedRing>) -> Self {
         let platform = service_platform(cores);
+        let mut exec = RealTimeExecutor::new(platform.clone());
+        exec.set_trace_ring(ring);
         Engine {
             policy: LeastMarginalCost::new(&platform, params),
-            exec: RealTimeExecutor::new(platform),
+            exec,
         }
+    }
+}
+
+/// Wraps a shard's policy to time every scheduling decision into the
+/// `lmc_decision_us` histogram. Timing goes through the blessed wall
+/// clock seam and lands only in metrics — trace events themselves stay
+/// wall-free, preserving the bit-identical replay contract.
+struct TimedPolicy<'a> {
+    inner: &'a mut LeastMarginalCost,
+    hist: &'a Histogram,
+}
+
+impl TimedPolicy<'_> {
+    fn observe(&self, t0: std::time::Instant) {
+        let dt = crate::clock::wall_now().duration_since(t0);
+        self.hist.record(dt.as_secs_f64() * 1e6);
+    }
+}
+
+impl PolicyHooks for TimedPolicy<'_> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn on_arrival(&mut self, x: &mut dyn ExecutorView, task: &Task) {
+        let t0 = crate::clock::wall_now();
+        self.inner.on_arrival(x, task);
+        self.observe(t0);
+    }
+
+    fn on_completion(&mut self, x: &mut dyn ExecutorView, core: usize, task: &Task) {
+        let t0 = crate::clock::wall_now();
+        self.inner.on_completion(x, core, task);
+        self.observe(t0);
+    }
+
+    fn on_tick(&mut self, x: &mut dyn ExecutorView, core: usize) {
+        self.inner.on_tick(x, core);
+    }
+}
+
+fn class_tag(class: TaskClass) -> ClassTag {
+    match class {
+        TaskClass::Batch => ClassTag::Batch,
+        TaskClass::Interactive => ClassTag::Interactive,
+        TaskClass::NonInteractive => ClassTag::NonInteractive,
     }
 }
 
@@ -138,6 +196,10 @@ struct Shard {
     index: usize,
     queue: AdmissionQueue,
     engine: Mutex<Engine>,
+    /// The shard's lifecycle trace ring, shared with its executor
+    /// (`None` when tracing is disabled). Drained at round boundaries
+    /// into the scheduler's accumulated trace, ascending shard order.
+    ring: Option<SharedRing>,
     depth_gauge: Arc<Gauge>,
     pending_gauge: Arc<Gauge>,
     admitted: Arc<Counter>,
@@ -192,6 +254,13 @@ pub struct Scheduler {
     /// (e.g. a paced service whose ticker keeps every queue empty)
     /// round-robin instead of piling onto shard 0.
     router_cursor: AtomicUsize,
+    /// Trace events drained from the shard rings so far, in drain
+    /// order (ascending shard within each round). Grows until the
+    /// server restarts; the trace facility trades memory for a
+    /// complete, replayable record of the run.
+    drained_trace: Mutex<Vec<TraceEvent>>,
+    /// Decision-latency histogram handle (`lmc_decision_us`).
+    lmc_hist: Arc<Histogram>,
     /// Test-only seam: runs once inside the next `tick`/`drain` after
     /// the queues were drained but before the depth gauges are
     /// published, standing in for a racing submitter.
@@ -209,10 +278,13 @@ impl Scheduler {
                 // Split the total capacity evenly, remainder to the low
                 // shards; every shard keeps at least one slot.
                 let cap = (cfg.queue_capacity / n + usize::from(k < cfg.queue_capacity % n)).max(1);
+                let ring =
+                    (cfg.trace_capacity > 0).then(|| SharedRing::new(k as u32, cfg.trace_capacity));
                 Shard {
                     index: k,
                     queue: AdmissionQueue::new(AdmissionPolicy::with_capacity(cap)),
-                    engine: Mutex::new(Engine::fresh(cfg.cores, cfg.params)),
+                    engine: Mutex::new(Engine::fresh(cfg.cores, cfg.params, ring.clone())),
+                    ring,
                     depth_gauge: metrics.gauge(&shard_metric("queue_depth", k)),
                     pending_gauge: metrics.gauge(&shard_metric("pending_tasks", k)),
                     admitted: metrics.counter(&shard_metric("admitted", k)),
@@ -223,6 +295,7 @@ impl Scheduler {
             .collect();
         Scheduler {
             shards,
+            lmc_hist: metrics.histogram("lmc_decision_us"),
             metrics,
             shutting_down: AtomicBool::new(false),
             ids: Mutex::new(IdLedger {
@@ -233,6 +306,7 @@ impl Scheduler {
             work_mx: Mutex::new(()),
             work_cv: Condvar::new(),
             router_cursor: AtomicUsize::new(0),
+            drained_trace: Mutex::new(Vec::new()),
             #[cfg(test)]
             round_hook: Mutex::new(None),
             cfg,
@@ -432,6 +506,24 @@ impl Scheduler {
             GateOutcome::Admitted(depth) => {
                 self.metrics.counter("admitted").inc();
                 sh.admitted.inc();
+                if let Some(ring) = &sh.ring {
+                    let tag = class_tag(class);
+                    ring.record(
+                        arrival,
+                        TraceKind::Submit {
+                            task: id,
+                            class: tag,
+                            cycles,
+                        },
+                    );
+                    ring.record(
+                        arrival,
+                        TraceKind::Admit {
+                            task: id,
+                            depth: depth as u64,
+                        },
+                    );
+                }
                 self.publish_queue_depth();
                 // Wake a ticker sleeping in `wait_for_work`; the empty
                 // critical section orders the wake after the admit.
@@ -445,8 +537,27 @@ impl Scheduler {
             }
             GateOutcome::Shed(shed) => {
                 self.lock_ids().used.remove(&id);
+                let tag = class_tag(class);
                 self.metrics.counter("shed").inc();
+                self.metrics.counter(&format!("shed.{}", tag.name())).inc();
                 sh.shed.inc();
+                if let Some(ring) = &sh.ring {
+                    ring.record(
+                        arrival,
+                        TraceKind::Submit {
+                            task: id,
+                            class: tag,
+                            cycles,
+                        },
+                    );
+                    ring.record(
+                        arrival,
+                        TraceKind::Shed {
+                            task: id,
+                            class: tag,
+                        },
+                    );
+                }
                 Response::err(ErrorKind::Overloaded, shed.to_string())
             }
             GateOutcome::Closed => {
@@ -534,7 +645,11 @@ impl Scheduler {
                 engine.exec.push_task(&task);
             }
             let engine = &mut *engine;
-            engine.exec.step_until(&mut engine.policy, target);
+            let mut policy = TimedPolicy {
+                inner: &mut engine.policy,
+                hist: &self.lmc_hist,
+            };
+            engine.exec.step_until(&mut policy, target);
             for rec in engine.exec.take_completions() {
                 self.observe_completion(&rec, params, sh);
             }
@@ -568,7 +683,11 @@ impl Scheduler {
             }
             {
                 let engine = &mut **engine;
-                engine.exec.run_to_completion(&mut engine.policy);
+                let mut policy = TimedPolicy {
+                    inner: &mut engine.policy,
+                    hist: &self.lmc_hist,
+                };
+                engine.exec.run_to_completion(&mut policy);
             }
             // Completions not yet streamed by a paced tick land in the
             // histograms now, exactly once.
@@ -577,8 +696,12 @@ impl Scheduler {
             }
             self.publish_actuations(engine);
             reports.push(engine.exec.round_report());
-            // Stand up a fresh round on this shard.
-            **engine = Engine::fresh(self.cfg.cores, params);
+            // Capture the round's trace before the engine is replaced
+            // (ascending shard order, because this loop is).
+            self.drain_shard_trace(sh);
+            // Stand up a fresh round on this shard; the trace ring
+            // carries over so sequence numbers stay continuous.
+            **engine = Engine::fresh(self.cfg.cores, params, sh.ring.clone());
             sh.pending_gauge.set(0);
         }
         // New round: the id space and the paced clock restart together
@@ -602,6 +725,113 @@ impl Scheduler {
     /// against library runs task by task.
     pub fn drain_round(&self) -> RoundReport {
         RoundReport::merge(&self.drain_shards())
+    }
+
+    /// Whether lifecycle tracing is on (`trace_capacity > 0`).
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.cfg.trace_capacity > 0
+    }
+
+    fn lock_drained(&self) -> MutexGuard<'_, Vec<TraceEvent>> {
+        self.drained_trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drain shard `sh`'s live ring into the accumulated trace and fold
+    /// its `complete` events into the cost-attribution counters:
+    /// per-shard, per-core energy cost (`Re · E`) and waiting cost
+    /// (`Rt · turnaround`), both in integer micro-cost units.
+    fn drain_shard_trace(&self, sh: &Shard) {
+        let Some(ring) = &sh.ring else { return };
+        let events = ring.drain();
+        if events.is_empty() {
+            return;
+        }
+        let params = self.cfg.params;
+        for ev in &events {
+            if let TraceKind::Complete {
+                core,
+                energy_j,
+                turnaround_s,
+                ..
+            } = ev.kind
+            {
+                let energy_micros = (params.re * energy_j * 1e6).round() as u64;
+                let wait_micros = (params.rt * turnaround_s * 1e6).round() as u64;
+                self.metrics
+                    .counter("energy_cost_micros")
+                    .add(energy_micros);
+                self.metrics.counter("wait_cost_micros").add(wait_micros);
+                self.metrics
+                    .counter(&shard_metric(
+                        &format!("energy_cost_micros.core{core}"),
+                        sh.index,
+                    ))
+                    .add(energy_micros);
+                self.metrics
+                    .counter(&shard_metric(
+                        &format!("wait_cost_micros.core{core}"),
+                        sh.index,
+                    ))
+                    .add(wait_micros);
+            }
+        }
+        self.lock_drained().extend(events);
+    }
+
+    /// Move every shard's live ring residue (events recorded since the
+    /// last round boundary) into the accumulated trace, ascending shard
+    /// order.
+    fn collect_trace_residue(&self) {
+        for sh in &self.shards {
+            self.drain_shard_trace(sh);
+        }
+    }
+
+    /// The full accumulated trace as JSONL lines (one event per line,
+    /// no trailing newline per line). Live ring residue is folded in
+    /// first, so the result covers everything recorded so far. The
+    /// same lines back a `--trace-out` file and the wire `trace`
+    /// response, byte for byte.
+    #[must_use]
+    pub fn trace_lines(&self) -> Vec<String> {
+        self.collect_trace_residue();
+        self.lock_drained()
+            .iter()
+            .map(dvfs_trace::export::jsonl_line)
+            .collect()
+    }
+
+    /// Events dropped by full (or zero-capacity) trace rings so far.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.ring.as_ref())
+            .map(SharedRing::dropped)
+            .sum()
+    }
+
+    /// Wire handler for `trace`: the accumulated trace as an array of
+    /// JSONL strings plus the ring-drop counter.
+    pub fn trace_run(&self) -> Response {
+        if !self.trace_enabled() {
+            return Response::err(
+                ErrorKind::BadRequest,
+                "tracing is disabled (start the server with --trace-cap)",
+            );
+        }
+        let lines = self.trace_lines();
+        Response::Ok(vec![
+            field_u64("count", lines.len() as u64),
+            field_u64("dropped", self.trace_dropped()),
+            (
+                "events".to_string(),
+                Value::Array(lines.into_iter().map(Value::String).collect()),
+            ),
+        ])
     }
 
     /// Wire handler for `drain`: run the round and encode the merged

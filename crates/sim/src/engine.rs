@@ -5,6 +5,7 @@ use crate::governor::GovernorKind;
 use crate::metrics::{SimReport, TaskRecord};
 use dvfs_core::sched::{ExecutorView, Scheduler as Policy};
 use dvfs_model::{CoreId, Platform, RateIdx, RateTable, Task, TaskId};
+use dvfs_trace::TraceSink;
 use std::collections::BTreeMap;
 
 /// Contention factor: given the number of simultaneously busy cores,
@@ -187,6 +188,10 @@ pub struct Simulator {
     processed: u64,
     /// Completions since the last [`Simulator::take_completions`] drain.
     fresh_completions: Vec<TaskId>,
+    /// Optional lifecycle trace sink (see `dvfs-trace`). Events are
+    /// timestamped with simulation seconds only, so drained traces are
+    /// bit-identical across runs.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Simulator {
@@ -233,6 +238,7 @@ impl Simulator {
             incremental: false,
             processed: 0,
             fresh_completions: Vec::new(),
+            trace: None,
             cfg,
         }
     }
@@ -240,6 +246,25 @@ impl Simulator {
     fn log(&mut self, event: crate::LogEvent) {
         if self.cfg.record_event_log {
             self.event_log.push(self.now, event);
+        }
+    }
+
+    /// Attach (or detach, with `None`) a lifecycle trace sink. The
+    /// engine records dispatch / preempt / rate-change / complete
+    /// events into it; policies reach the same sink through
+    /// [`ExecutorView::trace`] to add decision provenance.
+    pub fn set_trace_sink(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.trace = sink;
+    }
+
+    /// Take the attached trace sink back out (e.g. to drain a ring).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    fn trace_record(&mut self, kind: dvfs_trace::EventKind) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(self.now, kind);
         }
     }
 
@@ -437,6 +462,15 @@ impl Simulator {
                 self.last_completion = self.now;
                 self.fresh_completions.push(tid);
                 self.log(crate::LogEvent::Completion { core, task: tid });
+                if self.trace.is_some() {
+                    let rec = self.jobs[&tid].record;
+                    self.trace_record(dvfs_trace::EventKind::Complete {
+                        task: tid.0,
+                        core: core as u32,
+                        energy_j: rec.energy_joules,
+                        turnaround_s: self.now - rec.arrival,
+                    });
+                }
                 self.reschedule_after_mutation(core);
                 let t = self.jobs[&tid].task.clone();
                 policy.on_completion(&mut SimView { sim: self }, core, &t);
@@ -458,6 +492,11 @@ impl Simulator {
                         core,
                         from,
                         to: next,
+                    });
+                    self.trace_record(dvfs_trace::EventKind::RateChange {
+                        core: core as u32,
+                        from: from as u32,
+                        to: next as u32,
                     });
                     self.reschedule_after_mutation(core);
                 }
@@ -664,6 +703,12 @@ impl ExecutorView for SimView<'_> {
     fn preempt(&mut self, j: CoreId) -> TaskId {
         SimView::preempt(self, j)
     }
+    fn trace(&mut self) -> Option<&mut dyn TraceSink> {
+        self.sim
+            .trace
+            .as_mut()
+            .map(|s| s.as_mut() as &mut dyn TraceSink)
+    }
 }
 
 impl SimView<'_> {
@@ -756,6 +801,11 @@ impl SimView<'_> {
             from,
             to: rate,
         });
+        self.sim.trace_record(dvfs_trace::EventKind::RateChange {
+            core: j as u32,
+            from: from as u32,
+            to: rate as u32,
+        });
         self.sim.reschedule_after_mutation(j);
     }
 
@@ -798,6 +848,24 @@ impl SimView<'_> {
             task,
             rate: rate_now,
         });
+        if self.sim.trace.is_some() {
+            // Mirror `reschedule`'s exact arithmetic so the predicted
+            // energy is bit-comparable with the measured accrual when a
+            // dispatch runs in one uninterrupted slice.
+            let remaining = self.sim.jobs[&task].remaining.max(0.0);
+            let rp = self.sim.rate_table(j).rate(rate_now);
+            let eff = (1.0 / rp.time_per_cycle) * self.sim.contention_factor(self.sim.busy_count());
+            let stall = (self.sim.cores[j].stall_until - self.sim.now).max(0.0);
+            let predicted_time_s = stall + remaining / eff;
+            let predicted_energy_j = rp.active_power_watts() * predicted_time_s;
+            self.sim.trace_record(dvfs_trace::EventKind::Dispatch {
+                task: task.0,
+                core: j as u32,
+                rate: rate_now as u32,
+                predicted_energy_j,
+                predicted_time_s,
+            });
+        }
         self.sim.reschedule_after_mutation(j);
     }
 
@@ -815,6 +883,10 @@ impl SimView<'_> {
         self.sim.cores[j].running = None;
         self.sim
             .log(crate::LogEvent::Preempt { core: j, task: tid });
+        self.sim.trace_record(dvfs_trace::EventKind::Preempt {
+            task: tid.0,
+            core: j as u32,
+        });
         self.sim.reschedule_after_mutation(j);
         tid
     }

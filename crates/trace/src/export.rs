@@ -1,0 +1,530 @@
+//! Trace rendering: JSONL lines (the wire/snapshot format, with an
+//! exact inverse parser) and Chrome `trace_event` JSON for
+//! `chrome://tracing` / Perfetto.
+//!
+//! The JSONL encoding is the determinism oracle: floats are rendered
+//! with Rust's shortest-round-trip `Display`, field order is fixed, and
+//! nothing here reads a clock — so a drained replay produces a
+//! byte-identical trace across runs and shard counts. [`parse_jsonl`]
+//! is the exact inverse of [`jsonl_line`] (`f64` round-trips bit-for-
+//! bit), which is what lets downstream tools diff predicted against
+//! measured cost per task.
+
+use crate::{ClassTag, EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render one event as a single JSONL line (no trailing newline).
+/// Field order is fixed: `t`, `shard`, `seq`, `ev`, then the payload
+/// fields in declaration order.
+#[must_use]
+pub fn jsonl_line(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{{\"t\":{},\"shard\":{},\"seq\":{},\"ev\":\"{}\"",
+        ev.time,
+        ev.shard,
+        ev.seq,
+        ev.kind.name()
+    );
+    match &ev.kind {
+        EventKind::Submit {
+            task,
+            class,
+            cycles,
+        } => {
+            let _ = write!(
+                s,
+                ",\"task\":{task},\"class\":\"{}\",\"cycles\":{cycles}",
+                class.name()
+            );
+        }
+        EventKind::Admit { task, depth } => {
+            let _ = write!(s, ",\"task\":{task},\"depth\":{depth}");
+        }
+        EventKind::Shed { task, class } => {
+            let _ = write!(s, ",\"task\":{task},\"class\":\"{}\"", class.name());
+        }
+        EventKind::Enqueue {
+            task,
+            core,
+            position,
+            costs,
+            energy_delta,
+            wait_delta,
+        } => {
+            let _ = write!(
+                s,
+                ",\"task\":{task},\"core\":{core},\"position\":{position}"
+            );
+            s.push_str(",\"costs\":[");
+            for (i, c) in costs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push(']');
+            let _ = write!(
+                s,
+                ",\"energy_delta\":{energy_delta},\"wait_delta\":{wait_delta}"
+            );
+        }
+        EventKind::Dispatch {
+            task,
+            core,
+            rate,
+            predicted_energy_j,
+            predicted_time_s,
+        } => {
+            let _ = write!(
+                s,
+                ",\"task\":{task},\"core\":{core},\"rate\":{rate},\"predicted_energy_j\":{predicted_energy_j},\"predicted_time_s\":{predicted_time_s}"
+            );
+        }
+        EventKind::Preempt { task, core } => {
+            let _ = write!(s, ",\"task\":{task},\"core\":{core}");
+        }
+        EventKind::RateChange { core, from, to } => {
+            let _ = write!(s, ",\"core\":{core},\"from\":{from},\"to\":{to}");
+        }
+        EventKind::Complete {
+            task,
+            core,
+            energy_j,
+            turnaround_s,
+        } => {
+            let _ = write!(
+                s,
+                ",\"task\":{task},\"core\":{core},\"energy_j\":{energy_j},\"turnaround_s\":{turnaround_s}"
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Render a whole trace as JSONL (one line per event, trailing
+/// newline).
+#[must_use]
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&jsonl_line(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// One parsed scalar or array field of a trace line.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    Num(f64),
+    Str(String),
+    Arr(Vec<f64>),
+}
+
+/// Split the body of a flat JSON object on top-level commas (commas
+/// inside `[...]` belong to an array value).
+fn split_top(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, b) in body.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'[' if !in_str => depth += 1,
+            b']' if !in_str => depth = depth.saturating_sub(1),
+            b',' if !in_str && depth == 0 => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < body.len() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+fn parse_fields(line: &str) -> Result<Vec<(String, Field)>, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("trace line is not a JSON object: {line}"))?;
+    let mut out = Vec::new();
+    for part in split_top(body) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let colon = part
+            .find(':')
+            .ok_or_else(|| format!("missing `:` in `{part}`"))?;
+        let key = part[..colon].trim().trim_matches('"').to_string();
+        let val = part[colon + 1..].trim();
+        let field = if let Some(stripped) = val.strip_prefix('"') {
+            Field::Str(stripped.trim_end_matches('"').to_string())
+        } else if let Some(inner) = val.strip_prefix('[') {
+            let inner = inner.trim_end_matches(']').trim();
+            let mut arr = Vec::new();
+            if !inner.is_empty() {
+                for item in inner.split(',') {
+                    arr.push(
+                        item.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad array element `{item}` in `{part}`"))?,
+                    );
+                }
+            }
+            Field::Arr(arr)
+        } else {
+            Field::Num(
+                val.parse::<f64>()
+                    .map_err(|_| format!("bad number `{val}` in `{part}`"))?,
+            )
+        };
+        out.push((key, field));
+    }
+    Ok(out)
+}
+
+struct Fields(Vec<(String, Field)>);
+
+impl Fields {
+    fn num(&self, key: &str) -> Result<f64, String> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, Field::Num(n))) => Ok(*n),
+            _ => Err(format!("missing numeric field `{key}`")),
+        }
+    }
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        let n = self.num(key)?;
+        if n >= 0.0 && n.fract() == 0.0 {
+            Ok(n as u64)
+        } else {
+            Err(format!("field `{key}` is not a non-negative integer"))
+        }
+    }
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        u32::try_from(self.u64(key)?).map_err(|_| format!("field `{key}` overflows u32"))
+    }
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, Field::Str(s))) => Ok(s),
+            _ => Err(format!("missing string field `{key}`")),
+        }
+    }
+    fn arr(&self, key: &str) -> Result<&[f64], String> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, Field::Arr(a))) => Ok(a),
+            _ => Err(format!("missing array field `{key}`")),
+        }
+    }
+    fn class(&self, key: &str) -> Result<ClassTag, String> {
+        let s = self.str(key)?;
+        ClassTag::parse(s).ok_or_else(|| format!("unknown class `{s}`"))
+    }
+}
+
+/// Parse one line produced by [`jsonl_line`] back into a
+/// [`TraceEvent`]. `f64` fields round-trip bit-for-bit.
+///
+/// # Errors
+/// Returns a description of the first malformed field.
+pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
+    let f = Fields(parse_fields(line)?);
+    let time = f.num("t")?;
+    let shard = f.u32("shard")?;
+    let seq = f.u64("seq")?;
+    let kind = match f.str("ev")? {
+        "submit" => EventKind::Submit {
+            task: f.u64("task")?,
+            class: f.class("class")?,
+            cycles: f.u64("cycles")?,
+        },
+        "admit" => EventKind::Admit {
+            task: f.u64("task")?,
+            depth: f.u64("depth")?,
+        },
+        "shed" => EventKind::Shed {
+            task: f.u64("task")?,
+            class: f.class("class")?,
+        },
+        "enqueue" => EventKind::Enqueue {
+            task: f.u64("task")?,
+            core: f.u32("core")?,
+            position: f.u64("position")?,
+            costs: f.arr("costs")?.to_vec(),
+            energy_delta: f.num("energy_delta")?,
+            wait_delta: f.num("wait_delta")?,
+        },
+        "dispatch" => EventKind::Dispatch {
+            task: f.u64("task")?,
+            core: f.u32("core")?,
+            rate: f.u32("rate")?,
+            predicted_energy_j: f.num("predicted_energy_j")?,
+            predicted_time_s: f.num("predicted_time_s")?,
+        },
+        "preempt" => EventKind::Preempt {
+            task: f.u64("task")?,
+            core: f.u32("core")?,
+        },
+        "rate_change" => EventKind::RateChange {
+            core: f.u32("core")?,
+            from: f.u32("from")?,
+            to: f.u32("to")?,
+        },
+        "complete" => EventKind::Complete {
+            task: f.u64("task")?,
+            core: f.u32("core")?,
+            energy_j: f.num("energy_j")?,
+            turnaround_s: f.num("turnaround_s")?,
+        },
+        other => return Err(format!("unknown event `{other}`")),
+    };
+    Ok(TraceEvent {
+        time,
+        shard,
+        seq,
+        kind,
+    })
+}
+
+/// Parse a whole JSONL trace (blank lines skipped).
+///
+/// # Errors
+/// Returns the 1-based line number and cause of the first bad line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a trace as Chrome `trace_event` JSON, loadable in
+/// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+/// process per shard, one thread (track) per core, tasks as `"X"`
+/// duration events from `dispatch` to the next `preempt`/`complete` on
+/// that core, and `rate_change` as `"i"` instant events. Timestamps are
+/// engine seconds scaled to microseconds (the format's native unit).
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    // (shard, core) -> (task, start ts µs, rate) for the running span.
+    let mut open: BTreeMap<(u32, u32), (u64, f64, u32)> = BTreeMap::new();
+    let mut tracks: BTreeMap<(u32, u32), ()> = BTreeMap::new();
+    for ev in events {
+        let ts = ev.time * 1e6;
+        match &ev.kind {
+            EventKind::Dispatch {
+                task, core, rate, ..
+            } => {
+                tracks.insert((ev.shard, *core), ());
+                open.insert((ev.shard, *core), (*task, ts, *rate));
+            }
+            EventKind::Preempt { core, .. } => {
+                close_span(&mut out, &mut open, ev.shard, *core, ts, "preempted");
+            }
+            EventKind::Complete { core, .. } => {
+                close_span(&mut out, &mut open, ev.shard, *core, ts, "completed");
+            }
+            EventKind::RateChange { core, from, to } => {
+                tracks.insert((ev.shard, *core), ());
+                out.push(format!(
+                    "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{ts},\"args\":{{\"from\":{from},\"to\":{to}}}}}",
+                    json_str(&format!("rate {from}->{to}")),
+                    ev.shard,
+                    core
+                ));
+            }
+            _ => {}
+        }
+    }
+    // Name the tracks so Perfetto shows "shard N" / "core J" instead of
+    // bare pids.
+    let shards: BTreeMap<u32, ()> = tracks.keys().map(|&(s, _)| (s, ())).collect();
+    for shard in shards.keys() {
+        out.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{shard},\"args\":{{\"name\":{}}}}}",
+            json_str(&format!("shard {shard}"))
+        ));
+    }
+    for (shard, core) in tracks.keys() {
+        out.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{shard},\"tid\":{core},\"args\":{{\"name\":{}}}}}",
+            json_str(&format!("core {core}"))
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        out.join(",")
+    )
+}
+
+fn close_span(
+    out: &mut Vec<String>,
+    open: &mut BTreeMap<(u32, u32), (u64, f64, u32)>,
+    shard: u32,
+    core: u32,
+    ts: f64,
+    how: &str,
+) {
+    if let Some((task, start, rate)) = open.remove(&(shard, core)) {
+        let dur = (ts - start).max(0.0);
+        out.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":{shard},\"tid\":{core},\"ts\":{start},\"dur\":{dur},\"args\":{{\"rate\":{rate},\"end\":{}}}}}",
+            json_str(&format!("task {task}")),
+            json_str(how)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                time: 0.0,
+                shard: 0,
+                seq: 0,
+                kind: EventKind::Submit {
+                    task: 4,
+                    class: ClassTag::Interactive,
+                    cycles: 50_000_000,
+                },
+            },
+            TraceEvent {
+                time: 0.0,
+                shard: 0,
+                seq: 1,
+                kind: EventKind::Enqueue {
+                    task: 4,
+                    core: 1,
+                    position: 2,
+                    costs: vec![0.125, 0.1, 3.5e-7],
+                    energy_delta: 0.0625,
+                    wait_delta: 0.0375,
+                },
+            },
+            TraceEvent {
+                time: 0.015,
+                shard: 0,
+                seq: 2,
+                kind: EventKind::Dispatch {
+                    task: 4,
+                    core: 1,
+                    rate: 3,
+                    predicted_energy_j: 0.1 + 0.2, // deliberately non-representable
+                    predicted_time_s: 0.033_333_333_333_333_33,
+                },
+            },
+            TraceEvent {
+                time: 0.02,
+                shard: 0,
+                seq: 3,
+                kind: EventKind::RateChange {
+                    core: 1,
+                    from: 3,
+                    to: 2,
+                },
+            },
+            TraceEvent {
+                time: 0.05,
+                shard: 0,
+                seq: 4,
+                kind: EventKind::Complete {
+                    task: 4,
+                    core: 1,
+                    energy_j: 0.300_000_000_000_000_04,
+                    turnaround_s: 0.05,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_bit_for_bit() {
+        let events = sample();
+        let text = to_jsonl(&events);
+        let parsed = parse_jsonl(&text).expect("parses");
+        assert_eq!(parsed, events);
+        // And re-rendering is byte-identical (Display is shortest
+        // round-trip, so this pins determinism of the encoding too).
+        assert_eq!(to_jsonl(&parsed), text);
+    }
+
+    #[test]
+    fn parser_rejects_garbage_with_line_numbers() {
+        assert!(parse_jsonl_line("not json").is_err());
+        assert!(parse_jsonl_line("{\"t\":0,\"shard\":0,\"seq\":0,\"ev\":\"nope\"}").is_err());
+        let err = parse_jsonl("{\"t\":0,\"shard\":0,\"seq\":0,\"ev\":\"admit\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_spans_and_instants() {
+        let json = chrome_trace(&sample());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\""));
+        assert!(json.contains("\"ph\":\"X\""), "duration span: {json}");
+        assert!(json.contains("\"ph\":\"i\""), "rate instant: {json}");
+        assert!(json.contains("\"name\":\"task 4\""));
+        assert!(json.contains("\"name\":\"shard 0\""));
+        assert!(json.contains("\"name\":\"core 1\""));
+        // Dispatch at 0.015 s -> 15000 µs; complete at 0.05 s.
+        assert!(json.contains("\"ts\":15000"), "{json}");
+        assert!(json.contains("\"dur\":35000"), "{json}");
+    }
+
+    #[test]
+    fn preempt_closes_the_open_span() {
+        let events = vec![
+            TraceEvent {
+                time: 0.0,
+                shard: 1,
+                seq: 0,
+                kind: EventKind::Dispatch {
+                    task: 9,
+                    core: 0,
+                    rate: 0,
+                    predicted_energy_j: 1.0,
+                    predicted_time_s: 1.0,
+                },
+            },
+            TraceEvent {
+                time: 0.5,
+                shard: 1,
+                seq: 1,
+                kind: EventKind::Preempt { task: 9, core: 0 },
+            },
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.contains("\"end\":\"preempted\""), "{json}");
+        assert!(json.contains("\"pid\":1"), "{json}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! A tiny, dependency-free data model plus a renderer. The serve
+//! crate's metrics `Registry` adapts itself into [`PromFamily`] values
+//! and renders through [`render`]; nothing here knows about the
+//! registry, so the exporter is reusable for trace-derived metrics or
+//! ad-hoc tooling.
+//!
+//! The format is the classic one scraped at `/metrics`:
+//!
+//! ```text
+//! # HELP dvfs_completed Tasks completed.
+//! # TYPE dvfs_completed counter
+//! dvfs_completed{shard="0"} 42
+//! ```
+
+/// The HTTP `Content-Type` Prometheus expects for this exposition
+/// format.
+pub const TEXT_FORMAT: &str = "text/plain; version=0.0.4";
+
+/// One labelled sample of a counter or gauge family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Label pairs, rendered in the given order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One labelled histogram series: cumulative `le` buckets plus the
+/// conventional `_sum` / `_count` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromHistogram {
+    /// Label pairs shared by every sample of the series (the `le`
+    /// label is appended per bucket).
+    pub labels: Vec<(String, String)>,
+    /// `(upper_bound, cumulative_count)` pairs in ascending bound
+    /// order. A final `+Inf` bucket is added by the renderer.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Total observations.
+    pub count: u64,
+}
+
+/// The value side of a metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromValue {
+    /// Monotonic counter samples.
+    Counter(Vec<PromSample>),
+    /// Point-in-time gauge samples.
+    Gauge(Vec<PromSample>),
+    /// Histogram series.
+    Histogram(Vec<PromHistogram>),
+}
+
+/// A named metric family with its help text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Metric name; sanitize with [`sanitize_name`] first if it may
+    /// contain dots or dashes.
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// The samples.
+    pub value: PromValue,
+}
+
+/// Map an internal metric name onto the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots and dashes become underscores, a
+/// leading digit gets a `_` prefix.
+#[must_use]
+pub fn sanitize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 1);
+    for (i, c) in raw.chars().enumerate() {
+        let ok = c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn labels_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", label_value(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn labels_with_le(labels: &[(String, String)], le: &str) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    all.push(("le".to_string(), le.to_string()));
+    labels_block(&all)
+}
+
+/// Render families as one exposition document (trailing newline).
+#[must_use]
+pub fn render(families: &[PromFamily]) -> String {
+    let mut out = String::new();
+    for fam in families {
+        let name = &fam.name;
+        let kind = match fam.value {
+            PromValue::Counter(_) => "counter",
+            PromValue::Gauge(_) => "gauge",
+            PromValue::Histogram(_) => "histogram",
+        };
+        out.push_str(&format!("# HELP {name} {}\n", fam.help.replace('\n', " ")));
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        match &fam.value {
+            PromValue::Counter(samples) | PromValue::Gauge(samples) => {
+                for s in samples {
+                    out.push_str(&format!("{name}{} {}\n", labels_block(&s.labels), s.value));
+                }
+            }
+            PromValue::Histogram(series) => {
+                for h in series {
+                    for (bound, cum) in &h.buckets {
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cum}\n",
+                            labels_with_le(&h.labels, &format!("{bound}"))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{} {}\n",
+                        labels_with_le(&h.labels, "+Inf"),
+                        h.count
+                    ));
+                    out.push_str(&format!(
+                        "{name}_sum{} {}\n",
+                        labels_block(&h.labels),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{name}_count{} {}\n",
+                        labels_block(&h.labels),
+                        h.count
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("queue_depth.shard0"), "queue_depth_shard0");
+        assert_eq!(sanitize_name("rtt-ack_us"), "rtt_ack_us");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let fams = vec![
+            PromFamily {
+                name: "dvfs_completed".to_string(),
+                help: "Tasks completed.".to_string(),
+                value: PromValue::Counter(vec![PromSample {
+                    labels: vec![("shard".to_string(), "0".to_string())],
+                    value: 42.0,
+                }]),
+            },
+            PromFamily {
+                name: "dvfs_queue_depth".to_string(),
+                help: "Queue depth.".to_string(),
+                value: PromValue::Gauge(vec![PromSample {
+                    labels: vec![],
+                    value: -3.0,
+                }]),
+            },
+        ];
+        let text = render(&fams);
+        assert!(text.contains("# TYPE dvfs_completed counter\n"));
+        assert!(text.contains("dvfs_completed{shard=\"0\"} 42\n"));
+        assert!(text.contains("# TYPE dvfs_queue_depth gauge\n"));
+        assert!(text.contains("dvfs_queue_depth -3\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn renders_histogram_with_inf_bucket_sum_and_count() {
+        let fams = vec![PromFamily {
+            name: "dvfs_rtt_us".to_string(),
+            help: "Ack RTT.".to_string(),
+            value: PromValue::Histogram(vec![PromHistogram {
+                labels: vec![("shard".to_string(), "1".to_string())],
+                buckets: vec![(0.001, 2), (0.01, 5)],
+                sum: 0.025,
+                count: 6,
+            }]),
+        }];
+        let text = render(&fams);
+        assert!(text.contains("# TYPE dvfs_rtt_us histogram\n"));
+        assert!(text.contains("dvfs_rtt_us_bucket{shard=\"1\",le=\"0.001\"} 2\n"));
+        assert!(text.contains("dvfs_rtt_us_bucket{shard=\"1\",le=\"0.01\"} 5\n"));
+        assert!(text.contains("dvfs_rtt_us_bucket{shard=\"1\",le=\"+Inf\"} 6\n"));
+        assert!(text.contains("dvfs_rtt_us_sum{shard=\"1\"} 0.025\n"));
+        assert!(text.contains("dvfs_rtt_us_count{shard=\"1\"} 6\n"));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let fams = vec![PromFamily {
+            name: "x".to_string(),
+            help: "h".to_string(),
+            value: PromValue::Counter(vec![PromSample {
+                labels: vec![("mode".to_string(), "a\"b\\c".to_string())],
+                value: 1.0,
+            }]),
+        }];
+        assert!(render(&fams).contains("x{mode=\"a\\\"b\\\\c\"} 1\n"));
+    }
+}

@@ -29,11 +29,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 # Shard sweep: the serve end-to-end suite must hold at one engine shard
 # (the bit-identical-to-the-simulator pin) and at multiple shards (the
 # router, fan-out, and report merge). The e2e trace's ids all hash to
-# shard 0, so every shard count must replay it identically.
+# shard 0, so every shard count must replay it identically — including
+# the drained lifecycle trace, byte for byte (trace_e2e).
 for shards in 1 2 4; do
     echo "==> serve e2e at DVFS_SERVE_SHARDS=$shards"
     DVFS_SERVE_SHARDS="$shards" cargo test -q --test serve_e2e
+    DVFS_SERVE_SHARDS="$shards" cargo test -q --test trace_e2e
 done
+
+# Trace-overhead smoke: the ring sink on the LMC hot path must stay
+# within an order of magnitude of running untraced (a miss means the
+# record path started allocating or formatting; see dvfs-lint's
+# determinism rules over crates/trace/src/{lib,ring}.rs).
+run cargo test -q -p dvfs-bench --test trace_overhead -- --ignored
 
 # Invariant gate: dvfs-lint enforces the contracts no compiler checks —
 # determinism (no hash-order iteration / raw wall-clock reads outside

@@ -27,4 +27,5 @@ pub use dvfs_power as power;
 pub use dvfs_serve as serve;
 pub use dvfs_sim as sim;
 pub use dvfs_sysfs as sysfs;
+pub use dvfs_trace as trace;
 pub use dvfs_workloads as workloads;
