@@ -24,11 +24,15 @@ USAGE:
   dvfs-sched serve (--socket PATH | --tcp ADDR) [--mode replay|paced]
              [--speed X] [--cores N] [--shards N] [--re X] [--rt Y]
              [--queue-cap N] [--snapshot FILE] [--snapshot-period-s S]
-             [--trace-out FILE] [--trace-cap N]
+             [--trace-out FILE] [--trace-cap N] [--net threads|reactor]
+             [--max-connections N] [--actuator simulated|noop]
   dvfs-sched loadgen (--socket PATH | --tcp ADDR) --mode replay|poisson|closed
              [--trace FILE] [--rate HZ] [--duration-s S] [--clients N]
              [--requests N] [--interactive-frac F] [--mean-cycles C]
              [--seed N] [--max-shed F] [--shutdown]
+  dvfs-sched loadgen (--socket PATH | --tcp ADDR) --idle [--connections N]
+             [--requests N] [--seed N] [--interactive-frac F]
+             [--mean-cycles C] [--shutdown]
   dvfs-sched trace-export --in FILE.jsonl --out FILE.json
 
 Cost parameters default to the paper's: batch Re=0.1 Rt=0.4 for
@@ -37,7 +41,13 @@ schedule-batch/ranges, online Re=0.4 Rt=0.1 for simulate/serve.
 events per shard); `--trace-out` mirrors the drained trace to a JSONL
 file. `trace-export` converts that JSONL into Chrome trace_event JSON
 loadable in Perfetto (ui.perfetto.dev). `loadgen --max-shed F` exits
-nonzero when the shed ratio exceeds F.";
+nonzero when the shed ratio exceeds F. `serve --net reactor` swaps
+the thread-per-connection front-end for the single-threaded epoll
+reactor (same wire protocol, same replay semantics); `--max-connections`
+caps concurrent connections on either front-end, shedding on accept.
+`loadgen --idle` holds `--connections` mostly-idle sockets while one
+active connection submits `--requests` tasks, reporting submit latency
+percentiles and per-connection RSS growth.";
 
 fn cost_params(args: &Args, default: CostParams) -> Result<CostParams, String> {
     let re = args.num("re", default.re)?;
@@ -334,6 +344,24 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
     if trace_out.is_some() && trace_capacity == 0 {
         return Err("`--trace-out` requires `--trace-cap N` to enable tracing".into());
     }
+    let actuator = match args.get("actuator").unwrap_or("simulated") {
+        "simulated" => dvfs_serve::ActuatorKind::Simulated,
+        "noop" => dvfs_serve::ActuatorKind::Noop,
+        other => return Err(format!("unknown actuator `{other}` (simulated|noop)")),
+    };
+    // `--net` overrides the DVFS_SERVE_NET env default picked up by
+    // `ServerConfig::new`; absent, the env selection stands.
+    let net = match args.get("net") {
+        None => None,
+        Some("threads") => Some(dvfs_serve::NetBackend::Threads),
+        Some("reactor") => Some(dvfs_serve::NetBackend::Reactor),
+        Some(other) => return Err(format!("unknown net backend `{other}` (threads|reactor)")),
+    };
+    let max_connections: usize =
+        args.num("max-connections", dvfs_serve::DEFAULT_MAX_CONNECTIONS)?;
+    if max_connections == 0 {
+        return Err("`--max-connections` must be positive".into());
+    }
     let mut cfg = dvfs_serve::ServerConfig::new(endpoint);
     cfg.scheduler = dvfs_serve::SchedulerConfig {
         cores,
@@ -342,7 +370,12 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
         queue_capacity,
         shards,
         trace_capacity,
+        actuator,
     };
+    if let Some(net) = net {
+        cfg.net = net;
+    }
+    cfg.max_connections = max_connections;
     cfg.snapshot_path = args.get("snapshot").map(Into::into);
     cfg.trace_out = trace_out;
     let period: f64 = args.num("snapshot-period-s", 1.0)?;
@@ -364,40 +397,28 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
 }
 
 fn loadgen_cmd(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["shutdown"])?;
+    let args = Args::parse(argv, &["shutdown", "idle"])?;
     let endpoint = endpoint(&args)?;
     let seed: u64 = args.num("seed", 1)?;
     let interactive_fraction: f64 = args.num("interactive-frac", 0.3)?;
     let mean_cycles: f64 = args.num("mean-cycles", 2.0e8)?;
-    let mode = match args.require("mode")? {
-        "replay" => {
-            let trace_path = args.require("trace")?;
-            let trace = dvfs_workloads::io::load_trace(std::path::Path::new(trace_path))
-                .map_err(|e| e.to_string())?;
-            if trace.is_empty() {
-                return Err("trace is empty".into());
-            }
-            dvfs_serve::LoadMode::Replay { trace }
+    let mode = if args.switch("idle") {
+        if args.get("mode").is_some() {
+            return Err("`--idle` and `--mode` are mutually exclusive".into());
         }
-        "poisson" => dvfs_serve::LoadMode::Poisson {
-            rate_hz: args.num("rate", 50.0)?,
-            duration: std::time::Duration::from_secs_f64(args.num("duration-s", 5.0)?),
+        let connections: usize = args.num("connections", 1000)?;
+        if connections == 0 {
+            return Err("`--connections` must be positive".into());
+        }
+        dvfs_serve::LoadMode::Idle {
+            connections,
+            active_requests: args.num("requests", 100)?,
             seed,
             interactive_fraction,
             mean_cycles,
-        },
-        "closed" => dvfs_serve::LoadMode::Closed {
-            clients: args.num("clients", 4)?,
-            requests_per_client: args.num("requests", 100)?,
-            seed,
-            interactive_fraction,
-            mean_cycles,
-        },
-        other => {
-            return Err(format!(
-                "unknown loadgen mode `{other}` (replay|poisson|closed)"
-            ))
         }
+    } else {
+        loadgen_mode(&args, seed, interactive_fraction, mean_cycles)?
     };
     let report = dvfs_serve::loadgen::run(&endpoint, &mode).map_err(|e| e.to_string())?;
     print!("{}", report.render());
@@ -424,6 +445,42 @@ fn loadgen_cmd(argv: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn loadgen_mode(
+    args: &Args,
+    seed: u64,
+    interactive_fraction: f64,
+    mean_cycles: f64,
+) -> Result<dvfs_serve::LoadMode, String> {
+    match args.require("mode")? {
+        "replay" => {
+            let trace_path = args.require("trace")?;
+            let trace = dvfs_workloads::io::load_trace(std::path::Path::new(trace_path))
+                .map_err(|e| e.to_string())?;
+            if trace.is_empty() {
+                return Err("trace is empty".into());
+            }
+            Ok(dvfs_serve::LoadMode::Replay { trace })
+        }
+        "poisson" => Ok(dvfs_serve::LoadMode::Poisson {
+            rate_hz: args.num("rate", 50.0)?,
+            duration: std::time::Duration::from_secs_f64(args.num("duration-s", 5.0)?),
+            seed,
+            interactive_fraction,
+            mean_cycles,
+        }),
+        "closed" => Ok(dvfs_serve::LoadMode::Closed {
+            clients: args.num("clients", 4)?,
+            requests_per_client: args.num("requests", 100)?,
+            seed,
+            interactive_fraction,
+            mean_cycles,
+        }),
+        other => Err(format!(
+            "unknown loadgen mode `{other}` (replay|poisson|closed)"
+        )),
+    }
 }
 
 fn trace_export(argv: &[String]) -> Result<(), String> {

@@ -11,6 +11,9 @@ use std::path::Path;
 /// the service links the real-time executor only, and the trace event
 /// bus sits below everything: `dvfs-core -> dvfs-trace` is the only
 /// allowed edge into it, and it depends on nothing in the workspace.
+/// The reactor (`dvfs-net`) is pure transport: it knows nothing about
+/// scheduling (no edge out of it into the workspace), and only the
+/// service layer may link it (nothing below `dvfs-serve` sees it).
 pub const FORBIDDEN: &[(&str, &str)] = &[
     ("dvfs-core", "dvfs-sim"),
     ("dvfs-core", "dvfs-serve"),
@@ -22,6 +25,14 @@ pub const FORBIDDEN: &[(&str, &str)] = &[
     ("dvfs-trace", "dvfs-sim"),
     ("dvfs-trace", "dvfs-serve"),
     ("dvfs-model", "dvfs-trace"),
+    ("dvfs-net", "dvfs-core"),
+    ("dvfs-net", "dvfs-model"),
+    ("dvfs-net", "dvfs-sim"),
+    ("dvfs-net", "dvfs-serve"),
+    ("dvfs-net", "dvfs-trace"),
+    ("dvfs-core", "dvfs-net"),
+    ("dvfs-model", "dvfs-net"),
+    ("dvfs-trace", "dvfs-net"),
 ];
 
 /// One parsed manifest: package name plus its normal dependency names

@@ -20,7 +20,8 @@
 //! | `layering`    | forbidden crate edges over *normal* deps, parsed      |
 //! |               | natively from `Cargo.toml` (no `cargo tree`)          |
 //! | `panic`       | no `unwrap`/`expect`/panicking macro/slice-index in   |
-//! |               | `serve/src/{protocol,server,admission}.rs`            |
+//! |               | `serve/src/{protocol,server,admission}.rs` or         |
+//! |               | anywhere in `net/src` (the reactor is wire path)      |
 //!
 //! A violation can be waived in place with
 //! `// dvfs-lint: allow(rule-id) reason` on the offending line or the
@@ -107,6 +108,9 @@ mod scope {
         "crates/serve/src/server.rs",
         "crates/serve/src/admission.rs",
     ];
+    /// Rule P (dirs): the epoll reactor handles hostile bytes on every
+    /// line, so the whole crate is wire path.
+    pub const PANIC_DIRS: &[&str] = &["crates/net/src"];
 }
 
 fn in_scope(rel: &str, dirs: &[&str], files: &[&str], exempt: &[&str]) -> bool {
@@ -200,7 +204,7 @@ pub fn run(root: &Path) -> Report {
         if in_scope(rel, scope::LOCK_ORDER_DIRS, &[], &[]) {
             raw.extend(rules::lock_order(&text, rel));
         }
-        if in_scope(rel, &[], scope::PANIC_FILES, &[]) {
+        if in_scope(rel, scope::PANIC_DIRS, scope::PANIC_FILES, &[]) {
             raw.extend(rules::panic_freedom(&text, rel));
         }
     }
@@ -365,6 +369,18 @@ mod tests {
             scope::DET_CLOCK_DIRS,
             scope::DET_CLOCK_FILES,
             scope::DET_CLOCK_EXEMPT
+        ));
+        assert!(in_scope(
+            "crates/net/src/reactor.rs",
+            scope::PANIC_DIRS,
+            scope::PANIC_FILES,
+            &[]
+        ));
+        assert!(!in_scope(
+            "crates/serve/src/service.rs",
+            scope::PANIC_DIRS,
+            scope::PANIC_FILES,
+            &[]
         ));
     }
 

@@ -1,0 +1,11 @@
+//! Clean reactor fixture: the whole crate is wire path, so every
+//! fallible step is handled without `unwrap`/`expect`/indexing.
+pub fn split_line(buf: &[u8]) -> Option<(&[u8], &[u8])> {
+    let pos = buf.iter().position(|&b| b == b'\n')?;
+    let (line, rest) = buf.split_at(pos);
+    Some((line, rest.get(1..).unwrap_or(&[])))
+}
+
+pub fn first_byte(buf: &[u8]) -> u8 {
+    buf.first().copied().unwrap_or(0)
+}

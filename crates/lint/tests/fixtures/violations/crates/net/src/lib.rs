@@ -1,0 +1,7 @@
+//! Panic-freedom violation in the reactor: the whole crate is wire
+//! path, so an unwrap on peer-controlled bytes is a `panic` finding.
+pub fn first_line(buf: &[u8]) -> &[u8] {
+    let pos = buf.iter().position(|&b| b == b'\n').unwrap();
+    let (line, _) = buf.split_at(pos);
+    line
+}

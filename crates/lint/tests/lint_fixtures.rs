@@ -85,11 +85,19 @@ fn violating_fixture_pins_findings_to_files() {
         "crates/trace/Cargo.toml",
         "dvfs-trace -> dvfs-core"
     ));
+    // A: the reactor must not reach back into the service.
+    assert!(has(
+        "layering",
+        "crates/net/Cargo.toml",
+        "dvfs-net -> dvfs-serve"
+    ));
     // P: slice index, unwrap, and the expect the malformed waiver fails
     // to cover.
     assert!(has("panic", "crates/serve/src/protocol.rs", "index"));
     assert!(has("panic", "crates/serve/src/protocol.rs", "`.unwrap(…)`"));
     assert!(has("panic", "crates/serve/src/protocol.rs", "`.expect(…)`"));
+    // P: the panic rule covers the whole reactor crate by directory.
+    assert!(has("panic", "crates/net/src/lib.rs", "`.unwrap(…)`"));
     // Waiver rule: `allow(panic)` with no reason.
     assert!(has(
         "waiver",

@@ -1,0 +1,40 @@
+//! `dvfs-net` — a zero-dependency epoll mini-reactor for the DVFS
+//! scheduler service's wire front-end.
+//!
+//! The thread-per-connection backend in `dvfs-serve` costs a stack per
+//! client; at tens of thousands of mostly-idle connections that is the
+//! dominant memory bill before the scheduler's decision path even
+//! runs. This crate provides the evented alternative:
+//!
+//! - [`sys`] — thin `extern "C"` bindings for exactly the syscalls the
+//!   reactor needs (`epoll_create1`/`epoll_ctl`/`epoll_wait`,
+//!   `accept4`, nonblocking `read`/`write`, `rlimit`). The only
+//!   `unsafe` in the crate lives here.
+//! - [`poller`] — a safe epoll wrapper ([`Poller`], [`Interest`],
+//!   [`Event`]).
+//! - [`framing`] — incremental NDJSON line splitting with an
+//!   oversized-line guard ([`LineFramer`], [`Frame`]), plus the shared
+//!   edge-case table ([`framing::edge_cases`]) both wire backends test
+//!   against.
+//! - [`conn`] — per-connection read framer + buffered write side with
+//!   explicit backpressure ([`Connection`]).
+//! - [`reactor`] — the event loop ([`reactor::run`]): accept with a
+//!   shed-on-accept connection budget, batch every complete line of a
+//!   readable socket into one [`Handler`] call, re-arm `EPOLLOUT`
+//!   while responses are part-written.
+//!
+//! The crate knows nothing about the wire protocol or the scheduler:
+//! embedders supply a [`Handler`] for request lines and an
+//! [`Observer`] for metrics. It deliberately has **no dependencies**
+//! (workspace or external) so the layering invariant is structural.
+
+pub mod conn;
+pub mod framing;
+pub mod poller;
+pub mod reactor;
+pub mod sys;
+
+pub use conn::Connection;
+pub use framing::{Frame, LineFramer, DEFAULT_MAX_LINE};
+pub use poller::{Event, Interest, Poller};
+pub use reactor::{Handler, NullObserver, Observer, ReactorConfig};

@@ -1,0 +1,233 @@
+//! Thin libc FFI: exactly the syscalls the reactor needs, nothing more.
+//!
+//! The workspace carries no external crates beyond its local shims, so
+//! `dvfs-net` declares its own `extern "C"` bindings instead of pulling
+//! in `libc`. Every raw call is wrapped in a safe function that maps
+//! `-1` + `errno` onto [`std::io::Error`]; no other module in the crate
+//! contains `unsafe`.
+//!
+//! Numeric constants are the Linux kernel ABI values (stable since
+//! epoll landed in 2.5.x); `EpollEvent` is `repr(C, packed)` on x86_64
+//! to match the kernel's struct layout there.
+
+use std::io;
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`) — always reported, never requested.
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hangup (`EPOLLHUP`) — always reported, never requested.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const SOCK_NONBLOCK: i32 = 0o4000;
+const SOCK_CLOEXEC: i32 = 0o2000000;
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// One readiness record, kernel layout. On x86_64 the kernel packs the
+/// struct (4-byte `events` directly followed by the 8-byte `data`
+/// union); elsewhere it uses natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-chosen token, returned verbatim with each event.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn accept4(fd: i32, addr: *mut u8, addrlen: *mut u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+///
+/// # Errors
+/// The raw OS error when the kernel refuses (fd limit, ENOMEM).
+pub fn epoll_create() -> io::Result<i32> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+fn epoll_op(epfd: i32, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+/// Register `fd` with interest `events`, tagging it with `token`.
+///
+/// # Errors
+/// The raw OS error (e.g. `EEXIST` when already registered).
+pub fn epoll_add(epfd: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_ADD, fd, events, token)
+}
+
+/// Re-arm `fd` with a new interest set, keeping its `token`.
+///
+/// # Errors
+/// The raw OS error (e.g. `ENOENT` when not registered).
+pub fn epoll_mod(epfd: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_MOD, fd, events, token)
+}
+
+/// Deregister `fd`. Harmless to skip before `close` — the kernel drops
+/// the registration with the last fd reference — but explicit removal
+/// keeps the interest list honest while the fd is still open elsewhere.
+///
+/// # Errors
+/// The raw OS error.
+pub fn epoll_del(epfd: i32, fd: i32) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+}
+
+/// Block up to `timeout_ms` for readiness; fills `buf` from the front
+/// and returns the number of records written. `EINTR` is reported as
+/// zero events rather than an error.
+///
+/// # Errors
+/// The raw OS error for anything other than `EINTR`.
+pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    let cap = i32::try_from(buf.len()).unwrap_or(i32::MAX);
+    let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), cap, timeout_ms) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(usize::try_from(n).unwrap_or(0))
+}
+
+/// `accept4(listen_fd, NULL, NULL, SOCK_NONBLOCK | SOCK_CLOEXEC)`:
+/// accept one pending connection, already nonblocking. Returns
+/// `WouldBlock` when the backlog is empty.
+///
+/// # Errors
+/// The raw OS error; `WouldBlock` is the normal "drained" signal.
+pub fn accept_nonblocking(listen_fd: i32) -> io::Result<i32> {
+    cvt(unsafe {
+        accept4(
+            listen_fd,
+            std::ptr::null_mut(),
+            std::ptr::null_mut(),
+            SOCK_NONBLOCK | SOCK_CLOEXEC,
+        )
+    })
+}
+
+/// Nonblocking `read(2)`. `Ok(0)` is end-of-stream.
+///
+/// # Errors
+/// `WouldBlock` when the socket has no data; otherwise the OS error.
+pub fn read_fd(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+    let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(usize::try_from(n).unwrap_or(0))
+}
+
+/// Nonblocking `write(2)`.
+///
+/// # Errors
+/// `WouldBlock` when the send buffer is full; otherwise the OS error.
+pub fn write_fd(fd: i32, buf: &[u8]) -> io::Result<usize> {
+    let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(usize::try_from(n).unwrap_or(0))
+}
+
+/// `close(2)`, result ignored — the fd is gone either way.
+pub fn close_fd(fd: i32) {
+    let _ = unsafe { close(fd) };
+}
+
+/// Current `RLIMIT_NOFILE` as `(soft, hard)`.
+///
+/// # Errors
+/// The raw OS error.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    Ok((lim.cur, lim.max))
+}
+
+/// Raise the soft `RLIMIT_NOFILE` toward `want` (capped at the hard
+/// limit) and return the resulting soft limit. Used by the
+/// 10k-connection bench smoke, which needs two fds per connection.
+///
+/// # Errors
+/// The raw OS error from `getrlimit`/`setrlimit`.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let (soft, hard) = nofile_limit()?;
+    let target = want.min(hard);
+    if target <= soft {
+        return Ok(soft);
+    }
+    let lim = Rlimit {
+        cur: target,
+        max: hard,
+    };
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
+    Ok(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_lifecycle_on_a_pipe_free_fd() {
+        let epfd = epoll_create().unwrap();
+        assert!(epfd >= 0);
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing registered: an immediate wait returns zero events.
+        assert_eq!(wait(epfd, &mut buf, 0).unwrap(), 0);
+        close_fd(epfd);
+    }
+
+    #[test]
+    fn nofile_limit_is_readable_and_monotone() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        // Raising to the current soft limit is a no-op that succeeds.
+        assert_eq!(raise_nofile_limit(soft).unwrap(), soft);
+    }
+}

@@ -184,8 +184,85 @@ impl RoundReport {
     }
 }
 
+/// Where the executor lands its per-core frequency decisions.
+///
+/// The default backend ([`SimulatedActuator`]) runs the paper's full
+/// sysfs protocol against a simulated tree — userspace governor,
+/// `scaling_setspeed` write, readback verification — and is what the
+/// bit-identical replay contract is pinned against. [`NoopActuator`]
+/// acknowledges without modeling anything, for raw-throughput runs
+/// where the sysfs bookkeeping is pure overhead.
+pub trait RateActuator: Send {
+    /// Apply `rate` to core `cpu`; `true` means applied and verified.
+    fn apply(&mut self, cpu: usize, rate: RateIdx) -> bool;
+    /// Backend name, for reports and debugging.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's sysfs protocol over a simulated per-core tree.
+#[derive(Debug)]
+pub struct SimulatedActuator {
+    inner: DvfsActuator<SimulatedSysfs>,
+}
+
+impl SimulatedActuator {
+    /// One simulated sysfs tree per core, using core 0's rate table
+    /// (the service platform is homogeneous).
+    #[must_use]
+    pub fn new(platform: &Platform) -> Self {
+        let table = platform.core(0).expect("platform has cores").rates.clone();
+        let backend = SimulatedSysfs::new(platform.num_cores(), &table);
+        let inner = DvfsActuator::new(backend, table)
+            .expect("simulated sysfs accepts the userspace governor");
+        SimulatedActuator { inner }
+    }
+}
+
+impl RateActuator for SimulatedActuator {
+    fn apply(&mut self, cpu: usize, rate: RateIdx) -> bool {
+        self.inner.apply(cpu, rate).is_ok()
+    }
+    fn name(&self) -> &'static str {
+        "simulated"
+    }
+}
+
+/// Accepts every decision without modeling a sysfs tree.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopActuator;
+
+impl RateActuator for NoopActuator {
+    fn apply(&mut self, _cpu: usize, _rate: RateIdx) -> bool {
+        true
+    }
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+}
+
+/// Config-selectable actuator backend (`--actuator simulated|noop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActuatorKind {
+    /// Full simulated-sysfs protocol with readback verification.
+    #[default]
+    Simulated,
+    /// Count applications, touch nothing.
+    Noop,
+}
+
+impl ActuatorKind {
+    /// Build the backend for `platform`.
+    #[must_use]
+    pub fn build(self, platform: &Platform) -> Box<dyn RateActuator> {
+        match self {
+            ActuatorKind::Simulated => Box::new(SimulatedActuator::new(platform)),
+            ActuatorKind::Noop => Box::new(NoopActuator),
+        }
+    }
+}
+
 /// A wall-clock executor: cores, a monotone clock the service advances,
-/// an event heap for arrivals and projected completions, and the sysfs
+/// an event heap for arrivals and projected completions, and the rate
 /// actuator every frequency decision is applied to.
 pub struct RealTimeExecutor {
     platform: Platform,
@@ -202,7 +279,7 @@ pub struct RealTimeExecutor {
     fresh_completions: Vec<TaskId>,
     /// Every completion this round, in order (for the round report).
     completion_order: Vec<TaskId>,
-    actuator: DvfsActuator<SimulatedSysfs>,
+    actuator: Box<dyn RateActuator>,
     actuations: u64,
     actuation_errors: u64,
     /// Optional lifecycle trace ring, shared with the shard that owns
@@ -213,11 +290,17 @@ pub struct RealTimeExecutor {
 
 impl RealTimeExecutor {
     /// Build an executor over `platform` with userspace-governed cores
-    /// (the policy owns every frequency). The actuator models one sysfs
-    /// tree per core using core 0's table — the service platform is
-    /// homogeneous.
+    /// (the policy owns every frequency) and the default
+    /// [`SimulatedActuator`] backend.
     #[must_use]
     pub fn new(platform: Platform) -> Self {
+        Self::with_actuator(platform, ActuatorKind::Simulated)
+    }
+
+    /// Like [`RealTimeExecutor::new`], with an explicit actuator
+    /// backend.
+    #[must_use]
+    pub fn with_actuator(platform: Platform, kind: ActuatorKind) -> Self {
         let cores = (0..platform.num_cores())
             .map(|j| {
                 let table = &platform.core(j).expect("in range").rates;
@@ -233,10 +316,7 @@ impl RealTimeExecutor {
                 }
             })
             .collect();
-        let table = platform.core(0).expect("platform has cores").rates.clone();
-        let backend = SimulatedSysfs::new(platform.num_cores(), &table);
-        let actuator = DvfsActuator::new(backend, table)
-            .expect("simulated sysfs accepts the userspace governor");
+        let actuator = kind.build(&platform);
         RealTimeExecutor {
             platform,
             cores,
@@ -274,7 +354,7 @@ impl RealTimeExecutor {
     }
 
     fn actuate(&mut self, j: CoreId, rate: RateIdx) {
-        if self.actuator.apply(j, rate).is_ok() {
+        if self.actuator.apply(j, rate) {
             self.actuations += 1;
         } else {
             self.actuation_errors += 1;

@@ -33,10 +33,12 @@
 //! * [`executor`] — the wall-clock `ExecutorView` implementation.
 //! * [`service`] — the scheduler proper (shard router + per-shard
 //!   engines + locks).
-//! * [`server`] — listeners, connection handling, graceful shutdown.
+//! * [`server`] — listeners, the two wire front-ends (thread-per-
+//!   connection and the `dvfs-net` epoll reactor behind the
+//!   [`NetBackend`] seam), graceful shutdown.
 //! * [`snapshot`] — periodic JSONL state snapshots.
 //! * [`loadgen`] — the companion load generator (replay, open-loop
-//!   Poisson, closed-loop clients).
+//!   Poisson, closed-loop clients, idle-connection holding).
 
 pub mod admission;
 pub mod clock;
@@ -49,10 +51,15 @@ pub mod service;
 pub mod snapshot;
 
 pub use admission::{AdmissionPolicy, AdmissionQueue, GateOutcome, ShedReason};
-pub use executor::{RealTimeExecutor, RoundReport};
-pub use loadgen::{class_idx, DrainSummary, LoadMode, LoadReport};
+pub use executor::{
+    ActuatorKind, NoopActuator, RateActuator, RealTimeExecutor, RoundReport, SimulatedActuator,
+};
+pub use loadgen::{class_idx, DrainSummary, IdleSummary, LoadMode, LoadReport};
 pub use metrics::{prometheus_text, shard_metric, Counter, Gauge, Histogram, Registry};
 pub use protocol::{ErrorKind, Request, Response};
-pub use server::{serve, Endpoint, ServerConfig, ServerHandle};
-pub use service::{service_platform, Mode, Scheduler, SchedulerConfig};
+pub use server::{
+    serve, Endpoint, NetBackend, ServerConfig, ServerHandle, DEFAULT_MAX_CONNECTIONS,
+    MAX_LINE_BYTES,
+};
+pub use service::{service_platform, Mode, Scheduler, SchedulerConfig, SubmitItem};
 pub use snapshot::SnapshotWriter;

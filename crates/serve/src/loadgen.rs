@@ -64,6 +64,23 @@ pub enum LoadMode {
         /// Mean task size in cycles.
         mean_cycles: f64,
     },
+    /// Hold a herd of mostly-idle connections while one active client
+    /// submits — the scenario the epoll front-end exists for, and the
+    /// driver of the 10k-connection bench. Reports submit-latency
+    /// quantiles under the idle herd plus a per-connection RSS
+    /// estimate.
+    Idle {
+        /// Idle connections to open and hold for the whole run.
+        connections: usize,
+        /// Submissions from the single active connection.
+        active_requests: usize,
+        /// RNG seed (sizes, classes).
+        seed: u64,
+        /// Probability a task is interactive.
+        interactive_fraction: f64,
+        /// Mean task size in cycles.
+        mean_cycles: f64,
+    },
 }
 
 /// Served-workload totals returned by a `drain`.
@@ -84,6 +101,22 @@ pub struct DrainSummary {
     /// Completed count per shard, in shard order (empty when the
     /// server predates the `shard_reports` field).
     pub per_shard_completed: Vec<u64>,
+}
+
+/// What [`LoadMode::Idle`] observed about the idle herd.
+#[derive(Debug, Clone, Default)]
+pub struct IdleSummary {
+    /// Idle connections actually held open.
+    pub connections: usize,
+    /// Process `VmRSS` (kB) before opening the herd.
+    pub rss_before_kb: u64,
+    /// Process `VmRSS` (kB) with the whole herd open.
+    pub rss_after_kb: u64,
+    /// RSS growth per held connection, in bytes. An **estimate** of
+    /// process-side cost only (client + server when they share the
+    /// process, as in the bench smoke): kernel socket buffers are not
+    /// resident memory.
+    pub rss_per_conn_bytes: u64,
 }
 
 /// What a load-generation run observed.
@@ -108,6 +141,8 @@ pub struct LoadReport {
     pub rtt: Arc<Histogram>,
     /// Drain totals (replay mode only).
     pub drain: Option<DrainSummary>,
+    /// Idle-herd observations ([`LoadMode::Idle`] only).
+    pub idle: Option<IdleSummary>,
 }
 
 /// Index of a task class in [`LoadReport::shed_by_class`].
@@ -162,6 +197,13 @@ impl LoadReport {
             q(0.95),
             q(0.99)
         );
+        if let Some(i) = &self.idle {
+            let _ = writeln!(
+                out,
+                "idle herd: {} connections | rss {} kB -> {} kB | ~{} B/conn",
+                i.connections, i.rss_before_kb, i.rss_after_kb, i.rss_per_conn_bytes
+            );
+        }
         if let Some(d) = &self.drain {
             let _ = writeln!(
                 out,
@@ -232,6 +274,36 @@ impl Connection {
         }
         Response::decode(reply.trim()).map_err(std::io::Error::other)
     }
+}
+
+/// A held-open socket with no buffers attached — the idle herd member.
+/// Client-side `BufReader`/`BufWriter` pairs would cost ~16 kB each,
+/// which at 10k connections would swamp the RSS measurement.
+enum IdleStream {
+    Unix { _held: UnixStream },
+    Tcp { _held: TcpStream },
+}
+
+fn open_idle(endpoint: &Endpoint) -> std::io::Result<IdleStream> {
+    Ok(match endpoint {
+        Endpoint::Unix(path) => IdleStream::Unix {
+            _held: UnixStream::connect(path)?,
+        },
+        Endpoint::Tcp(addr) => IdleStream::Tcp {
+            _held: TcpStream::connect(addr)?,
+        },
+    })
+}
+
+/// This process's resident set in kB, from `/proc/self/status`.
+fn rss_kb() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
 }
 
 #[derive(Default)]
@@ -324,6 +396,7 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
     let started = crate::clock::wall_now();
     let mut tally = Tally::default();
     let mut drain = None;
+    let mut idle = None;
 
     match mode {
         LoadMode::Replay { trace } => {
@@ -401,6 +474,36 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
                 tally.errors += sub.errors;
             }
         }
+        LoadMode::Idle {
+            connections,
+            active_requests,
+            seed,
+            interactive_fraction,
+            mean_cycles,
+        } => {
+            let rss_before_kb = rss_kb().unwrap_or(0);
+            let mut herd = Vec::with_capacity(*connections);
+            for _ in 0..*connections {
+                herd.push(open_idle(endpoint)?);
+            }
+            let rss_after_kb = rss_kb().unwrap_or(0);
+            // The active set: one connection submitting while the herd
+            // sits registered but silent.
+            let mut conn = Connection::open(endpoint)?;
+            let mut rng = StdRng::seed_from_u64(*seed);
+            for _ in 0..*active_requests {
+                let (line, class) = random_task_line(&mut rng, *interactive_fraction, *mean_cycles);
+                submit_and_tally(&mut conn, &line, class, &rtt, &mut tally)?;
+            }
+            let growth_bytes = rss_after_kb.saturating_sub(rss_before_kb) * 1024;
+            idle = Some(IdleSummary {
+                connections: herd.len(),
+                rss_before_kb,
+                rss_after_kb,
+                rss_per_conn_bytes: growth_bytes / (herd.len().max(1) as u64),
+            });
+            drop(herd); // held open through the whole active phase
+        }
     }
 
     let wall_seconds = started.elapsed().as_secs_f64();
@@ -414,6 +517,7 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
         throughput_rps: tally.admitted as f64 / wall_seconds.max(1e-9),
         rtt,
         drain,
+        idle,
     })
 }
 
@@ -488,6 +592,7 @@ mod tests {
             throughput_rps: 1.0,
             rtt: Arc::new(Histogram::default()),
             drain: None,
+            idle: None,
         };
         assert!((report.shed_ratio() - 0.75).abs() < 1e-12);
         let text = report.render();

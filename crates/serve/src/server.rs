@@ -1,27 +1,88 @@
 //! The connection-handling daemon.
 //!
-//! One accept loop (Unix-domain socket or TCP), one thread per
-//! connection, one shared [`Scheduler`] (which fans submissions out
-//! across its engine shards). Request lines are parsed,
-//! dispatched, and answered on the same connection; a malformed line
-//! produces a `bad_request` response and the loop continues — client
-//! input can never crash the server. Shutdown (wire `shutdown` command
-//! or [`ServerHandle::shutdown`]) drains the scheduler backlog, flushes
-//! a final metrics snapshot, and joins every thread before
+//! Two interchangeable wire front-ends behind one `Listener`-level
+//! seam, selected by [`ServerConfig::net`]:
+//!
+//! - **`threads`** (default): one accept loop (Unix-domain socket or
+//!   TCP), one thread per connection.
+//! - **`reactor`**: the `dvfs-net` single-threaded epoll mini-reactor,
+//!   multiplexing tens of thousands of connections on one thread.
+//!
+//! Both feed the same [`Scheduler`] through the same line pipeline:
+//! `dvfs-net`'s incremental [`LineFramer`] splits the byte stream,
+//! every complete line of a read is handled as one batch
+//! (`handle_lines`, which folds consecutive submits into a single
+//! `Scheduler::submit_many` admission call), and both shed connections
+//! over [`ServerConfig::max_connections`] at accept time with the
+//! explicit `overloaded` wire response. A malformed line produces a
+//! `bad_request` response and the connection continues — client input
+//! can never crash the server. Shutdown (wire `shutdown` command or
+//! [`ServerHandle::shutdown`]) drains the scheduler backlog, flushes a
+//! final metrics snapshot, and joins every thread before
 //! [`ServerHandle::wait`] returns.
+//!
+//! The reactor exports its own registry series: `net_connections_open`
+//! / `net_connections_peak` gauges, `net_accepts` / `net_accepts_shed`
+//! / `net_wakeups` counters, and a `net_batch_lines` histogram.
+//! Reactor lifecycle deliberately records **no** trace events: the
+//! lifecycle trace schema is pinned by the byte-identical replay
+//! contract, and connection-level visibility belongs to metrics (and
+//! the Perfetto counter tracks built from them at export time).
 
 use crate::metrics::Registry;
 use crate::protocol::{parse_request, ErrorKind, Request, Response};
-use crate::service::{Mode, Scheduler, SchedulerConfig};
+use crate::service::{Mode, Scheduler, SchedulerConfig, SubmitItem};
 use crate::snapshot::SnapshotWriter;
-use std::io::{BufRead, BufReader, Write};
+use dvfs_net::framing::{Frame, LineFramer};
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Per-request-line byte budget, shared by both wire front-ends.
+pub const MAX_LINE_BYTES: usize = dvfs_net::DEFAULT_MAX_LINE;
+
+/// Default open-connection budget (per server, either backend).
+pub const DEFAULT_MAX_CONNECTIONS: usize = 10_240;
+
+/// Which wire front-end accepts and serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetBackend {
+    /// One blocking thread per connection (the default).
+    #[default]
+    Threads,
+    /// The `dvfs-net` epoll mini-reactor: every connection on one
+    /// thread.
+    Reactor,
+}
+
+impl NetBackend {
+    /// Resolve the backend from `DVFS_SERVE_NET` (`reactor` or
+    /// `threads`); anything else — including unset — is `Threads`.
+    /// This is the seam the CI sweep drives `tests/serve_e2e.rs`
+    /// through unmodified against both backends.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("DVFS_SERVE_NET").as_deref() {
+            Ok("reactor") => NetBackend::Reactor,
+            _ => NetBackend::Threads,
+        }
+    }
+
+    /// The CLI/config spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NetBackend::Threads => "threads",
+            NetBackend::Reactor => "reactor",
+        }
+    }
+}
 
 /// Where the server listens.
 #[derive(Debug, Clone)]
@@ -50,11 +111,18 @@ pub struct ServerConfig {
     /// accumulated trace on every drain, trace fetch, and shutdown.
     /// Requires `scheduler.trace_capacity > 0` to record anything.
     pub trace_out: Option<PathBuf>,
+    /// Wire front-end ([`NetBackend::from_env`] by default).
+    pub net: NetBackend,
+    /// Open-connection budget; accepts beyond it are shed with the
+    /// explicit `overloaded` wire response and closed.
+    pub max_connections: usize,
 }
 
 impl ServerConfig {
     /// Defaults around an endpoint: 4 cores, replay mode, 1024-slot
-    /// queue, 10 ms ticks, 1 s snapshots (disabled without a path).
+    /// queue, 10 ms ticks, 1 s snapshots (disabled without a path),
+    /// wire front-end from `DVFS_SERVE_NET` (threads unless set to
+    /// `reactor`).
     #[must_use]
     pub fn new(endpoint: Endpoint) -> Self {
         ServerConfig {
@@ -64,6 +132,8 @@ impl ServerConfig {
             snapshot_path: None,
             snapshot_period: Duration::from_secs(1),
             trace_out: None,
+            net: NetBackend::from_env(),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
         }
     }
 }
@@ -303,7 +373,12 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
 
     let accept_thread = {
         let shared = Arc::clone(&shared);
-        Some(std::thread::spawn(move || accept_loop(&listener, &shared)))
+        let net = cfg.net;
+        let max_connections = cfg.max_connections.max(1);
+        Some(std::thread::spawn(move || match net {
+            NetBackend::Threads => accept_loop(&listener, &shared, max_connections),
+            NetBackend::Reactor => reactor_loop(&listener, &shared, max_connections),
+        }))
     };
 
     Ok(ServerHandle {
@@ -314,20 +389,40 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
+/// Decrements the open-connection count when a handler thread exits,
+/// however it exits.
+struct ConnGuard {
+    open: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.open.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn set_listener_nonblocking(listener: &Listener, shared: &Shared) -> bool {
     let nonblocking = match listener {
         Listener::Unix(l) => l.set_nonblocking(true),
         Listener::Tcp(l) => l.set_nonblocking(true),
     };
     if let Err(e) = nonblocking {
-        // The loop polls the shutdown flag between accepts, which needs
-        // nonblocking accepts; a blocking listener would wedge shutdown
-        // forever, so refuse to serve instead of panicking.
+        // Both front-ends poll the shutdown flag between accepts, which
+        // needs nonblocking accepts; a blocking listener would wedge
+        // shutdown forever, so refuse to serve instead of panicking.
         shared.metrics.counter("accept_errors").inc();
         eprintln!("dvfs-serve: cannot set listener nonblocking ({e}); refusing connections");
+        return false;
+    }
+    true
+}
+
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>, max_connections: usize) {
+    if !set_listener_nonblocking(listener, shared) {
         return;
     }
     let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    let open = Arc::new(AtomicUsize::new(0));
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -337,10 +432,21 @@ fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
             Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
         };
         match accepted {
-            Ok(stream) => {
+            Ok(mut stream) => {
+                if open.load(Ordering::SeqCst) >= max_connections {
+                    // Shed at the door with the explicit wire response,
+                    // mirroring the reactor's budget.
+                    shared.metrics.counter("net_accepts_shed").inc();
+                    let _ = writeln!(stream, "{}", shed_response(max_connections));
+                    continue; // stream drops: connection closed
+                }
+                open.fetch_add(1, Ordering::SeqCst);
                 shared.metrics.counter("connections").inc();
+                let guard = ConnGuard {
+                    open: Arc::clone(&open),
+                };
                 let shared = Arc::clone(shared);
-                let h = std::thread::spawn(move || handle_connection(stream, &shared));
+                let h = std::thread::spawn(move || handle_connection(stream, &shared, guard));
                 handlers
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -357,6 +463,117 @@ fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
         .unwrap_or_else(PoisonError::into_inner)
     {
         let _ = h.join();
+    }
+}
+
+/// Run the `dvfs-net` mini-reactor over the bound listener: the other
+/// side of the front-end seam. Occupies the same accept-thread slot as
+/// [`accept_loop`]; protocol logic is shared via [`handle_lines`].
+fn reactor_loop(listener: &Listener, shared: &Arc<Shared>, max_connections: usize) {
+    if !set_listener_nonblocking(listener, shared) {
+        return;
+    }
+    let fd = match listener {
+        Listener::Unix(l) => l.as_raw_fd(),
+        Listener::Tcp(l) => l.as_raw_fd(),
+    };
+    let cfg = dvfs_net::ReactorConfig {
+        max_connections,
+        max_line_bytes: MAX_LINE_BYTES,
+        // The stop-flag polling cadence, matching the thread backend's
+        // read-timeout granularity.
+        poll_timeout_ms: 100,
+    };
+    let mut handler = WireHandler {
+        shared: Arc::clone(shared),
+        max_connections,
+    };
+    let mut observer = MetricsObserver {
+        metrics: Arc::clone(&shared.metrics),
+        peak: 0,
+    };
+    if let Err(e) = dvfs_net::reactor::run(fd, &cfg, &mut handler, &mut observer) {
+        shared.metrics.counter("accept_errors").inc();
+        eprintln!("dvfs-serve: reactor front-end failed ({e})");
+    }
+}
+
+/// `dvfs-net` handler: the wire protocol over the shared scheduler.
+struct WireHandler {
+    shared: Arc<Shared>,
+    max_connections: usize,
+}
+
+impl dvfs_net::Handler for WireHandler {
+    fn on_batch(&mut self, lines: &[String], respond: &mut dyn FnMut(&str)) {
+        let (responses, shutdown) = handle_lines(lines, &self.shared);
+        for r in &responses {
+            respond(r);
+        }
+        // Shutdown after queueing the final response: the reactor
+        // flushes it before exiting.
+        if shutdown {
+            begin_shutdown(&self.shared);
+        }
+    }
+
+    fn oversized_line(&mut self, len: usize) -> String {
+        oversized_response(len, &self.shared)
+    }
+
+    fn shed_line(&mut self) -> String {
+        shed_response(self.max_connections)
+    }
+
+    fn should_stop(&mut self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// `dvfs-net` observer: reactor telemetry into the shared registry.
+struct MetricsObserver {
+    metrics: Arc<Registry>,
+    peak: usize,
+}
+
+impl dvfs_net::Observer for MetricsObserver {
+    fn on_open(&mut self, open: usize) {
+        self.metrics.counter("connections").inc();
+        self.metrics.counter("net_accepts").inc();
+        self.metrics
+            .gauge("net_connections_open")
+            .set(i64::try_from(open).unwrap_or(i64::MAX));
+        if open > self.peak {
+            self.peak = open;
+            self.metrics
+                .gauge("net_connections_peak")
+                .set(i64::try_from(open).unwrap_or(i64::MAX));
+        }
+    }
+
+    fn on_close(&mut self, open: usize) {
+        self.metrics
+            .gauge("net_connections_open")
+            .set(i64::try_from(open).unwrap_or(i64::MAX));
+    }
+
+    fn on_accept_shed(&mut self) {
+        self.metrics.counter("net_accepts_shed").inc();
+    }
+
+    fn on_batch_size(&mut self, lines: usize) {
+        #[allow(clippy::cast_precision_loss)]
+        self.metrics
+            .histogram("net_batch_lines")
+            .record(lines as f64);
+    }
+
+    fn on_wakeup(&mut self, _events: usize) {
+        self.metrics.counter("net_wakeups").inc();
+    }
+
+    fn on_oversized(&mut self) {
+        // Counted where the response line is built (both backends).
     }
 }
 
@@ -385,8 +602,115 @@ fn dispatch(req: Request, shared: &Shared) -> (Response, bool) {
     }
 }
 
-fn handle_connection(stream: Stream, shared: &Arc<Shared>) {
-    // Poll the shutdown flag between lines so idle connections don't
+/// The explicit shed response written to a connection refused by the
+/// budget — the same `overloaded` error kind the admission queue uses.
+fn shed_response(max_connections: usize) -> String {
+    Response::err(
+        ErrorKind::Overloaded,
+        format!("connection budget exhausted ({max_connections} open connections)"),
+    )
+    .encode()
+}
+
+/// The response for a request line that blew the byte budget.
+fn oversized_response(len: usize, shared: &Shared) -> String {
+    shared.metrics.counter("oversized_lines").inc();
+    Response::err(
+        ErrorKind::BadRequest,
+        format!("request line exceeds {MAX_LINE_BYTES} bytes ({len} read)"),
+    )
+    .encode()
+}
+
+/// Push the responses for a run of consecutive submit lines — one
+/// `Scheduler::submit_many` admission call for the whole run.
+fn flush_submits(pending: &mut Vec<SubmitItem>, out: &mut Vec<String>, shared: &Shared) {
+    if pending.is_empty() {
+        return;
+    }
+    for resp in shared.scheduler.submit_many(pending) {
+        out.push(resp.encode());
+    }
+    pending.clear();
+}
+
+/// The line pipeline both front-ends share: one batch of complete
+/// request lines in, one response line per request line out, in order.
+/// Consecutive submits are folded into a single admission call; the
+/// `bool` reports a shutdown request (remaining lines in the batch are
+/// not processed, matching the thread backend's historical
+/// respond-then-close behavior).
+fn handle_lines(lines: &[String], shared: &Shared) -> (Vec<String>, bool) {
+    let mut out = Vec::with_capacity(lines.len());
+    let mut pending: Vec<SubmitItem> = Vec::new();
+    let mut shutdown = false;
+    for line in lines {
+        match parse_request(line) {
+            Ok(Request::Submit {
+                id,
+                cycles,
+                class,
+                arrival,
+            }) => pending.push(SubmitItem {
+                id,
+                cycles,
+                class,
+                arrival,
+            }),
+            Ok(req) => {
+                flush_submits(&mut pending, &mut out, shared);
+                let (resp, sd) = dispatch(req, shared);
+                out.push(resp.encode());
+                if sd {
+                    shutdown = true;
+                    break;
+                }
+            }
+            Err(msg) => {
+                flush_submits(&mut pending, &mut out, shared);
+                shared.metrics.counter("malformed_requests").inc();
+                out.push(Response::err(ErrorKind::BadRequest, msg).encode());
+            }
+        }
+    }
+    flush_submits(&mut pending, &mut out, shared);
+    (out, shutdown)
+}
+
+/// Thread-backend frame dispatch: split a read's frames into line
+/// batches (through [`handle_lines`]) and oversized rejections,
+/// preserving wire order. The reactor does the equivalent split inside
+/// `dvfs-net` and funnels into the same two helpers.
+fn frames_to_responses(frames: &mut Vec<Frame>, shared: &Shared) -> (Vec<String>, bool) {
+    let mut responses = Vec::new();
+    let mut lines: Vec<String> = Vec::new();
+    let mut shutdown = false;
+    for frame in frames.drain(..) {
+        match frame {
+            Frame::Line(l) => lines.push(l),
+            Frame::Oversized { len } => {
+                let (mut rs, sd) = handle_lines(&lines, shared);
+                lines.clear();
+                responses.append(&mut rs);
+                if sd {
+                    shutdown = true;
+                    break;
+                }
+                responses.push(oversized_response(len, shared));
+            }
+        }
+    }
+    if !shutdown {
+        let (mut rs, sd) = handle_lines(&lines, shared);
+        responses.append(&mut rs);
+        shutdown = sd;
+    }
+    (responses, shutdown)
+}
+
+fn handle_connection(stream: Stream, shared: &Arc<Shared>, guard: ConnGuard) {
+    let _guard = guard;
+    // Poll the shutdown flag between reads so idle connections don't
     // pin the server open.
     if stream
         .set_read_timeout(Some(Duration::from_millis(100)))
@@ -398,39 +722,43 @@ fn handle_connection(stream: Stream, shared: &Arc<Shared>) {
         return;
     };
     let mut writer = std::io::BufWriter::new(writer);
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut stream = stream;
+    // The same incremental framer the reactor runs, so framing edge
+    // cases (partial lines, oversized rejection, CRLF) behave
+    // identically across backends.
+    let mut framer = LineFramer::new(MAX_LINE_BYTES);
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut buf = vec![0u8; 16 * 1024];
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // client closed
-            Ok(_) => {}
+        match stream.read(&mut buf) {
+            Ok(0) => break, // client closed; a mid-line fragment owes no response
+            Ok(n) => framer.feed(buf.get(..n).unwrap_or(&[]), &mut frames),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Timeout may fire mid-line; keep the partial read and
-                // re-check the shutdown flag.
+                // Timeout may fire mid-line; the framer keeps the
+                // partial and we re-check the shutdown flag.
                 continue;
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => break,
         }
-        if line.trim().is_empty() {
-            line.clear();
+        if frames.is_empty() {
             continue;
         }
-        let (response, shutdown) = match parse_request(line.trim()) {
-            Ok(req) => dispatch(req, shared),
-            Err(msg) => {
-                shared.metrics.counter("malformed_requests").inc();
-                (Response::err(ErrorKind::BadRequest, msg), false)
+        let (responses, shutdown) = frames_to_responses(&mut frames, shared);
+        let mut ok = true;
+        for r in &responses {
+            if writeln!(writer, "{r}").is_err() {
+                ok = false;
+                break;
             }
-        };
-        line.clear();
-        let ok = writeln!(writer, "{}", response.encode()).is_ok() && writer.flush().is_ok();
-        if !ok {
+        }
+        if !ok || writer.flush().is_err() {
             break;
         }
         if shutdown {

@@ -53,7 +53,7 @@
 //! a global round barrier.
 
 use crate::admission::{AdmissionPolicy, AdmissionQueue, GateOutcome};
-use crate::executor::{RealTimeExecutor, RoundReport};
+use crate::executor::{ActuatorKind, RealTimeExecutor, RoundReport};
 use crate::metrics::{shard_metric, Counter, Gauge, Histogram, Registry};
 use crate::protocol::{field_f64, field_u64, ErrorKind, Response};
 use dvfs_core::sched::{ExecutorView, Scheduler as PolicyHooks};
@@ -98,6 +98,11 @@ pub struct SchedulerConfig {
     /// tracing entirely: no rings are allocated and the executors'
     /// record paths stay dormant.
     pub trace_capacity: usize,
+    /// Which actuator backend every shard's executor lands frequency
+    /// decisions on. `Simulated` (the default) runs the full
+    /// sysfs-protocol model and is what the bit-identical replay
+    /// contract is pinned against.
+    pub actuator: ActuatorKind,
 }
 
 impl Default for SchedulerConfig {
@@ -109,8 +114,23 @@ impl Default for SchedulerConfig {
             queue_capacity: 1024,
             shards: 1,
             trace_capacity: 0,
+            actuator: ActuatorKind::default(),
         }
     }
+}
+
+/// One submit request as batched off the wire: the fields of a
+/// `{"cmd":"submit",...}` line, ready for [`Scheduler::submit_many`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmitItem {
+    /// Explicit task id, or `None` for auto-assignment.
+    pub id: Option<u64>,
+    /// Work, in cycles.
+    pub cycles: u64,
+    /// Scheduling class.
+    pub class: TaskClass,
+    /// Arrival on the engine clock; defaulted per [`Mode`].
+    pub arrival: Option<f64>,
 }
 
 /// The platform a scheduler shard with `cores` cores runs on. Exposed
@@ -133,9 +153,14 @@ impl Engine {
     /// A fresh engine for a new round; `ring` re-attaches the shard's
     /// trace ring (sequence numbers continue — a round boundary is
     /// visible in the trace but never resets the stream).
-    fn fresh(cores: usize, params: CostParams, ring: Option<SharedRing>) -> Self {
+    fn fresh(
+        cores: usize,
+        params: CostParams,
+        ring: Option<SharedRing>,
+        actuator: ActuatorKind,
+    ) -> Self {
         let platform = service_platform(cores);
-        let mut exec = RealTimeExecutor::new(platform.clone());
+        let mut exec = RealTimeExecutor::with_actuator(platform.clone(), actuator);
         exec.set_trace_ring(ring);
         Engine {
             policy: LeastMarginalCost::new(&platform, params),
@@ -283,7 +308,12 @@ impl Scheduler {
                 Shard {
                     index: k,
                     queue: AdmissionQueue::new(AdmissionPolicy::with_capacity(cap)),
-                    engine: Mutex::new(Engine::fresh(cfg.cores, cfg.params, ring.clone())),
+                    engine: Mutex::new(Engine::fresh(
+                        cfg.cores,
+                        cfg.params,
+                        ring.clone(),
+                        cfg.actuator,
+                    )),
                     ring,
                     depth_gauge: metrics.gauge(&shard_metric("queue_depth", k)),
                     pending_gauge: metrics.gauge(&shard_metric("pending_tasks", k)),
@@ -448,6 +478,61 @@ impl Scheduler {
         class: TaskClass,
         arrival: Option<f64>,
     ) -> Response {
+        self.submit_many(&[SubmitItem {
+            id,
+            cycles,
+            class,
+            arrival,
+        }])
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| Response::err(ErrorKind::Internal, "empty submit batch"))
+    }
+
+    /// Handle one wire batch of submits — every complete submit line a
+    /// front-end drained from a readable socket in one go. Semantics
+    /// are exactly sequential [`Scheduler::submit`] calls (responses in
+    /// order, same counters, same trace records), but the id ledger is
+    /// locked once for the whole batch and the paced ticker is signaled
+    /// once at the end instead of per task.
+    pub fn submit_many(&self, items: &[SubmitItem]) -> Vec<Response> {
+        let mut out = Vec::with_capacity(items.len());
+        if items.is_empty() {
+            return out;
+        }
+        let mut admitted_any = false;
+        {
+            let mut ids = self.lock_ids();
+            for item in items {
+                out.push(self.submit_one(&mut ids, *item, &mut admitted_any));
+            }
+        }
+        if admitted_any {
+            self.publish_queue_depth();
+            // Wake a ticker sleeping in `wait_for_work`; the empty
+            // critical section orders the wake after the admits.
+            drop(self.work_mx.lock().unwrap_or_else(PoisonError::into_inner));
+            self.work_cv.notify_all();
+        }
+        out
+    }
+
+    /// One submit under the already-held id-ledger lock. Ordering note:
+    /// the ledger lock is held across the admission-queue touch; the
+    /// only other multi-lock paths (drain, shutdown) release every
+    /// queue lock before taking the ledger, so no cycle exists.
+    fn submit_one(
+        &self,
+        ids: &mut IdLedger,
+        item: SubmitItem,
+        admitted_any: &mut bool,
+    ) -> Response {
+        let SubmitItem {
+            id,
+            cycles,
+            class,
+            arrival,
+        } = item;
         self.metrics.counter("submitted").inc();
         if self.is_shutting_down() {
             return Response::err(ErrorKind::ShuttingDown, "server is draining");
@@ -456,7 +541,6 @@ impl Scheduler {
         // same one; released again if validation or admission fails.
         let explicit = id.is_some();
         let id = {
-            let mut ids = self.lock_ids();
             let id = match id {
                 Some(id) => {
                     if ids.used.contains(&id) {
@@ -491,7 +575,7 @@ impl Scheduler {
         let task = match Task::online(id, cycles, arrival, None, class) {
             Ok(t) => t,
             Err(e) => {
-                self.lock_ids().used.remove(&id);
+                ids.used.remove(&id);
                 self.metrics.counter("rejected_invalid").inc();
                 return Response::err(ErrorKind::BadRequest, e.to_string());
             }
@@ -504,6 +588,7 @@ impl Scheduler {
         // or observes the flag and is refused — never silently lost.
         match sh.queue.try_submit_gated(task, || !self.is_shutting_down()) {
             GateOutcome::Admitted(depth) => {
+                *admitted_any = true;
                 self.metrics.counter("admitted").inc();
                 sh.admitted.inc();
                 if let Some(ring) = &sh.ring {
@@ -524,11 +609,6 @@ impl Scheduler {
                         },
                     );
                 }
-                self.publish_queue_depth();
-                // Wake a ticker sleeping in `wait_for_work`; the empty
-                // critical section orders the wake after the admit.
-                drop(self.work_mx.lock().unwrap_or_else(PoisonError::into_inner));
-                self.work_cv.notify_all();
                 Response::Ok(vec![
                     field_u64("id", id),
                     field_u64("depth", depth as u64),
@@ -536,7 +616,7 @@ impl Scheduler {
                 ])
             }
             GateOutcome::Shed(shed) => {
-                self.lock_ids().used.remove(&id);
+                ids.used.remove(&id);
                 let tag = class_tag(class);
                 self.metrics.counter("shed").inc();
                 self.metrics.counter(&format!("shed.{}", tag.name())).inc();
@@ -561,7 +641,7 @@ impl Scheduler {
                 Response::err(ErrorKind::Overloaded, shed.to_string())
             }
             GateOutcome::Closed => {
-                self.lock_ids().used.remove(&id);
+                ids.used.remove(&id);
                 Response::err(ErrorKind::ShuttingDown, "server is draining")
             }
         }
@@ -701,7 +781,7 @@ impl Scheduler {
             self.drain_shard_trace(sh);
             // Stand up a fresh round on this shard; the trace ring
             // carries over so sequence numbers stay continuous.
-            **engine = Engine::fresh(self.cfg.cores, params, sh.ring.clone());
+            **engine = Engine::fresh(self.cfg.cores, params, sh.ring.clone(), self.cfg.actuator);
             sh.pending_gauge.set(0);
         }
         // New round: the id space and the paced clock restart together

@@ -331,26 +331,54 @@ fn json_str(s: &str) -> String {
 /// duration events from `dispatch` to the next `preempt`/`complete` on
 /// that core, and `rate_change` as `"i"` instant events. Timestamps are
 /// engine seconds scaled to microseconds (the format's native unit).
+///
+/// Three `"C"` counter tracks ride along per shard: `core J rate` (the
+/// rate index a core is actuated to, stepped on every `dispatch` and
+/// `rate_change`), `queue depth` (admission queue depth sampled at each
+/// `admit`), and `energy (J)` (cumulative measured energy, accrued at
+/// each `complete`). Perfetto renders these as stacked area charts
+/// above the span tracks.
 #[must_use]
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
     let mut out: Vec<String> = Vec::new();
     // (shard, core) -> (task, start ts µs, rate) for the running span.
     let mut open: BTreeMap<(u32, u32), (u64, f64, u32)> = BTreeMap::new();
     let mut tracks: BTreeMap<(u32, u32), ()> = BTreeMap::new();
+    // shard -> cumulative measured energy for the accrual counter.
+    let mut energy: BTreeMap<u32, f64> = BTreeMap::new();
     for ev in events {
         let ts = ev.time * 1e6;
         match &ev.kind {
+            EventKind::Admit { depth, .. } => {
+                out.push(counter(
+                    ev.shard,
+                    ts,
+                    "queue depth",
+                    "depth",
+                    &depth.to_string(),
+                ));
+            }
             EventKind::Dispatch {
                 task, core, rate, ..
             } => {
                 tracks.insert((ev.shard, *core), ());
                 open.insert((ev.shard, *core), (*task, ts, *rate));
+                out.push(rate_counter(ev.shard, *core, ts, *rate));
             }
             EventKind::Preempt { core, .. } => {
                 close_span(&mut out, &mut open, ev.shard, *core, ts, "preempted");
             }
-            EventKind::Complete { core, .. } => {
+            EventKind::Complete { core, energy_j, .. } => {
                 close_span(&mut out, &mut open, ev.shard, *core, ts, "completed");
+                let total = energy.entry(ev.shard).or_insert(0.0);
+                *total += energy_j;
+                out.push(counter(
+                    ev.shard,
+                    ts,
+                    "energy (J)",
+                    "joules",
+                    &total.to_string(),
+                ));
             }
             EventKind::RateChange { core, from, to } => {
                 tracks.insert((ev.shard, *core), ());
@@ -360,6 +388,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     ev.shard,
                     core
                 ));
+                out.push(rate_counter(ev.shard, *core, ts, *to));
             }
             _ => {}
         }
@@ -382,6 +411,27 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     format!(
         "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
         out.join(",")
+    )
+}
+
+/// One `"C"` counter sample on a per-shard track. `value` is passed
+/// pre-rendered so integer counters stay integers in the JSON.
+fn counter(shard: u32, ts: f64, track: &str, series: &str, value: &str) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"C\",\"pid\":{shard},\"ts\":{ts},\"args\":{{{}:{value}}}}}",
+        json_str(track),
+        json_str(series)
+    )
+}
+
+/// Sample the `core J rate` counter track for one shard.
+fn rate_counter(shard: u32, core: u32, ts: f64, rate: u32) -> String {
+    counter(
+        shard,
+        ts,
+        &format!("core {core} rate"),
+        "rate",
+        &rate.to_string(),
     )
 }
 
@@ -499,6 +549,60 @@ mod tests {
         // Dispatch at 0.015 s -> 15000 µs; complete at 0.05 s.
         assert!(json.contains("\"ts\":15000"), "{json}");
         assert!(json.contains("\"dur\":35000"), "{json}");
+    }
+
+    #[test]
+    fn chrome_trace_emits_counter_tracks() {
+        let json = chrome_trace(&sample());
+        // Dispatch at rate 3, then rate_change to 2: two samples on the
+        // same per-core counter track.
+        assert!(json.contains("\"name\":\"core 1 rate\""), "{json}");
+        assert!(
+            json.contains("\"ph\":\"C\",\"pid\":0,\"ts\":15000,\"args\":{\"rate\":3}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"ph\":\"C\",\"pid\":0,\"ts\":20000,\"args\":{\"rate\":2}"),
+            "{json}"
+        );
+        // Complete accrues measured energy on the shard's energy track.
+        assert!(json.contains("\"name\":\"energy (J)\""), "{json}");
+        assert!(json.contains("\"joules\":0.30000000000000004"), "{json}");
+    }
+
+    #[test]
+    fn counters_track_queue_depth_and_cumulative_energy() {
+        let complete = |seq: u64, t: f64, task: u64| TraceEvent {
+            time: t,
+            shard: 2,
+            seq,
+            kind: EventKind::Complete {
+                task,
+                core: 0,
+                energy_j: 0.25,
+                turnaround_s: t,
+            },
+        };
+        let events = vec![
+            TraceEvent {
+                time: 0.0,
+                shard: 2,
+                seq: 0,
+                kind: EventKind::Admit { task: 1, depth: 7 },
+            },
+            complete(1, 0.1, 1),
+            complete(2, 0.2, 2),
+        ];
+        let json = chrome_trace(&events);
+        assert!(
+            json.contains(
+                "\"name\":\"queue depth\",\"ph\":\"C\",\"pid\":2,\"ts\":0,\"args\":{\"depth\":7}"
+            ),
+            "{json}"
+        );
+        // Energy is cumulative: 0.25 then 0.5.
+        assert!(json.contains("\"joules\":0.25"), "{json}");
+        assert!(json.contains("\"joules\":0.5"), "{json}");
     }
 
     #[test]

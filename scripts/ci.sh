@@ -26,22 +26,35 @@ run cargo bench --no-run
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-# Shard sweep: the serve end-to-end suite must hold at one engine shard
-# (the bit-identical-to-the-simulator pin) and at multiple shards (the
-# router, fan-out, and report merge). The e2e trace's ids all hash to
-# shard 0, so every shard count must replay it identically — including
-# the drained lifecycle trace, byte for byte (trace_e2e).
-for shards in 1 2 4; do
-    echo "==> serve e2e at DVFS_SERVE_SHARDS=$shards"
-    DVFS_SERVE_SHARDS="$shards" cargo test -q --test serve_e2e
-    DVFS_SERVE_SHARDS="$shards" cargo test -q --test trace_e2e
+# Backend × shard sweep: the serve end-to-end suite must hold on both
+# wire front-ends (thread-per-connection and the epoll reactor), at one
+# engine shard (the bit-identical-to-the-simulator pin) and at multiple
+# shards (the router, fan-out, and report merge). The e2e trace's ids
+# all hash to shard 0, so every cell of the matrix must replay it
+# identically — including the drained lifecycle trace, byte for byte
+# (trace_e2e). net_framing replays the shared framing edge-case table
+# over live sockets against both backends.
+for net in threads reactor; do
+    for shards in 1 2 4; do
+        echo "==> serve e2e at DVFS_SERVE_NET=$net DVFS_SERVE_SHARDS=$shards"
+        DVFS_SERVE_NET="$net" DVFS_SERVE_SHARDS="$shards" cargo test -q --test serve_e2e
+        DVFS_SERVE_NET="$net" DVFS_SERVE_SHARDS="$shards" cargo test -q --test trace_e2e
+    done
 done
+run cargo test -q --test net_framing
 
 # Trace-overhead smoke: the ring sink on the LMC hot path must stay
 # within an order of magnitude of running untraced (a miss means the
 # record path started allocating or formatting; see dvfs-lint's
 # determinism rules over crates/trace/src/{lib,ring}.rs).
 run cargo test -q -p dvfs-bench --test trace_overhead -- --ignored
+
+# Reactor-at-scale smoke: a single epoll reactor holds ~10k idle
+# connections while a small active set submits. Gates per-connection
+# RSS and p99 submit latency against the committed BENCH_net_10k.json
+# (generous bounds — a tripwire for complexity regressions, not a
+# benchmark), then refreshes the file with this run's numbers.
+run cargo test -q -p dvfs-bench --test net_10k -- --ignored
 
 # Invariant gate: dvfs-lint enforces the contracts no compiler checks —
 # determinism (no hash-order iteration / raw wall-clock reads outside

@@ -1,0 +1,256 @@
+//! Wire-level framing tests shared across both `dvfs-serve` front-ends.
+//!
+//! [`dvfs_net::framing::edge_cases`] is the single table of NDJSON
+//! framing scenarios — partial lines across reads, multiple lines per
+//! read, oversized-line rejection and recovery, mid-line disconnects,
+//! CRLF and blank lines. `dvfs-net`'s unit tests drive it straight
+//! through a [`dvfs_net::LineFramer`]; here the same byte chunks are
+//! replayed over live Unix sockets against *both* backends (`threads`
+//! and `reactor`), asserting each scenario draws exactly the expected
+//! response sequence and leaves the server healthy.
+//!
+//! Also pinned here: the connection budget sheds on accept with the
+//! explicit `overloaded` wire response on both backends, pipelined
+//! submit batches are answered in order, and a replayed drain report
+//! is byte-identical between the two front-ends.
+
+use dvfs_net::framing::{edge_cases, Expect};
+use dvfs_serve::loadgen::Connection;
+use dvfs_serve::protocol::{encode_command, encode_submit, value_u64, ErrorKind, Response};
+use dvfs_serve::{
+    serve, Endpoint, NetBackend, SchedulerConfig, ServerConfig, ServerHandle, MAX_LINE_BYTES,
+};
+use dvfs_suite::model::TaskClass;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const BACKENDS: [NetBackend; 2] = [NetBackend::Threads, NetBackend::Reactor];
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dvfs-net-framing-{}-{name}.sock",
+        std::process::id()
+    ))
+}
+
+fn start(net: NetBackend, name: &str, max_connections: usize) -> ServerHandle {
+    let cfg = ServerConfig {
+        net,
+        max_connections,
+        scheduler: SchedulerConfig {
+            cores: 2,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::new(Endpoint::Unix(scratch(name)))
+    };
+    serve(cfg).expect("server binds")
+}
+
+fn connect(handle: &ServerHandle) -> UnixStream {
+    let Endpoint::Unix(path) = handle.endpoint() else {
+        panic!("tests bind unix endpoints");
+    };
+    UnixStream::connect(path).expect("connects")
+}
+
+fn read_response(reader: &mut BufReader<UnixStream>) -> Response {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("reads response line");
+    assert!(n > 0, "server closed before responding");
+    Response::decode(line.trim()).expect("response decodes")
+}
+
+fn ping_ok(handle: &ServerHandle) {
+    let mut conn = Connection::open(handle.endpoint()).expect("fresh connection");
+    let resp = conn.round_trip(&encode_command("ping")).expect("ping");
+    assert!(resp.is_ok(), "server unhealthy: {resp:?}");
+}
+
+#[test]
+fn framing_edge_cases_on_the_wire_for_both_backends() {
+    for net in BACKENDS {
+        let handle = start(net, &format!("edge-{}", net.name()), 64);
+        for case in edge_cases(MAX_LINE_BYTES) {
+            let stream = connect(&handle);
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = &stream;
+            for chunk in &case.chunks {
+                writer.write_all(chunk).expect("chunk writes");
+                writer.flush().expect("chunk flushes");
+                // Give the server a chance to observe this chunk on its
+                // own read so partial-line scenarios really arrive
+                // split (best-effort; framing must not depend on it).
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            for want in &case.want {
+                let resp = read_response(&mut reader);
+                match want {
+                    Expect::Line(text) if *text == encode_command("ping") => {
+                        assert!(resp.is_ok(), "[{net:?}] {}: {resp:?}", case.name);
+                    }
+                    Expect::Line(_) => {
+                        assert_eq!(
+                            resp_kind(&resp),
+                            Some(ErrorKind::BadRequest),
+                            "[{net:?}] {}: non-JSON line must draw bad_request: {resp:?}",
+                            case.name
+                        );
+                    }
+                    Expect::Oversized => {
+                        let Response::Err { kind, message } = &resp else {
+                            panic!("[{net:?}] {}: oversized must error: {resp:?}", case.name);
+                        };
+                        assert_eq!(*kind, ErrorKind::BadRequest, "{}", case.name);
+                        assert!(
+                            message.contains("exceeds"),
+                            "[{net:?}] {}: {message}",
+                            case.name
+                        );
+                    }
+                }
+            }
+            // Whether the case ends mid-line (`leftover`) or cleanly,
+            // hanging up must not wedge the server: the fragment is
+            // dropped without a response and fresh connections serve.
+            drop(reader);
+            drop(stream);
+            ping_ok(&handle);
+        }
+        handle.shutdown();
+        handle.wait();
+    }
+}
+
+#[test]
+fn connection_budget_sheds_on_accept_with_explicit_response() {
+    for net in BACKENDS {
+        let handle = start(net, &format!("shed-{}", net.name()), 2);
+        let mut held: Vec<Connection> = (0..2)
+            .map(|_| Connection::open(handle.endpoint()).expect("held connection"))
+            .collect();
+        for conn in &mut held {
+            let resp = conn.round_trip(&encode_command("ping")).expect("ping");
+            assert!(resp.is_ok(), "[{net:?}] held connection serves");
+        }
+
+        // The third connection is over budget: accepted just long
+        // enough to receive the explicit overloaded response, then
+        // closed by the server.
+        let shed = connect(&handle);
+        let mut reader = BufReader::new(shed);
+        let resp = read_response(&mut reader);
+        let Response::Err { kind, message } = &resp else {
+            panic!("[{net:?}] shed accept must error: {resp:?}");
+        };
+        assert_eq!(*kind, ErrorKind::Overloaded, "[{net:?}] {message}");
+        assert!(message.contains("connection budget"), "[{net:?}] {message}");
+        let mut rest = String::new();
+        assert_eq!(
+            reader.read_line(&mut rest).expect("eof read"),
+            0,
+            "[{net:?}] server closes the shed connection"
+        );
+
+        // Releasing a held connection frees budget; a new connection is
+        // admitted once the front-end notices the hangup.
+        drop(held.pop());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let ok = Connection::open(handle.endpoint())
+                .ok()
+                .and_then(|mut c| c.round_trip(&encode_command("ping")).ok())
+                .is_some_and(|r| r.is_ok());
+            if ok {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "[{net:?}] budget never freed after hangup"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        drop(held);
+        handle.shutdown();
+        handle.wait();
+    }
+}
+
+#[test]
+fn pipelined_batch_answers_in_order_and_drain_matches_across_backends() {
+    let mut drains: Vec<String> = Vec::new();
+    for net in BACKENDS {
+        let handle = start(net, &format!("batch-{}", net.name()), 64);
+        let stream = connect(&handle);
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = &stream;
+
+        // One contiguous write of ten submits: the reactor drains them
+        // as a single batch, the thread backend as a burst of reads —
+        // either way responses must come back in submission order.
+        let ids: Vec<u64> = (0..10).map(|i| i * 4).collect();
+        let mut wire = String::new();
+        for (i, id) in ids.iter().enumerate() {
+            let class = if i % 3 == 0 {
+                TaskClass::Interactive
+            } else {
+                TaskClass::NonInteractive
+            };
+            let cycles = (i as u64 + 1) * 50_000_000;
+            wire.push_str(&encode_submit(
+                Some(*id),
+                cycles,
+                class,
+                Some(i as f64 * 0.02),
+            ));
+            wire.push('\n');
+        }
+        writer.write_all(wire.as_bytes()).expect("batch writes");
+        writer.flush().expect("batch flushes");
+
+        for id in &ids {
+            let resp = read_response(&mut reader);
+            assert!(resp.is_ok(), "[{net:?}] submit {id} admitted: {resp:?}");
+            assert_eq!(
+                resp.field("id").and_then(value_u64),
+                Some(*id),
+                "[{net:?}] responses arrive in submission order"
+            );
+        }
+
+        // The drained schedule is produced by the shared service core,
+        // so its wire rendering must not depend on the front-end.
+        writeln!(writer, "{}", encode_command("drain")).expect("drain writes");
+        writer.flush().expect("drain flushes");
+        let mut drain_line = String::new();
+        assert!(
+            reader.read_line(&mut drain_line).expect("drain read") > 0,
+            "[{net:?}] drain responds"
+        );
+        let drain_line = drain_line.trim().to_string();
+        let resp = Response::decode(&drain_line).expect("drain decodes");
+        assert!(resp.is_ok(), "[{net:?}] drain succeeds: {resp:?}");
+        drains.push(drain_line);
+
+        drop(reader);
+        drop(stream);
+        handle.shutdown();
+        handle.wait();
+    }
+    let (first, rest) = drains.split_first().expect("two drains collected");
+    for other in rest {
+        assert_eq!(
+            first, other,
+            "drain report must be byte-identical across wire backends"
+        );
+    }
+}
+
+fn resp_kind(resp: &Response) -> Option<ErrorKind> {
+    match resp {
+        Response::Ok(_) => None,
+        Response::Err { kind, .. } => Some(*kind),
+    }
+}
