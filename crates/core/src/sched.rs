@@ -171,3 +171,5 @@ impl Scheduler for PlanPolicy {
         self.dispatch_next(x, core);
     }
 }
+
+pub mod conformance;

@@ -2,26 +2,28 @@
 //!
 //! The compiler cannot see the contracts this reproduction rests on:
 //! replay must be bit-identical across executors and shard counts,
-//! policies must stay engine-agnostic, shutdown must take engine locks
-//! in ascending shard order, and the wire path must not panic on
-//! hostile input. This crate makes those contracts executable with a
-//! hand-rolled token scanner (no external deps, in the spirit of the
-//! `shims/` approach) enforcing four rule families:
+//! policies must stay engine-agnostic, engines must be owned outright
+//! by their shard worker threads (no shared engine locks), and the
+//! wire path must not panic on hostile input. This crate makes those
+//! contracts executable with a hand-rolled token scanner (no external
+//! deps, in the spirit of the `shims/` approach) enforcing four rule
+//! families:
 //!
-//! | rule id       | contract                                              |
-//! |---------------|-------------------------------------------------------|
-//! | `determinism` | no `HashMap`/`HashSet`, `Instant::now`,               |
-//! |               | `SystemTime::now`, or `thread_rng` in replay-critical |
-//! |               | code; wall time only via the serve clock seam; no     |
-//! |               | clock reads or string allocation/formatting in the    |
-//! |               | `dvfs-trace` record path (rendering is drain-time)    |
-//! | `lock-order`  | at most one engine/queue lock per function outside    |
-//! |               | the blessed ascending-order helpers                   |
-//! | `layering`    | forbidden crate edges over *normal* deps, parsed      |
-//! |               | natively from `Cargo.toml` (no `cargo tree`)          |
-//! | `panic`       | no `unwrap`/`expect`/panicking macro/slice-index in   |
-//! |               | `serve/src/{protocol,server,admission}.rs` or         |
-//! |               | anywhere in `net/src` (the reactor is wire path)      |
+//! | rule id            | contract                                              |
+//! |--------------------|-------------------------------------------------------|
+//! | `determinism`      | no `HashMap`/`HashSet`, `Instant::now`,               |
+//! |                    | `SystemTime::now`, or `thread_rng` in replay-critical |
+//! |                    | code; wall time only via the serve clock seam; no     |
+//! |                    | clock reads or string allocation/formatting in the    |
+//! |                    | `dvfs-trace` record path (rendering is drain-time)    |
+//! | `engine-ownership` | no `Mutex<…Engine…>` and no retired engine-lock       |
+//! |                    | helpers outside `serve/src/worker.rs`; engines talk   |
+//! |                    | only over the worker command channel                  |
+//! | `layering`         | forbidden crate edges over *normal* deps, parsed      |
+//! |                    | natively from `Cargo.toml` (no `cargo tree`)          |
+//! | `panic`            | no `unwrap`/`expect`/panicking macro/slice-index in   |
+//! |                    | `serve/src/{protocol,server,admission}.rs` or         |
+//! |                    | anywhere in `net/src` (the reactor is wire path)      |
 //!
 //! A violation can be waived in place with
 //! `// dvfs-lint: allow(rule-id) reason` on the offending line or the
@@ -38,8 +40,8 @@ use std::path::Path;
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `determinism`, `lock-order`, `layering`, `panic`, or
-    /// `waiver`.
+    /// Rule id: `determinism`, `engine-ownership`, `layering`, `panic`,
+    /// or `waiver`.
     pub rule: String,
     /// Path relative to the workspace root, `/`-separated.
     pub file: String,
@@ -100,8 +102,14 @@ mod scope {
     /// `prom.rs`) render at drain time and are deliberately excluded.
     pub const TRACE_RECORD_FILES: &[&str] =
         &["crates/trace/src/lib.rs", "crates/trace/src/ring.rs"];
-    /// Rule L: the sharded service (the only place with >1 engine lock).
-    pub const LOCK_ORDER_DIRS: &[&str] = &["crates/serve/src"];
+    /// Rule E: the sharded service — only the worker module owns
+    /// engines, so nothing else in the crate may mutex one.
+    pub const ENGINE_OWNERSHIP_DIRS: &[&str] = &["crates/serve/src"];
+    /// The one module allowed to name the engine in ownership terms
+    /// (it holds engines *without* locks; the exemption keeps the rule
+    /// honest if a lock ever sneaks back in here it must be waived
+    /// explicitly in review).
+    pub const ENGINE_OWNERSHIP_EXEMPT: &[&str] = &["crates/serve/src/worker.rs"];
     /// Rule P: the wire path.
     pub const PANIC_FILES: &[&str] = &[
         "crates/serve/src/protocol.rs",
@@ -201,8 +209,13 @@ pub fn run(root: &Path) -> Report {
             raw.extend(rules::determinism_clock(&text, rel));
             raw.extend(rules::determinism_allocation(&text, rel));
         }
-        if in_scope(rel, scope::LOCK_ORDER_DIRS, &[], &[]) {
-            raw.extend(rules::lock_order(&text, rel));
+        if in_scope(
+            rel,
+            scope::ENGINE_OWNERSHIP_DIRS,
+            &[],
+            scope::ENGINE_OWNERSHIP_EXEMPT,
+        ) {
+            raw.extend(rules::engine_ownership(&text, rel));
         }
         if in_scope(rel, scope::PANIC_DIRS, scope::PANIC_FILES, &[]) {
             raw.extend(rules::panic_freedom(&text, rel));
@@ -375,6 +388,18 @@ mod tests {
             scope::PANIC_DIRS,
             scope::PANIC_FILES,
             &[]
+        ));
+        assert!(in_scope(
+            "crates/serve/src/service.rs",
+            scope::ENGINE_OWNERSHIP_DIRS,
+            &[],
+            scope::ENGINE_OWNERSHIP_EXEMPT
+        ));
+        assert!(!in_scope(
+            "crates/serve/src/worker.rs",
+            scope::ENGINE_OWNERSHIP_DIRS,
+            &[],
+            scope::ENGINE_OWNERSHIP_EXEMPT
         ));
         assert!(!in_scope(
             "crates/serve/src/service.rs",

@@ -1,5 +1,5 @@
-//! The source-level rule families: determinism (D), lock order (L),
-//! and panic-freedom (P). Each rule takes cleaned, test-masked text
+//! The source-level rule families: determinism (D), engine ownership
+//! (E), and panic-freedom (P). Each rule takes cleaned, test-masked text
 //! (see [`crate::scan`]) and returns raw violations; waiver handling
 //! happens in [`crate::run`].
 
@@ -224,106 +224,64 @@ pub fn determinism_allocation(text: &str, file: &str) -> Vec<Violation> {
     out
 }
 
-/// Functions whose bodies may acquire engine locks freely: the
-/// single-lock accessor and the blessed ascending-order bulk helper.
-const BLESSED_LOCK_FNS: &[&str] = &["lock_engine", "lock_engines_ascending"];
-
-/// Tokens that acquire one engine/queue lock.
-fn lock_sites(body: &str) -> usize {
-    let mut n = ident_occurrences(body, "lock_engine").len();
-    // Field-access form: `…engine.lock(…)` / `…queue.lock(…)`.
-    let bytes = body.as_bytes();
-    for field in ["engine", "queue"] {
-        for at in ident_occurrences(body, field) {
-            let after = at + field.len();
-            if bytes.get(after) == Some(&b'.') && body[after + 1..].starts_with("lock") {
-                let end = after + 1 + "lock".len();
-                if bytes.get(end).is_none_or(|&b| !is_ident_byte(b)) {
-                    n += 1;
-                }
-            }
-        }
-    }
-    n
-}
-
-/// Rule L: a function that acquires two or more engine/queue locks must
-/// be one of the blessed ascending-order helpers; everyone else takes
-/// at most one lock at a time or calls the bulk helper (and nothing
-/// else).
-pub fn lock_order(text: &str, file: &str) -> Vec<Violation> {
+/// Byte offsets of `Mutex< … Engine … >` type mentions: a `Mutex`
+/// identifier whose generic argument list names `Engine` at any depth
+/// (so `Mutex<Vec<Engine>>` counts too; `Mutex<IdLedger>` does not).
+fn mutexed_engine_occurrences(text: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
     let mut out = Vec::new();
-    for (name, at, body) in fn_bodies(text) {
-        if BLESSED_LOCK_FNS.contains(&name.as_str()) {
+    for at in ident_occurrences(text, "Mutex") {
+        let Some((open, b)) = next_non_ws(bytes, at + "Mutex".len()) else {
+            continue;
+        };
+        if b != b'<' {
             continue;
         }
-        let singles = lock_sites(body);
-        let bulk = ident_occurrences(body, "lock_engines_ascending").len();
-        // `lock_engine` also matches inside `lock_engines_ascending`? No:
-        // the trailing `s` is an identifier byte, so boundaries differ.
-        let bad = singles >= 2 || bulk >= 2 || (bulk >= 1 && singles >= 1);
-        if bad {
-            out.push(violation(
-                text,
-                file,
-                at,
-                "lock-order",
-                format!("fn `{name}` acquires multiple engine/queue locks ({singles} single-lock site(s), {bulk} bulk call(s)); take them through `lock_engines_ascending` only, or restructure to hold one lock at a time"),
-            ));
+        // Walk to the matching `>` (depth-counted; `>>` closes two).
+        let mut depth = 1usize;
+        let mut end = open + 1;
+        while end < bytes.len() && depth > 0 {
+            match bytes[end] {
+                b'<' => depth += 1,
+                b'>' => depth -= 1,
+                _ => {}
+            }
+            end += 1;
+        }
+        if !ident_occurrences(&text[open..end], "Engine").is_empty() {
+            out.push(at);
         }
     }
     out
 }
 
-/// `(name, offset_of_fn_keyword, body_text)` for every `fn` in `text`.
-fn fn_bodies(text: &str) -> Vec<(String, usize, &str)> {
-    let bytes = text.as_bytes();
+/// Rule E: engines are owned outright by their shard worker threads —
+/// nothing outside the worker module may wrap an `Engine` in a `Mutex`
+/// or resurrect the retired engine-lock helpers. The old `lock-order`
+/// rule policed how many engine locks a function took at once; with
+/// message-passing ownership the correct count everywhere else is
+/// zero.
+pub fn engine_ownership(text: &str, file: &str) -> Vec<Violation> {
     let mut out = Vec::new();
-    for at in ident_occurrences(text, "fn") {
-        let Some((ns, _)) = next_non_ws(bytes, at + 2) else {
-            continue;
-        };
-        let mut ne = ns;
-        while ne < bytes.len() && is_ident_byte(bytes[ne]) {
-            ne += 1;
+    for at in mutexed_engine_occurrences(text) {
+        out.push(violation(
+            text,
+            file,
+            at,
+            "engine-ownership",
+            "`Mutex<…Engine…>` outside the worker module; engines are owned by their shard worker thread — talk to it over the command channel instead of sharing the engine behind a lock".to_string(),
+        ));
+    }
+    for helper in ["lock_engine", "lock_engines_ascending"] {
+        for at in ident_occurrences(text, helper) {
+            out.push(violation(
+                text,
+                file,
+                at,
+                "engine-ownership",
+                format!("`{helper}` is retired; engines moved behind the per-shard worker boundary — send the worker a command instead of locking its engine"),
+            ));
         }
-        if ne == ns {
-            continue; // `fn` not followed by a name (e.g. fn-pointer type)
-        }
-        let name = text[ns..ne].to_string();
-        // Scan to the body `{` (or `;` for trait signatures).
-        let mut i = ne;
-        let mut open = None;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => {
-                    open = Some(i);
-                    break;
-                }
-                b';' => break,
-                _ => {}
-            }
-            i += 1;
-        }
-        let Some(open) = open else { continue };
-        let mut depth = 0i32;
-        let mut j = open;
-        let mut close = bytes.len();
-        while j < bytes.len() {
-            match bytes[j] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        close = j;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        out.push((name, at, &text[open + 1..close]));
     }
     out
 }
@@ -408,25 +366,23 @@ mod tests {
     }
 
     #[test]
-    fn lock_order_flags_double_acquisition() {
-        let src = "fn ok(&self) { let g = self.shard.lock_engine(); }\nfn bad(&self) { let a = self.a.lock_engine(); let b = self.b.lock_engine(); }\nfn bulk_ok(&self) { let gs = self.lock_engines_ascending(); }\nfn mixed_bad(&self) { let gs = self.lock_engines_ascending(); let x = self.a.lock_engine(); }\nfn lock_engines_ascending(&self) { self.shards.iter().map(Shard::lock_engine); }\n";
-        let v = lock_order(src, "f.rs");
-        let names: Vec<&str> = v
-            .iter()
-            .map(|v| {
-                let s = v.message.find('`').unwrap() + 1;
-                let e = v.message[s..].find('`').unwrap() + s;
-                &v.message[s..e]
-            })
-            .collect();
-        assert_eq!(names, vec!["bad", "mixed_bad"]);
+    fn engine_ownership_flags_mutexed_engines_and_retired_helpers() {
+        let src = "struct Shard { engine: Mutex<Engine> }\nstruct Nested { engines: Mutex<Vec<Engine>> }\nfn bad(&self) { let g = self.shard.lock_engine(); }\nfn also_bad(&self) { let gs = self.lock_engines_ascending(); }\n";
+        let v = engine_ownership(src, "f.rs");
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "engine-ownership"));
+        assert!(v[0].message.contains("Mutex<…Engine…>"));
+        assert!(v[2].message.contains("`lock_engine` is retired"));
     }
 
     #[test]
-    fn field_lock_form_counts() {
-        let src =
-            "fn bad(&self) { let a = self.shard.engine.lock(); let b = other.engine.lock(); }";
-        assert_eq!(lock_order(src, "f.rs").len(), 1);
+    fn engine_ownership_ignores_unrelated_mutexes() {
+        let src = "struct S { ids: Mutex<IdLedger>, anchor: Mutex<Option<Instant>>, round_mx: Mutex<()> }\nfn ok(&self) { let g = self.ids.lock(); }\n";
+        assert!(engine_ownership(src, "f.rs").is_empty());
+        // `Engine` outside a Mutex generic list is fine — workers own
+        // engines directly.
+        let owned = "struct Worker { engine: Engine }\nfn tick(e: &mut Engine) {}\n";
+        assert!(engine_ownership(owned, "f.rs").is_empty());
     }
 
     #[test]

@@ -1,33 +1,36 @@
-//! Clean lock discipline: one lock at a time, or the blessed helper.
-use std::sync::{Mutex, MutexGuard};
+//! Clean engine ownership: the service holds no engine — it routes
+//! commands to worker-owned shards over channels; its own mutexes
+//! guard non-engine bookkeeping only.
+use std::sync::mpsc::SyncSender;
+use std::sync::Mutex;
 
-pub struct Shard {
-    engine: Mutex<u64>,
-}
-
-impl Shard {
-    fn lock_engine(&self) -> MutexGuard<'_, u64> {
-        self.engine.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
+pub enum Command {
+    Tick,
+    Drain,
 }
 
 pub struct Scheduler {
-    shards: Vec<Shard>,
+    workers: Vec<SyncSender<Command>>,
+    ids: Mutex<Vec<u64>>,
 }
 
 impl Scheduler {
-    fn lock_engines_ascending(&self) -> Vec<MutexGuard<'_, u64>> {
-        self.shards.iter().map(Shard::lock_engine).collect()
-    }
-
     pub fn tick(&self) {
-        for sh in &self.shards {
-            let mut g = sh.lock_engine();
-            *g += 1;
+        for tx in &self.workers {
+            if tx.send(Command::Tick).is_err() {
+                return;
+            }
         }
     }
 
-    pub fn drain(&self) -> u64 {
-        self.lock_engines_ascending().iter().map(|g| **g).sum()
+    pub fn drain(&self) {
+        for tx in &self.workers {
+            if tx.send(Command::Drain).is_err() {
+                return;
+            }
+        }
+        if let Ok(mut ids) = self.ids.lock() {
+            ids.clear();
+        }
     }
 }

@@ -1,0 +1,26 @@
+//! The one module allowed to own engines — and, per the scope
+//! exemption, the one place a `Mutex<Engine>` would not be flagged
+//! (this file deliberately carries one so the fixture pins the
+//! exemption, not just the absence of findings).
+use std::sync::Mutex;
+
+pub struct Engine {
+    pub steps: u64,
+}
+
+pub struct Worker {
+    engine: Engine,
+    parked: Mutex<Engine>,
+}
+
+impl Worker {
+    pub fn tick(&mut self) {
+        self.engine.steps += 1;
+    }
+
+    pub fn swap_in_parked(&mut self) {
+        if let Ok(mut parked) = self.parked.lock() {
+            std::mem::swap(&mut self.engine, &mut parked);
+        }
+    }
+}

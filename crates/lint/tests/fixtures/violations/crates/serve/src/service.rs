@@ -1,18 +1,23 @@
-//! Lock-order violation: two engine-lock sites in one function.
+//! Engine-ownership violation: an engine shared behind a mutex plus a
+//! call to a retired engine-lock helper.
 use std::sync::{Mutex, MutexGuard};
 
+pub struct Engine {
+    pub steps: u64,
+}
+
 pub struct Shard {
-    engine: Mutex<u64>,
+    engine: Mutex<Engine>,
 }
 
 impl Shard {
-    fn lock_engine(&self) -> MutexGuard<'_, u64> {
+    fn grab(&self) -> MutexGuard<'_, Engine> {
         self.engine.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
 pub fn transfer(a: &Shard, b: &Shard) -> u64 {
-    let ga = a.lock_engine();
+    let ga = a.grab();
     let gb = b.lock_engine();
-    *ga + *gb
+    ga.steps + gb.steps
 }

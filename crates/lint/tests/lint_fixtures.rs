@@ -37,7 +37,13 @@ fn violating_fixture_trips_every_rule_family() {
         report.violations.iter().map(|v| v.rule.as_str()).collect();
     assert_eq!(
         rules.into_iter().collect::<Vec<_>>(),
-        vec!["determinism", "layering", "lock-order", "panic", "waiver"],
+        vec![
+            "determinism",
+            "engine-ownership",
+            "layering",
+            "panic",
+            "waiver"
+        ],
         "full report:\n{}",
         report.render_text()
     );
@@ -67,11 +73,16 @@ fn violating_fixture_pins_findings_to_files() {
         "`Instant::now()`"
     ));
     assert!(has("determinism", "crates/trace/src/lib.rs", "`format!`"));
-    // L: two single-lock sites in one function.
+    // E: a mutexed engine and a retired engine-lock helper.
     assert!(has(
-        "lock-order",
+        "engine-ownership",
         "crates/serve/src/service.rs",
-        "fn `transfer`"
+        "`Mutex<\u{2026}Engine\u{2026}>`"
+    ));
+    assert!(has(
+        "engine-ownership",
+        "crates/serve/src/service.rs",
+        "`lock_engine` is retired"
     ));
     // A: dvfs-core -> dvfs-sim over a normal dep edge.
     assert!(has(
@@ -129,7 +140,13 @@ fn reasoned_waiver_suppresses_and_is_reported() {
 fn json_report_carries_rule_ids_and_summary() {
     let report = dvfs_lint::run(&fixture("violations"));
     let json = report.to_json();
-    for rule in ["determinism", "lock-order", "layering", "panic", "waiver"] {
+    for rule in [
+        "determinism",
+        "engine-ownership",
+        "layering",
+        "panic",
+        "waiver",
+    ] {
         assert!(
             json.contains(&format!("\"rule\":\"{rule}\"")),
             "missing {rule} in {json}"

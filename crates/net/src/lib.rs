@@ -21,7 +21,10 @@
 //! - [`reactor`] — the event loop ([`reactor::run`]): accept with a
 //!   shed-on-accept connection budget, batch every complete line of a
 //!   readable socket into one [`Handler`] call, re-arm `EPOLLOUT`
-//!   while responses are part-written.
+//!   while responses are part-written, and apply deferred replies
+//!   other threads deliver through a [`ReplyInjector`] (an
+//!   eventfd-woken mailbox), so a slow handler never has to block the
+//!   event loop.
 //!
 //! The crate knows nothing about the wire protocol or the scheduler:
 //! embedders supply a [`Handler`] for request lines and an
@@ -37,4 +40,4 @@ pub mod sys;
 pub use conn::Connection;
 pub use framing::{Frame, LineFramer, DEFAULT_MAX_LINE};
 pub use poller::{Event, Interest, Poller};
-pub use reactor::{Handler, NullObserver, Observer, ReactorConfig};
+pub use reactor::{Handler, NullObserver, Observer, ReactorConfig, ReplyInjector};

@@ -1,5 +1,6 @@
 //! The single-threaded mini-reactor: one epoll instance multiplexing a
-//! listening socket and every accepted connection.
+//! listening socket, every accepted connection, and an eventfd waker
+//! for replies produced off the event loop.
 //!
 //! Protocol logic stays out of this crate: the embedding server
 //! provides a [`Handler`] (turn a batch of request lines into response
@@ -16,14 +17,31 @@
 //! 3. connection readable → drain reads into the framer, hand every
 //!    complete line of the socket to the handler as **one batch**,
 //!    queue the responses, flush,
-//! 4. flush stopped by `EPOLLOUT`? re-arm write interest and finish the
+//! 4. waker readable → apply replies other threads injected through
+//!    the [`ReplyInjector`] and flush them,
+//! 5. flush stopped by `EPOLLOUT`? re-arm write interest and finish the
 //!    flush on a later wakeup.
+//!
+//! ## Deferred batches
+//!
+//! A handler that would block the event loop (e.g. a scheduler drain
+//! that takes a whole round) can instead **defer** a batch: ship the
+//! lines to another thread and return the number of deferred batches
+//! from [`Handler::on_batch`]. The reactor keeps the connection open
+//! (even across peer EOF) until every deferred batch's replies arrive
+//! through the [`ReplyInjector`] handed over in [`Handler::on_start`].
+//! Tokens are generation-tagged, so a reply that outlives its
+//! connection is dropped instead of landing on a reused slot. While a
+//! connection has deferred batches outstanding, the handler is told via
+//! `on_batch`'s `pending` argument — it must keep deferring (through
+//! the same FIFO lane) so responses stay in request order.
 
 use crate::conn::Connection;
 use crate::framing::{Frame, DEFAULT_MAX_LINE};
 use crate::poller::{Event, Interest, Poller};
 use crate::sys;
 use std::io;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Reactor tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -49,10 +67,32 @@ impl Default for ReactorConfig {
 
 /// The embedding server's protocol logic.
 pub trait Handler {
+    /// Called once before the event loop starts, handing over the
+    /// [`ReplyInjector`] for deferred batches. Handlers that answer
+    /// everything inline can ignore it (the default).
+    fn on_start(&mut self, injector: ReplyInjector) {
+        let _ = injector;
+    }
+
     /// Handle one batch: every complete request line drained from a
-    /// single readable socket. Push exactly one response line per
-    /// request line, in order, via `respond`.
-    fn on_batch(&mut self, lines: &[String], respond: &mut dyn FnMut(&str));
+    /// single readable socket. Either answer inline — exactly one
+    /// response line per request line, in order, via `respond` — and
+    /// return 0, or defer the whole batch to another thread (which
+    /// must eventually [`ReplyInjector::inject`] the responses under
+    /// `token`) and return the number of deferred batches (1, unless
+    /// the handler split the batch).
+    ///
+    /// `pending` is the number of this connection's deferred batches
+    /// whose replies have not yet arrived. While it is nonzero the
+    /// handler must defer every further batch through the same FIFO
+    /// lane, or responses would overtake the outstanding ones.
+    fn on_batch(
+        &mut self,
+        token: u64,
+        pending: usize,
+        lines: &[String],
+        respond: &mut dyn FnMut(&str),
+    ) -> usize;
 
     /// The response line for a request line that blew the byte budget
     /// (`len` bytes seen when it tripped).
@@ -63,7 +103,8 @@ pub trait Handler {
     fn shed_line(&mut self) -> String;
 
     /// Polled once per wakeup; return `true` to stop the reactor
-    /// (pending responses get a best-effort final flush).
+    /// (pending responses — including already-injected deferred
+    /// replies — get a best-effort final flush).
     fn should_stop(&mut self) -> bool;
 }
 
@@ -99,9 +140,90 @@ pub struct NullObserver;
 impl Observer for NullObserver {}
 
 const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+/// Connection tokens start here; the low 32 bits carry `idx + 2`, the
+/// high 32 bits the slot generation.
+const TOKEN_BASE: u64 = 2;
+
+fn conn_token(generation: u32, idx: usize) -> u64 {
+    (u64::from(generation) << 32) | (idx as u64 + TOKEN_BASE)
+}
+
+/// Decode a connection token into `(generation, idx)`; `None` for the
+/// listener/waker tokens (and anything else below the base).
+fn token_parts(token: u64) -> Option<(u32, usize)> {
+    let low = token & 0xFFFF_FFFF;
+    let idx = low.checked_sub(TOKEN_BASE)?;
+    Some(((token >> 32) as u32, idx as usize))
+}
+
+struct MailboxInner {
+    efd: i32,
+    queue: Mutex<Vec<(u64, Vec<String>)>>,
+}
+
+impl Drop for MailboxInner {
+    fn drop(&mut self) {
+        sys::close_fd(self.efd);
+    }
+}
+
+/// Cloneable, thread-safe handle for delivering deferred-batch replies
+/// back into the reactor. Injecting pushes the lines into a mailbox
+/// and signals the reactor's eventfd waker; the event loop applies
+/// them on its next wakeup. The underlying eventfd stays open until
+/// the last clone drops, so a slow worker thread can outlive the
+/// reactor without writing to a closed fd.
+#[derive(Clone)]
+pub struct ReplyInjector {
+    inner: Arc<MailboxInner>,
+}
+
+impl ReplyInjector {
+    /// Deliver the response lines for one deferred batch on the
+    /// connection identified by `token` (as passed to
+    /// [`Handler::on_batch`]). An empty `lines` still completes the
+    /// batch. If the connection is already gone — or its slot was
+    /// reused — the reply is dropped; the generation tag in the token
+    /// makes that safe.
+    pub fn inject(&self, token: u64, lines: Vec<String>) {
+        {
+            let mut queue = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            queue.push((token, lines));
+        }
+        sys::eventfd_signal(self.inner.efd);
+    }
+
+    fn take(&self) -> Vec<(u64, Vec<String>)> {
+        sys::eventfd_drain(self.inner.efd);
+        let mut queue = self
+            .inner
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        std::mem::take(&mut *queue)
+    }
+}
+
+struct Entry {
+    conn: Connection,
+    generation: u32,
+    /// Deferred batches whose replies have not yet been injected. The
+    /// connection is not closed — even after peer EOF — while this is
+    /// nonzero, so deferred responses can still be flushed.
+    pending_deferred: usize,
+}
 
 struct Slab {
-    slots: Vec<Option<Connection>>,
+    slots: Vec<Option<Entry>>,
+    /// Generation counter per slot, bumped on every reuse so stale
+    /// tokens (deferred replies for a closed connection) cannot alias
+    /// a new occupant.
+    generations: Vec<u32>,
     free: Vec<usize>,
     open: usize,
 }
@@ -110,34 +232,47 @@ impl Slab {
     fn new() -> Slab {
         Slab {
             slots: Vec::new(),
+            generations: Vec::new(),
             free: Vec::new(),
             open: 0,
         }
     }
 
-    fn insert(&mut self, conn: Connection) -> usize {
+    fn insert(&mut self, conn: Connection) -> (usize, u32) {
         self.open += 1;
         if let Some(idx) = self.free.pop() {
-            if let Some(slot) = self.slots.get_mut(idx) {
-                *slot = Some(conn);
-                return idx;
+            if let (Some(slot), Some(generation)) =
+                (self.slots.get_mut(idx), self.generations.get_mut(idx))
+            {
+                *generation = generation.wrapping_add(1);
+                *slot = Some(Entry {
+                    conn,
+                    generation: *generation,
+                    pending_deferred: 0,
+                });
+                return (idx, *generation);
             }
         }
-        self.slots.push(Some(conn));
-        self.slots.len() - 1
+        self.slots.push(Some(Entry {
+            conn,
+            generation: 0,
+            pending_deferred: 0,
+        }));
+        self.generations.push(0);
+        (self.slots.len() - 1, 0)
     }
 
-    fn get_mut(&mut self, idx: usize) -> Option<&mut Connection> {
+    fn get_mut(&mut self, idx: usize) -> Option<&mut Entry> {
         self.slots.get_mut(idx).and_then(Option::as_mut)
     }
 
-    fn remove(&mut self, idx: usize) -> Option<Connection> {
-        let conn = self.slots.get_mut(idx).and_then(Option::take);
-        if conn.is_some() {
+    fn remove(&mut self, idx: usize) -> Option<Entry> {
+        let entry = self.slots.get_mut(idx).and_then(Option::take);
+        if entry.is_some() {
             self.open -= 1;
             self.free.push(idx);
         }
-        conn
+        entry
     }
 }
 
@@ -158,6 +293,14 @@ pub fn run(
 ) -> io::Result<()> {
     let poller = Poller::new()?;
     poller.add(listener_fd, LISTENER_TOKEN, Interest::READ)?;
+    let mailbox = ReplyInjector {
+        inner: Arc::new(MailboxInner {
+            efd: sys::eventfd_nonblocking()?,
+            queue: Mutex::new(Vec::new()),
+        }),
+    };
+    poller.add(mailbox.inner.efd, WAKER_TOKEN, Interest::READ)?;
+    handler.on_start(mailbox.clone());
 
     let mut slab = Slab::new();
     let mut events: Vec<Event> = Vec::new();
@@ -170,28 +313,30 @@ pub fn run(
             break;
         }
         // Tokens are stable across the iteration: epoll coalesces to at
-        // most one event per fd per wait, and a connection is only ever
-        // closed while its own event is being processed, so no stale
-        // token can alias a slot reused by an accept in the same batch.
+        // most one event per fd per wait, and the generation tag guards
+        // against a slot closed and reused within the same batch.
         for i in 0..events.len() {
             let Some(&ev) = events.get(i) else { break };
             if ev.token == LISTENER_TOKEN {
                 accept_ready(listener_fd, cfg, &poller, &mut slab, handler, observer);
-                continue;
+            } else if ev.token == WAKER_TOKEN {
+                apply_injections(&poller, &mut slab, &mailbox, observer);
+            } else {
+                service_connection(&poller, &mut slab, ev, handler, observer, &mut frames);
             }
-            let idx = usize::try_from(ev.token.saturating_sub(1)).unwrap_or(usize::MAX);
-            service_connection(&poller, &mut slab, idx, ev, handler, observer, &mut frames);
         }
         if handler.should_stop() {
             break;
         }
     }
 
-    // Graceful stop: one best-effort flush of queued responses, then
-    // drop (and thereby close) every connection.
+    // Graceful stop: deferred replies already injected land on their
+    // connections first, then one best-effort flush of everything
+    // queued, then drop (and thereby close) every connection.
+    apply_injections(&poller, &mut slab, &mailbox, observer);
     for slot in &mut slab.slots {
-        if let Some(conn) = slot.as_mut() {
-            let _ = conn.flush();
+        if let Some(entry) = slot.as_mut() {
+            let _ = entry.conn.flush();
         }
         *slot = None;
     }
@@ -227,9 +372,11 @@ fn accept_ready(
             continue;
         }
         let conn = Connection::new(fd, cfg.max_line_bytes);
-        let idx = slab.insert(conn);
-        let token = idx as u64 + 1;
-        if poller.add(fd, token, Interest::READ).is_err() {
+        let (idx, generation) = slab.insert(conn);
+        if poller
+            .add(fd, conn_token(generation, idx), Interest::READ)
+            .is_err()
+        {
             let _ = slab.remove(idx);
             observer.on_close(slab.open);
             continue;
@@ -241,45 +388,66 @@ fn accept_ready(
 fn service_connection(
     poller: &Poller,
     slab: &mut Slab,
-    idx: usize,
     ev: Event,
     handler: &mut dyn Handler,
     observer: &mut dyn Observer,
     frames: &mut Vec<Frame>,
 ) {
-    let Some(conn) = slab.get_mut(idx) else {
-        return; // closed earlier this iteration
+    let Some((generation, idx)) = token_parts(ev.token) else {
+        return;
     };
-    let token = idx as u64 + 1;
-    let mut dead = false;
-
-    if ev.readable || ev.hangup {
-        frames.clear();
-        let eof = conn.fill(frames).unwrap_or(true);
-        dispatch_frames(conn, frames, handler, observer);
-        if eof || ev.hangup {
-            // Drain-then-close: any complete lines above got their
-            // responses; a mid-line fragment owes none.
-            conn.closing = true;
+    {
+        let Some(entry) = slab.get_mut(idx) else {
+            return; // closed earlier this iteration
+        };
+        if entry.generation != generation {
+            return; // stale event for a reused slot
+        }
+        if ev.readable || ev.hangup {
+            frames.clear();
+            let eof = entry.conn.fill(frames).unwrap_or(true);
+            dispatch_frames(entry, ev.token, frames, handler, observer);
+            if eof || ev.hangup {
+                // Drain-then-close: any complete lines above got their
+                // responses (deferred ones keep the connection open
+                // until they arrive); a mid-line fragment owes none.
+                entry.conn.closing = true;
+            }
         }
     }
+    settle_connection(poller, slab, idx, observer);
+}
 
-    match conn.flush() {
+/// Flush a connection's queued output and reconcile its lifecycle:
+/// re-arm or disarm `EPOLLOUT` on transitions, close once it is
+/// `closing` with nothing left to write and no deferred batch
+/// outstanding, close immediately on hard write errors.
+fn settle_connection(poller: &Poller, slab: &mut Slab, idx: usize, observer: &mut dyn Observer) {
+    let Some(entry) = slab.get_mut(idx) else {
+        return;
+    };
+    let token = conn_token(entry.generation, idx);
+    let mut dead = false;
+
+    match entry.conn.flush() {
         Ok(true) => {
-            if conn.closing {
+            if entry.conn.closing && entry.pending_deferred == 0 {
                 dead = true;
-            } else if conn.write_armed {
-                conn.write_armed = false;
-                if poller.modify(conn.fd(), token, Interest::READ).is_err() {
+            } else if entry.conn.write_armed {
+                entry.conn.write_armed = false;
+                if poller
+                    .modify(entry.conn.fd(), token, Interest::READ)
+                    .is_err()
+                {
                     dead = true;
                 }
             }
         }
         Ok(false) => {
-            if !conn.write_armed {
-                conn.write_armed = true;
+            if !entry.conn.write_armed {
+                entry.conn.write_armed = true;
                 if poller
-                    .modify(conn.fd(), token, Interest::READ_WRITE)
+                    .modify(entry.conn.fd(), token, Interest::READ_WRITE)
                     .is_err()
                 {
                     dead = true;
@@ -290,69 +458,136 @@ fn service_connection(
     }
 
     if dead {
-        if let Some(conn) = slab.remove(idx) {
-            let _ = poller.remove(conn.fd());
+        if let Some(entry) = slab.remove(idx) {
+            let _ = poller.remove(entry.conn.fd());
         }
         observer.on_close(slab.open);
     }
 }
 
+/// Apply every reply injected since the last wakeup: land each batch's
+/// lines on its connection (dropping replies whose connection or
+/// generation is gone), then flush and reconcile that connection.
+fn apply_injections(
+    poller: &Poller,
+    slab: &mut Slab,
+    mailbox: &ReplyInjector,
+    observer: &mut dyn Observer,
+) {
+    for (token, lines) in mailbox.take() {
+        let Some((generation, idx)) = token_parts(token) else {
+            continue;
+        };
+        {
+            let Some(entry) = slab.get_mut(idx) else {
+                continue; // connection died before its reply arrived
+            };
+            if entry.generation != generation {
+                continue; // slot reused; reply belongs to the old owner
+            }
+            // One injection completes one deferred batch, even when it
+            // carries no lines.
+            entry.pending_deferred = entry.pending_deferred.saturating_sub(1);
+            for line in &lines {
+                entry.conn.queue_line(line);
+            }
+        }
+        settle_connection(poller, slab, idx, observer);
+    }
+}
+
 /// Split one socket's drained frames into line batches and oversized
-/// rejections, preserving wire order, and queue the responses.
+/// rejections, preserving wire order, and queue (or defer) the
+/// responses.
 fn dispatch_frames(
-    conn: &mut Connection,
+    entry: &mut Entry,
+    token: u64,
     frames: &mut Vec<Frame>,
     handler: &mut dyn Handler,
     observer: &mut dyn Observer,
 ) {
+    let Entry {
+        conn,
+        pending_deferred,
+        ..
+    } = entry;
     let mut lines: Vec<String> = Vec::new();
     let flush_batch = |lines: &mut Vec<String>,
                        conn: &mut Connection,
+                       pending_deferred: &mut usize,
                        handler: &mut dyn Handler,
                        observer: &mut dyn Observer| {
         if lines.is_empty() {
             return;
         }
         observer.on_batch_size(lines.len());
-        handler.on_batch(lines, &mut |resp| conn.queue_line(resp));
+        let deferred = handler.on_batch(token, *pending_deferred, lines, &mut |resp| {
+            conn.queue_line(resp);
+        });
+        *pending_deferred += deferred;
         lines.clear();
     };
     for frame in frames.drain(..) {
         match frame {
             Frame::Line(line) => lines.push(line),
             Frame::Oversized { len } => {
-                flush_batch(&mut lines, conn, handler, observer);
+                flush_batch(&mut lines, conn, pending_deferred, handler, observer);
                 observer.on_oversized();
                 let resp = handler.oversized_line(len);
                 conn.queue_line(&resp);
             }
         }
     }
-    flush_batch(&mut lines, conn, handler, observer);
+    flush_batch(&mut lines, conn, pending_deferred, handler, observer);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::{BufRead, BufReader, Write as _};
-    use std::net::{TcpListener, TcpStream};
+    use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
     use std::os::fd::AsRawFd;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
     /// Uppercases every line; "stop" requests shut the reactor down.
+    /// Lines starting with "slow" — or any batch while a deferred
+    /// batch is outstanding — are deferred to a helper thread that
+    /// injects the replies.
     struct EchoUpper {
         stop: Arc<AtomicBool>,
+        injector: Option<ReplyInjector>,
     }
 
     impl Handler for EchoUpper {
-        fn on_batch(&mut self, lines: &[String], respond: &mut dyn FnMut(&str)) {
-            for line in lines {
-                if line == "stop" {
-                    self.stop.store(true, Ordering::SeqCst);
+        fn on_start(&mut self, injector: ReplyInjector) {
+            self.injector = Some(injector);
+        }
+
+        fn on_batch(
+            &mut self,
+            token: u64,
+            pending: usize,
+            lines: &[String],
+            respond: &mut dyn FnMut(&str),
+        ) -> usize {
+            let slow = pending > 0 || lines.iter().any(|l| l.starts_with("slow"));
+            if !slow {
+                for line in lines {
+                    if line == "stop" {
+                        self.stop.store(true, Ordering::SeqCst);
+                    }
+                    respond(&line.to_uppercase());
                 }
-                respond(&line.to_uppercase());
+                return 0;
             }
+            let injector = self.injector.clone().unwrap();
+            let lines = lines.to_vec();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                injector.inject(token, lines.iter().map(|l| l.to_uppercase()).collect());
+            });
+            1
         }
         fn oversized_line(&mut self, len: usize) -> String {
             format!("oversized:{len}")
@@ -391,7 +626,7 @@ mod tests {
     fn spawn_reactor(
         max_connections: usize,
     ) -> (
-        std::net::SocketAddr,
+        SocketAddr,
         Arc<AtomicBool>,
         std::thread::JoinHandle<CountingObserver>,
     ) {
@@ -406,7 +641,10 @@ mod tests {
                 max_line_bytes: 64,
                 poll_timeout_ms: 10,
             };
-            let mut handler = EchoUpper { stop: stop2 };
+            let mut handler = EchoUpper {
+                stop: stop2,
+                injector: None,
+            };
             let mut obs = CountingObserver::default();
             run(listener.as_raw_fd(), &cfg, &mut handler, &mut obs).unwrap();
             obs
@@ -511,5 +749,51 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         assert_eq!(line.trim(), "STOP");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn deferred_batches_reply_via_the_injector_in_order() {
+        let (addr, stop, handle) = spawn_reactor(4);
+        let mut sock = TcpStream::connect(addr).unwrap();
+        // One batch of two lines, deferred whole: replies come back
+        // through the injector, still in request order.
+        sock.write_all(b"slow-one\nslow-two\n").unwrap();
+        let mut reader = BufReader::new(sock.try_clone().unwrap());
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            got.push(line.trim().to_owned());
+        }
+        assert_eq!(got, ["SLOW-ONE", "SLOW-TWO"]);
+        // The connection is fully alive again: a fast inline line
+        // round-trips.
+        sock.write_all(b"after\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "AFTER");
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn peer_eof_with_a_deferred_batch_still_gets_its_reply() {
+        let (addr, stop, handle) = spawn_reactor(4);
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(b"slow-goodbye\n").unwrap();
+        // Half-close: the reactor sees EOF while the batch is still
+        // deferred; the connection must survive until the reply lands.
+        sock.shutdown(Shutdown::Write).unwrap();
+        let mut reader = BufReader::new(sock);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "SLOW-GOODBYE");
+        // ... and then the drain-then-close completes.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+        stop.store(true, Ordering::SeqCst);
+        let obs = handle.join().unwrap();
+        assert_eq!(obs.opens, 1);
+        assert!(obs.closes >= 1, "closes = {}", obs.closes);
     }
 }

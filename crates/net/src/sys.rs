@@ -33,6 +33,9 @@ const SOCK_CLOEXEC: i32 = 0o2000000;
 
 const RLIMIT_NOFILE: i32 = 7;
 
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
 /// One readiness record, kernel layout. On x86_64 the kernel packs the
 /// struct (4-byte `events` directly followed by the 8-byte `data`
 /// union); elsewhere it uses natural alignment.
@@ -62,6 +65,7 @@ extern "C" {
     fn close(fd: i32) -> i32;
     fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
     fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
 }
 
 fn cvt(ret: i32) -> io::Result<i32> {
@@ -177,6 +181,30 @@ pub fn write_fd(fd: i32, buf: &[u8]) -> io::Result<usize> {
 /// `close(2)`, result ignored — the fd is gone either way.
 pub fn close_fd(fd: i32) {
     let _ = unsafe { close(fd) };
+}
+
+/// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)`: the reactor's cross-thread
+/// wakeup primitive. Registered with the epoll instance like any fd;
+/// [`eventfd_signal`] from another thread makes it readable.
+///
+/// # Errors
+/// The raw OS error (fd limit, ENOMEM).
+pub fn eventfd_nonblocking() -> io::Result<i32> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Signal an eventfd: add 1 to its counter, waking any poller. A full
+/// counter (`WouldBlock`) still leaves the fd readable, so the wakeup
+/// is delivered either way and the result can be ignored.
+pub fn eventfd_signal(fd: i32) {
+    let _ = write_fd(fd, &1u64.to_ne_bytes());
+}
+
+/// Drain an eventfd's counter back to zero so the next signal edges the
+/// fd readable again. `WouldBlock` (already drained) is fine.
+pub fn eventfd_drain(fd: i32) {
+    let mut buf = [0u8; 8];
+    let _ = read_fd(fd, &mut buf);
 }
 
 /// Current `RLIMIT_NOFILE` as `(soft, hard)`.

@@ -14,15 +14,19 @@
 //! and log-bucketed latency/cost histograms through a metrics registry
 //! — queryable over the wire (`stats`) and flushed to JSONL snapshots.
 //!
-//! The service is **sharded**: [`SchedulerConfig::shards`] engine
-//! instances run side by side, each with its own admission queue,
-//! executor, policy, and narrow locks. A router assigns submissions to
-//! shards — explicit ids hash (`id % shards`, reproducible for
-//! replays), auto-assigned ids go to the least-loaded shard for the
-//! task's class — and `tick`/`drain`/`stats`/`shutdown` fan out across
-//! every shard, merging the per-shard [`RoundReport`]s in deterministic
+//! The service is **sharded and threaded**: [`SchedulerConfig::shards`]
+//! engine instances run side by side, each owned outright by a
+//! dedicated worker thread and fed through its own admission queue —
+//! there is no engine mutex. A router assigns submissions to shards —
+//! explicit ids hash (`id % shards`, reproducible for replays),
+//! auto-assigned ids go to the least-loaded shard for the task's class
+//! — and `tick`/`drain`/`stats`/`shutdown` broadcast commands to every
+//! worker over bounded channels, collecting the one-shot replies and
+//! merging the per-shard [`RoundReport`]s in deterministic ascending
 //! shard order. With `shards = 1` the service is bit-identical to the
-//! single-engine path (and to the simulator on replayed traces).
+//! single-engine path (and to the simulator on replayed traces); with
+//! `shards = N` on an N-core host the scheduling rounds genuinely run
+//! in parallel.
 //!
 //! Module map:
 //!
@@ -31,8 +35,11 @@
 //! * [`clock`] — the wall-clock seam (the only raw `Instant::now`).
 //! * [`metrics`] — counters, gauges, histograms, the registry.
 //! * [`executor`] — the wall-clock `ExecutorView` implementation.
-//! * [`service`] — the scheduler proper (shard router + per-shard
-//!   engines + locks).
+//! * [`service`] — the scheduler proper (shard router, id ledger, the
+//!   round barrier, and the command fan-out over the workers).
+//! * `worker` (crate-private) — the per-shard worker thread that owns
+//!   its engine (executor + policy + trace ring) and processes the
+//!   command channel.
 //! * [`server`] — listeners, the two wire front-ends (thread-per-
 //!   connection and the `dvfs-net` epoll reactor behind the
 //!   [`NetBackend`] seam), graceful shutdown.
@@ -49,6 +56,7 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod snapshot;
+pub(crate) mod worker;
 
 pub use admission::{AdmissionPolicy, AdmissionQueue, GateOutcome, ShedReason};
 pub use executor::{

@@ -12,7 +12,9 @@
 //!   a silently slowed offered load.
 //! * **Closed** — `clients` connections, each submitting its next task
 //!   only after the previous acknowledgment; throughput is bounded by
-//!   round-trip latency, the classic closed-loop profile.
+//!   round-trip latency, the classic closed-loop profile. The run ends
+//!   with a `drain`, so the report carries the served totals and the
+//!   per-shard completion counts from `shard_reports`.
 //!
 //! Every acknowledgment round-trip lands in a shared wire-latency
 //! histogram; the run report carries throughput and p50/p95/p99.
@@ -473,6 +475,16 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
                 }
                 tally.errors += sub.errors;
             }
+            // Drain once the clients are done: the round barrier folds
+            // each shard worker's report into `shard_reports`, so the
+            // summary can attribute completions per shard instead of
+            // reporting submission totals only.
+            let mut conn = Connection::open(endpoint)?;
+            let resp = conn.round_trip(&encode_command("drain"))?;
+            if let Response::Err { ref message, .. } = resp {
+                return Err(std::io::Error::other(format!("drain failed: {message}")));
+            }
+            drain = parse_drain(&resp);
         }
         LoadMode::Idle {
             connections,

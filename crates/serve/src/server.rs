@@ -484,9 +484,13 @@ fn reactor_loop(listener: &Listener, shared: &Arc<Shared>, max_connections: usiz
         // read-timeout granularity.
         poll_timeout_ms: 100,
     };
+    let (slow_tx, slow_rx) = std::sync::mpsc::channel();
     let mut handler = WireHandler {
         shared: Arc::clone(shared),
         max_connections,
+        slow_tx,
+        slow_rx: Some(slow_rx),
+        slow_join: None,
     };
     let mut observer = MetricsObserver {
         metrics: Arc::clone(&shared.metrics),
@@ -496,25 +500,103 @@ fn reactor_loop(listener: &Listener, shared: &Arc<Shared>, max_connections: usiz
         shared.metrics.counter("accept_errors").inc();
         eprintln!("dvfs-serve: reactor front-end failed ({e})");
     }
+    // Hang up the slow lane and wait for in-flight work (a shutdown
+    // drain, a final snapshot) to finish before the accept-thread slot
+    // is considered done.
+    let WireHandler {
+        slow_tx, slow_join, ..
+    } = handler;
+    // An explicit drop: `..` keeps unbound fields alive to the end of
+    // scope, which would leave the channel open across the join below
+    // and deadlock against the slow thread's `recv` loop.
+    drop(slow_tx);
+    if let Some(join) = slow_join {
+        let _ = join.join();
+    }
 }
 
 /// `dvfs-net` handler: the wire protocol over the shared scheduler.
+///
+/// Batches of pure wire-speed lines (submits, pings, malformed input)
+/// are answered inline on the event loop — admission is a bounded
+/// queue push, never a scheduling round. Anything that waits on the
+/// shard workers (`drain`, `stats`, `trace`, `shutdown`) is deferred
+/// whole to the slow-path thread, which injects the replies back into
+/// the reactor through its [`dvfs_net::ReplyInjector`]; the event loop
+/// keeps accepting and admitting while a round runs. While a
+/// connection has a deferred batch outstanding, every later batch of
+/// that connection takes the same FIFO lane so responses stay in
+/// request order.
 struct WireHandler {
     shared: Arc<Shared>,
     max_connections: usize,
+    slow_tx: std::sync::mpsc::Sender<(u64, Vec<String>)>,
+    /// Receiver parked here until [`dvfs_net::Handler::on_start`]
+    /// hands over the injector and the slow-path thread spawns.
+    slow_rx: Option<std::sync::mpsc::Receiver<(u64, Vec<String>)>>,
+    slow_join: Option<JoinHandle<()>>,
+}
+
+/// Whether every line of the batch is answerable without waiting on
+/// the shard workers: submits and pings (and malformed lines, which
+/// cost one error response). `drain`/`stats`/`trace`/`shutdown` wait
+/// on worker replies — those batches belong on the slow lane.
+fn batch_is_fast(lines: &[String]) -> bool {
+    lines.iter().all(|line| {
+        matches!(
+            parse_request(line),
+            Ok(Request::Submit { .. } | Request::Ping) | Err(_)
+        )
+    })
 }
 
 impl dvfs_net::Handler for WireHandler {
-    fn on_batch(&mut self, lines: &[String], respond: &mut dyn FnMut(&str)) {
+    fn on_start(&mut self, injector: dvfs_net::ReplyInjector) {
+        let Some(rx) = self.slow_rx.take() else {
+            return;
+        };
+        let shared = Arc::clone(&self.shared);
+        self.slow_join = Some(std::thread::spawn(move || {
+            while let Ok((token, lines)) = rx.recv() {
+                let (responses, shutdown) = handle_lines(&lines, &shared);
+                // Inject before acting on a shutdown request: the ack
+                // must be in the reactor's mailbox before the stop
+                // flag is raised, so the final flush carries it out.
+                injector.inject(token, responses);
+                if shutdown {
+                    begin_shutdown(&shared);
+                }
+            }
+        }));
+    }
+
+    fn on_batch(
+        &mut self,
+        token: u64,
+        pending: usize,
+        lines: &[String],
+        respond: &mut dyn FnMut(&str),
+    ) -> usize {
+        if pending == 0 && batch_is_fast(lines) {
+            let (responses, _shutdown) = handle_lines(lines, &self.shared);
+            for r in &responses {
+                respond(r);
+            }
+            return 0;
+        }
+        if self.slow_tx.send((token, lines.to_vec())).is_ok() {
+            return 1;
+        }
+        // Slow lane gone (only possible mid-teardown): answer inline
+        // rather than drop the batch.
         let (responses, shutdown) = handle_lines(lines, &self.shared);
         for r in &responses {
             respond(r);
         }
-        // Shutdown after queueing the final response: the reactor
-        // flushes it before exiting.
         if shutdown {
             begin_shutdown(&self.shared);
         }
+        0
     }
 
     fn oversized_line(&mut self, len: usize) -> String {

@@ -8,21 +8,21 @@
 //!   through the wall-clock executors at once. Because the buffered
 //!   tasks reach each engine in submission order with untouched
 //!   arrivals, a drained round on a single shard is *bit-identical* to
-//!   running [`LeastMarginalCost`] over the same trace on the simulator
+//!   running `LeastMarginalCost` over the same trace on the simulator
 //!   — the determinism contract the end-to-end tests pin.
 //! * **Paced** — a ticker thread maps wall time onto the executor
 //!   clocks (`engine_seconds = wall_seconds * speed`) and steps them
 //!   incrementally; submissions arrive at the current engine time and
 //!   completions stream into the latency/cost histograms as they
-//!   happen. The paced anchor restarts together with the engines on
-//!   every drain, so a fresh round always begins near engine time zero
-//!   instead of inheriting the previous round's clock.
+//!   happen. Each worker's paced anchor restarts together with its
+//!   engine on every drain, so a fresh round always begins near engine
+//!   time zero instead of inheriting the previous round's clock.
 //!
 //! ## Sharding
 //!
 //! The service runs `shards` independent engine instances, each owning
-//! its own [`RealTimeExecutor`], [`LeastMarginalCost`] policy state,
-//! and bounded admission queue (the configured capacity is split across
+//! its own `RealTimeExecutor`, `LeastMarginalCost` policy state, and
+//! bounded admission queue (the configured capacity is split across
 //! shards). A router assigns each submission to a shard:
 //!
 //! * **Explicit ids** hash to `id % shards`, so replaying a recorded
@@ -38,31 +38,39 @@
 //! deterministically. With `shards = 1` the service is exactly the
 //! single-engine scheduler it replaces.
 //!
-//! ## Locking
+//! ## Threading model
 //!
-//! The submission path never touches an engine: it reads an atomic
-//! shutdown flag, reserves the task id under a small id-ledger mutex,
-//! and hands the task to one shard's admission queue (which has its own
-//! lock and re-checks the shutdown flag inside it — see
-//! [`AdmissionQueue::try_submit_gated`]). Each shard's engine mutex —
-//! executor plus policy state — is taken only by `tick`, `drain`,
-//! `stats`, and shutdown, so a slow scheduling round never blocks
-//! admission, and a slow round on one shard never blocks the others.
-//! `drain` takes every engine lock up front in ascending shard order
-//! (the same order `tick` uses, so the two cannot deadlock): a drain is
-//! a global round barrier.
+//! Every shard's engine is owned outright by a dedicated **worker
+//! thread** (see the crate's `worker` module); there is no engine
+//! mutex anywhere. The submission path never touches a worker: it
+//! reads an atomic shutdown flag, reserves the task id under a small
+//! id-ledger mutex, and hands the task to one shard's admission queue
+//! (which has its own lock and re-checks the shutdown flag inside it —
+//! see [`AdmissionQueue::try_submit_gated`]). `tick`, `drain`, and
+//! `stats` broadcast a command to every worker and collect the
+//! one-shot replies in ascending shard order, so a slow scheduling
+//! round never blocks admission, a slow round on one shard never
+//! blocks the others — and with `shards = N` on an N-core host the
+//! rounds genuinely run in parallel.
+//!
+//! A drain is still a global round barrier: a small `round_mx` mutex
+//! serializes rounds, and the id ledger and paced clock reset inside
+//! it, while per-shard reports are collected in ascending order. The
+//! barrier is released *before* the reports are merged and encoded —
+//! no cross-shard state is read during the merge, so nothing needs to
+//! stay blocked across it.
 
 use crate::admission::{AdmissionPolicy, AdmissionQueue, GateOutcome};
-use crate::executor::{ActuatorKind, RealTimeExecutor, RoundReport};
-use crate::metrics::{shard_metric, Counter, Gauge, Histogram, Registry};
+use crate::executor::{ActuatorKind, RoundReport};
+use crate::metrics::{shard_metric, Registry};
 use crate::protocol::{field_f64, field_u64, ErrorKind, Response};
-use dvfs_core::sched::{ExecutorView, Scheduler as PolicyHooks};
-use dvfs_core::LeastMarginalCost;
-use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass, TaskRecord};
+use crate::worker::{self, Command, ShardShared, WorkerHandle};
+use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass};
 use dvfs_trace::{ClassTag, EventKind as TraceKind, SharedRing, TraceEvent};
 use serde::Value;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -92,7 +100,8 @@ pub struct SchedulerConfig {
     /// shard keeps at least one slot).
     pub queue_capacity: usize,
     /// Number of independent engine instances (executor + policy +
-    /// admission queue). Clamped to at least 1.
+    /// admission queue), each owned by its own worker thread. Clamped
+    /// to at least 1.
     pub shards: usize,
     /// Per-shard lifecycle trace ring capacity (events). `0` disables
     /// tracing entirely: no rings are allocated and the executors'
@@ -142,111 +151,11 @@ pub fn service_platform(cores: usize) -> Platform {
         .expect("positive core count")
 }
 
-/// The executor/policy pair — the only state behind a shard's engine
-/// lock.
-struct Engine {
-    exec: RealTimeExecutor,
-    policy: LeastMarginalCost,
-}
-
-impl Engine {
-    /// A fresh engine for a new round; `ring` re-attaches the shard's
-    /// trace ring (sequence numbers continue — a round boundary is
-    /// visible in the trace but never resets the stream).
-    fn fresh(
-        cores: usize,
-        params: CostParams,
-        ring: Option<SharedRing>,
-        actuator: ActuatorKind,
-    ) -> Self {
-        let platform = service_platform(cores);
-        let mut exec = RealTimeExecutor::with_actuator(platform.clone(), actuator);
-        exec.set_trace_ring(ring);
-        Engine {
-            policy: LeastMarginalCost::new(&platform, params),
-            exec,
-        }
-    }
-}
-
-/// Wraps a shard's policy to time every scheduling decision into the
-/// `lmc_decision_us` histogram. Timing goes through the blessed wall
-/// clock seam and lands only in metrics — trace events themselves stay
-/// wall-free, preserving the bit-identical replay contract.
-struct TimedPolicy<'a> {
-    inner: &'a mut LeastMarginalCost,
-    hist: &'a Histogram,
-}
-
-impl TimedPolicy<'_> {
-    fn observe(&self, t0: std::time::Instant) {
-        let dt = crate::clock::wall_now().duration_since(t0);
-        self.hist.record(dt.as_secs_f64() * 1e6);
-    }
-}
-
-impl PolicyHooks for TimedPolicy<'_> {
-    fn name(&self) -> String {
-        self.inner.name()
-    }
-
-    fn on_arrival(&mut self, x: &mut dyn ExecutorView, task: &Task) {
-        let t0 = crate::clock::wall_now();
-        self.inner.on_arrival(x, task);
-        self.observe(t0);
-    }
-
-    fn on_completion(&mut self, x: &mut dyn ExecutorView, core: usize, task: &Task) {
-        let t0 = crate::clock::wall_now();
-        self.inner.on_completion(x, core, task);
-        self.observe(t0);
-    }
-
-    fn on_tick(&mut self, x: &mut dyn ExecutorView, core: usize) {
-        self.inner.on_tick(x, core);
-    }
-}
-
 fn class_tag(class: TaskClass) -> ClassTag {
     match class {
         TaskClass::Batch => ClassTag::Batch,
         TaskClass::Interactive => ClassTag::Interactive,
         TaskClass::NonInteractive => ClassTag::NonInteractive,
-    }
-}
-
-/// One engine instance: admission queue, wall-clock executor, policy,
-/// and cached per-shard metric handles.
-struct Shard {
-    index: usize,
-    queue: AdmissionQueue,
-    engine: Mutex<Engine>,
-    /// The shard's lifecycle trace ring, shared with its executor
-    /// (`None` when tracing is disabled). Drained at round boundaries
-    /// into the scheduler's accumulated trace, ascending shard order.
-    ring: Option<SharedRing>,
-    depth_gauge: Arc<Gauge>,
-    pending_gauge: Arc<Gauge>,
-    admitted: Arc<Counter>,
-    shed: Arc<Counter>,
-    completed: Arc<Counter>,
-}
-
-impl Shard {
-    fn lock_engine(&self) -> MutexGuard<'_, Engine> {
-        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-impl Scheduler {
-    /// Take every shard's engine lock in ascending shard order — the
-    /// one blessed way to hold more than one engine lock at a time.
-    /// `tick` walks shards in the same ascending order one lock at a
-    /// time, so a barrier taken through here can never deadlock with
-    /// it. `dvfs-lint` (rule `lock-order`) flags any other function
-    /// with two engine-lock acquisition sites.
-    fn lock_engines_ascending(&self) -> Vec<MutexGuard<'_, Engine>> {
-        self.shards.iter().map(Shard::lock_engine).collect()
     }
 }
 
@@ -260,18 +169,29 @@ struct IdLedger {
 #[cfg(test)]
 type RoundHook = Box<dyn FnOnce(&Scheduler) + Send>;
 
-/// The long-running scheduler: a router over N shards (each an
-/// admission queue + wall-clock executor + policy behind its own narrow
-/// locks), a global id ledger, the paced-clock anchor, and metrics.
+/// The long-running scheduler: a router over N shards — each an
+/// admission queue feeding an engine owned by a dedicated worker
+/// thread — plus a global id ledger, the paced-clock anchor used for
+/// arrival stamping, and metrics.
 pub struct Scheduler {
     cfg: SchedulerConfig,
-    shards: Vec<Shard>,
+    shards: Vec<Arc<ShardShared>>,
+    /// One worker per shard, same indexing as `shards`. Commands are
+    /// broadcast in ascending order and replies collected in ascending
+    /// order, which is what makes every fan-out deterministic.
+    workers: Vec<WorkerHandle>,
     metrics: Arc<Registry>,
     shutting_down: AtomicBool,
     ids: Mutex<IdLedger>,
-    /// Wall-clock anchor for paced time mapping. Reset on every drain
-    /// so a fresh round starts near engine time zero.
+    /// Wall-clock anchor for stamping paced submissions with an engine
+    /// arrival time. Reset on every drain so a fresh round starts near
+    /// engine time zero. (Each worker keeps its *own* anchor for tick
+    /// targets, reset inside its drain processing.)
     anchor: Mutex<Option<Instant>>,
+    /// Serializes rounds: a drain broadcasts to every worker and
+    /// collects every report under this lock, so two concurrent drains
+    /// cannot interleave their rounds across shards.
+    round_mx: Mutex<()>,
     /// Signals `wait_for_work` when any shard admits a task.
     work_mx: Mutex<()>,
     work_cv: Condvar,
@@ -284,8 +204,6 @@ pub struct Scheduler {
     /// server restarts; the trace facility trades memory for a
     /// complete, replayable record of the run.
     drained_trace: Mutex<Vec<TraceEvent>>,
-    /// Decision-latency histogram handle (`lmc_decision_us`).
-    lmc_hist: Arc<Histogram>,
     /// Test-only seam: runs once inside the next `tick`/`drain` after
     /// the queues were drained but before the depth gauges are
     /// published, standing in for a racing submitter.
@@ -294,38 +212,45 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Build a scheduler publishing into `metrics`.
+    /// Build a scheduler publishing into `metrics`, spawning one worker
+    /// thread per shard.
     #[must_use]
     pub fn new(cfg: SchedulerConfig, metrics: Arc<Registry>) -> Self {
         let n = cfg.shards.max(1);
-        let shards = (0..n)
+        let shards: Vec<Arc<ShardShared>> = (0..n)
             .map(|k| {
                 // Split the total capacity evenly, remainder to the low
                 // shards; every shard keeps at least one slot.
                 let cap = (cfg.queue_capacity / n + usize::from(k < cfg.queue_capacity % n)).max(1);
                 let ring =
                     (cfg.trace_capacity > 0).then(|| SharedRing::new(k as u32, cfg.trace_capacity));
-                Shard {
+                Arc::new(ShardShared {
                     index: k,
                     queue: AdmissionQueue::new(AdmissionPolicy::with_capacity(cap)),
-                    engine: Mutex::new(Engine::fresh(
-                        cfg.cores,
-                        cfg.params,
-                        ring.clone(),
-                        cfg.actuator,
-                    )),
                     ring,
                     depth_gauge: metrics.gauge(&shard_metric("queue_depth", k)),
                     pending_gauge: metrics.gauge(&shard_metric("pending_tasks", k)),
                     admitted: metrics.counter(&shard_metric("admitted", k)),
                     shed: metrics.counter(&shard_metric("shed", k)),
                     completed: metrics.counter(&shard_metric("completed", k)),
-                }
+                })
+            })
+            .collect();
+        let lmc_hist = metrics.histogram("lmc_decision_us");
+        let workers = shards
+            .iter()
+            .map(|sh| {
+                worker::spawn(
+                    Arc::clone(sh),
+                    cfg,
+                    Arc::clone(&metrics),
+                    Arc::clone(&lmc_hist),
+                )
             })
             .collect();
         Scheduler {
             shards,
-            lmc_hist: metrics.histogram("lmc_decision_us"),
+            workers,
             metrics,
             shutting_down: AtomicBool::new(false),
             ids: Mutex::new(IdLedger {
@@ -333,6 +258,7 @@ impl Scheduler {
                 next_auto: 0,
             }),
             anchor: Mutex::new(None),
+            round_mx: Mutex::new(()),
             work_mx: Mutex::new(()),
             work_cv: Condvar::new(),
             router_cursor: AtomicUsize::new(0),
@@ -404,20 +330,27 @@ impl Scheduler {
     }
 
     /// Start the paced clock (no-op in replay mode). Called once when
-    /// the server begins serving.
+    /// the server begins serving. Arms the submission-stamping anchor
+    /// and broadcasts `StartClock` so every worker arms its own tick
+    /// anchor.
     pub fn start_clock(&self) {
-        let mut anchor = self.anchor.lock().unwrap_or_else(PoisonError::into_inner);
-        if anchor.is_none() {
-            *anchor = Some(crate::clock::wall_now());
+        {
+            let mut anchor = self.anchor.lock().unwrap_or_else(PoisonError::into_inner);
+            if anchor.is_none() {
+                *anchor = Some(crate::clock::wall_now());
+            }
+        }
+        for w in &self.workers {
+            w.send(Command::StartClock);
         }
     }
 
-    /// Restart the paced clock for a fresh round (no-op until
-    /// [`Scheduler::start_clock`] ran). Called by `drain` together with
-    /// standing up fresh engines: the engines restart at time zero, so
-    /// the wall-mapped target must restart with them or the next tick
-    /// would warp the fresh engines forward and clamp every later
-    /// arrival.
+    /// Restart the submission-stamping anchor for a fresh round (no-op
+    /// until [`Scheduler::start_clock`] ran). Called by `drain`: the
+    /// workers stand up fresh engines at time zero and restart their
+    /// own tick anchors, so the arrival-stamping anchor must restart
+    /// with them or every later arrival would be stamped far in the
+    /// fresh engines' future.
     fn reset_clock(&self) {
         let mut anchor = self.anchor.lock().unwrap_or_else(PoisonError::into_inner);
         if anchor.is_some() {
@@ -426,7 +359,7 @@ impl Scheduler {
     }
 
     /// Wall-mapped target engine time for paced mode (0 in replay).
-    /// Reads only the anchor — never an engine lock.
+    /// Reads only the anchor — used to stamp submission arrivals.
     fn target_time(&self) -> f64 {
         let anchor = *self.anchor.lock().unwrap_or_else(PoisonError::into_inner);
         match (self.cfg.mode, anchor) {
@@ -470,7 +403,7 @@ impl Scheduler {
 
     /// Handle a submit request end to end: id assignment, validation,
     /// shard routing, admission, metrics. Touches the id ledger and one
-    /// shard's admission queue, never an engine.
+    /// shard's admission queue, never a worker.
     pub fn submit(
         &self,
         id: Option<u64>,
@@ -647,24 +580,6 @@ impl Scheduler {
         }
     }
 
-    /// Record a finished task into the latency/cost histograms.
-    fn observe_completion(&self, rec: &TaskRecord, params: CostParams, shard: &Shard) {
-        self.metrics.counter("completed").inc();
-        shard.completed.inc();
-        if let Some(turnaround) = rec.turnaround() {
-            self.metrics.histogram("task_latency_s").record(turnaround);
-            let cost = params.re * rec.energy_joules + params.rt * turnaround;
-            self.metrics.histogram("task_cost").record(cost);
-        }
-    }
-
-    /// Publish an executor's actuation counters since the last drain.
-    fn publish_actuations(&self, engine: &mut Engine) {
-        let (applied, errored) = engine.exec.take_actuations();
-        self.metrics.counter("actuations").add(applied);
-        self.metrics.counter("actuation_errors").add(errored);
-    }
-
     /// Recompute every depth gauge from the live queues at write time.
     /// Snapshotting the depth earlier (a submit's post-admit depth, or
     /// a constant zero after a drain) goes stale the moment a
@@ -707,36 +622,25 @@ impl Scheduler {
             .unwrap_or_else(PoisonError::into_inner) = Some(Box::new(hook));
     }
 
-    /// One paced step: per shard, pull admitted work into the engine,
-    /// advance the executor clock to the wall-mapped target, stream
-    /// completions into the histograms. Shards are stepped in ascending
-    /// order, one engine lock at a time.
+    /// One paced step: broadcast a tick to every worker — each pulls
+    /// admitted work into its engine, advances the executor clock to
+    /// its wall-mapped target, and streams completions into the
+    /// histograms — then collect the replies in ascending shard order.
+    /// With more shards than one, the per-shard steps run genuinely in
+    /// parallel on the worker threads.
     pub fn tick(&self) {
-        let params = self.cfg.params;
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (tx, rx) = mpsc::channel();
+            w.send(Command::Tick { reply: tx });
+            replies.push(rx);
+        }
         let mut pending_total = 0i64;
-        for sh in &self.shards {
-            let mut engine = sh.lock_engine();
-            // Read the paced target *after* taking the engine lock: a
-            // concurrent drain resets the anchor together with the
-            // engines, and a target read before the lock could warp a
-            // fresh engine onto the previous round's clock.
-            let target = self.target_time();
-            for task in sh.queue.drain() {
-                engine.exec.push_task(&task);
-            }
-            let engine = &mut *engine;
-            let mut policy = TimedPolicy {
-                inner: &mut engine.policy,
-                hist: &self.lmc_hist,
-            };
-            engine.exec.step_until(&mut policy, target);
-            for rec in engine.exec.take_completions() {
-                self.observe_completion(&rec, params, sh);
-            }
-            self.publish_actuations(engine);
-            let pending = engine.exec.pending_tasks() as i64;
-            sh.pending_gauge.set(pending);
-            pending_total += pending;
+        for (k, rx) in replies.into_iter().enumerate() {
+            let reply = rx
+                .recv()
+                .unwrap_or_else(|_| panic!("shard {k} worker exited during tick"));
+            pending_total += reply.pending as i64;
         }
         self.metrics.gauge("pending_tasks").set(pending_total);
         self.fire_round_hook();
@@ -745,54 +649,54 @@ impl Scheduler {
 
     /// Run everything buffered (and, in paced mode, everything still in
     /// flight) to completion on every shard; return the per-shard
-    /// reports in shard order and reset every engine — and the paced
-    /// clock — for the next round.
+    /// reports in shard order. Each worker runs its round concurrently,
+    /// stands up a fresh engine, and restarts its paced anchor; the
+    /// reports are collected in ascending shard order under the round
+    /// barrier, and the id ledger and the arrival-stamping anchor reset
+    /// inside it.
     ///
-    /// Every engine lock is taken up front in ascending order (the
-    /// order `tick` locks them, so the two cannot deadlock): a drain is
-    /// a global round barrier, and the id ledger and paced anchor must
-    /// reset while no shard can step.
+    /// The round barrier (`round_mx`) serializes whole rounds, so two
+    /// concurrent drains cannot interleave across shards. It is
+    /// released before the caller merges or encodes the reports —
+    /// nothing cross-shard is read during a merge, so no worker or
+    /// lock stays held across it.
     pub fn drain_shards(&self) -> Vec<RoundReport> {
-        let params = self.cfg.params;
         self.metrics.counter("drains").inc();
-        let mut engines = self.lock_engines_ascending();
-        let mut reports = Vec::with_capacity(self.shards.len());
-        for (sh, engine) in self.shards.iter().zip(engines.iter_mut()) {
-            for task in sh.queue.drain() {
-                engine.exec.push_task(&task);
-            }
-            {
-                let engine = &mut **engine;
-                let mut policy = TimedPolicy {
-                    inner: &mut engine.policy,
-                    hist: &self.lmc_hist,
-                };
-                engine.exec.run_to_completion(&mut policy);
-            }
-            // Completions not yet streamed by a paced tick land in the
-            // histograms now, exactly once.
-            for rec in engine.exec.take_completions() {
-                self.observe_completion(&rec, params, sh);
-            }
-            self.publish_actuations(engine);
-            reports.push(engine.exec.round_report());
-            // Capture the round's trace before the engine is replaced
-            // (ascending shard order, because this loop is).
-            self.drain_shard_trace(sh);
-            // Stand up a fresh round on this shard; the trace ring
-            // carries over so sequence numbers stay continuous.
-            **engine = Engine::fresh(self.cfg.cores, params, sh.ring.clone(), self.cfg.actuator);
-            sh.pending_gauge.set(0);
-        }
-        // New round: the id space and the paced clock restart together
-        // with the engines, while every engine lock is still held.
+        let mut reports = Vec::with_capacity(self.workers.len());
         {
+            let _round = self.round_mx.lock().unwrap_or_else(PoisonError::into_inner);
+            // Hold the id ledger across the whole barrier: submissions
+            // assign ids and enqueue under this lock, so every task
+            // admitted before we take it is already in its shard's
+            // queue (and gets pulled by the worker's drain below), and
+            // none can slip in between a worker's queue pull and the
+            // namespace reset — the window where an old-round task and
+            // a post-reset id reuse would collide in the next round's
+            // engine.
             let mut ids = self.lock_ids();
+            let mut replies = Vec::with_capacity(self.workers.len());
+            for w in &self.workers {
+                let (tx, rx) = mpsc::channel();
+                w.send(Command::Drain { reply: tx });
+                replies.push(rx);
+            }
+            for (k, rx) in replies.into_iter().enumerate() {
+                let report = rx
+                    .recv()
+                    .unwrap_or_else(|_| panic!("shard {k} worker exited during drain"));
+                // Capture the round's trace as each shard's report
+                // lands (ascending shard order, because this loop is).
+                self.drain_shard_trace(&self.shards[k]);
+                reports.push(report);
+            }
+            // New round: the id space and the arrival-stamping clock
+            // restart together with the engines, still inside the
+            // round barrier.
             ids.used.clear();
             ids.next_auto = 0;
+            drop(ids);
+            self.reset_clock();
         }
-        self.reset_clock();
-        drop(engines);
         self.metrics.gauge("pending_tasks").set(0);
         self.fire_round_hook();
         self.publish_queue_depth();
@@ -802,7 +706,8 @@ impl Scheduler {
     /// Run the round on every shard and merge the reports in
     /// deterministic shard order. The programmatic form of the wire
     /// `drain` — end-to-end tests use it to compare served rounds
-    /// against library runs task by task.
+    /// against library runs task by task. The merge happens after the
+    /// round barrier is released.
     pub fn drain_round(&self) -> RoundReport {
         RoundReport::merge(&self.drain_shards())
     }
@@ -823,7 +728,7 @@ impl Scheduler {
     /// its `complete` events into the cost-attribution counters:
     /// per-shard, per-core energy cost (`Re · E`) and waiting cost
     /// (`Rt · turnaround`), both in integer micro-cost units.
-    fn drain_shard_trace(&self, sh: &Shard) {
+    fn drain_shard_trace(&self, sh: &ShardShared) {
         let Some(ring) = &sh.ring else { return };
         let events = ring.drain();
         if events.is_empty() {
@@ -915,7 +820,8 @@ impl Scheduler {
     }
 
     /// Wire handler for `drain`: run the round and encode the merged
-    /// report plus the per-shard reports.
+    /// report plus the per-shard reports (merging and encoding happen
+    /// after the round barrier is released).
     pub fn drain_run(&self) -> Response {
         let params = self.cfg.params;
         let reports = self.drain_shards();
@@ -945,27 +851,54 @@ impl Scheduler {
         ])
     }
 
+    /// Sum of pending (registered but uncompleted) tasks across every
+    /// worker, via a stats broadcast.
+    fn pending_tasks_total(&self) -> usize {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (tx, rx) = mpsc::channel();
+            w.send(Command::Stats { reply: tx });
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .enumerate()
+            .map(|(k, rx)| {
+                rx.recv()
+                    .unwrap_or_else(|_| panic!("shard {k} worker exited during stats"))
+                    .pending
+            })
+            .sum()
+    }
+
     /// Handle a stats request: registry snapshot plus live per-shard
-    /// depths and clocks.
+    /// depths and clocks (collected from the workers in ascending shard
+    /// order).
     pub fn stats(&self) -> Response {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (tx, rx) = mpsc::channel();
+            w.send(Command::Stats { reply: tx });
+            replies.push(rx);
+        }
         let mut shard_stats = Vec::with_capacity(self.shards.len());
         let mut depth_total = 0u64;
         let mut pending_total = 0u64;
         let mut now_max = 0.0f64;
-        for sh in &self.shards {
-            let engine = sh.lock_engine();
-            let pending = engine.exec.pending_tasks() as u64;
-            let now = engine.exec.exec_now();
-            drop(engine);
+        for (sh, rx) in self.shards.iter().zip(replies) {
+            let reply = rx
+                .recv()
+                .unwrap_or_else(|_| panic!("shard {} worker exited during stats", sh.index));
             let depth = sh.queue.depth() as u64;
+            let pending = reply.pending as u64;
             depth_total += depth;
             pending_total += pending;
-            now_max = now_max.max(now);
+            now_max = now_max.max(reply.now);
             shard_stats.push(Value::Object(vec![
                 field_u64("shard", sh.index as u64),
                 field_u64("queue_depth", depth),
                 field_u64("pending_tasks", pending),
-                field_f64("sim_now_s", now),
+                field_f64("sim_now_s", reply.now),
             ]));
         }
         Response::Ok(vec![
@@ -990,11 +923,7 @@ impl Scheduler {
         self.shutting_down.store(true, Ordering::SeqCst);
         loop {
             let queued = self.queue_depth();
-            let pending: usize = self
-                .shards
-                .iter()
-                .map(|s| s.lock_engine().exec.pending_tasks())
-                .sum();
+            let pending = self.pending_tasks_total();
             if queued == 0 && pending == 0 {
                 break;
             }
@@ -1003,10 +932,25 @@ impl Scheduler {
     }
 }
 
+impl Drop for Scheduler {
+    /// Stop and join every shard worker. Commands already queued are
+    /// processed first (the stop request is FIFO like everything else),
+    /// so no in-flight round is abandoned.
+    fn drop(&mut self) {
+        for w in &self.workers {
+            w.begin_stop();
+        }
+        for w in &mut self.workers {
+            w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::{value_f64, value_u64};
+    use dvfs_core::LeastMarginalCost;
     use dvfs_sim::{SimConfig, Simulator};
 
     fn scheduler(capacity: usize) -> Scheduler {
@@ -1182,8 +1126,8 @@ mod tests {
     }
 
     /// Regression (paced-clock time warp): a drain stands up fresh
-    /// engines at time zero, so the paced anchor must restart with
-    /// them. Pre-fix, `target_time()` kept growing from the original
+    /// engines at time zero, so the paced anchors must restart with
+    /// them. Pre-fix, the tick target kept growing from the original
     /// anchor and the first tick of the next round warped the fresh
     /// engine to the previous round's clock.
     #[test]

@@ -1,0 +1,349 @@
+//! Per-shard worker threads: message-passing ownership of the engines.
+//!
+//! Each shard's engine — the wall-clock [`RealTimeExecutor`], the
+//! [`LeastMarginalCost`] policy state, and the shard's paced-clock
+//! anchor — is owned *outright* by one worker thread. Nothing else in
+//! the process can reach an engine: the scheduler talks to the worker
+//! over a bounded command channel, and the worker applies commands in
+//! FIFO order against state only it can touch. This replaces the old
+//! `Mutex<Engine>` + ascending-lock-order discipline (and is enforced
+//! by `dvfs-lint`'s `engine-ownership` rule: no `Mutex<Engine>` or
+//! engine-lock helpers may appear outside this module).
+//!
+//! ## Command/reply protocol
+//!
+//! * [`Command::Tick`] — pull admitted work from the shard's queue,
+//!   advance the executor to the wall-mapped target (computed from the
+//!   worker's *own* anchor at processing time, so a queued tick can
+//!   never warp a freshly drained engine onto the previous round's
+//!   clock), stream completions into the histograms, reply with the
+//!   pending-task count.
+//! * [`Command::Drain`] — pull, run everything to completion, reply
+//!   with the round's [`RoundReport`], then stand up a fresh engine and
+//!   restart the local anchor for the next round.
+//! * [`Command::Stats`] — reply with the pending count and engine
+//!   clock.
+//! * [`Command::StartClock`] — arm the paced anchor (idempotent).
+//! * [`Command::Shutdown`] — exit the worker loop (also triggered by
+//!   channel disconnect, so a dropped scheduler can never leak
+//!   threads).
+//!
+//! Determinism: submissions never touch a worker — they land in the
+//! shard's admission queue (its own short lock) and are pulled in FIFO
+//! order by the next tick or drain, exactly as the mutex-based service
+//! pulled them. A drained round therefore pushes the same tasks in the
+//! same order through the same arithmetic, keeping the shards=1 replay
+//! bit-identical to the simulator.
+
+use crate::admission::AdmissionQueue;
+use crate::executor::{RealTimeExecutor, RoundReport};
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::service::{service_platform, Mode, SchedulerConfig};
+use dvfs_core::sched::{ExecutorView, Scheduler as PolicyHooks};
+use dvfs_core::LeastMarginalCost;
+use dvfs_model::{CostParams, Task, TaskRecord};
+use dvfs_trace::SharedRing;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Commands queued ahead of a worker rarely back up beyond a couple of
+/// round barriers; a small bound keeps a wedged worker from absorbing
+/// an unbounded command backlog silently.
+const COMMAND_QUEUE_BOUND: usize = 32;
+
+/// The executor/policy pair a worker owns outright. No lock anywhere:
+/// only the owning worker thread can reach it.
+pub(crate) struct Engine {
+    pub exec: RealTimeExecutor,
+    pub policy: LeastMarginalCost,
+}
+
+impl Engine {
+    /// A fresh engine for a new round; `ring` re-attaches the shard's
+    /// trace ring (sequence numbers continue — a round boundary is
+    /// visible in the trace but never resets the stream).
+    pub fn fresh(cfg: &SchedulerConfig, ring: Option<SharedRing>) -> Self {
+        let platform = service_platform(cfg.cores);
+        let mut exec = RealTimeExecutor::with_actuator(platform.clone(), cfg.actuator);
+        exec.set_trace_ring(ring);
+        Engine {
+            policy: LeastMarginalCost::new(&platform, cfg.params),
+            exec,
+        }
+    }
+}
+
+/// Wraps a shard's policy to time every scheduling decision into the
+/// `lmc_decision_us` histogram. Timing goes through the blessed wall
+/// clock seam and lands only in metrics — trace events themselves stay
+/// wall-free, preserving the bit-identical replay contract.
+struct TimedPolicy<'a> {
+    inner: &'a mut LeastMarginalCost,
+    hist: &'a Histogram,
+}
+
+impl TimedPolicy<'_> {
+    fn observe(&self, t0: Instant) {
+        let dt = crate::clock::wall_now().duration_since(t0);
+        self.hist.record(dt.as_secs_f64() * 1e6);
+    }
+}
+
+impl PolicyHooks for TimedPolicy<'_> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn on_arrival(&mut self, x: &mut dyn ExecutorView, task: &Task) {
+        let t0 = crate::clock::wall_now();
+        self.inner.on_arrival(x, task);
+        self.observe(t0);
+    }
+
+    fn on_completion(&mut self, x: &mut dyn ExecutorView, core: usize, task: &Task) {
+        let t0 = crate::clock::wall_now();
+        self.inner.on_completion(x, core, task);
+        self.observe(t0);
+    }
+
+    fn on_tick(&mut self, x: &mut dyn ExecutorView, core: usize) {
+        self.inner.on_tick(x, core);
+    }
+}
+
+/// Shard state shared between the scheduler (submission path, gauges,
+/// trace drains) and the worker that owns the shard's engine. Only
+/// leaf-locked structures live here — the admission queue and the
+/// trace ring carry their own short internal locks.
+pub(crate) struct ShardShared {
+    pub index: usize,
+    pub queue: AdmissionQueue,
+    /// The shard's lifecycle trace ring, shared with its executor
+    /// (`None` when tracing is disabled). Drained at round boundaries
+    /// by the scheduler, in ascending shard order.
+    pub ring: Option<SharedRing>,
+    pub depth_gauge: Arc<Gauge>,
+    pub pending_gauge: Arc<Gauge>,
+    pub admitted: Arc<Counter>,
+    pub shed: Arc<Counter>,
+    pub completed: Arc<Counter>,
+}
+
+/// Reply to [`Command::Tick`].
+pub(crate) struct TickReply {
+    /// Tasks registered but not yet completed after the step.
+    pub pending: usize,
+}
+
+/// Reply to [`Command::Stats`].
+pub(crate) struct StatsReply {
+    pub pending: usize,
+    /// Engine clock, in executor seconds.
+    pub now: f64,
+}
+
+/// One message across the scheduler→worker channel. Replies travel on
+/// per-call one-shot channels, so concurrent callers (ticker thread,
+/// wire drains, stats) can never receive each other's answers.
+pub(crate) enum Command {
+    Tick { reply: Sender<TickReply> },
+    Drain { reply: Sender<RoundReport> },
+    Stats { reply: Sender<StatsReply> },
+    StartClock,
+    Shutdown,
+}
+
+/// The scheduler's handle to one shard worker.
+pub(crate) struct WorkerHandle {
+    tx: SyncSender<Command>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Enqueue a command. Best-effort: a dead worker surfaces at reply
+    /// collection (the one-shot reply channel disconnects), which is
+    /// where callers can attach a meaningful panic message.
+    pub fn send(&self, cmd: Command) {
+        let _ = self.tx.send(cmd);
+    }
+
+    /// Ask the worker loop to exit (it finishes the commands already
+    /// queued first, preserving FIFO semantics).
+    pub fn begin_stop(&self) {
+        self.send(Command::Shutdown);
+    }
+
+    /// Join the worker thread (idempotent). A worker that panicked has
+    /// already surfaced the failure to whichever caller was waiting on
+    /// its reply; the join itself swallows the secondary error so a
+    /// scheduler drop mid-unwind cannot abort the process.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.join.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawn the worker thread owning shard `shared`'s engine.
+pub(crate) fn spawn(
+    shared: Arc<ShardShared>,
+    cfg: SchedulerConfig,
+    metrics: Arc<Registry>,
+    lmc_hist: Arc<Histogram>,
+) -> WorkerHandle {
+    let (tx, rx) = std::sync::mpsc::sync_channel(COMMAND_QUEUE_BOUND);
+    let name = format!("dvfs-shard-{}", shared.index);
+    let join = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            Worker {
+                engine: Engine::fresh(&cfg, shared.ring.clone()),
+                shared,
+                cfg,
+                metrics,
+                lmc_hist,
+                anchor: None,
+            }
+            .run(&rx);
+        })
+        .expect("spawn shard worker thread");
+    WorkerHandle {
+        tx,
+        join: Some(join),
+    }
+}
+
+/// Everything one worker thread owns.
+struct Worker {
+    shared: Arc<ShardShared>,
+    cfg: SchedulerConfig,
+    metrics: Arc<Registry>,
+    lmc_hist: Arc<Histogram>,
+    engine: Engine,
+    /// This shard's paced-clock anchor. Worker-local on purpose: it is
+    /// reset inside the worker's own drain processing, so a tick queued
+    /// behind a drain computes its target against the *fresh* anchor —
+    /// the per-worker FIFO makes the anti-time-warp regression hold
+    /// without any cross-thread clock coordination.
+    anchor: Option<Instant>,
+}
+
+impl Worker {
+    fn run(mut self, rx: &Receiver<Command>) {
+        loop {
+            match rx.recv() {
+                Ok(Command::Tick { reply }) => {
+                    let r = self.tick();
+                    let _ = reply.send(r);
+                }
+                Ok(Command::Drain { reply }) => {
+                    let r = self.drain();
+                    let _ = reply.send(r);
+                }
+                Ok(Command::Stats { reply }) => {
+                    let _ = reply.send(StatsReply {
+                        pending: self.engine.exec.pending_tasks(),
+                        now: self.engine.exec.exec_now(),
+                    });
+                }
+                Ok(Command::StartClock) => {
+                    if self.anchor.is_none() {
+                        self.anchor = Some(crate::clock::wall_now());
+                    }
+                }
+                Ok(Command::Shutdown) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Wall-mapped target engine time for paced mode (0 in replay),
+    /// computed at command-processing time from the worker's own
+    /// anchor.
+    fn target_time(&self) -> f64 {
+        match (self.cfg.mode, self.anchor) {
+            (Mode::Paced { speed }, Some(t0)) => t0.elapsed().as_secs_f64() * speed,
+            _ => 0.0,
+        }
+    }
+
+    /// Pull every admitted task from the shard queue into the engine
+    /// (FIFO, exactly the order the admission queue accepted them).
+    fn pull_admitted(&mut self) {
+        for task in self.shared.queue.drain() {
+            self.engine.exec.push_task(&task);
+        }
+    }
+
+    /// Stream completions into the histograms and publish actuation
+    /// counters — the post-step bookkeeping both tick and drain share.
+    fn finish_step(&mut self) {
+        let params = self.cfg.params;
+        for rec in self.engine.exec.take_completions() {
+            self.observe_completion(&rec, params);
+        }
+        let (applied, errored) = self.engine.exec.take_actuations();
+        self.metrics.counter("actuations").add(applied);
+        self.metrics.counter("actuation_errors").add(errored);
+    }
+
+    /// Record a finished task into the latency/cost histograms.
+    fn observe_completion(&self, rec: &TaskRecord, params: CostParams) {
+        self.metrics.counter("completed").inc();
+        self.shared.completed.inc();
+        if let Some(turnaround) = rec.turnaround() {
+            self.metrics.histogram("task_latency_s").record(turnaround);
+            let cost = params.re * rec.energy_joules + params.rt * turnaround;
+            self.metrics.histogram("task_cost").record(cost);
+        }
+    }
+
+    /// One paced step: pull admitted work, advance the executor clock
+    /// to the wall-mapped target, stream completions.
+    fn tick(&mut self) -> TickReply {
+        let target = self.target_time();
+        self.pull_admitted();
+        {
+            let Engine { exec, policy } = &mut self.engine;
+            let mut timed = TimedPolicy {
+                inner: policy,
+                hist: &self.lmc_hist,
+            };
+            exec.step_until(&mut timed, target);
+        }
+        self.finish_step();
+        let pending = self.engine.exec.pending_tasks();
+        self.shared.pending_gauge.set(pending as i64);
+        TickReply { pending }
+    }
+
+    /// Run everything buffered (and still in flight) to completion,
+    /// report the round, and stand up a fresh engine — restarting the
+    /// local paced anchor with it, so the next tick's target starts
+    /// near engine time zero instead of inheriting the old round's
+    /// clock.
+    fn drain(&mut self) -> RoundReport {
+        self.pull_admitted();
+        {
+            let Engine { exec, policy } = &mut self.engine;
+            let mut timed = TimedPolicy {
+                inner: policy,
+                hist: &self.lmc_hist,
+            };
+            exec.run_to_completion(&mut timed);
+        }
+        // Completions not yet streamed by a paced tick land in the
+        // histograms now, exactly once.
+        self.finish_step();
+        let report = self.engine.exec.round_report();
+        // Fresh round: the trace ring carries over so sequence numbers
+        // stay continuous.
+        self.engine = Engine::fresh(&self.cfg, self.shared.ring.clone());
+        if self.anchor.is_some() {
+            self.anchor = Some(crate::clock::wall_now());
+        }
+        self.shared.pending_gauge.set(0);
+        report
+    }
+}

@@ -43,6 +43,25 @@ for net in threads reactor; do
 done
 run cargo test -q --test net_framing
 
+# Executor conformance: the simulator, the bare wall-clock executor,
+# and the worker-backed service (shards 1/2/4) must replay the pinned
+# trace bit-identically (dvfs-core's sched::conformance suite).
+run cargo test -q --test conformance
+
+# Concurrency stress: burst submitters race the drain loop and a wire
+# shutdown on every backend × shard cell, repeatedly — the books must
+# balance (admitted == completed across drained rounds, per-shard
+# counts summing to round totals) under any interleaving of the
+# worker command channels.
+for net in threads reactor; do
+    for shards in 1 2 4; do
+        for rep in 1 2 3; do
+            echo "==> concurrency stress at DVFS_SERVE_NET=$net DVFS_SERVE_SHARDS=$shards (rep $rep)"
+            DVFS_SERVE_NET="$net" DVFS_SERVE_SHARDS="$shards" cargo test -q --test concurrency_stress -- --ignored
+        done
+    done
+done
+
 # Trace-overhead smoke: the ring sink on the LMC hot path must stay
 # within an order of magnitude of running untraced (a miss means the
 # record path started allocating or formatting; see dvfs-lint's
@@ -56,10 +75,17 @@ run cargo test -q -p dvfs-bench --test trace_overhead -- --ignored
 # benchmark), then refreshes the file with this run's numbers.
 run cargo test -q -p dvfs-bench --test net_10k -- --ignored
 
+# Parallelism smoke: the same task set drained at 1 shard vs 4 shards.
+# On a >=4-core host the 4-shard drain must be at least 2x faster
+# (shard workers genuinely run concurrently); on smaller hosts the run
+# is informational. Numbers land in BENCH_parallel.json.
+run cargo test -q -p dvfs-bench --test parallel_drain -- --ignored
+
 # Invariant gate: dvfs-lint enforces the contracts no compiler checks —
 # determinism (no hash-order iteration / raw wall-clock reads outside
-# the serve clock seam), lock order (multi-lock only via the blessed
-# ascending helper), layering (dvfs-core/dvfs-serve must not reach
+# the serve clock seam), engine ownership (no Mutex<Engine> or retired
+# engine-lock helpers outside the worker module — engines are owned by
+# their shard worker threads), layering (dvfs-core/dvfs-serve must not reach
 # dvfs-sim over normal deps; parsed natively from Cargo.toml, replacing
 # the old `cargo tree | grep` function), and wire-path panic-freedom.
 # See DESIGN.md "Enforced invariants" for the rule list and waiver

@@ -1,0 +1,207 @@
+//! Concurrency stress for the worker-backed service (CI runs it with
+//! `-- --ignored`, repeatedly, across both net backends and shard
+//! counts): burst submitters race a drain loop and a final wire
+//! shutdown, and the books must still balance — every admitted task is
+//! completed by exactly one drained round, per-shard counts sum to the
+//! round totals, and nothing panics, wedges, or leaks a worker.
+//!
+//! Unlike the replay pins this makes no determinism claim (arrivals
+//! are stamped from the paced wall clock mid-race); it is purely an
+//! interleaving shaker for the command-channel protocol: submissions
+//! landing in admission queues while drain barriers broadcast, collect
+//! in ascending shard order, and reset the round.
+
+use dvfs_serve::loadgen::{self, Connection, LoadMode};
+use dvfs_serve::protocol::{encode_command, encode_submit, value_u64, ErrorKind, Response};
+use dvfs_serve::{serve, Endpoint, SchedulerConfig, ServerConfig};
+use dvfs_suite::model::TaskClass;
+use serde::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_shards() -> usize {
+    std::env::var("DVFS_SERVE_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dvfs-stress-{}-{name}.sock", std::process::id()))
+}
+
+/// Completed count of one drain response, plus the invariant that its
+/// per-shard reports sum to it.
+fn drained_of(resp: &Response) -> u64 {
+    let completed = resp
+        .field("completed")
+        .and_then(value_u64)
+        .expect("drain reports completed");
+    if let Some(Value::Array(reports)) = resp.field("shard_reports") {
+        let per_shard: u64 = reports
+            .iter()
+            .filter_map(|r| r.get("completed").and_then(value_u64))
+            .sum();
+        assert_eq!(
+            per_shard, completed,
+            "per-shard completions must sum to the round total"
+        );
+    }
+    completed
+}
+
+#[test]
+#[ignore = "CI stress: run with `cargo test --test concurrency_stress -- --ignored`"]
+fn burst_submits_race_drains_and_shutdown_without_losing_tasks() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 200;
+
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            cores: 2,
+            shards: env_shards(),
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::new(Endpoint::Unix(scratch("burst")))
+    };
+    let handle = serve(cfg).expect("server binds");
+
+    // A drain loop racing the submitters: every round it closes books
+    // on whatever the workers have absorbed so far.
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let endpoint = handle.endpoint().clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || -> std::io::Result<u64> {
+            let mut conn = Connection::open(&endpoint)?;
+            let mut completed = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let resp = conn.round_trip(&encode_command("drain"))?;
+                completed += drained_of(&resp);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(completed)
+        })
+    };
+
+    let mut submitters = Vec::new();
+    for c in 0..CLIENTS {
+        let endpoint = handle.endpoint().clone();
+        submitters.push(std::thread::spawn(
+            move || -> std::io::Result<(u64, u64)> {
+                let mut conn = Connection::open(&endpoint)?;
+                let (mut admitted, mut shed) = (0u64, 0u64);
+                for i in 0..PER_CLIENT {
+                    let class = if i % 3 == 0 {
+                        TaskClass::Interactive
+                    } else {
+                        TaskClass::NonInteractive
+                    };
+                    let cycles = 1_000_000 + (c * PER_CLIENT + i) as u64 * 10_000;
+                    let line = encode_submit(None, cycles, class, None);
+                    match conn.round_trip(&line)? {
+                        Response::Ok(_) => admitted += 1,
+                        Response::Err {
+                            kind: ErrorKind::Overloaded,
+                            ..
+                        } => shed += 1,
+                        Response::Err { kind, message } => {
+                            panic!("unexpected wire error {kind:?}: {message}")
+                        }
+                    }
+                }
+                Ok((admitted, shed))
+            },
+        ));
+    }
+
+    let (mut admitted, mut shed) = (0u64, 0u64);
+    for t in submitters {
+        let (a, s) = t
+            .join()
+            .expect("submitter thread panicked")
+            .expect("submitter io");
+        admitted += a;
+        shed += s;
+    }
+    assert_eq!(
+        admitted + shed,
+        (CLIENTS * PER_CLIENT) as u64,
+        "every submission acked or shed"
+    );
+
+    stop.store(true, Ordering::Release);
+    let drained_mid_race = drainer
+        .join()
+        .expect("drainer thread panicked")
+        .expect("drainer io");
+
+    // One more drain closes the final round; afterwards the ledger
+    // must balance exactly: admitted == completed across all rounds.
+    let mut conn = Connection::open(handle.endpoint()).expect("final connection");
+    let resp = conn
+        .round_trip(&encode_command("drain"))
+        .expect("final drain");
+    let total_completed = drained_mid_race + drained_of(&resp);
+    assert_eq!(
+        total_completed, admitted,
+        "admitted tasks must all complete across drained rounds (shed {shed})"
+    );
+
+    // Shutdown races the still-open connections; it must ack, drain
+    // any stragglers, and join every shard worker.
+    let bye = conn
+        .round_trip(&encode_command("shutdown"))
+        .expect("shutdown acks");
+    assert!(bye.is_ok(), "shutdown response: {bye:?}");
+    handle.wait();
+}
+
+#[test]
+#[ignore = "CI stress: run with `cargo test --test concurrency_stress -- --ignored`"]
+fn closed_loop_loadgen_reports_per_shard_completions() {
+    let shards = env_shards();
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            cores: 2,
+            shards,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::new(Endpoint::Unix(scratch("closed")))
+    };
+    let handle = serve(cfg).expect("server binds");
+
+    let report = loadgen::run(
+        handle.endpoint(),
+        &LoadMode::Closed {
+            clients: 4,
+            requests_per_client: 50,
+            seed: 7,
+            interactive_fraction: 0.3,
+            mean_cycles: 2.0e7,
+        },
+    )
+    .expect("closed-loop run succeeds");
+
+    handle.shutdown();
+    handle.wait();
+
+    assert_eq!(report.errors, 0);
+    let drain = report
+        .drain
+        .expect("closed-loop mode drains and reports served totals");
+    assert_eq!(drain.shards as usize, shards);
+    assert_eq!(
+        drain.per_shard_completed.len(),
+        shards,
+        "one count per shard"
+    );
+    assert_eq!(
+        drain.per_shard_completed.iter().sum::<u64>(),
+        drain.completed,
+        "per-shard counts sum to the served total"
+    );
+    assert_eq!(drain.completed, report.admitted, "nothing lost");
+}
