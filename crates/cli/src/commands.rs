@@ -26,10 +26,11 @@ USAGE:
              [--queue-cap N] [--snapshot FILE] [--snapshot-period-s S]
              [--trace-out FILE] [--trace-cap N] [--net threads|reactor]
              [--max-connections N] [--actuator simulated|noop]
+             [--rebalance on|off]
   dvfs-sched loadgen (--socket PATH | --tcp ADDR) --mode replay|poisson|closed
              [--trace FILE] [--rate HZ] [--duration-s S] [--clients N]
              [--requests N] [--interactive-frac F] [--mean-cycles C]
-             [--seed N] [--max-shed F] [--shutdown]
+             [--seed N] [--max-shed F] [--skew F] [--shutdown]
   dvfs-sched loadgen (--socket PATH | --tcp ADDR) --idle [--connections N]
              [--requests N] [--seed N] [--interactive-frac F]
              [--mean-cycles C] [--shutdown]
@@ -47,7 +48,10 @@ reactor (same wire protocol, same replay semantics); `--max-connections`
 caps concurrent connections on either front-end, shedding on accept.
 `loadgen --idle` holds `--connections` mostly-idle sockets while one
 active connection submits `--requests` tasks, reporting submit latency
-percentiles and per-connection RSS growth.";
+percentiles and per-connection RSS growth. `serve --rebalance on`
+enables the Eq. 27 cross-shard rebalancer (tick-driven task migration
+hot->cold); `loadgen --mode closed --skew F` pins fraction F of
+submissions to shard 0 via explicit ids to provoke it.";
 
 fn cost_params(args: &Args, default: CostParams) -> Result<CostParams, String> {
     let re = args.num("re", default.re)?;
@@ -362,6 +366,11 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
     if max_connections == 0 {
         return Err("`--max-connections` must be positive".into());
     }
+    let rebalance = match args.get("rebalance").unwrap_or("off") {
+        "on" => dvfs_serve::RebalanceConfig::on(),
+        "off" => dvfs_serve::RebalanceConfig::default(),
+        other => return Err(format!("unknown rebalance setting `{other}` (on|off)")),
+    };
     let mut cfg = dvfs_serve::ServerConfig::new(endpoint);
     cfg.scheduler = dvfs_serve::SchedulerConfig {
         cores,
@@ -371,6 +380,7 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
         shards,
         trace_capacity,
         actuator,
+        rebalance,
     };
     if let Some(net) = net {
         cfg.net = net;
@@ -470,13 +480,20 @@ fn loadgen_mode(
             interactive_fraction,
             mean_cycles,
         }),
-        "closed" => Ok(dvfs_serve::LoadMode::Closed {
-            clients: args.num("clients", 4)?,
-            requests_per_client: args.num("requests", 100)?,
-            seed,
-            interactive_fraction,
-            mean_cycles,
-        }),
+        "closed" => {
+            let skew: f64 = args.num("skew", 0.0)?;
+            if !(0.0..=1.0).contains(&skew) {
+                return Err("`--skew` must be between 0 and 1".into());
+            }
+            Ok(dvfs_serve::LoadMode::Closed {
+                clients: args.num("clients", 4)?,
+                requests_per_client: args.num("requests", 100)?,
+                seed,
+                interactive_fraction,
+                mean_cycles,
+                skew,
+            })
+        }
         other => Err(format!(
             "unknown loadgen mode `{other}` (replay|poisson|closed)"
         )),
@@ -676,6 +693,32 @@ mod tests {
     #[test]
     fn serve_rejects_zero_shards() {
         assert!(dispatch(&sv(&["serve", "--tcp", "127.0.0.1:0", "--shards", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unknown_rebalance_setting() {
+        assert!(dispatch(&sv(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--rebalance",
+            "sometimes"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn loadgen_rejects_out_of_range_skew() {
+        assert!(dispatch(&sv(&[
+            "loadgen",
+            "--tcp",
+            "127.0.0.1:1",
+            "--mode",
+            "closed",
+            "--skew",
+            "1.5"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -193,6 +193,61 @@ impl LeastMarginalCost {
         }
     }
 
+    /// Sum of every core's Equation 32 queued-cost total — the
+    /// marginal-cost summary a shard publishes so a cross-shard
+    /// rebalancer can compare hot and cold queues without walking them.
+    #[must_use]
+    pub fn queued_cost(&self) -> f64 {
+        self.cores.iter().map(|c| c.ledger.total_cost()).sum()
+    }
+
+    /// Non-interactive tasks resident in the per-core ledgers — the
+    /// stealable population. Excludes interactive FIFOs, suspended
+    /// tasks, and running tasks, none of which migrate.
+    #[must_use]
+    pub fn stealable_tasks(&self) -> usize {
+        self.cores.iter().map(|c| c.ledger.len()).sum()
+    }
+
+    /// Remove up to `max` queued non-interactive tasks from the
+    /// ledgers, longest-cycles first (Algorithm 6 deletes, `O(|P̂| +
+    /// log N)` each), returning their ids in removal order. Longest
+    /// first because Theorem 3 runs long tasks last: they have waited
+    /// the least, so moving them forfeits the least progress toward
+    /// dispatch. Ties break to the smaller task id, then the lower
+    /// core, so the pick is deterministic. Each removal shrinks a
+    /// queue, so the running non-interactive task's backward position
+    /// moves and its rate is re-derived — the exact mirror of the
+    /// insert path. The caller owns the other half of the migration:
+    /// removing the same tasks from its executor.
+    pub fn steal_longest(&mut self, sim: &mut dyn ExecutorView, max: usize) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            let mut pick: Option<(u64, TaskId, CoreId, Handle)> = None;
+            for (j, core) in self.cores.iter().enumerate() {
+                for (&h, &tid) in &core.by_handle {
+                    let cycles = core.ledger.cycles(h);
+                    let better = match pick {
+                        None => true,
+                        Some((c, t, _, _)) => cycles > c || (cycles == c && tid < t),
+                    };
+                    if better {
+                        pick = Some((cycles, tid, j, h));
+                    }
+                }
+            }
+            let Some((_, tid, j, h)) = pick else { break };
+            self.cores[j].ledger.remove(h);
+            self.cores[j].by_handle.remove(&h);
+            if matches!(self.cores[j].running, Some((_, TaskClass::NonInteractive))) {
+                let rate = self.running_rate(sim, j);
+                sim.set_rate(j, rate);
+            }
+            out.push(tid);
+        }
+        out
+    }
+
     fn handle_interactive(&mut self, sim: &mut dyn ExecutorView, task: &Task) {
         let tracing = sim.trace().is_some();
         let mut costs: Vec<f64> = Vec::new();

@@ -224,3 +224,92 @@ fn queue_growth_raises_running_task_rate() {
         "rate must rise under queue pressure: {flood_energy_rate} vs {solo_energy_rate}"
     );
 }
+
+#[test]
+fn steal_longest_picks_longest_first_and_lowers_the_queued_cost() {
+    use dvfs_core::sched::{ExecutorView, Scheduler};
+    use dvfs_model::RateIdx;
+
+    /// Occupancy-only executor (the `dvfs-bench` idiom): enough state
+    /// to drive `on_arrival` and observe the rate re-derivation that
+    /// stealing must trigger.
+    struct StubExec {
+        table: RateTable,
+        running: Vec<Option<TaskId>>,
+        rates: Vec<RateIdx>,
+        max_rate: RateIdx,
+    }
+    impl ExecutorView for StubExec {
+        fn now(&self) -> f64 {
+            0.0
+        }
+        fn num_cores(&self) -> usize {
+            self.running.len()
+        }
+        fn rate_table(&self, _j: usize) -> &RateTable {
+            &self.table
+        }
+        fn max_allowed_rate(&self, _j: usize) -> RateIdx {
+            self.max_rate
+        }
+        fn current_rate(&self, j: usize) -> RateIdx {
+            self.rates[j]
+        }
+        fn running_task(&self, j: usize) -> Option<TaskId> {
+            self.running[j]
+        }
+        fn remaining_cycles(&self, _t: TaskId) -> f64 {
+            0.0
+        }
+        fn set_rate(&mut self, j: usize, rate: RateIdx) {
+            self.rates[j] = rate;
+        }
+        fn dispatch(&mut self, j: usize, task: TaskId, rate: Option<RateIdx>) {
+            if let Some(r) = rate {
+                self.rates[j] = r;
+            }
+            self.running[j] = Some(task);
+        }
+        fn preempt(&mut self, j: usize) -> TaskId {
+            self.running[j].take().expect("preempt of idle core")
+        }
+    }
+
+    let table = RateTable::i7_950_table2();
+    let platform = Platform::homogeneous(1, CoreSpec::new(table.clone())).unwrap();
+    let mut policy = LeastMarginalCost::new(&platform, CostParams::online_paper());
+    let mut exec = StubExec {
+        max_rate: table.max_rate(),
+        table,
+        running: vec![None],
+        rates: vec![0],
+    };
+    // First arrival dispatches; the next three queue in the ledger.
+    for (id, cycles) in [
+        (1u64, 8_000_000_000u64),
+        (2, 2_000_000_000),
+        (3, 4_000_000_000),
+        (4, 6_000_000_000),
+    ] {
+        policy.on_arrival(&mut exec, &Task::non_interactive(id, cycles, 0.0).unwrap());
+    }
+    assert_eq!(exec.running[0], Some(TaskId(1)));
+    assert_eq!(policy.stealable_tasks(), 3, "one running, three queued");
+    let cost_before = policy.queued_cost();
+    assert!(cost_before > 0.0);
+    let rate_before = exec.rates[0];
+
+    let stolen = policy.steal_longest(&mut exec, 2);
+    assert_eq!(stolen, vec![TaskId(4), TaskId(3)], "longest cycles first");
+    assert_eq!(policy.stealable_tasks(), 1);
+    assert!(policy.queued_cost() < cost_before);
+    // The queue shrank, so the running task's backward position fell;
+    // its re-derived dominating rate can only drop or hold.
+    assert!(exec.rates[0] <= rate_before);
+
+    // Asking for more than remains drains the ledger and stops.
+    let rest = policy.steal_longest(&mut exec, 10);
+    assert_eq!(rest, vec![TaskId(2)]);
+    assert_eq!(policy.stealable_tasks(), 0);
+    assert_eq!(policy.queued_cost(), 0.0);
+}

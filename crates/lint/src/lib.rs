@@ -21,6 +21,10 @@
 //! |                    | only over the worker command channel                  |
 //! | `layering`         | forbidden crate edges over *normal* deps, parsed      |
 //! |                    | natively from `Cargo.toml` (no `cargo tree`)          |
+//! | `migration-protocol` | the engine migration primitives (`steal_longest`,   |
+//! |                    | `remove_ready`, `push_migrated`) appear only in the   |
+//! |                    | worker/executor modules; everything else migrates     |
+//! |                    | via `Command::Steal`/`Command::Inject`                |
 //! | `panic`            | no `unwrap`/`expect`/panicking macro/slice-index in   |
 //! |                    | `serve/src/{protocol,server,admission}.rs` or         |
 //! |                    | anywhere in `net/src` (the reactor is wire path)      |
@@ -40,8 +44,8 @@ use std::path::Path;
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `determinism`, `engine-ownership`, `layering`, `panic`,
-    /// or `waiver`.
+    /// Rule id: `determinism`, `engine-ownership`, `layering`,
+    /// `migration-protocol`, `panic`, or `waiver`.
     pub rule: String,
     /// Path relative to the workspace root, `/`-separated.
     pub file: String,
@@ -110,6 +114,14 @@ mod scope {
     /// honest if a lock ever sneaks back in here it must be waived
     /// explicitly in review).
     pub const ENGINE_OWNERSHIP_EXEMPT: &[&str] = &["crates/serve/src/worker.rs"];
+    /// Rule M: cross-shard migration goes through the worker command
+    /// protocol; nothing else in the serve crate may call the engine
+    /// migration primitives directly.
+    pub const MIGRATION_DIRS: &[&str] = &["crates/serve/src"];
+    /// The worker owns engines (the only sound caller) and the
+    /// executor defines the primitives.
+    pub const MIGRATION_EXEMPT: &[&str] =
+        &["crates/serve/src/worker.rs", "crates/serve/src/executor.rs"];
     /// Rule P: the wire path.
     pub const PANIC_FILES: &[&str] = &[
         "crates/serve/src/protocol.rs",
@@ -216,6 +228,9 @@ pub fn run(root: &Path) -> Report {
             scope::ENGINE_OWNERSHIP_EXEMPT,
         ) {
             raw.extend(rules::engine_ownership(&text, rel));
+        }
+        if in_scope(rel, scope::MIGRATION_DIRS, &[], scope::MIGRATION_EXEMPT) {
+            raw.extend(rules::migration_protocol(&text, rel));
         }
         if in_scope(rel, scope::PANIC_DIRS, scope::PANIC_FILES, &[]) {
             raw.extend(rules::panic_freedom(&text, rel));

@@ -286,6 +286,29 @@ pub fn engine_ownership(text: &str, file: &str) -> Vec<Violation> {
     out
 }
 
+/// Rule M: the migration primitives mutate engine internals (ledger
+/// deletes, arrival-path inserts, rate re-derivation) and are only
+/// sound on the thread that owns the engine — the shard worker.
+/// Everywhere else in the serve crate, cross-shard migration must go
+/// through the worker command protocol (`Command::Steal` /
+/// `Command::Inject`), which keeps every engine touch on its owning
+/// thread and the replies deterministic.
+pub fn migration_protocol(text: &str, file: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for helper in ["steal_longest", "remove_ready", "push_migrated"] {
+        for at in ident_occurrences(text, helper) {
+            out.push(violation(
+                text,
+                file,
+                at,
+                "migration-protocol",
+                format!("`{helper}` mutates engine state and is only sound on the owning shard worker thread; route cross-shard migration through `Command::Steal`/`Command::Inject` instead"),
+            ));
+        }
+    }
+    out
+}
+
 /// Rule P: no panicking constructs on the wire path.
 pub fn panic_freedom(text: &str, file: &str) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -383,6 +406,18 @@ mod tests {
         // engines directly.
         let owned = "struct Worker { engine: Engine }\nfn tick(e: &mut Engine) {}\n";
         assert!(engine_ownership(owned, "f.rs").is_empty());
+    }
+
+    #[test]
+    fn migration_protocol_flags_direct_primitive_calls() {
+        let src = "fn bad(&self) { let ids = self.policy.steal_longest(exec, 4); let t = exec.remove_ready(tid); exec.push_migrated(&t); }";
+        let v = migration_protocol(src, "f.rs");
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "migration-protocol"));
+        assert!(v[0].message.contains("`steal_longest`"));
+        // Sending the commands is the sanctioned path — no idents match.
+        let clean = "fn ok(&self) { w.send(Command::Steal { max, reply }); w.send(Command::Inject { tasks, reply }); }";
+        assert!(migration_protocol(clean, "f.rs").is_empty());
     }
 
     #[test]

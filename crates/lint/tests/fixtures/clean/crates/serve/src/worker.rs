@@ -18,6 +18,25 @@ impl Worker {
         self.engine.steps += 1;
     }
 
+    /// The migration primitives are sound here — this thread owns the
+    /// engine — so the `migration-protocol` scope exemption must keep
+    /// these idents finding-free.
+    pub fn steal(&mut self, max: u64) -> u64 {
+        let stolen = self.steal_longest(max);
+        self.push_migrated(stolen);
+        stolen
+    }
+
+    fn steal_longest(&mut self, max: u64) -> u64 {
+        let stolen = self.engine.steps.min(max);
+        self.engine.steps -= stolen;
+        stolen
+    }
+
+    fn push_migrated(&mut self, steps: u64) {
+        self.engine.steps += steps;
+    }
+
     pub fn swap_in_parked(&mut self) {
         if let Ok(mut parked) = self.parked.lock() {
             std::mem::swap(&mut self.engine, &mut parked);

@@ -21,3 +21,13 @@ pub fn transfer(a: &Shard, b: &Shard) -> u64 {
     let gb = b.lock_engine();
     ga.steps + gb.steps
 }
+
+/// Migration-protocol violation: calling the engine migration
+/// primitives from outside the worker module instead of sending
+/// `Command::Steal`/`Command::Inject`.
+pub fn rebalance(hot: &Shard, cold: &Shard) {
+    let stolen = hot.grab().steal_longest(4);
+    for task in stolen {
+        cold.grab().push_migrated(task);
+    }
+}

@@ -41,6 +41,7 @@ fn violating_fixture_trips_every_rule_family() {
             "determinism",
             "engine-ownership",
             "layering",
+            "migration-protocol",
             "panic",
             "waiver"
         ],
@@ -83,6 +84,17 @@ fn violating_fixture_pins_findings_to_files() {
         "engine-ownership",
         "crates/serve/src/service.rs",
         "`lock_engine` is retired"
+    ));
+    // M: migration primitives called outside the worker module.
+    assert!(has(
+        "migration-protocol",
+        "crates/serve/src/service.rs",
+        "`steal_longest`"
+    ));
+    assert!(has(
+        "migration-protocol",
+        "crates/serve/src/service.rs",
+        "`push_migrated`"
     ));
     // A: dvfs-core -> dvfs-sim over a normal dep edge.
     assert!(has(

@@ -776,6 +776,139 @@ mod tests {
         handle.join().unwrap();
     }
 
+    /// Defers every batch containing a "hold" line *without* replying —
+    /// the test owns the injector and sends the replies itself, so it
+    /// can race them against connection death and slot reuse.
+    struct HoldHandler {
+        stop: Arc<AtomicBool>,
+        injector: Arc<Mutex<Option<ReplyInjector>>>,
+        held: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl Handler for HoldHandler {
+        fn on_start(&mut self, injector: ReplyInjector) {
+            *self.injector.lock().unwrap() = Some(injector);
+        }
+
+        fn on_batch(
+            &mut self,
+            token: u64,
+            _pending: usize,
+            lines: &[String],
+            respond: &mut dyn FnMut(&str),
+        ) -> usize {
+            if lines.iter().any(|l| l.starts_with("hold")) {
+                self.held.lock().unwrap().push(token);
+                return 1;
+            }
+            for line in lines {
+                if line == "stop" {
+                    self.stop.store(true, Ordering::SeqCst);
+                }
+                respond(&line.to_uppercase());
+            }
+            0
+        }
+        fn oversized_line(&mut self, len: usize) -> String {
+            format!("oversized:{len}")
+        }
+        fn shed_line(&mut self) -> String {
+            "shed".to_owned()
+        }
+        fn should_stop(&mut self) -> bool {
+            self.stop.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn stale_deferred_reply_is_dropped_when_the_slot_is_reused() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let injector: Arc<Mutex<Option<ReplyInjector>>> = Arc::new(Mutex::new(None));
+        let held: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let handle = {
+            let (stop, injector, held) =
+                (Arc::clone(&stop), Arc::clone(&injector), Arc::clone(&held));
+            std::thread::spawn(move || {
+                let cfg = ReactorConfig {
+                    max_connections: 4,
+                    max_line_bytes: 64,
+                    poll_timeout_ms: 10,
+                };
+                let mut handler = HoldHandler {
+                    stop,
+                    injector,
+                    held,
+                };
+                run(listener.as_raw_fd(), &cfg, &mut handler, &mut NullObserver).unwrap();
+            })
+        };
+        let wait_held = |n: usize| {
+            for _ in 0..500 {
+                if held.lock().unwrap().len() >= n {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            panic!("handler never captured {n} deferred batches");
+        };
+
+        // Connection A parks three deferred batches (separate writes so
+        // each arrives as its own readiness batch), then disappears.
+        let mut a = TcpStream::connect(addr).unwrap();
+        a.write_all(b"hold-1\n").unwrap();
+        wait_held(1);
+        a.write_all(b"hold-2\n").unwrap();
+        wait_held(2);
+        a.write_all(b"hold-3\n").unwrap();
+        wait_held(3);
+        let token_a = held.lock().unwrap()[0];
+        assert!(
+            held.lock().unwrap().iter().all(|&t| t == token_a),
+            "one connection, one token"
+        );
+        drop(a); // FIN; the entry survives on its deferred batches
+        let inject = |lines: Vec<&str>| {
+            let injector = injector.lock().unwrap().clone().unwrap();
+            injector.inject(token_a, lines.into_iter().map(String::from).collect());
+        };
+        // First reply still writes cleanly (the peer's kernel answers
+        // with RST); after the RST lands, the second reply's write
+        // fails hard and the reactor frees the slot — with the third
+        // deferred batch still outstanding: a connection died mid-drain.
+        inject(vec!["one"]);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        inject(vec!["two"]);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+
+        // Connection B reuses A's slot (same index, bumped generation)
+        // and is fully functional.
+        let mut b = TcpStream::connect(addr).unwrap();
+        b.write_all(b"ping\n").unwrap();
+        let mut reader = BufReader::new(b.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "PING");
+
+        // The third batch's reply finally arrives under A's old token.
+        // The generation tag must drop it: B's very next line is its
+        // own response, not A's buffered "stale".
+        inject(vec!["stale"]);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        b.write_all(b"after\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            line.trim(),
+            "AFTER",
+            "stale deferred reply leaked onto the reused slot"
+        );
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
     #[test]
     fn peer_eof_with_a_deferred_batch_still_gets_its_reply() {
         let (addr, stop, handle) = spawn_reactor(4);

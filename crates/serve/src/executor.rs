@@ -460,13 +460,7 @@ impl RealTimeExecutor {
         }
     }
 
-    /// Register one task: the arrival fires at `task.arrival` or now,
-    /// whichever is later.
-    ///
-    /// # Panics
-    /// Panics on a duplicate task id.
-    pub fn push_task(&mut self, task: &Task) {
-        let arrival = task.arrival.max(self.now);
+    fn insert_job(&mut self, task: &Task, record_arrival: f64, event_at: f64) {
         let prev = self.jobs.insert(
             task.id,
             Job {
@@ -477,7 +471,7 @@ impl RealTimeExecutor {
                     id: task.id,
                     class: task.class,
                     cycles: task.cycles,
-                    arrival,
+                    arrival: record_arrival,
                     first_start: None,
                     completion: None,
                     energy_joules: 0.0,
@@ -487,8 +481,48 @@ impl RealTimeExecutor {
         );
         assert!(prev.is_none(), "duplicate task id {}", task.id);
         self.queue
-            .push(arrival, EventKind::Arrival { task: task.id });
+            .push(event_at, EventKind::Arrival { task: task.id });
         self.total += 1;
+    }
+
+    /// Register one task: the arrival fires at `task.arrival` or now,
+    /// whichever is later.
+    ///
+    /// # Panics
+    /// Panics on a duplicate task id.
+    pub fn push_task(&mut self, task: &Task) {
+        let arrival = task.arrival.max(self.now);
+        self.insert_job(task, arrival, arrival);
+    }
+
+    /// Register a task migrated from another shard. The arrival *event*
+    /// fires no earlier than this executor's clock, but the record keeps
+    /// the task's original arrival stamp: the time it spent queued on
+    /// the source shard stays in its turnaround, so migration cannot
+    /// flatter the cost report by resetting the waiting clock.
+    ///
+    /// # Panics
+    /// Panics on a duplicate task id.
+    pub fn push_migrated(&mut self, task: &Task) {
+        self.insert_job(task, task.arrival, task.arrival.max(self.now));
+    }
+
+    /// Remove a task that arrived but was never dispatched (the steal
+    /// half of cross-shard migration), returning the original [`Task`]
+    /// so it can be re-registered elsewhere. Returns `None` — removing
+    /// nothing — for running, completed, unknown, or still-future
+    /// tasks: a future task's pending arrival event would dangle, and a
+    /// running task's progress would be lost. The caller must also drop
+    /// the task from its policy's queue; the executor only forgets the
+    /// job.
+    pub fn remove_ready(&mut self, task: TaskId) -> Option<Task> {
+        match self.jobs.get(&task) {
+            Some(job) if job.phase == JobPhase::Ready => {}
+            _ => return None,
+        }
+        let job = self.jobs.remove(&task).expect("phase checked above");
+        self.total -= 1;
+        Some(job.task)
     }
 
     /// Advance the executor clock to `t`, processing every event due at
@@ -545,6 +579,15 @@ impl RealTimeExecutor {
     #[must_use]
     pub fn pending_tasks(&self) -> usize {
         self.total - self.done
+    }
+
+    /// Tasks registered but neither running nor completed — the
+    /// engine-held backlog the router and rebalancer fold into their
+    /// load scores (admission depth alone is blind to these).
+    #[must_use]
+    pub fn queued_tasks(&self) -> usize {
+        let running = self.cores.iter().filter(|c| c.running.is_some()).count();
+        self.total - self.done - running
     }
 
     /// Drain the records of tasks completed since the previous drain
@@ -828,6 +871,39 @@ mod tests {
         let t = Task::online(7, 1_000, 0.0, None, TaskClass::Interactive).unwrap();
         rt.push_task(&t);
         rt.push_task(&t);
+    }
+
+    #[test]
+    fn steal_and_migrate_preserve_the_original_arrival() {
+        let mut rt = RealTimeExecutor::new(service_platform(1));
+        let mut policy = lmc(1);
+        // Two tasks at t=0 on one core: the first dispatches, the
+        // second stays queued in the ledger.
+        rt.push_task(&Task::online(0, 40_000_000, 0.0, None, TaskClass::NonInteractive).unwrap());
+        rt.push_task(&Task::online(1, 800_000_000, 0.0, None, TaskClass::NonInteractive).unwrap());
+        rt.step_until(&mut policy, 0.0);
+        assert_eq!(rt.pending_tasks(), 2);
+        assert_eq!(rt.queued_tasks(), 1, "one running, one queued");
+        // Running and unknown tasks are not stealable.
+        assert!(rt.remove_ready(TaskId(0)).is_none());
+        assert!(rt.remove_ready(TaskId(9)).is_none());
+        let stolen = rt.remove_ready(TaskId(1)).expect("queued task steals");
+        assert_eq!(stolen.cycles, 800_000_000, "no progress was lost");
+        assert_eq!(rt.pending_tasks(), 1);
+        assert_eq!(rt.queued_tasks(), 0);
+        assert!(rt.remove_ready(TaskId(1)).is_none(), "already stolen");
+        // Inject into a cold executor whose clock is ahead: the arrival
+        // event clamps forward, the record's arrival does not.
+        let mut cold = RealTimeExecutor::new(service_platform(1));
+        let mut cold_policy = lmc(1);
+        cold.step_until(&mut cold_policy, 2.0);
+        cold.push_migrated(&stolen);
+        cold.run_to_completion(&mut cold_policy);
+        let report = cold.round_report();
+        assert_eq!(report.records.len(), 1);
+        let rec = report.records[0];
+        assert_eq!(rec.arrival, 0.0, "original arrival survives migration");
+        assert!(rec.first_start.unwrap() >= 2.0, "started on the cold clock");
     }
 
     #[test]

@@ -69,5 +69,7 @@ pub use server::{
     serve, Endpoint, NetBackend, ServerConfig, ServerHandle, DEFAULT_MAX_CONNECTIONS,
     MAX_LINE_BYTES,
 };
-pub use service::{service_platform, Mode, Scheduler, SchedulerConfig, SubmitItem};
+pub use service::{
+    service_platform, Mode, RebalanceConfig, Scheduler, SchedulerConfig, SubmitItem,
+};
 pub use snapshot::SnapshotWriter;

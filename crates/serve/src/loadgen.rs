@@ -65,6 +65,11 @@ pub enum LoadMode {
         interactive_fraction: f64,
         /// Mean task size in cycles.
         mean_cycles: f64,
+        /// Fraction of submissions pinned to shard 0 via explicit ids
+        /// (`id % shards == 0`), skewing load onto one shard — the
+        /// scenario the cross-shard rebalancer exists for. Zero keeps
+        /// every submission auto-routed.
+        skew: f64,
     },
     /// Hold a herd of mostly-idle connections while one active client
     /// submits — the scenario the epoll front-end exists for, and the
@@ -354,18 +359,38 @@ fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
     -u.ln() * mean
 }
 
-fn random_task_line(
+fn random_task_parts(
     rng: &mut StdRng,
     interactive_fraction: f64,
     mean_cycles: f64,
-) -> (String, TaskClass) {
+) -> (u64, TaskClass) {
     let class = if rng.gen_bool(interactive_fraction.clamp(0.0, 1.0)) {
         TaskClass::Interactive
     } else {
         TaskClass::NonInteractive
     };
     let cycles = exp_draw(rng, mean_cycles).max(1.0) as u64;
+    (cycles, class)
+}
+
+fn random_task_line(
+    rng: &mut StdRng,
+    interactive_fraction: f64,
+    mean_cycles: f64,
+) -> (String, TaskClass) {
+    let (cycles, class) = random_task_parts(rng, interactive_fraction, mean_cycles);
     (encode_submit(None, cycles, class, None), class)
+}
+
+/// Explicit ids for skewed submissions start far above the server's
+/// auto-id range (which counts up from zero), so a pinned id never
+/// collides with an auto assignment within a round.
+const SKEW_ID_BASE: u64 = 250_000_000;
+
+/// The `n`-th skewed submission's explicit id: always `≡ 0 mod shards`,
+/// so the server's hash router pins it to shard 0.
+fn skew_id(n: u64, shards: u64) -> u64 {
+    (SKEW_ID_BASE + n) * shards
 }
 
 fn parse_drain(resp: &Response) -> Option<DrainSummary> {
@@ -441,11 +466,25 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
             seed,
             interactive_fraction,
             mean_cycles,
+            skew,
         } => {
+            // Skewed submissions pin explicit ids onto shard 0, so the
+            // shard count must be known up front; one stats round-trip
+            // discovers it (skipped entirely for unskewed runs).
+            let skew = skew.clamp(0.0, 1.0);
+            let shards = if skew > 0.0 {
+                let mut conn = Connection::open(endpoint)?;
+                let resp = conn.round_trip(&encode_command("stats"))?;
+                resp.field("shards").and_then(value_u64).unwrap_or(1).max(1)
+            } else {
+                1
+            };
+            let skew_seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
             let mut threads = Vec::new();
             for c in 0..*clients {
                 let endpoint = endpoint.clone();
                 let rtt = Arc::clone(&rtt);
+                let skew_seq = Arc::clone(&skew_seq);
                 let (n, frac, mean, seed) = (
                     *requests_per_client,
                     *interactive_fraction,
@@ -457,7 +496,13 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
                     let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37));
                     let mut tally = Tally::default();
                     for _ in 0..n {
-                        let (line, class) = random_task_line(&mut rng, frac, mean);
+                        let (cycles, class) = random_task_parts(&mut rng, frac, mean);
+                        let line = if skew > 0.0 && rng.gen_bool(skew) {
+                            let seq = skew_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            encode_submit(Some(skew_id(seq, shards)), cycles, class, None)
+                        } else {
+                            encode_submit(None, cycles, class, None)
+                        };
                         submit_and_tally(&mut conn, &line, class, &rtt, &mut tally)?;
                     }
                     Ok(tally)
@@ -612,6 +657,19 @@ mod tests {
             text.contains("shed by class: interactive 1 | non_interactive 2 | batch 0"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn skew_ids_pin_to_shard_zero_without_colliding_with_autos() {
+        for shards in [1u64, 2, 4, 7] {
+            let mut seen = std::collections::HashSet::new();
+            for n in 0..100 {
+                let id = skew_id(n, shards);
+                assert_eq!(id % shards, 0, "skewed id must hash to shard 0");
+                assert!(id >= SKEW_ID_BASE, "skewed id inside the auto range");
+                assert!(seen.insert(id), "duplicate skewed id {id}");
+            }
+        }
     }
 
     #[test]

@@ -28,15 +28,37 @@
 //! * **Explicit ids** hash to `id % shards`, so replaying a recorded
 //!   trace is reproducible — the same task always lands on the same
 //!   shard.
-//! * **Auto-assigned ids** route class-aware by load: the shard with
-//!   the most admission headroom for the task's class wins, ties going
-//!   to the shallower queue and then the lower index, so a burst of
-//!   batch work cannot crowd every shard's interactive reserve at once.
+//! * **Auto-assigned ids** route class-aware by load: each shard is
+//!   scored by its *combined* load — admission depth plus the engine
+//!   backlog its worker publishes through a shared atomic — and the
+//!   shard with the most class headroom against that load wins, ties
+//!   going to the lower combined load and then the rotating cursor.
+//!   Admission depth alone is blind to tasks a tick already pulled
+//!   into an engine, which let auto-ids pile onto a shard whose queue
+//!   looked empty while its engine was deep.
 //!
 //! `tick`, `drain`, `stats`, and shutdown fan out across shards in
 //! ascending index order and merge the per-shard results
 //! deterministically. With `shards = 1` the service is exactly the
 //! single-engine scheduler it replaces.
+//!
+//! ## Cross-shard rebalancing
+//!
+//! Routing is one-shot, so shards can still diverge after placement.
+//! When [`RebalanceConfig::enabled`] is set, every `tick` ends with a
+//! rebalance pass: the scheduler reads each worker's published load
+//! gauge (engine backlog + the Eq. 32 queued-cost total of its
+//! resident queue), and when the hottest shard's queued cost exceeds
+//! the coldest's by more than the configured gap it moves a batch —
+//! sized to close about half the cost gap, capped at `max_batch` — of
+//! queued (never dispatched) tasks hot→cold through the worker command
+//! protocol — `Steal` on the hot worker (Algorithm 6 ledger deletes,
+//! longest-cycles first), `Inject` on the cold worker (normal
+//! Algorithm 5 inserts via the arrival path), with `migrate` trace
+//! events and `migrations{,_out,_in}` counters recording the decision.
+//! The pass runs only from the tick path — never a free-running
+//! thread — and the default is off, so replay drains (which never
+//! tick) stay bit-identical to the simulator reference.
 //!
 //! ## Threading model
 //!
@@ -69,7 +91,7 @@ use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass};
 use dvfs_trace::{ClassTag, EventKind as TraceKind, SharedRing, TraceEvent};
 use serde::Value;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -85,6 +107,42 @@ pub enum Mode {
         /// Engine-seconds advanced per wall-second (1.0 = real time).
         speed: f64,
     },
+}
+
+/// Cross-shard rebalancer knobs (`--rebalance on|off`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Master switch. Off by default: a disabled rebalancer touches no
+    /// engine, so replay rounds stay bit-identical to the simulator.
+    pub enabled: bool,
+    /// Relative queued-cost gap the hot shard must hold over the cold
+    /// one before tasks move (`hot > cold * (1 + min_cost_gap)`) — the
+    /// guard that keeps near-balanced shards from thrashing work back
+    /// and forth.
+    pub min_cost_gap: f64,
+    /// Most tasks migrated per rebalance pass.
+    pub max_batch: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            enabled: false,
+            min_cost_gap: 0.25,
+            max_batch: 8,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// The default knobs with the master switch on.
+    #[must_use]
+    pub fn on() -> Self {
+        RebalanceConfig {
+            enabled: true,
+            ..RebalanceConfig::default()
+        }
+    }
 }
 
 /// Scheduler construction parameters.
@@ -112,6 +170,9 @@ pub struct SchedulerConfig {
     /// sysfs-protocol model and is what the bit-identical replay
     /// contract is pinned against.
     pub actuator: ActuatorKind,
+    /// Cross-shard rebalancer, driven from the tick path. Disabled by
+    /// default so drains of an untouched service replay bit-identically.
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -124,6 +185,7 @@ impl Default for SchedulerConfig {
             shards: 1,
             trace_capacity: 0,
             actuator: ActuatorKind::default(),
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -233,6 +295,8 @@ impl Scheduler {
                     admitted: metrics.counter(&shard_metric("admitted", k)),
                     shed: metrics.counter(&shard_metric("shed", k)),
                     completed: metrics.counter(&shard_metric("completed", k)),
+                    backlog: AtomicUsize::new(0),
+                    queued_cost_bits: AtomicU64::new(0),
                 })
             })
             .collect();
@@ -370,11 +434,14 @@ impl Scheduler {
 
     /// Route a submission to a shard. Explicit ids hash (`id % shards`)
     /// so replays are reproducible; auto-assigned ids go to the shard
-    /// with the most admission headroom for their class, ties broken by
-    /// shallower queue and then by a rotating cursor — with every shard
-    /// equally loaded (the steady state of a fast-ticking paced
-    /// service) submissions round-robin instead of all landing on
-    /// shard 0.
+    /// with the most class headroom against its *combined* load —
+    /// admission depth plus the engine backlog the worker publishes —
+    /// ties broken by lower combined load and then by a rotating cursor,
+    /// so fully tied shards (the steady state of a fast-ticking paced
+    /// service) round-robin instead of all landing on shard 0. Scoring
+    /// admission depth alone would go blind the moment a tick drains
+    /// the queues: a shard with hundreds of tasks queued inside its
+    /// engine would keep winning ties and attract every auto id.
     fn route(&self, explicit: bool, id: u64, class: TaskClass) -> usize {
         let n = self.shards.len();
         if n == 1 {
@@ -386,16 +453,16 @@ impl Scheduler {
         let start = self.router_cursor.fetch_add(1, Ordering::Relaxed) % n;
         let mut best = start;
         let mut best_headroom = 0usize;
-        let mut best_depth = usize::MAX;
+        let mut best_load = usize::MAX;
         for i in 0..n {
             let k = (start + i) % n;
             let sh = &self.shards[k];
-            let depth = sh.queue.depth();
-            let headroom = sh.queue.policy().effective_cap(class).saturating_sub(depth);
-            if headroom > best_headroom || (headroom == best_headroom && depth < best_depth) {
+            let load = sh.queue.depth() + sh.backlog();
+            let headroom = sh.queue.policy().effective_cap(class).saturating_sub(load);
+            if headroom > best_headroom || (headroom == best_headroom && load < best_load) {
                 best = k;
                 best_headroom = headroom;
-                best_depth = depth;
+                best_load = load;
             }
         }
         best
@@ -583,11 +650,16 @@ impl Scheduler {
     /// Recompute every depth gauge from the live queues at write time.
     /// Snapshotting the depth earlier (a submit's post-admit depth, or
     /// a constant zero after a drain) goes stale the moment a
-    /// concurrent submit lands.
+    /// concurrent submit lands. The gauge counts waiting work wherever
+    /// it sits — admission depth *plus* the engine backlog the worker
+    /// publishes — so the metric agrees with what the router and the
+    /// rebalancer see; counting the admission queue alone made the
+    /// gauge drop to zero on every tick while hundreds of tasks still
+    /// waited inside the engines.
     fn publish_queue_depth(&self) {
         let mut total = 0i64;
         for sh in &self.shards {
-            let depth = sh.queue.depth() as i64;
+            let depth = (sh.queue.depth() + sh.backlog()) as i64;
             sh.depth_gauge.set(depth);
             total += depth;
         }
@@ -643,8 +715,96 @@ impl Scheduler {
             pending_total += reply.pending as i64;
         }
         self.metrics.gauge("pending_tasks").set(pending_total);
+        self.rebalance_once();
         self.fire_round_hook();
         self.publish_queue_depth();
+    }
+
+    /// One cross-shard rebalance pass, run at the end of every tick
+    /// when [`RebalanceConfig::enabled`] is set. Reads the load gauges
+    /// every worker just republished during its tick, picks the
+    /// hottest and coldest shards by Eq. 32 queued cost, and — when the
+    /// gap clears `min_cost_gap` and the hot shard has queued
+    /// (not-yet-dispatched) work — moves up to `max_batch` tasks
+    /// through the worker command protocol: `Steal` pulls them out of
+    /// the hot engine's ledger, `Inject` re-enqueues them on the cold
+    /// engine's arrival path (recording a `migrate` trace event per
+    /// task). Runs only from the tick path, so a service that never
+    /// ticks — the replay determinism contract — never migrates.
+    fn rebalance_once(&self) {
+        if !self.cfg.rebalance.enabled || self.shards.len() < 2 {
+            return;
+        }
+        let (mut hot, mut cold) = (0usize, 0usize);
+        let (mut hot_cost, mut cold_cost) = (f64::MIN, f64::MAX);
+        for (k, sh) in self.shards.iter().enumerate() {
+            let cost = sh.queued_cost();
+            if cost > hot_cost {
+                hot = k;
+                hot_cost = cost;
+            }
+            if cost < cold_cost {
+                cold = k;
+                cold_cost = cost;
+            }
+        }
+        let backlog = self.shards[hot].backlog();
+        if hot == cold
+            || backlog == 0
+            || hot_cost <= cold_cost * (1.0 + self.cfg.rebalance.min_cost_gap)
+        {
+            return;
+        }
+        // Size the batch to close about half the cost gap, converting
+        // cost to a task count via the hot shard's average queued cost.
+        // Sizing off the backlog alone oscillates: once shards are
+        // near-balanced it keeps swinging `max_batch` of the longest
+        // tasks between them, flipping hot and cold every tick. The
+        // next tick re-evaluates with fresh gauges rather than chasing
+        // the remainder in one pass.
+        let gap_share = (hot_cost - cold_cost) / (2.0 * hot_cost);
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            reason = "gap_share is in (0, 0.5], so the product is a small non-negative count"
+        )]
+        let batch = ((backlog as f64 * gap_share) as usize).clamp(1, self.cfg.rebalance.max_batch);
+        let (tx, rx) = mpsc::channel();
+        self.workers[hot].send(Command::Steal {
+            max: batch,
+            reply: tx,
+        });
+        let tasks = rx
+            .recv()
+            .unwrap_or_else(|_| panic!("shard {hot} worker exited during steal"));
+        if tasks.is_empty() {
+            // Every backlogged job was already running or not yet
+            // arrived; nothing safe to move this pass.
+            return;
+        }
+        let moved = tasks.len() as u64;
+        let (tx, rx) = mpsc::channel();
+        self.workers[cold].send(Command::Inject {
+            from_shard: hot as u32,
+            from_cost: hot_cost,
+            to_cost: cold_cost,
+            tasks,
+            reply: tx,
+        });
+        let injected = rx
+            .recv()
+            .unwrap_or_else(|_| panic!("shard {cold} worker exited during inject"));
+        debug_assert_eq!(
+            injected as u64, moved,
+            "cold shard accepts every stolen task"
+        );
+        self.metrics.counter("migrations").add(moved);
+        self.metrics
+            .counter(&shard_metric("migrations_out", hot))
+            .add(moved);
+        self.metrics
+            .counter(&shard_metric("migrations_in", cold))
+            .add(moved);
     }
 
     /// Run everything buffered (and, in paced mode, everything still in
@@ -889,24 +1049,49 @@ impl Scheduler {
             let reply = rx
                 .recv()
                 .unwrap_or_else(|_| panic!("shard {} worker exited during stats", sh.index));
-            let depth = sh.queue.depth() as u64;
+            // Waiting work wherever it sits: admission depth plus the
+            // engine backlog — the same combined load the router and
+            // the rebalancer score shards by.
+            let depth = (sh.queue.depth() + sh.backlog()) as u64;
             let pending = reply.pending as u64;
             depth_total += depth;
             pending_total += pending;
             now_max = now_max.max(reply.now);
+            let out = self
+                .metrics
+                .counter(&shard_metric("migrations_out", sh.index))
+                .get();
+            let inn = self
+                .metrics
+                .counter(&shard_metric("migrations_in", sh.index))
+                .get();
+            let admitted = sh.admitted.get();
             shard_stats.push(Value::Object(vec![
                 field_u64("shard", sh.index as u64),
                 field_u64("queue_depth", depth),
                 field_u64("pending_tasks", pending),
                 field_f64("sim_now_s", reply.now),
+                field_u64("migrations_out", out),
+                field_u64("migrations_in", inn),
+                field_f64(
+                    "migration_rate",
+                    (out + inn) as f64 / admitted.max(1) as f64,
+                ),
             ]));
         }
+        let migrations = self.metrics.counter("migrations").get();
+        let admitted_total = self.metrics.counter("admitted").get();
         Response::Ok(vec![
             ("metrics".to_string(), self.metrics.snapshot()),
             field_u64("queue_depth", depth_total),
             field_u64("pending_tasks", pending_total),
             field_f64("sim_now_s", now_max),
             field_u64("shards", self.shards.len() as u64),
+            field_u64("migrations", migrations),
+            field_f64(
+                "migration_rate",
+                migrations as f64 / admitted_total.max(1) as f64,
+            ),
             ("shard_stats".to_string(), Value::Array(shard_stats)),
         ])
     }
@@ -1299,6 +1484,161 @@ mod tests {
             s.shard_queue(shard as usize).drain();
         }
         assert_eq!(seen.len(), 4, "ties must round-robin across shards");
+    }
+
+    #[test]
+    fn router_folds_engine_backlog_into_auto_routing() {
+        let s = sharded(2, 64);
+        // Skew shard 0: six explicit even ids, then a tick pulls them
+        // into its engine — two dispatch (cores = 2), four stay queued
+        // inside the engine while the admission queue reads empty.
+        for i in 0..6u64 {
+            assert!(s
+                .submit(
+                    Some(2 * i),
+                    400_000_000,
+                    TaskClass::NonInteractive,
+                    Some(0.0)
+                )
+                .is_ok());
+        }
+        s.tick();
+        assert_eq!(s.queue_depth(), 0, "admission queues drained by the tick");
+        // The depth gauges must keep counting the engine-held tasks.
+        assert_eq!(s.metrics().gauge("queue_depth").get(), 4);
+        assert_eq!(
+            s.metrics().gauge(&shard_metric("queue_depth", 0)).get(),
+            4,
+            "shard gauge must include the engine backlog"
+        );
+        // Pre-fix the router scored both shards as equally empty and
+        // kept feeding the deep shard 0; the published backlog must now
+        // push every auto id to shard 1 until the loads equalize.
+        for _ in 0..4 {
+            let r = s.submit(None, 1_000, TaskClass::NonInteractive, Some(0.0));
+            assert!(r.is_ok());
+            assert_eq!(
+                value_u64(r.field("shard").unwrap()),
+                Some(1),
+                "auto id routed onto the backlogged shard"
+            );
+        }
+    }
+
+    #[test]
+    fn a_submit_many_batch_routes_each_auto_id_against_fresh_depths() {
+        let s = sharded(4, 64);
+        let items = vec![
+            SubmitItem {
+                id: None,
+                cycles: 1_000,
+                class: TaskClass::NonInteractive,
+                arrival: Some(0.0),
+            };
+            4
+        ];
+        let out = s.submit_many(&items);
+        let mut seen = HashSet::new();
+        for r in &out {
+            assert!(r.is_ok());
+            seen.insert(value_u64(r.field("shard").unwrap()).unwrap());
+        }
+        assert_eq!(
+            seen.len(),
+            4,
+            "a batch of auto ids must route per item against fresh depths, not pile onto one shard"
+        );
+    }
+
+    #[test]
+    fn rebalancer_moves_queued_tasks_hot_to_cold_and_counts_migrations() {
+        let s = Scheduler::new(
+            SchedulerConfig {
+                cores: 2,
+                queue_capacity: 64,
+                shards: 2,
+                trace_capacity: 256,
+                rebalance: RebalanceConfig::on(),
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        );
+        // All-even explicit ids skew every task onto shard 0.
+        for i in 0..8u64 {
+            assert!(s
+                .submit(
+                    Some(2 * i),
+                    400_000_000,
+                    TaskClass::NonInteractive,
+                    Some(0.0)
+                )
+                .is_ok());
+        }
+        // The tick pulls the skew into shard 0's engine (2 running, 6
+        // queued) and ends with a rebalance pass: shard 1's queued cost
+        // is zero, so the gap clears and half the backlog moves.
+        s.tick();
+        let moved = s.metrics().counter("migrations").get();
+        assert_eq!(moved, 3, "half the backlog of 6, capped by max_batch");
+        assert_eq!(
+            s.metrics()
+                .counter(&shard_metric("migrations_out", 0))
+                .get(),
+            moved
+        );
+        assert_eq!(
+            s.metrics().counter(&shard_metric("migrations_in", 1)).get(),
+            moved
+        );
+        let stats = s.stats();
+        let rate = crate::protocol::value_f64(stats.field("migration_rate").unwrap()).unwrap();
+        assert!(rate > 0.0, "stats must report a positive migration_rate");
+        // Every task still completes exactly once, wherever it ran.
+        let served = s.drain_run();
+        assert!(served.is_ok());
+        assert_eq!(value_u64(served.field("completed").unwrap()), Some(8));
+        // The receiving shard recorded one migrate trace event per task.
+        let migrates = s
+            .trace_lines()
+            .iter()
+            .filter(|l| l.contains("\"ev\":\"migrate\""))
+            .count();
+        assert_eq!(migrates as u64, moved);
+    }
+
+    #[test]
+    fn rebalancer_is_a_no_op_on_one_shard_and_when_disabled() {
+        // One shard: nothing to balance against, even when enabled.
+        let single = Scheduler::new(
+            SchedulerConfig {
+                cores: 2,
+                queue_capacity: 64,
+                rebalance: RebalanceConfig::on(),
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        );
+        assert!(single
+            .submit(Some(0), 400_000_000, TaskClass::NonInteractive, Some(0.0))
+            .is_ok());
+        single.tick();
+        assert_eq!(single.metrics().counter("migrations").get(), 0);
+
+        // Disabled (the default): a skewed sharded service never
+        // migrates — the contract the conformance suite leans on.
+        let s = sharded(2, 64);
+        for i in 0..8u64 {
+            assert!(s
+                .submit(
+                    Some(2 * i),
+                    400_000_000,
+                    TaskClass::NonInteractive,
+                    Some(0.0)
+                )
+                .is_ok());
+        }
+        s.tick();
+        assert_eq!(s.metrics().counter("migrations").get(), 0);
     }
 
     #[test]

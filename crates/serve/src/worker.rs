@@ -43,6 +43,7 @@ use dvfs_core::sched::{ExecutorView, Scheduler as PolicyHooks};
 use dvfs_core::LeastMarginalCost;
 use dvfs_model::{CostParams, Task, TaskRecord};
 use dvfs_trace::SharedRing;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -129,6 +130,30 @@ pub(crate) struct ShardShared {
     pub admitted: Arc<Counter>,
     pub shed: Arc<Counter>,
     pub completed: Arc<Counter>,
+    /// Engine-held tasks that are queued but not yet dispatched,
+    /// published by the worker after every engine mutation. The router
+    /// folds this into its load score (admission depth alone is blind
+    /// to work a tick already pulled). Advisory only: the value steers
+    /// placement, never the replayed schedule, so a relaxed atomic
+    /// cannot perturb the determinism contract.
+    pub backlog: AtomicUsize,
+    /// `f64::to_bits` of the shard policy's summed Eq. 32 queued-cost
+    /// total — the marginal-cost half of the load gauge, read by the
+    /// rebalancer to find the hot/cold gap. Same advisory-only status
+    /// as `backlog`.
+    pub queued_cost_bits: AtomicU64,
+}
+
+impl ShardShared {
+    /// The published engine queued-cost total.
+    pub fn queued_cost(&self) -> f64 {
+        f64::from_bits(self.queued_cost_bits.load(Ordering::Relaxed))
+    }
+
+    /// The published engine backlog (queued, not-yet-dispatched tasks).
+    pub fn backlog(&self) -> usize {
+        self.backlog.load(Ordering::Relaxed)
+    }
 }
 
 /// Reply to [`Command::Tick`].
@@ -148,9 +173,34 @@ pub(crate) struct StatsReply {
 /// per-call one-shot channels, so concurrent callers (ticker thread,
 /// wire drains, stats) can never receive each other's answers.
 pub(crate) enum Command {
-    Tick { reply: Sender<TickReply> },
-    Drain { reply: Sender<RoundReport> },
-    Stats { reply: Sender<StatsReply> },
+    Tick {
+        reply: Sender<TickReply>,
+    },
+    Drain {
+        reply: Sender<RoundReport>,
+    },
+    Stats {
+        reply: Sender<StatsReply>,
+    },
+    /// Remove up to `max` queued (never dispatched) non-interactive
+    /// tasks from the engine, longest first, and hand them back for
+    /// re-enqueue elsewhere — the hot half of a migration.
+    Steal {
+        max: usize,
+        reply: Sender<Vec<Task>>,
+    },
+    /// Re-register stolen tasks on this shard's engine — the cold half
+    /// of a migration. Carries the decision provenance (`from_shard`
+    /// and both queued-cost totals at decision time) so the receiving
+    /// ring can record `migrate` trace events; replies with the count
+    /// actually registered.
+    Inject {
+        from_shard: u32,
+        from_cost: f64,
+        to_cost: f64,
+        tasks: Vec<Task>,
+        reply: Sender<usize>,
+    },
     StartClock,
     Shutdown,
 }
@@ -248,6 +298,20 @@ impl Worker {
                         now: self.engine.exec.exec_now(),
                     });
                 }
+                Ok(Command::Steal { max, reply }) => {
+                    let r = self.steal(max);
+                    let _ = reply.send(r);
+                }
+                Ok(Command::Inject {
+                    from_shard,
+                    from_cost,
+                    to_cost,
+                    tasks,
+                    reply,
+                }) => {
+                    let r = self.inject(from_shard, from_cost, to_cost, &tasks);
+                    let _ = reply.send(r);
+                }
                 Ok(Command::StartClock) => {
                     if self.anchor.is_none() {
                         self.anchor = Some(crate::clock::wall_now());
@@ -299,6 +363,66 @@ impl Worker {
         }
     }
 
+    /// Publish the engine's load gauge: queued (not-yet-dispatched)
+    /// backlog and the policy's Eq. 32 queued-cost total. Runs after
+    /// every engine mutation so the router and rebalancer always see
+    /// the engine's latest resting state.
+    fn publish_load(&self) {
+        self.shared
+            .backlog
+            .store(self.engine.exec.queued_tasks(), Ordering::Relaxed);
+        self.shared.queued_cost_bits.store(
+            self.engine.policy.queued_cost().to_bits(),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The hot half of a migration: remove up to `max` queued
+    /// non-interactive tasks, longest-cycles first, from both the
+    /// policy's ledgers and the executor, returning the original tasks.
+    fn steal(&mut self, max: usize) -> Vec<Task> {
+        let ids = {
+            let Engine { exec, policy } = &mut self.engine;
+            policy.steal_longest(exec, max)
+        };
+        let tasks: Vec<Task> = ids
+            .iter()
+            .filter_map(|&tid| self.engine.exec.remove_ready(tid))
+            .collect();
+        debug_assert_eq!(
+            tasks.len(),
+            ids.len(),
+            "every ledger-resident task is Ready in the executor"
+        );
+        self.publish_load();
+        tasks
+    }
+
+    /// The cold half of a migration: record a `migrate` trace event per
+    /// task (receiving ring, engine time) and re-register the tasks.
+    /// The arrival events fire on the next tick or drain, which routes
+    /// them through the normal `on_arrival` insert path (Algorithm 5).
+    fn inject(&mut self, from_shard: u32, from_cost: f64, to_cost: f64, tasks: &[Task]) -> usize {
+        let now = self.engine.exec.exec_now();
+        for task in tasks {
+            if let Some(ring) = self.shared.ring.as_ref() {
+                ring.record(
+                    now,
+                    dvfs_trace::EventKind::Migrate {
+                        task: task.id.0,
+                        from_shard,
+                        to_shard: self.shared.index as u32,
+                        from_cost,
+                        to_cost,
+                    },
+                );
+            }
+            self.engine.exec.push_migrated(task);
+        }
+        self.publish_load();
+        tasks.len()
+    }
+
     /// One paced step: pull admitted work, advance the executor clock
     /// to the wall-mapped target, stream completions.
     fn tick(&mut self) -> TickReply {
@@ -313,6 +437,7 @@ impl Worker {
             exec.step_until(&mut timed, target);
         }
         self.finish_step();
+        self.publish_load();
         let pending = self.engine.exec.pending_tasks();
         self.shared.pending_gauge.set(pending as i64);
         TickReply { pending }
@@ -343,6 +468,7 @@ impl Worker {
         if self.anchor.is_some() {
             self.anchor = Some(crate::clock::wall_now());
         }
+        self.publish_load();
         self.shared.pending_gauge.set(0);
         report
     }

@@ -89,6 +89,18 @@ pub fn jsonl_line(ev: &TraceEvent) -> String {
         EventKind::RateChange { core, from, to } => {
             let _ = write!(s, ",\"core\":{core},\"from\":{from},\"to\":{to}");
         }
+        EventKind::Migrate {
+            task,
+            from_shard,
+            to_shard,
+            from_cost,
+            to_cost,
+        } => {
+            let _ = write!(
+                s,
+                ",\"task\":{task},\"from_shard\":{from_shard},\"to_shard\":{to_shard},\"from_cost\":{from_cost},\"to_cost\":{to_cost}"
+            );
+        }
         EventKind::Complete {
             task,
             core,
@@ -279,6 +291,13 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
             from: f.u32("from")?,
             to: f.u32("to")?,
         },
+        "migrate" => EventKind::Migrate {
+            task: f.u64("task")?,
+            from_shard: f.u32("from_shard")?,
+            to_shard: f.u32("to_shard")?,
+            from_cost: f.num("from_cost")?,
+            to_cost: f.num("to_cost")?,
+        },
         "complete" => EventKind::Complete {
             task: f.u64("task")?,
             core: f.u32("core")?,
@@ -378,6 +397,18 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     "energy (J)",
                     "joules",
                     &total.to_string(),
+                ));
+            }
+            EventKind::Migrate {
+                task,
+                from_shard,
+                to_shard,
+                ..
+            } => {
+                out.push(format!(
+                    "{{\"name\":{},\"ph\":\"i\",\"s\":\"p\",\"pid\":{},\"ts\":{ts},\"args\":{{\"from_shard\":{from_shard},\"to_shard\":{to_shard}}}}}",
+                    json_str(&format!("migrate task {task}")),
+                    ev.shard
                 ));
             }
             EventKind::RateChange { core, from, to } => {
@@ -505,9 +536,21 @@ mod tests {
                 },
             },
             TraceEvent {
-                time: 0.05,
+                time: 0.03,
                 shard: 0,
                 seq: 4,
+                kind: EventKind::Migrate {
+                    task: 6,
+                    from_shard: 1,
+                    to_shard: 0,
+                    from_cost: 0.1 + 0.7, // deliberately non-representable
+                    to_cost: 0.012_5,
+                },
+            },
+            TraceEvent {
+                time: 0.05,
+                shard: 0,
+                seq: 5,
                 kind: EventKind::Complete {
                     task: 4,
                     core: 1,
@@ -544,6 +587,7 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""), "duration span: {json}");
         assert!(json.contains("\"ph\":\"i\""), "rate instant: {json}");
         assert!(json.contains("\"name\":\"task 4\""));
+        assert!(json.contains("\"name\":\"migrate task 6\""), "{json}");
         assert!(json.contains("\"name\":\"shard 0\""));
         assert!(json.contains("\"name\":\"core 1\""));
         // Dispatch at 0.015 s -> 15000 µs; complete at 0.05 s.

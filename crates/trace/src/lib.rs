@@ -158,6 +158,22 @@ pub enum EventKind {
         /// New rate index.
         to: u32,
     },
+    /// The rebalancer moved a queued (not-yet-dispatched) task between
+    /// shards; recorded by the *receiving* shard's ring at its engine
+    /// time, with the marginal-cost gap that justified the move.
+    Migrate {
+        /// Task id.
+        task: u64,
+        /// Shard the task was stolen from (the hot shard).
+        from_shard: u32,
+        /// Shard the task was re-enqueued on (this ring's shard).
+        to_shard: u32,
+        /// Hot shard's Eq. 32 queued-cost total when the rebalancer
+        /// decided to move work.
+        from_cost: f64,
+        /// Cold shard's queued-cost total at the same decision point.
+        to_cost: f64,
+    },
     /// A task finished; carries the integrator's measured totals.
     Complete {
         /// Task id.
@@ -183,6 +199,7 @@ impl EventKind {
             EventKind::Dispatch { .. } => "dispatch",
             EventKind::Preempt { .. } => "preempt",
             EventKind::RateChange { .. } => "rate_change",
+            EventKind::Migrate { .. } => "migrate",
             EventKind::Complete { .. } => "complete",
         }
     }
@@ -256,6 +273,17 @@ mod tests {
             }
             .name(),
             "submit"
+        );
+        assert_eq!(
+            EventKind::Migrate {
+                task: 7,
+                from_shard: 2,
+                to_shard: 0,
+                from_cost: 1.5,
+                to_cost: 0.25,
+            }
+            .name(),
+            "migrate"
         );
     }
 

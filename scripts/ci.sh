@@ -81,13 +81,22 @@ run cargo test -q -p dvfs-bench --test net_10k -- --ignored
 # is informational. Numbers land in BENCH_parallel.json.
 run cargo test -q -p dvfs-bench --test parallel_drain -- --ignored
 
+# Rebalancer smoke: a workload pinned to one shard of four, replayed
+# with the cross-shard rebalancer off and on. Deterministic (replay
+# never reads the wall clock): migrations must happen and the merged
+# Eq. 27 cost must beat the skewed run, within a loose factor of the
+# committed improvement in BENCH_rebalance.json (then refreshed).
+run cargo test -q -p dvfs-bench --test rebalance -- --ignored
+
 # Invariant gate: dvfs-lint enforces the contracts no compiler checks —
 # determinism (no hash-order iteration / raw wall-clock reads outside
 # the serve clock seam), engine ownership (no Mutex<Engine> or retired
 # engine-lock helpers outside the worker module — engines are owned by
 # their shard worker threads), layering (dvfs-core/dvfs-serve must not reach
 # dvfs-sim over normal deps; parsed natively from Cargo.toml, replacing
-# the old `cargo tree | grep` function), and wire-path panic-freedom.
+# the old `cargo tree | grep` function), migration protocol (engine
+# steal/inject primitives only via worker commands), and wire-path
+# panic-freedom.
 # See DESIGN.md "Enforced invariants" for the rule list and waiver
 # syntax.
 run cargo test -p dvfs-lint -q

@@ -181,6 +181,7 @@ fn closed_loop_loadgen_reports_per_shard_completions() {
             seed: 7,
             interactive_fraction: 0.3,
             mean_cycles: 2.0e7,
+            skew: 0.0,
         },
     )
     .expect("closed-loop run succeeds");
