@@ -1,0 +1,854 @@
+//! Pass-2 concurrency rules over a workspace-wide symbol table.
+//!
+//! The per-file rules in [`crate::rules`] are local by construction: a
+//! forbidden token either appears in a file or it does not. The
+//! concurrency contracts the threaded service rests on are not local —
+//! whether an `Ordering::Relaxed` access is sound depends on where the
+//! field's other readers and writers live, and whether a `Command`
+//! reply sender can hang a caller depends on every arm of the worker
+//! loop. So the lint runs in two passes: pass 1 ([`SymbolTable::build`])
+//! walks every cleaned, test-masked file once (see [`FileScan`]) and
+//! records atomic field declarations and accesses, unbounded-channel
+//! construction sites, `unsafe` blocks, reply-bearing `Command`
+//! variants with their match arms, and blocking calls inside the
+//! reactor event-loop scope; pass 2 (the rule functions below) judges
+//! the table against the blessed-site lists in the crate's scope
+//! tables.
+//!
+//! | rule id              | contract                                   |
+//! |----------------------|--------------------------------------------|
+//! | `atomics-discipline` | `Ordering::Relaxed` only on blessed        |
+//! |                      | advisory sites (load gauges, metrics,      |
+//! |                      | router cursor); cross-module handshakes    |
+//! |                      | need Acquire/Release or SeqCst             |
+//! | `channel-protocol`   | every reply-bearing `Command` variant      |
+//! |                      | sends on every match arm; unbounded        |
+//! |                      | `channel()` only in blessed constructors   |
+//! | `reactor-nonblocking`| no `.recv()`/`.lock()`/`.join()`/sleeps in |
+//! |                      | the reactor event-loop module              |
+//! | `unsafe-audit`       | `unsafe` confined to the syscall           |
+//! |                      | allowlist, each block `// SAFETY:`-ed      |
+
+use crate::rules::{
+    ident_occurrences, is_ident_byte, method_call_occurrences, next_non_ws, path_occurrences,
+    prev_non_ws,
+};
+use crate::scan::line_of;
+use crate::{scope, Violation};
+use std::collections::BTreeSet;
+
+/// One scanned file, the unit of pass 1.
+pub struct FileScan {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// The original source, comments intact. Only the `// SAFETY:`
+    /// audit reads it — every other matcher runs over `text`, where
+    /// comments are blanked.
+    pub source: String,
+    /// Cleaned, test-masked text (see [`crate::scan`]).
+    pub text: String,
+}
+
+/// An atomic field or static declaration (`name: AtomicUsize`).
+pub struct AtomicField {
+    pub file: String,
+    pub line: usize,
+    pub name: String,
+}
+
+/// One atomic access: a `.load(…)`/`.store(…)`/RMW call whose argument
+/// list names a memory ordering.
+pub struct AtomicAccess {
+    pub file: String,
+    pub line: usize,
+    /// The receiver's trailing identifier (`self.shared.backlog.load`
+    /// → `backlog`), or `?` when the receiver is not a simple path.
+    pub field: String,
+    pub method: String,
+    /// True when any ordering argument is `Ordering::Relaxed`.
+    pub relaxed: bool,
+}
+
+/// An unbounded `channel()` construction outside a blessed function.
+pub struct ChannelSite {
+    pub file: String,
+    pub line: usize,
+}
+
+/// One `unsafe` token in production code.
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: usize,
+    /// True when a `// SAFETY:` comment sits on the same line or
+    /// within the three lines above it (checked against the original,
+    /// uncleaned source).
+    pub has_safety: bool,
+}
+
+/// A `Command` enum variant carrying a one-shot `reply` sender, plus
+/// every worker-loop match arm that destructures it.
+pub struct ReplyVariant {
+    pub file: String,
+    /// Line of the variant declaration.
+    pub line: usize,
+    pub name: String,
+    /// `(line, sends_reply)` per match arm found in the declaring
+    /// module.
+    pub arms: Vec<(usize, bool)>,
+}
+
+/// A blocking call inside the reactor event-loop scope.
+pub struct BlockingSite {
+    pub file: String,
+    pub line: usize,
+    pub what: String,
+}
+
+/// Everything pass 1 extracts from the workspace.
+#[derive(Default)]
+pub struct SymbolTable {
+    pub fields: Vec<AtomicField>,
+    pub accesses: Vec<AtomicAccess>,
+    pub channels: Vec<ChannelSite>,
+    pub unsafes: Vec<UnsafeSite>,
+    pub commands: Vec<ReplyVariant>,
+    pub blocking: Vec<BlockingSite>,
+}
+
+impl SymbolTable {
+    /// Pass 1: fold every file's declarations and access sites into one
+    /// workspace table.
+    #[must_use]
+    pub fn build(scans: &[FileScan]) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        for f in scans {
+            collect_atomics(f, &mut t);
+            collect_channels(f, &mut t);
+            collect_unsafes(f, &mut t);
+            collect_commands(f, &mut t);
+            collect_blocking(f, &mut t);
+        }
+        t
+    }
+}
+
+/// Index of the `close` byte matching the `open` byte at `open`
+/// (depth-counted), or `bytes.len()` when unbalanced.
+fn matching(bytes: &[u8], open: usize, ob: u8, cb: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        if bytes[i] == ob {
+            depth += 1;
+        } else if bytes[i] == cb {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// The identifier ending at the last non-whitespace byte before `at`,
+/// if that byte is an identifier byte.
+fn ident_ending_before(text: &str, at: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let (q, qb) = prev_non_ws(bytes, at)?;
+    if !is_ident_byte(qb) {
+        return None;
+    }
+    let mut s = q;
+    while s > 0 && is_ident_byte(bytes[s - 1]) {
+        s -= 1;
+    }
+    Some(text[s..=q].to_string())
+}
+
+/// The receiver's trailing identifier for a method call at `method_at`
+/// (`self.shared.backlog.load` → `backlog`).
+fn receiver_ident(text: &str, method_at: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let (dot, db) = prev_non_ws(bytes, method_at)?;
+    if db != b'.' {
+        return None;
+    }
+    ident_ending_before(text, dot)
+}
+
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn collect_atomics(f: &FileScan, t: &mut SymbolTable) {
+    let text = &f.text;
+    let bytes = text.as_bytes();
+    for ty in ATOMIC_TYPES {
+        for at in ident_occurrences(text, ty) {
+            // A declaration site is `name: AtomicFoo` (struct field or
+            // static). `::` paths (imports) and generic positions like
+            // `Arc<AtomicFoo>` are not declarations of a named field.
+            let Some((c, b)) = prev_non_ws(bytes, at) else {
+                continue;
+            };
+            if b != b':' || (c > 0 && bytes[c - 1] == b':') {
+                continue;
+            }
+            let Some(name) = ident_ending_before(text, c) else {
+                continue;
+            };
+            t.fields.push(AtomicField {
+                file: f.rel.clone(),
+                line: line_of(text, at),
+                name,
+            });
+        }
+    }
+    for m in ATOMIC_METHODS {
+        for at in method_call_occurrences(text, m) {
+            let Some((open, _)) = next_non_ws(bytes, at + m.len()) else {
+                continue;
+            };
+            let close = matching(bytes, open, b'(', b')');
+            let args = &text[open + 1..close.min(text.len())];
+            // Only calls that name a memory ordering are atomic ops —
+            // this is what keeps `Vec::swap`-style homonyms out.
+            let named: Vec<&str> = ORDERINGS
+                .iter()
+                .copied()
+                .filter(|o| !path_occurrences(args, "Ordering", o).is_empty())
+                .collect();
+            if named.is_empty() {
+                continue;
+            }
+            t.accesses.push(AtomicAccess {
+                file: f.rel.clone(),
+                line: line_of(text, at),
+                field: receiver_ident(text, at).unwrap_or_else(|| "?".to_string()),
+                method: (*m).to_string(),
+                relaxed: named.contains(&"Relaxed"),
+            });
+        }
+    }
+}
+
+/// Byte spans of the bodies of functions whose names appear on the
+/// blessed-constructor list (`fn reply_channel … { … }`).
+fn blessed_fn_spans(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut spans = Vec::new();
+    for name in scope::CHANNEL_BLESSED_FNS {
+        for at in ident_occurrences(text, name) {
+            if ident_ending_before(text, at).as_deref() != Some("fn") {
+                continue;
+            }
+            let Some(rel_open) = text[at..].find('{') else {
+                continue;
+            };
+            let open = at + rel_open;
+            spans.push((open, matching(bytes, open, b'{', b'}')));
+        }
+    }
+    spans
+}
+
+fn collect_channels(f: &FileScan, t: &mut SymbolTable) {
+    let text = &f.text;
+    let bytes = text.as_bytes();
+    let blessed = blessed_fn_spans(text);
+    for at in ident_occurrences(text, "channel") {
+        // Construction only: `channel()` / `mpsc::channel()`. The
+        // ident-boundary check already excludes `sync_channel`.
+        if next_non_ws(bytes, at + "channel".len()).map(|(_, b)| b) != Some(b'(') {
+            continue;
+        }
+        if blessed.iter().any(|&(o, c)| at > o && at < c) {
+            continue;
+        }
+        t.channels.push(ChannelSite {
+            file: f.rel.clone(),
+            line: line_of(text, at),
+        });
+    }
+}
+
+fn collect_unsafes(f: &FileScan, t: &mut SymbolTable) {
+    let occ = ident_occurrences(&f.text, "unsafe");
+    if occ.is_empty() {
+        return;
+    }
+    let src_lines: Vec<&str> = f.source.lines().collect();
+    for at in occ {
+        let line = line_of(&f.text, at);
+        // Window: the `unsafe` line itself and up to three lines above
+        // (1-based line L → 0-based indices [L-4, L-1]).
+        let end = line.min(src_lines.len());
+        let start = line.saturating_sub(4);
+        let has_safety = src_lines
+            .get(start..end)
+            .is_some_and(|w| w.iter().any(|l| l.contains("SAFETY:")));
+        t.unsafes.push(UnsafeSite {
+            file: f.rel.clone(),
+            line,
+            has_safety,
+        });
+    }
+}
+
+/// Collect the reply-bearing variants of a `Command` enum body
+/// (`open..close` brace span): any variant with a `reply:` field.
+fn parse_variants(
+    f: &FileScan,
+    text: &str,
+    open: usize,
+    close: usize,
+    out: &mut Vec<ReplyVariant>,
+) {
+    let bytes = text.as_bytes();
+    let mut i = open + 1;
+    while i < close {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() || b == b',' {
+            i += 1;
+            continue;
+        }
+        if b == b'#' {
+            // Attribute: skip its bracketed group.
+            if let Some((bo, bb)) = next_non_ws(bytes, i + 1) {
+                if bb == b'[' {
+                    i = matching(bytes, bo, b'[', b']') + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if !is_ident_byte(b) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < close && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let name = &text[start..i];
+        let Some((p, pb)) = next_non_ws(bytes, i) else {
+            break;
+        };
+        match pb {
+            b'{' => {
+                let fclose = matching(bytes, p, b'{', b'}');
+                let fields = &text[p + 1..fclose.min(close)];
+                let fb = fields.as_bytes();
+                let has_reply = ident_occurrences(fields, "reply")
+                    .into_iter()
+                    .any(|ra| next_non_ws(fb, ra + "reply".len()).is_some_and(|(_, b)| b == b':'));
+                if has_reply {
+                    out.push(ReplyVariant {
+                        file: f.rel.clone(),
+                        line: line_of(text, start),
+                        name: name.to_string(),
+                        arms: Vec::new(),
+                    });
+                }
+                i = fclose + 1;
+            }
+            b'(' => i = matching(bytes, p, b'(', b')') + 1,
+            _ => i = p + 1,
+        }
+    }
+}
+
+/// If the `Command::Variant` path at `at` is a match-arm pattern,
+/// return `(line, arm_body_sends_a_reply)`. Construction sites (no
+/// trailing `=>`) return `None`.
+fn arm_at(text: &str, at: usize, variant: &str) -> Option<(usize, bool)> {
+    let bytes = text.as_bytes();
+    let (c1, _) = next_non_ws(bytes, at + "Command".len())?;
+    let (vstart, _) = next_non_ws(bytes, c1 + 2)?;
+    let (p, pb) = next_non_ws(bytes, vstart + variant.len())?;
+    if pb != b'{' {
+        return None;
+    }
+    let mut i = matching(bytes, p, b'{', b'}') + 1;
+    // Unwrap enclosing pattern wrappers like `Ok( … )`.
+    while let Some((q, b')')) = next_non_ws(bytes, i) {
+        i = q + 1;
+    }
+    let (a, ab) = next_non_ws(bytes, i)?;
+    if ab != b'=' || bytes.get(a + 1) != Some(&b'>') {
+        return None;
+    }
+    let (bstart, bb) = next_non_ws(bytes, a + 2)?;
+    let bend = if bb == b'{' {
+        matching(bytes, bstart, b'{', b'}')
+    } else {
+        // Expression arm: runs to the first top-level `,` or the `}`
+        // closing the match.
+        let mut depth = 0i32;
+        let mut j = bstart;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'}' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b',' if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    };
+    let body = &text[bstart..bend.min(text.len())];
+    let sends = !method_call_occurrences(body, "send").is_empty();
+    Some((line_of(text, at), sends))
+}
+
+fn collect_commands(f: &FileScan, t: &mut SymbolTable) {
+    let text = &f.text;
+    let bytes = text.as_bytes();
+    let mut enum_spans: Vec<(usize, usize)> = Vec::new();
+    let mut variants: Vec<ReplyVariant> = Vec::new();
+    for at in ident_occurrences(text, "Command") {
+        if ident_ending_before(text, at).as_deref() != Some("enum") {
+            continue;
+        }
+        let Some((open, ob)) = next_non_ws(bytes, at + "Command".len()) else {
+            continue;
+        };
+        if ob != b'{' {
+            continue;
+        }
+        let close = matching(bytes, open, b'{', b'}');
+        enum_spans.push((open, close));
+        parse_variants(f, text, open, close, &mut variants);
+    }
+    if variants.is_empty() {
+        return;
+    }
+    // Reply-completeness is checked where the protocol lives: match
+    // arms in the module declaring the enum. Construction sites in
+    // other modules never destructure, so they are naturally excluded.
+    for v in &mut variants {
+        for at in path_occurrences(text, "Command", &v.name) {
+            if enum_spans.iter().any(|&(o, c)| at > o && at < c) {
+                continue;
+            }
+            if let Some(arm) = arm_at(text, at, &v.name) {
+                v.arms.push(arm);
+            }
+        }
+    }
+    t.commands.append(&mut variants);
+}
+
+const BLOCKING_METHODS: &[&str] = &["recv", "recv_timeout", "join", "lock"];
+
+fn collect_blocking(f: &FileScan, t: &mut SymbolTable) {
+    if !scope::REACTOR_FILES.contains(&f.rel.as_str()) {
+        return;
+    }
+    let text = &f.text;
+    let bytes = text.as_bytes();
+    for m in BLOCKING_METHODS {
+        for at in method_call_occurrences(text, m) {
+            t.blocking.push(BlockingSite {
+                file: f.rel.clone(),
+                line: line_of(text, at),
+                what: format!(".{m}()"),
+            });
+        }
+    }
+    for at in ident_occurrences(text, "sleep") {
+        if next_non_ws(bytes, at + "sleep".len()).is_some_and(|(_, b)| b == b'(') {
+            t.blocking.push(BlockingSite {
+                file: f.rel.clone(),
+                line: line_of(text, at),
+                what: "sleep".to_string(),
+            });
+        }
+    }
+}
+
+fn make(rule: &str, file: &str, line: usize, message: String) -> Violation {
+    Violation {
+        rule: rule.to_string(),
+        file: file.to_string(),
+        line,
+        message,
+    }
+}
+
+fn blessed_atomic(file: &str, field: &str) -> bool {
+    scope::ATOMIC_ADVISORY_FILES.contains(&file)
+        || scope::ATOMIC_ADVISORY_FIELDS
+            .iter()
+            .any(|&(f, n)| f == file && n == field)
+}
+
+/// Rule C-A: `Ordering::Relaxed` is legal only on sites blessed as
+/// advisory — values that steer placement or feed dashboards but never
+/// the replayed schedule. Everything else, and especially any atomic a
+/// second module touches, is a cross-thread handshake and must use
+/// Acquire/Release (or SeqCst).
+#[must_use]
+pub fn atomics_discipline(t: &SymbolTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for a in &t.accesses {
+        if !a.relaxed || blessed_atomic(&a.file, &a.field) {
+            continue;
+        }
+        let mut files: BTreeSet<&str> = BTreeSet::new();
+        for d in t.fields.iter().filter(|d| d.name == a.field) {
+            files.insert(d.file.as_str());
+        }
+        for x in t.accesses.iter().filter(|x| x.field == a.field) {
+            files.insert(x.file.as_str());
+        }
+        let what = match a.method.as_str() {
+            "load" => "load",
+            "store" => "store",
+            _ => "read-modify-write",
+        };
+        let message = if files.len() > 1 {
+            format!(
+                "`Ordering::Relaxed` {what} on atomic `{}`, which is touched from more than one module; a cross-module handshake must use Acquire/Release (or SeqCst) so the flag cannot be reordered past the state it guards",
+                a.field
+            )
+        } else {
+            format!(
+                "`Ordering::Relaxed` {what} on atomic `{}` is not on the blessed advisory list (worker load gauges, metrics counters, router cursor); use Acquire/Release (or SeqCst), bless the site in the lint's scope table, or waive with a reason",
+                a.field
+            )
+        };
+        out.push(make("atomics-discipline", &a.file, a.line, message));
+    }
+    out
+}
+
+/// Rule C-C: reply-completeness on the worker command protocol, plus a
+/// ban on unbounded channel construction outside blessed sites.
+#[must_use]
+pub fn channel_protocol(t: &SymbolTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for c in &t.channels {
+        out.push(make(
+            "channel-protocol",
+            &c.file,
+            c.line,
+            "unbounded `channel()` constructed outside a blessed site; use a bounded `sync_channel` so a wedged consumer exerts backpressure, or the one-shot `reply_channel()` helper whose protocol bounds it to a single message".to_string(),
+        ));
+    }
+    for v in &t.commands {
+        if v.arms.is_empty() {
+            out.push(make(
+                "channel-protocol",
+                &v.file,
+                v.line,
+                format!(
+                    "`Command::{}` carries a one-shot `reply` sender but no match arm in its module ever sends a reply; a dropped reply sender leaves the caller blocked on `recv()` forever",
+                    v.name
+                ),
+            ));
+            continue;
+        }
+        for &(line, sends) in &v.arms {
+            if !sends {
+                out.push(make(
+                    "channel-protocol",
+                    &v.file,
+                    line,
+                    format!(
+                        "match arm for `Command::{}` drops its `reply` sender without sending; every arm of a reply-bearing command must reply, or the caller's drain barrier hangs",
+                        v.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Rule C-R: the epoll event loop must never block — slow work routes
+/// through the slow-path thread and replies come back via the
+/// `ReplyInjector` mailbox.
+#[must_use]
+pub fn reactor_nonblocking(t: &SymbolTable) -> Vec<Violation> {
+    t.blocking
+        .iter()
+        .map(|b| {
+            make(
+                "reactor-nonblocking",
+                &b.file,
+                b.line,
+                format!(
+                    "blocking `{}` inside the reactor event-loop module; the loop must stay nonblocking — defer slow work to the slow-path thread and inject replies through `ReplyInjector`",
+                    b.what
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Rule C-U: `unsafe` stays confined to the audited syscall boundary,
+/// and every block documents the invariant that makes it sound.
+#[must_use]
+pub fn unsafe_audit(t: &SymbolTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for u in &t.unsafes {
+        if !scope::UNSAFE_ALLOWED_FILES.contains(&u.file.as_str()) {
+            out.push(make(
+                "unsafe-audit",
+                &u.file,
+                u.line,
+                format!(
+                    "`unsafe` outside the audited syscall boundary ({}); move raw operations behind the safe wrappers there",
+                    scope::UNSAFE_ALLOWED_FILES.join(", ")
+                ),
+            ));
+        } else if !u.has_safety {
+            out.push(make(
+                "unsafe-audit",
+                &u.file,
+                u.line,
+                "`unsafe` without a `// SAFETY:` comment on the same line or the three lines above; document the invariant that makes the block sound".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, src: &str) -> FileScan {
+        let cleaned = crate::scan::clean(src);
+        FileScan {
+            rel: rel.to_string(),
+            source: src.to_string(),
+            text: crate::scan::mask_tests(&cleaned.text),
+        }
+    }
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        let scans: Vec<FileScan> = files.iter().map(|(rel, src)| scan(rel, src)).collect();
+        SymbolTable::build(&scans)
+    }
+
+    #[test]
+    fn atomic_decls_and_accesses_are_extracted() {
+        let t = table(&[(
+            "crates/x/src/a.rs",
+            "struct S { flag: AtomicBool }\nstatic SEQ: AtomicU64 = AtomicU64::new(0);\nuse std::sync::atomic::AtomicUsize;\nfn f(s: &S) { s.flag.store(true, Ordering::Release); let v = SEQ.fetch_add(1, Ordering::Relaxed); }\n",
+        )]);
+        let names: Vec<&str> = t.fields.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["flag", "SEQ"], "imports are not declarations");
+        assert_eq!(t.accesses.len(), 2);
+        assert_eq!(t.accesses[0].field, "flag");
+        assert!(!t.accesses[0].relaxed);
+        assert_eq!(t.accesses[1].field, "SEQ");
+        assert!(t.accesses[1].relaxed);
+    }
+
+    #[test]
+    fn non_atomic_homonyms_are_ignored() {
+        let t = table(&[(
+            "crates/x/src/a.rs",
+            "fn f(v: &mut Vec<u32>) { v.swap(0, 1); let s = BTreeMap::new(); s.load(path); }\n",
+        )]);
+        assert!(t.accesses.is_empty(), "no Ordering argument, no access");
+    }
+
+    #[test]
+    fn relaxed_on_unblessed_site_is_flagged_and_seqcst_is_not() {
+        let t = table(&[(
+            "crates/x/src/a.rs",
+            "struct S { stop: AtomicBool }\nfn f(s: &S) { s.stop.store(true, Ordering::Relaxed); s.stop.load(Ordering::SeqCst); }\n",
+        )]);
+        let v = atomics_discipline(&t);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "atomics-discipline");
+        assert!(v[0].message.contains("store"));
+        assert!(v[0].message.contains("advisory"));
+    }
+
+    #[test]
+    fn cross_module_relaxed_gets_the_handshake_message() {
+        let t = table(&[
+            (
+                "crates/x/src/a.rs",
+                "pub struct S { pub stop: AtomicBool }\nfn halt(s: &S) { s.stop.store(true, Ordering::Relaxed); }\n",
+            ),
+            (
+                "crates/x/src/b.rs",
+                "fn poll(s: &S) -> bool { s.stop.load(Ordering::Relaxed) }\n",
+            ),
+        ]);
+        let v = atomics_discipline(&t);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.message.contains("more than one module")));
+    }
+
+    #[test]
+    fn blessed_files_and_fields_stay_silent() {
+        let t = table(&[
+            (
+                "crates/serve/src/metrics.rs",
+                "pub struct Counter(AtomicU64);\nimpl Counter { pub fn add(&self, n: u64) { self.0.fetch_add(n, Ordering::Relaxed); } }\n",
+            ),
+            (
+                "crates/serve/src/worker.rs",
+                "struct Shared { backlog: AtomicUsize }\nfn publish(s: &Shared) { s.backlog.store(3, Ordering::Relaxed); }\n",
+            ),
+        ]);
+        assert!(atomics_discipline(&t).is_empty());
+    }
+
+    #[test]
+    fn unbounded_channel_is_flagged_outside_blessed_fns() {
+        let t = table(&[(
+            "crates/x/src/a.rs",
+            "pub fn reply_channel<T>() -> (Sender<T>, Receiver<T>) {\n    std::sync::mpsc::channel()\n}\nfn firehose() { let (tx, rx) = channel(); let (a, b) = std::sync::mpsc::sync_channel(8); }\n",
+        )]);
+        let v = channel_protocol(&t);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].message.contains("unbounded"));
+    }
+
+    const WORKER_LOOP: &str = "pub enum Command {\n    Tick { reply: Sender<u64> },\n    Drain { reply: Sender<u64> },\n    Shutdown,\n}\nfn run(rx: &Receiver<Command>) {\n    loop {\n        match rx.recv() {\n            Ok(Command::Tick { reply }) => {\n                let _ = reply.send(1);\n            }\n            Ok(Command::Drain { .. }) => {}\n            Ok(Command::Shutdown) | Err(_) => break,\n        }\n    }\n}\n";
+
+    #[test]
+    fn dropped_reply_sender_in_an_arm_is_flagged() {
+        let t = table(&[("crates/x/src/w.rs", WORKER_LOOP)]);
+        let v = channel_protocol(&t);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`Command::Drain`"));
+        assert!(v[0].message.contains("drops its `reply` sender"));
+        assert_eq!(v[0].line, 12);
+    }
+
+    #[test]
+    fn reply_variant_with_no_arm_at_all_is_flagged_at_its_declaration() {
+        let src = "pub enum Command {\n    Stats { reply: Sender<u64> },\n    Shutdown,\n}\nfn run(rx: &Receiver<Command>) {\n    loop {\n        match rx.recv() {\n            Ok(Command::Shutdown) | Err(_) => break,\n            _ => {}\n        }\n    }\n}\n";
+        let t = table(&[("crates/x/src/w.rs", src)]);
+        let v = channel_protocol(&t);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no match arm"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn complete_reply_protocol_is_clean() {
+        let src = WORKER_LOOP.replace(
+            "Ok(Command::Drain { .. }) => {}",
+            "Ok(Command::Drain { reply }) => {\n                let _ = reply.send(0);\n            }",
+        );
+        let t = table(&[("crates/x/src/w.rs", &src)]);
+        assert!(channel_protocol(&t).is_empty());
+    }
+
+    #[test]
+    fn construction_sites_are_not_mistaken_for_arms() {
+        let src = "pub enum Command {\n    Tick { reply: Sender<u64> },\n}\nfn call(w: &SyncSender<Command>, tx: Sender<u64>) {\n    let _ = w.send(Command::Tick { reply: tx });\n}\nfn run(rx: &Receiver<Command>) {\n    match rx.recv() {\n        Ok(Command::Tick { reply }) => drop(reply.send(9)),\n        Err(_) => {}\n    }\n}\n";
+        let t = table(&[("crates/x/src/w.rs", src)]);
+        assert_eq!(t.commands.len(), 1);
+        assert_eq!(t.commands[0].arms.len(), 1, "the construction is skipped");
+        assert!(channel_protocol(&t).is_empty());
+    }
+
+    #[test]
+    fn reactor_blocking_calls_are_flagged_only_in_reactor_scope() {
+        let body = "fn event_loop(rx: &Receiver<u64>, m: &Mutex<u32>) {\n    let _ = rx.recv();\n    let _ = m.lock();\n    std::thread::sleep(d);\n    h.join();\n}\n";
+        let t = table(&[
+            ("crates/net/src/reactor.rs", body),
+            ("crates/serve/src/service.rs", body),
+        ]);
+        let v = reactor_nonblocking(&t);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|v| v.file == "crates/net/src/reactor.rs"));
+    }
+
+    #[test]
+    fn poller_wait_is_not_a_blocking_violation() {
+        let t = table(&[(
+            "crates/net/src/reactor.rs",
+            "fn turn(p: &Poller) { let n = p.wait(&mut buf, timeout); }\n",
+        )]);
+        assert!(reactor_nonblocking(&t).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_and_without_safety_comment() {
+        let t = table(&[
+            (
+                "crates/serve/src/service.rs",
+                "fn f(xs: &[u8]) -> u8 { unsafe { *xs.get_unchecked(0) } }\n",
+            ),
+            (
+                "crates/net/src/sys.rs",
+                "pub fn close_fd(fd: i32) {\n    let _ = unsafe { close(fd) };\n}\n// SAFETY: read takes any pointer/length pair; ours is a valid slice.\npub fn read_fd(fd: i32) {\n    let _ = unsafe { read(fd) };\n}\n",
+            ),
+        ]);
+        let v = unsafe_audit(&t);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(
+            v[0].file == "crates/serve/src/service.rs"
+                || v[1].file == "crates/serve/src/service.rs"
+        );
+        assert!(v
+            .iter()
+            .any(|v| v.message.contains("outside the audited syscall boundary")));
+        assert!(v
+            .iter()
+            .any(|v| v.file == "crates/net/src/sys.rs" && v.message.contains("SAFETY")));
+    }
+
+    #[test]
+    fn safety_comments_in_doc_text_do_not_mask_real_code() {
+        // The cleaner blanks comments, so `unsafe` in a doc comment is
+        // never a site; and the SAFETY window reads the raw source.
+        let t = table(&[(
+            "crates/net/src/sys.rs",
+            "/// Calling `unsafe` code here would be bad.\npub fn ok() {}\n",
+        )]);
+        assert!(t.unsafes.is_empty());
+    }
+}

@@ -4,10 +4,17 @@
 //! replay must be bit-identical across executors and shard counts,
 //! policies must stay engine-agnostic, engines must be owned outright
 //! by their shard worker threads (no shared engine locks), and the
-//! wire path must not panic on hostile input. This crate makes those
-//! contracts executable with a hand-rolled token scanner (no external
-//! deps, in the spirit of the `shims/` approach) enforcing four rule
-//! families:
+//! wire path must not panic on hostile input. With the threaded
+//! architecture the contracts grew cross-file: whether a relaxed
+//! atomic or a dropped reply sender is sound depends on code in
+//! *other* modules, so the lint runs in two passes — pass 1 builds a
+//! workspace symbol table (atomic fields and accesses, channel
+//! endpoints, `unsafe` blocks, `Command` reply variants and their
+//! match arms) from the cleaned, test-masked text of every file, and
+//! pass 2 applies the rule families, the per-file ones directly and
+//! the concurrency ones over the table. Everything stays a hand-rolled
+//! token scanner (no external deps, in the spirit of the `shims/`
+//! approach):
 //!
 //! | rule id            | contract                                              |
 //! |--------------------|-------------------------------------------------------|
@@ -28,6 +35,20 @@
 //! | `panic`            | no `unwrap`/`expect`/panicking macro/slice-index in   |
 //! |                    | `serve/src/{protocol,server,admission}.rs` or         |
 //! |                    | anywhere in `net/src` (the reactor is wire path)      |
+//! | `atomics-discipline` | `Ordering::Relaxed` only on sites blessed as        |
+//! |                    | advisory (worker load gauges, metrics counters, the   |
+//! |                    | router cursor); atomics touched from more than one    |
+//! |                    | module are handshakes and need Acquire/Release or     |
+//! |                    | SeqCst                                                |
+//! | `channel-protocol` | every `Command` variant carrying a one-shot `reply`   |
+//! |                    | sender sends on every match arm of its worker loop;   |
+//! |                    | unbounded `channel()` construction only inside        |
+//! |                    | blessed helpers (`reply_channel`)                     |
+//! | `reactor-nonblocking` | no `.recv()`/`.lock()`/`.join()`/sleeps inside the |
+//! |                    | epoll event-loop module (`net/src/reactor.rs`)        |
+//! | `unsafe-audit`     | `unsafe` confined to the syscall allowlist            |
+//! |                    | (`net/src/{sys,lib}.rs`), every block carrying a      |
+//! |                    | `// SAFETY:` comment                                  |
 //!
 //! A violation can be waived in place with
 //! `// dvfs-lint: allow(rule-id) reason` on the offending line or the
@@ -35,6 +56,7 @@
 //! `waiver` rule). Test code (`#[cfg(test)]` items and `#[test]` fns)
 //! is masked out before the rules run.
 
+pub mod concurrency;
 pub mod layering;
 pub mod rules;
 pub mod scan;
@@ -45,7 +67,9 @@ use std::path::Path;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Rule id: `determinism`, `engine-ownership`, `layering`,
-    /// `migration-protocol`, `panic`, or `waiver`.
+    /// `migration-protocol`, `panic`, `atomics-discipline`,
+    /// `channel-protocol`, `reactor-nonblocking`, `unsafe-audit`, or
+    /// `waiver`.
     pub rule: String,
     /// Path relative to the workspace root, `/`-separated.
     pub file: String,
@@ -131,6 +155,30 @@ mod scope {
     /// Rule P (dirs): the epoll reactor handles hostile bytes on every
     /// line, so the whole crate is wire path.
     pub const PANIC_DIRS: &[&str] = &["crates/net/src"];
+    /// Rule C-A: files whose atomics are advisory wholesale — the
+    /// metrics registry's counters and gauges feed dashboards, never
+    /// the replayed schedule.
+    pub const ATOMIC_ADVISORY_FILES: &[&str] = &["crates/serve/src/metrics.rs"];
+    /// Rule C-A: individual `(file, field)` atomic sites blessed as
+    /// advisory: the worker load gauges the router and rebalancer read
+    /// (stale values only skew placement, never correctness) and the
+    /// round-robin router cursor (any interleaving of increments is a
+    /// valid rotation).
+    pub const ATOMIC_ADVISORY_FIELDS: &[(&str, &str)] = &[
+        ("crates/serve/src/worker.rs", "backlog"),
+        ("crates/serve/src/worker.rs", "queued_cost_bits"),
+        ("crates/serve/src/service.rs", "router_cursor"),
+    ];
+    /// Rule C-C: functions blessed to construct unbounded channels —
+    /// the one-shot reply channel, bounded by the command/reply
+    /// protocol itself (at most one message ever crosses it).
+    pub const CHANNEL_BLESSED_FNS: &[&str] = &["reply_channel"];
+    /// Rule C-R: the event-loop modules where blocking calls are
+    /// forbidden.
+    pub const REACTOR_FILES: &[&str] = &["crates/net/src/reactor.rs"];
+    /// Rule C-U: the audited syscall boundary — the only modules
+    /// allowed to contain `unsafe` (each block `// SAFETY:`-commented).
+    pub const UNSAFE_ALLOWED_FILES: &[&str] = &["crates/net/src/sys.rs", "crates/net/src/lib.rs"];
 }
 
 fn in_scope(rel: &str, dirs: &[&str], files: &[&str], exempt: &[&str]) -> bool {
@@ -181,6 +229,10 @@ pub fn run(root: &Path) -> Report {
     let files = source_files(root);
     let files_scanned = files.len();
 
+    // Pass 1: read, clean, and test-mask every file once, collecting
+    // waivers along the way, then fold the whole workspace into the
+    // concurrency symbol table.
+    let mut scans: Vec<concurrency::FileScan> = Vec::new();
     for rel in &files {
         let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
             continue;
@@ -199,15 +251,24 @@ pub fn run(root: &Path) -> Report {
         for w in &cleaned.waivers {
             all_waivers.push((rel.clone(), w.clone()));
         }
-        let text = scan::mask_tests(&cleaned.text);
+        scans.push(concurrency::FileScan {
+            rel: rel.clone(),
+            text: scan::mask_tests(&cleaned.text),
+            source: src,
+        });
+    }
+    let table = concurrency::SymbolTable::build(&scans);
 
+    // Pass 2: the per-file rule families over each file's masked text…
+    for fs in &scans {
+        let (rel, text) = (&fs.rel, &fs.text);
         if in_scope(
             rel,
             scope::DET_COLLECTIONS_DIRS,
             scope::DET_COLLECTIONS_FILES,
             &[],
         ) {
-            raw.extend(rules::determinism_collections(&text, rel));
+            raw.extend(rules::determinism_collections(text, rel));
         }
         if in_scope(
             rel,
@@ -215,11 +276,11 @@ pub fn run(root: &Path) -> Report {
             scope::DET_CLOCK_FILES,
             scope::DET_CLOCK_EXEMPT,
         ) {
-            raw.extend(rules::determinism_clock(&text, rel));
+            raw.extend(rules::determinism_clock(text, rel));
         }
         if in_scope(rel, &[], scope::TRACE_RECORD_FILES, &[]) {
-            raw.extend(rules::determinism_clock(&text, rel));
-            raw.extend(rules::determinism_allocation(&text, rel));
+            raw.extend(rules::determinism_clock(text, rel));
+            raw.extend(rules::determinism_allocation(text, rel));
         }
         if in_scope(
             rel,
@@ -227,17 +288,23 @@ pub fn run(root: &Path) -> Report {
             &[],
             scope::ENGINE_OWNERSHIP_EXEMPT,
         ) {
-            raw.extend(rules::engine_ownership(&text, rel));
+            raw.extend(rules::engine_ownership(text, rel));
         }
         if in_scope(rel, scope::MIGRATION_DIRS, &[], scope::MIGRATION_EXEMPT) {
-            raw.extend(rules::migration_protocol(&text, rel));
+            raw.extend(rules::migration_protocol(text, rel));
         }
         if in_scope(rel, scope::PANIC_DIRS, scope::PANIC_FILES, &[]) {
-            raw.extend(rules::panic_freedom(&text, rel));
+            raw.extend(rules::panic_freedom(text, rel));
         }
     }
 
     raw.extend(layering::check(&layering::discover(root)));
+
+    // …and the workspace-wide concurrency rules over the symbol table.
+    raw.extend(concurrency::atomics_discipline(&table));
+    raw.extend(concurrency::channel_protocol(&table));
+    raw.extend(concurrency::reactor_nonblocking(&table));
+    raw.extend(concurrency::unsafe_audit(&table));
 
     // Apply waivers: a waiver covers same-rule violations on its own
     // line and the line directly below. The `waiver` rule itself (a

@@ -6,12 +6,12 @@
 use crate::scan::line_of;
 use crate::Violation;
 
-fn is_ident_byte(b: u8) -> bool {
+pub(crate) fn is_ident_byte(b: u8) -> bool {
     b == b'_' || b.is_ascii_alphanumeric()
 }
 
 /// Byte offsets of `ident` as a standalone identifier token.
-fn ident_occurrences(text: &str, ident: &str) -> Vec<usize> {
+pub(crate) fn ident_occurrences(text: &str, ident: &str) -> Vec<usize> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     let mut from = 0usize;
@@ -28,7 +28,7 @@ fn ident_occurrences(text: &str, ident: &str) -> Vec<usize> {
     out
 }
 
-fn next_non_ws(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
+pub(crate) fn next_non_ws(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
     while i < bytes.len() {
         if !bytes[i].is_ascii_whitespace() {
             return Some((i, bytes[i]));
@@ -38,7 +38,7 @@ fn next_non_ws(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
     None
 }
 
-fn prev_non_ws(bytes: &[u8], i: usize) -> Option<(usize, u8)> {
+pub(crate) fn prev_non_ws(bytes: &[u8], i: usize) -> Option<(usize, u8)> {
     let mut j = i;
     while j > 0 {
         j -= 1;
@@ -51,7 +51,7 @@ fn prev_non_ws(bytes: &[u8], i: usize) -> Option<(usize, u8)> {
 
 /// Byte offsets of the path expression `first::second` (whitespace
 /// around `::` tolerated), e.g. `Instant::now`.
-fn path_occurrences(text: &str, first: &str, second: &str) -> Vec<usize> {
+pub(crate) fn path_occurrences(text: &str, first: &str, second: &str) -> Vec<usize> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     for at in ident_occurrences(text, first) {
@@ -76,7 +76,7 @@ fn path_occurrences(text: &str, first: &str, second: &str) -> Vec<usize> {
 }
 
 /// Byte offsets of `.name(` method calls (receiver required).
-fn method_call_occurrences(text: &str, name: &str) -> Vec<usize> {
+pub(crate) fn method_call_occurrences(text: &str, name: &str) -> Vec<usize> {
     let bytes = text.as_bytes();
     ident_occurrences(text, name)
         .into_iter()

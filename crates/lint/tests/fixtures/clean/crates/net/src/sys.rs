@@ -1,0 +1,13 @@
+//! The audited syscall boundary: the one module (with `lib.rs`) where
+//! `unsafe` is allowed — and every block carries the `// SAFETY:`
+//! comment the `unsafe-audit` rule demands.
+
+extern "C" {
+    fn raw_close(fd: i32) -> i32;
+}
+
+pub fn close(fd: i32) -> i32 {
+    // SAFETY: the syscall takes no pointers; a stale fd is answered
+    // with -1/EBADF rather than touching memory.
+    unsafe { raw_close(fd) }
+}

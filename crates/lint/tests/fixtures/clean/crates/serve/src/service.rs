@@ -1,6 +1,11 @@
 //! Clean engine ownership: the service holds no engine — it routes
 //! commands to worker-owned shards over channels; its own mutexes
 //! guard non-engine bookkeeping only.
+//!
+//! Concurrency-clean shapes on top: the blessed advisory
+//! `router_cursor` (`Relaxed` is legal there) and a SeqCst stop
+//! handshake on the same `stop` flag the worker module reads.
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::Mutex;
 
@@ -12,9 +17,23 @@ pub enum Command {
 pub struct Scheduler {
     workers: Vec<SyncSender<Command>>,
     ids: Mutex<Vec<u64>>,
+    /// Blessed advisory counter: spreads untargeted submissions
+    /// round-robin; a stale read only skews placement, never replay.
+    router_cursor: AtomicUsize,
+    /// Cross-module shutdown handshake — the worker module reads this,
+    /// so it must be SeqCst (or Acquire/Release), never `Relaxed`.
+    stop: AtomicBool,
 }
 
 impl Scheduler {
+    pub fn route(&self) -> usize {
+        self.router_cursor.fetch_add(1, Ordering::Relaxed) % self.workers.len().max(1)
+    }
+
+    pub fn begin_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
     pub fn tick(&self) {
         for tx in &self.workers {
             if tx.send(Command::Tick).is_err() {

@@ -2,20 +2,71 @@
 //! exemption, the one place a `Mutex<Engine>` would not be flagged
 //! (this file deliberately carries one so the fixture pins the
 //! exemption, not just the absence of findings).
+//!
+//! It also carries the clean shapes for the concurrency rules: a
+//! reply-bearing `Command` protocol whose every arm sends, the blessed
+//! `reply_channel` constructor, and a blessed advisory `Relaxed` load
+//! gauge (`backlog`).
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 
 pub struct Engine {
     pub steps: u64,
 }
 
+/// The worker command protocol: both variants carry a one-shot reply
+/// sender, and the match loop below answers every arm.
+pub enum Command {
+    Stats { reply: Sender<u64> },
+    Drain { reply: Sender<u64> },
+}
+
+/// The one blessed construction site for an unbounded channel: the
+/// reply protocol guarantees at most one message ever crosses it.
+pub fn reply_channel() -> (Sender<u64>, Receiver<u64>) {
+    channel()
+}
+
 pub struct Worker {
     engine: Engine,
     parked: Mutex<Engine>,
+    /// Advisory load gauge: placement hints only, never the replayed
+    /// schedule — the blessed site for `Ordering::Relaxed`.
+    backlog: AtomicUsize,
 }
 
 impl Worker {
     pub fn tick(&mut self) {
         self.engine.steps += 1;
+        self.backlog.store(self.engine.steps as usize, Ordering::Relaxed);
+    }
+
+    pub fn backlog_hint(&self) -> usize {
+        self.backlog.load(Ordering::Relaxed)
+    }
+
+    /// The stop flag is a cross-module handshake (the service raises
+    /// it), so it must be read with SeqCst — the clean counterpart of
+    /// the `atomics-discipline` violation fixture.
+    pub fn should_stop(stop: &AtomicBool) -> bool {
+        stop.load(Ordering::SeqCst)
+    }
+
+    /// The command loop: every reply-bearing arm sends.
+    pub fn run(&mut self, rx: &Receiver<Command>) {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Command::Stats { reply } => {
+                    let _ = reply.send(self.engine.steps);
+                }
+                Command::Drain { reply } => {
+                    let drained = self.engine.steps;
+                    self.engine.steps = 0;
+                    let _ = reply.send(drained);
+                }
+            }
+        }
     }
 
     /// The migration primitives are sound here — this thread owns the

@@ -1,0 +1,25 @@
+//! Reactor event loop that blocks: a channel `recv`, a mutex `lock`,
+//! and a sleep right in the dispatch path — each one stalls every
+//! connection the loop owns.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Reactor {
+    commands: Receiver<u64>,
+    shared: Mutex<Vec<u64>>,
+}
+
+impl Reactor {
+    pub fn event_loop(&self) {
+        loop {
+            let Ok(cmd) = self.commands.recv() else {
+                return;
+            };
+            if let Ok(mut shared) = self.shared.lock() {
+                shared.push(cmd);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

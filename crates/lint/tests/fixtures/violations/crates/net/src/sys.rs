@@ -1,0 +1,10 @@
+//! The syscall boundary — `unsafe` is allowed here, but this block
+//! ships without the `// SAFETY:` comment documenting its invariant.
+
+extern "C" {
+    fn raw_close(fd: i32) -> i32;
+}
+
+pub fn close(fd: i32) -> i32 {
+    unsafe { raw_close(fd) }
+}

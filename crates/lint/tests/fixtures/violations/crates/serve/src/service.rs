@@ -31,3 +31,16 @@ pub fn rebalance(hot: &Shard, cold: &Shard) {
         cold.grab().push_migrated(task);
     }
 }
+
+/// Atomics-discipline violation: the shutdown flag lives in the worker
+/// module and is read there too, yet this store is `Relaxed` — the
+/// cross-module handshake can be reordered past the state it guards.
+pub fn begin_shutdown() {
+    crate::worker::SHUTTING_DOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Unsafe-audit violation: a raw-pointer read outside the audited
+/// syscall boundary.
+pub fn first_unchecked(v: &[u64]) -> u64 {
+    unsafe { *v.as_ptr() }
+}

@@ -20,14 +20,18 @@ fn clean_fixture_is_clean() {
         report.render_text()
     );
     assert!(report.files_scanned >= 8, "walked {}", report.files_scanned);
-    // The reasoned HashSet waiver in core was applied, not ignored.
-    assert_eq!(report.waivers.len(), 1);
-    assert_eq!(report.waivers[0].rule, "determinism");
-    assert_eq!(report.waivers[0].file, "crates/core/src/lib.rs");
-    assert_eq!(
-        report.waivers[0].reason,
-        "membership-only set, never iterated"
-    );
+    // The reasoned waivers were applied, not ignored: the HashSet in
+    // core and the leaf mailbox mutex in the reactor.
+    assert_eq!(report.waivers.len(), 2);
+    assert!(report.waivers.iter().any(|w| w.rule == "determinism"
+        && w.file == "crates/core/src/lib.rs"
+        && w.reason == "membership-only set, never iterated"));
+    assert!(report
+        .waivers
+        .iter()
+        .any(|w| w.rule == "reactor-nonblocking"
+            && w.file == "crates/net/src/reactor.rs"
+            && w.reason.contains("leaf mailbox mutex")));
 }
 
 #[test]
@@ -38,11 +42,15 @@ fn violating_fixture_trips_every_rule_family() {
     assert_eq!(
         rules.into_iter().collect::<Vec<_>>(),
         vec![
+            "atomics-discipline",
+            "channel-protocol",
             "determinism",
             "engine-ownership",
             "layering",
             "migration-protocol",
             "panic",
+            "reactor-nonblocking",
+            "unsafe-audit",
             "waiver"
         ],
         "full report:\n{}",
@@ -127,6 +135,88 @@ fn violating_fixture_pins_findings_to_files() {
         "crates/serve/src/protocol.rs",
         "missing a reason"
     ));
+    // C-A: the Relaxed read of the cross-module shutdown flag, plus its
+    // store on the service side (see the mutation-check test below).
+    assert!(has(
+        "atomics-discipline",
+        "crates/serve/src/worker.rs",
+        "touched from more than one module"
+    ));
+    // C-C: a reply variant no arm ever answers, and the raw unbounded
+    // channel outside any blessed constructor.
+    assert!(has(
+        "channel-protocol",
+        "crates/serve/src/worker.rs",
+        "no match arm in its module ever sends a reply"
+    ));
+    assert!(has(
+        "channel-protocol",
+        "crates/serve/src/worker.rs",
+        "unbounded `channel()`"
+    ));
+    // C-R: all three blocking shapes inside the event loop.
+    assert!(has(
+        "reactor-nonblocking",
+        "crates/net/src/reactor.rs",
+        "`.recv()`"
+    ));
+    assert!(has(
+        "reactor-nonblocking",
+        "crates/net/src/reactor.rs",
+        "`.lock()`"
+    ));
+    assert!(has(
+        "reactor-nonblocking",
+        "crates/net/src/reactor.rs",
+        "`sleep`"
+    ));
+    // C-U: unsafe off the allowlist, and on-allowlist but undocumented.
+    assert!(has(
+        "unsafe-audit",
+        "crates/serve/src/service.rs",
+        "outside the audited syscall boundary"
+    ));
+    assert!(has(
+        "unsafe-audit",
+        "crates/net/src/sys.rs",
+        "without a `// SAFETY:` comment"
+    ));
+}
+
+/// The acceptance-criteria mutation checks: a deliberately dropped
+/// reply sender must be a `channel-protocol` finding, and a `Relaxed`
+/// store on a cross-module shutdown flag must be an
+/// `atomics-discipline` finding — both pinned to their exact lines so
+/// a rule that silently stops matching fails loudly here.
+#[test]
+fn mutation_checks_dropped_reply_and_relaxed_shutdown_store() {
+    let report = dvfs_lint::run(&fixture("violations"));
+    // worker.rs:35 — `Command::Drain { reply }` destructured, never sent.
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "channel-protocol"
+                && v.file == "crates/serve/src/worker.rs"
+                && v.line == 35
+                && v.message
+                    .contains("drops its `reply` sender without sending")),
+        "dropped reply sender not caught:\n{}",
+        report.render_text()
+    );
+    // service.rs:39 — `SHUTTING_DOWN.store(true, Ordering::Relaxed)`.
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "atomics-discipline"
+                && v.file == "crates/serve/src/service.rs"
+                && v.line == 39
+                && v.message.contains("store")
+                && v.message.contains("SHUTTING_DOWN")),
+        "Relaxed shutdown store not caught:\n{}",
+        report.render_text()
+    );
 }
 
 #[test]
@@ -158,6 +248,10 @@ fn json_report_carries_rule_ids_and_summary() {
         "layering",
         "panic",
         "waiver",
+        "atomics-discipline",
+        "channel-protocol",
+        "reactor-nonblocking",
+        "unsafe-audit",
     ] {
         assert!(
             json.contains(&format!("\"rule\":\"{rule}\"")),

@@ -191,6 +191,7 @@ impl ReplyInjector {
             let mut queue = self
                 .inner
                 .queue
+                // dvfs-lint: allow(reactor-nonblocking) inject runs on slow-path threads, never the event loop; the critical section is one push
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             queue.push((token, lines));
@@ -203,6 +204,7 @@ impl ReplyInjector {
         let mut queue = self
             .inner
             .queue
+            // dvfs-lint: allow(reactor-nonblocking) leaf mailbox mutex held only to swap the Vec out; contenders are one-push slow-path writers
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         std::mem::take(&mut *queue)

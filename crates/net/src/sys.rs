@@ -81,6 +81,8 @@ fn cvt(ret: i32) -> io::Result<i32> {
 /// # Errors
 /// The raw OS error when the kernel refuses (fd limit, ENOMEM).
 pub fn epoll_create() -> io::Result<i32> {
+    // SAFETY: `epoll_create1` takes no pointers; any flag value is
+    // either honored or rejected with -1/EINVAL, which `cvt` maps.
     cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
 }
 
@@ -89,6 +91,9 @@ fn epoll_op(epfd: i32, op: i32, fd: i32, events: u32, token: u64) -> io::Result<
         events,
         data: token,
     };
+    // SAFETY: `ev` is a live, properly-initialized `EpollEvent` on
+    // this stack frame for the duration of the call; the kernel only
+    // reads through the pointer. Bad fds come back as -1/EBADF.
     cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
 }
 
@@ -126,6 +131,9 @@ pub fn epoll_del(epfd: i32, fd: i32) -> io::Result<()> {
 /// The raw OS error for anything other than `EINTR`.
 pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
     let cap = i32::try_from(buf.len()).unwrap_or(i32::MAX);
+    // SAFETY: `buf.as_mut_ptr()` points at `buf.len()` writable
+    // `EpollEvent` records and `cap` never exceeds that length, so the
+    // kernel cannot write past the slice.
     let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), cap, timeout_ms) };
     if n < 0 {
         let err = io::Error::last_os_error();
@@ -144,6 +152,9 @@ pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<us
 /// # Errors
 /// The raw OS error; `WouldBlock` is the normal "drained" signal.
 pub fn accept_nonblocking(listen_fd: i32) -> io::Result<i32> {
+    // SAFETY: null `addr`/`addrlen` are the documented way to decline
+    // the peer address; the kernel writes nothing. An invalid
+    // `listen_fd` is -1/EBADF, not UB.
     cvt(unsafe {
         accept4(
             listen_fd,
@@ -159,6 +170,8 @@ pub fn accept_nonblocking(listen_fd: i32) -> io::Result<i32> {
 /// # Errors
 /// `WouldBlock` when the socket has no data; otherwise the OS error.
 pub fn read_fd(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+    // SAFETY: the pointer/length pair comes from a live `&mut [u8]`,
+    // so the kernel writes at most `buf.len()` bytes into owned memory.
     let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
     if n < 0 {
         return Err(io::Error::last_os_error());
@@ -171,6 +184,8 @@ pub fn read_fd(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
 /// # Errors
 /// `WouldBlock` when the send buffer is full; otherwise the OS error.
 pub fn write_fd(fd: i32, buf: &[u8]) -> io::Result<usize> {
+    // SAFETY: the pointer/length pair comes from a live `&[u8]`; the
+    // kernel only reads `buf.len()` bytes from it.
     let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
     if n < 0 {
         return Err(io::Error::last_os_error());
@@ -180,6 +195,9 @@ pub fn write_fd(fd: i32, buf: &[u8]) -> io::Result<usize> {
 
 /// `close(2)`, result ignored — the fd is gone either way.
 pub fn close_fd(fd: i32) {
+    // SAFETY: `close` takes no pointers; a stale or invalid fd returns
+    // -1/EBADF and touches nothing. Callers own `fd` (no double-close
+    // of a descriptor another wrapper still uses).
     let _ = unsafe { close(fd) };
 }
 
@@ -190,6 +208,8 @@ pub fn close_fd(fd: i32) {
 /// # Errors
 /// The raw OS error (fd limit, ENOMEM).
 pub fn eventfd_nonblocking() -> io::Result<i32> {
+    // SAFETY: `eventfd` takes no pointers; unsupported flags fail with
+    // -1/EINVAL, which `cvt` maps.
     cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
 }
 
@@ -213,6 +233,9 @@ pub fn eventfd_drain(fd: i32) {
 /// The raw OS error.
 pub fn nofile_limit() -> io::Result<(u64, u64)> {
     let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a live, initialized `Rlimit` on this stack
+    // frame matching the kernel's two-u64 layout; the kernel writes
+    // only within it.
     cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
     Ok((lim.cur, lim.max))
 }
@@ -233,6 +256,9 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
         cur: target,
         max: hard,
     };
+    // SAFETY: `lim` is a live `Rlimit` the kernel only reads; a
+    // target above the hard limit was already clamped, and EPERM maps
+    // to an error rather than UB.
     cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
     Ok(target)
 }

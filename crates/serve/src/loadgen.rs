@@ -498,6 +498,7 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
                     for _ in 0..n {
                         let (cycles, class) = random_task_parts(&mut rng, frac, mean);
                         let line = if skew > 0.0 && rng.gen_bool(skew) {
+                            // dvfs-lint: allow(atomics-discipline) advisory counter that only spreads hot-key ids; nothing reads it back
                             let seq = skew_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             encode_submit(Some(skew_id(seq, shards)), cycles, class, None)
                         } else {

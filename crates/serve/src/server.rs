@@ -484,6 +484,10 @@ fn reactor_loop(listener: &Listener, shared: &Arc<Shared>, max_connections: usiz
         // read-timeout granularity.
         poll_timeout_ms: 100,
     };
+    // The slow-lane mailbox: at most one slow command is in flight per
+    // connection, so the queue is bounded by the connection cap even
+    // though the channel itself is unbounded.
+    // dvfs-lint: allow(channel-protocol) slow lane bounded by the connection cap
     let (slow_tx, slow_rx) = std::sync::mpsc::channel();
     let mut handler = WireHandler {
         shared: Arc::clone(shared),

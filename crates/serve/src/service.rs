@@ -92,7 +92,6 @@ use dvfs_trace::{ClassTag, EventKind as TraceKind, SharedRing, TraceEvent};
 use serde::Value;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -703,7 +702,7 @@ impl Scheduler {
     pub fn tick(&self) {
         let mut replies = Vec::with_capacity(self.workers.len());
         for w in &self.workers {
-            let (tx, rx) = mpsc::channel();
+            let (tx, rx) = worker::reply_channel();
             w.send(Command::Tick { reply: tx });
             replies.push(rx);
         }
@@ -769,7 +768,7 @@ impl Scheduler {
             reason = "gap_share is in (0, 0.5], so the product is a small non-negative count"
         )]
         let batch = ((backlog as f64 * gap_share) as usize).clamp(1, self.cfg.rebalance.max_batch);
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = worker::reply_channel();
         self.workers[hot].send(Command::Steal {
             max: batch,
             reply: tx,
@@ -783,7 +782,7 @@ impl Scheduler {
             return;
         }
         let moved = tasks.len() as u64;
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = worker::reply_channel();
         self.workers[cold].send(Command::Inject {
             from_shard: hot as u32,
             from_cost: hot_cost,
@@ -836,7 +835,7 @@ impl Scheduler {
             let mut ids = self.lock_ids();
             let mut replies = Vec::with_capacity(self.workers.len());
             for w in &self.workers {
-                let (tx, rx) = mpsc::channel();
+                let (tx, rx) = worker::reply_channel();
                 w.send(Command::Drain { reply: tx });
                 replies.push(rx);
             }
@@ -1016,7 +1015,7 @@ impl Scheduler {
     fn pending_tasks_total(&self) -> usize {
         let mut replies = Vec::with_capacity(self.workers.len());
         for w in &self.workers {
-            let (tx, rx) = mpsc::channel();
+            let (tx, rx) = worker::reply_channel();
             w.send(Command::Stats { reply: tx });
             replies.push(rx);
         }
@@ -1037,7 +1036,7 @@ impl Scheduler {
     pub fn stats(&self) -> Response {
         let mut replies = Vec::with_capacity(self.workers.len());
         for w in &self.workers {
-            let (tx, rx) = mpsc::channel();
+            let (tx, rx) = worker::reply_channel();
             w.send(Command::Stats { reply: tx });
             replies.push(rx);
         }

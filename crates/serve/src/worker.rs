@@ -54,6 +54,15 @@ use std::time::Instant;
 /// an unbounded command backlog silently.
 const COMMAND_QUEUE_BOUND: usize = 32;
 
+/// One-shot reply channel for a single worker command. This is the
+/// only blessed construction site for an unbounded `channel()` in the
+/// workspace (`dvfs-lint`'s `channel-protocol` rule): the command/reply
+/// protocol guarantees at most one message ever crosses it, so the
+/// missing bound can never absorb a backlog.
+pub(crate) fn reply_channel<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
 /// The executor/policy pair a worker owns outright. No lock anywhere:
 /// only the owning worker thread can reach it.
 pub(crate) struct Engine {
@@ -209,20 +218,33 @@ pub(crate) enum Command {
 pub(crate) struct WorkerHandle {
     tx: SyncSender<Command>,
     join: Option<JoinHandle<()>>,
+    /// Commands that hit a disconnected worker channel — a worker that
+    /// is gone without being asked to stop is a crashed thread, and a
+    /// silently swallowed send would turn that crash into a hang.
+    send_failed: Arc<Counter>,
 }
 
 impl WorkerHandle {
-    /// Enqueue a command. Best-effort: a dead worker surfaces at reply
-    /// collection (the one-shot reply channel disconnects), which is
-    /// where callers can attach a meaningful panic message.
+    /// Enqueue a command. A dead worker still surfaces at reply
+    /// collection (the one-shot reply channel disconnects, where
+    /// callers attach a meaningful panic message), but the failure is
+    /// made observable here too: the `worker_send_failed` counter
+    /// records it for release builds, and debug builds assert so tests
+    /// catch a crashed worker at the earliest point.
     pub fn send(&self, cmd: Command) {
-        let _ = self.tx.send(cmd);
+        if self.tx.send(cmd).is_err() {
+            self.send_failed.inc();
+            debug_assert!(false, "command sent to a shard worker whose thread is gone");
+        }
     }
 
     /// Ask the worker loop to exit (it finishes the commands already
-    /// queued first, preserving FIFO semantics).
+    /// queued first, preserving FIFO semantics). Unlike [`Self::send`],
+    /// an already-gone worker is fine here — stop is idempotent and
+    /// this runs from `Scheduler::drop`, possibly mid-unwind, where a
+    /// `debug_assert` panic would abort the process.
     pub fn begin_stop(&self) {
-        self.send(Command::Shutdown);
+        let _ = self.tx.send(Command::Shutdown);
     }
 
     /// Join the worker thread (idempotent). A worker that panicked has
@@ -244,6 +266,7 @@ pub(crate) fn spawn(
     lmc_hist: Arc<Histogram>,
 ) -> WorkerHandle {
     let (tx, rx) = std::sync::mpsc::sync_channel(COMMAND_QUEUE_BOUND);
+    let send_failed = metrics.counter("worker_send_failed");
     let name = format!("dvfs-shard-{}", shared.index);
     let join = std::thread::Builder::new()
         .name(name)
@@ -262,6 +285,7 @@ pub(crate) fn spawn(
     WorkerHandle {
         tx,
         join: Some(join),
+        send_failed,
     }
 }
 
@@ -471,5 +495,39 @@ impl Worker {
         self.publish_load();
         self.shared.pending_gauge.set(0);
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A send into a dead worker must be loud (debug assert) and
+    /// counted (`worker_send_failed`), never a silent drop — while
+    /// `begin_stop` stays quiet, because stopping an already-gone
+    /// worker is the normal idempotent path out of `Scheduler::drop`.
+    #[test]
+    fn send_to_dead_worker_is_counted_and_asserts_in_debug() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        drop(rx);
+        let send_failed = Arc::new(Counter::default());
+        let handle = WorkerHandle {
+            tx,
+            join: None,
+            send_failed: Arc::clone(&send_failed),
+        };
+
+        handle.begin_stop();
+        assert_eq!(send_failed.get(), 0, "begin_stop is quiet by design");
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle.send(Command::StartClock);
+        }));
+        assert_eq!(send_failed.get(), 1, "the failed send is counted");
+        assert_eq!(
+            outcome.is_err(),
+            cfg!(debug_assertions),
+            "debug builds surface the dead worker via debug_assert"
+        );
     }
 }

@@ -88,6 +88,34 @@ run cargo test -q -p dvfs-bench --test parallel_drain -- --ignored
 # committed improvement in BENCH_rebalance.json (then refreshed).
 run cargo test -q -p dvfs-bench --test rebalance -- --ignored
 
+# Sanitizer stage (gated, never tier-1): when a nightly toolchain with
+# the right components is installed, rerun the concurrency stress under
+# ThreadSanitizer and the dvfs-core/dvfs-sim unit tests under Miri.
+# Both catch the bug classes dvfs-lint can only approximate statically
+# (real data races, real UB). Absent nightly/components the stage skips
+# with a visible notice — tier-1 stays stable-toolchain-only by design.
+if rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    host_target="$(rustc -vV | sed -n 's/^host: //p')"
+    if rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^rust-src.*(installed)'; then
+        echo "==> concurrency stress under ThreadSanitizer (nightly)"
+        RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std --target "$host_target" \
+            --test concurrency_stress -- --ignored
+    else
+        echo "==> SKIPPED: ThreadSanitizer (nightly rust-src component not installed)"
+    fi
+    if rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^miri.*(installed)'; then
+        echo "==> dvfs-core + dvfs-sim unit tests under Miri (nightly)"
+        cargo +nightly miri test -p dvfs-core -p dvfs-sim --lib
+    else
+        echo "==> SKIPPED: Miri (nightly miri component not installed)"
+    fi
+else
+    echo "==> SKIPPED: sanitizer stage (no nightly toolchain installed)"
+fi
+
 # Invariant gate: dvfs-lint enforces the contracts no compiler checks —
 # determinism (no hash-order iteration / raw wall-clock reads outside
 # the serve clock seam), engine ownership (no Mutex<Engine> or retired
@@ -95,8 +123,14 @@ run cargo test -q -p dvfs-bench --test rebalance -- --ignored
 # their shard worker threads), layering (dvfs-core/dvfs-serve must not reach
 # dvfs-sim over normal deps; parsed natively from Cargo.toml, replacing
 # the old `cargo tree | grep` function), migration protocol (engine
-# steal/inject primitives only via worker commands), and wire-path
-# panic-freedom.
+# steal/inject primitives only via worker commands), wire-path
+# panic-freedom, and — via the two-pass workspace symbol table — the
+# concurrency contracts: atomics-discipline (Relaxed only on blessed
+# advisory sites; cross-module handshakes need Acquire/Release or
+# SeqCst), channel-protocol (reply-completeness on worker commands, no
+# unbounded channels off the blessed list), reactor-nonblocking (no
+# blocking calls in the epoll loop), and unsafe-audit (unsafe confined
+# to the syscall boundary, every block `// SAFETY:`-documented).
 # See DESIGN.md "Enforced invariants" for the rule list and waiver
 # syntax.
 run cargo test -p dvfs-lint -q

@@ -13,7 +13,7 @@
 
 use dvfs_serve::loadgen::{self, Connection, LoadMode};
 use dvfs_serve::protocol::{encode_command, encode_submit, value_u64, ErrorKind, Response};
-use dvfs_serve::{serve, Endpoint, SchedulerConfig, ServerConfig};
+use dvfs_serve::{serve, Endpoint, Mode, RebalanceConfig, SchedulerConfig, ServerConfig};
 use dvfs_suite::model::TaskClass;
 use serde::Value;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -156,6 +156,127 @@ fn burst_submits_race_drains_and_shutdown_without_losing_tasks() {
         .round_trip(&encode_command("shutdown"))
         .expect("shutdown acks");
     assert!(bye.is_ok(), "shutdown response: {bye:?}");
+    handle.wait();
+}
+
+#[test]
+#[ignore = "CI stress: run with `cargo test --test concurrency_stress -- --ignored`"]
+fn drain_races_wire_shutdown_with_rebalancer_on() {
+    // Paced mode keeps the ticker thread running rebalance passes
+    // (Steal/Inject command round-trips) while skewed submitters pile
+    // everything onto shard 0, a drainer closes books mid-flight, and a
+    // wire `shutdown` lands in the middle of all of it. The invariant
+    // under test is liveness + protocol sanity, not the ledger: no
+    // reply channel may hang a caller, shutdown must ack and join every
+    // worker, and the only errors clients may see once shutdown begins
+    // are `ShuttingDown` or a closed connection.
+    const CLIENTS: usize = 3;
+    const PER_CLIENT: usize = 400;
+
+    let shards = env_shards().max(2); // rebalancing needs a second shard
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            cores: 2,
+            shards,
+            mode: Mode::Paced { speed: 50.0 },
+            rebalance: RebalanceConfig::on(),
+            ..SchedulerConfig::default()
+        },
+        tick: Duration::from_millis(1),
+        ..ServerConfig::new(Endpoint::Unix(scratch("rebal")))
+    };
+    let handle = serve(cfg).expect("server binds");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let endpoint = handle.endpoint().clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || -> u64 {
+            let Ok(mut conn) = Connection::open(&endpoint) else {
+                return 0;
+            };
+            let mut completed = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                // Once shutdown lands, the drain either errors on the
+                // wire or is refused — both are fine; just stop.
+                match conn.round_trip(&encode_command("drain")) {
+                    // `drained_of` re-checks the per-shard sum
+                    // invariant on every mid-race round.
+                    Ok(resp @ Response::Ok(_)) => completed += drained_of(&resp),
+                    Ok(Response::Err { .. }) | Err(_) => break,
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            completed
+        })
+    };
+
+    let mut submitters = Vec::new();
+    for c in 0..CLIENTS {
+        let endpoint = handle.endpoint().clone();
+        let stop = Arc::clone(&stop);
+        submitters.push(std::thread::spawn(move || {
+            let Ok(mut conn) = Connection::open(&endpoint) else {
+                return;
+            };
+            for i in 0..PER_CLIENT {
+                // Explicit ids ≡ 0 mod shards hash-route every task to
+                // shard 0, manufacturing the imbalance the rebalancer
+                // exists to undo.
+                let seq = (c * PER_CLIENT + i) as u64;
+                let id = (1_000_000_000 + seq) * shards as u64;
+                let line = encode_submit(
+                    Some(id),
+                    2_000_000 + seq * 1_000,
+                    TaskClass::NonInteractive,
+                    None,
+                );
+                match conn.round_trip(&line) {
+                    Ok(Response::Ok(_)) => {}
+                    Ok(Response::Err {
+                        kind: ErrorKind::Overloaded,
+                        ..
+                    }) => {}
+                    Ok(Response::Err {
+                        kind: ErrorKind::ShuttingDown,
+                        ..
+                    }) => return,
+                    Ok(Response::Err { kind, message }) => {
+                        panic!("unexpected wire error {kind:?}: {message}")
+                    }
+                    // A closed connection is only legal once shutdown
+                    // has begun.
+                    Err(e) => {
+                        assert!(
+                            stop.load(Ordering::Acquire),
+                            "io error before shutdown: {e}"
+                        );
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    // Let the race build up real backlog and a few rebalance passes,
+    // then drop shutdown right into the middle of it. `stop` is raised
+    // *before* the wire command goes out so a submitter that loses its
+    // connection to the shutdown never misreads it as a spurious error.
+    std::thread::sleep(Duration::from_millis(40));
+    stop.store(true, Ordering::Release);
+    let bye = Connection::open(handle.endpoint())
+        .expect("shutdown connection")
+        .round_trip(&encode_command("shutdown"))
+        .expect("shutdown acks");
+    assert!(bye.is_ok(), "shutdown response: {bye:?}");
+
+    for t in submitters {
+        t.join().expect("submitter thread panicked");
+    }
+    drainer.join().expect("drainer thread panicked");
+
+    // The real assertion: every shard worker joins — a dropped reply
+    // sender or a wedged Steal/Inject round-trip would hang here.
     handle.wait();
 }
 
