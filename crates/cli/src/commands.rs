@@ -26,7 +26,7 @@ USAGE:
              [--queue-cap N] [--snapshot FILE] [--snapshot-period-s S]
              [--trace-out FILE] [--trace-cap N] [--net threads|reactor]
              [--max-connections N] [--actuator simulated|noop]
-             [--rebalance on|off]
+             [--rebalance on|off] [--telemetry on|off]
   dvfs-sched loadgen (--socket PATH | --tcp ADDR) --mode replay|poisson|closed
              [--trace FILE] [--rate HZ] [--duration-s S] [--clients N]
              [--requests N] [--interactive-frac F] [--mean-cycles C]
@@ -51,7 +51,9 @@ active connection submits `--requests` tasks, reporting submit latency
 percentiles and per-connection RSS growth. `serve --rebalance on`
 enables the Eq. 27 cross-shard rebalancer (tick-driven task migration
 hot->cold); `loadgen --mode closed --skew F` pins fraction F of
-submissions to shard 0 via explicit ids to provoke it.";
+submissions to shard 0 via explicit ids to provoke it. `serve
+--telemetry off` silences per-request stage-attribution histograms
+(the `health` command's worker heartbeats and loop counters stay on).";
 
 fn cost_params(args: &Args, default: CostParams) -> Result<CostParams, String> {
     let re = args.num("re", default.re)?;
@@ -371,6 +373,11 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
         "off" => dvfs_serve::RebalanceConfig::default(),
         other => return Err(format!("unknown rebalance setting `{other}` (on|off)")),
     };
+    let telemetry = match args.get("telemetry").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown telemetry setting `{other}` (on|off)")),
+    };
     let mut cfg = dvfs_serve::ServerConfig::new(endpoint);
     cfg.scheduler = dvfs_serve::SchedulerConfig {
         cores,
@@ -381,6 +388,7 @@ fn serve_cmd(argv: &[String]) -> Result<(), String> {
         trace_capacity,
         actuator,
         rebalance,
+        telemetry,
     };
     if let Some(net) = net {
         cfg.net = net;
@@ -702,6 +710,18 @@ mod tests {
             "--tcp",
             "127.0.0.1:0",
             "--rebalance",
+            "sometimes"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unknown_telemetry_setting() {
+        assert!(dispatch(&sv(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--telemetry",
             "sometimes"
         ]))
         .is_err());

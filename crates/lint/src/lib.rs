@@ -161,13 +161,25 @@ mod scope {
     pub const ATOMIC_ADVISORY_FILES: &[&str] = &["crates/serve/src/metrics.rs"];
     /// Rule C-A: individual `(file, field)` atomic sites blessed as
     /// advisory: the worker load gauges the router and rebalancer read
-    /// (stale values only skew placement, never correctness) and the
+    /// (stale values only skew placement, never correctness), the
     /// round-robin router cursor (any interleaving of increments is a
-    /// valid rotation).
+    /// valid rotation), and the worker heartbeat slots — telemetry the
+    /// supervisor and `health` snapshot read lock-free. `Relaxed` is
+    /// allowed on advisory slots only: a torn or stale heartbeat can
+    /// at worst misreport liveness for one poll interval, and nothing
+    /// scheduled ever reads these fields.
     pub const ATOMIC_ADVISORY_FIELDS: &[(&str, &str)] = &[
         ("crates/serve/src/worker.rs", "backlog"),
         ("crates/serve/src/worker.rs", "queued_cost_bits"),
         ("crates/serve/src/service.rs", "router_cursor"),
+        ("crates/serve/src/worker.rs", "last_progress_micros"),
+        ("crates/serve/src/worker.rs", "cmd_sent"),
+        ("crates/serve/src/worker.rs", "cmd_dequeued"),
+        ("crates/serve/src/worker.rs", "dequeue_age_micros"),
+        ("crates/serve/src/worker.rs", "tick_micros"),
+        ("crates/serve/src/worker.rs", "drain_micros"),
+        ("crates/serve/src/worker.rs", "steal_micros"),
+        ("crates/serve/src/worker.rs", "inject_micros"),
     ];
     /// Rule C-C: functions blessed to construct unbounded channels —
     /// the one-shot reply channel, bounded by the command/reply

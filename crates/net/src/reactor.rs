@@ -42,6 +42,7 @@ use crate::poller::{Event, Interest, Poller};
 use crate::sys;
 use std::io;
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 /// Reactor tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +129,19 @@ pub trait Observer {
     /// One `epoll_wait` returned `events` readiness records.
     fn on_wakeup(&mut self, events: usize) {
         let _ = events;
+    }
+    /// Loop timing for one wakeup: `wait_s` seconds blocked in
+    /// `epoll_wait`, `work_s` seconds servicing its events. Together
+    /// they partition the event loop's wall time, so their ratio is
+    /// the reactor's duty cycle.
+    fn on_loop_times(&mut self, wait_s: f64, work_s: f64) {
+        let _ = (wait_s, work_s);
+    }
+    /// A connection left `EPOLLOUT` backpressure (its flush completed,
+    /// or it died mid-stall); `stall_s` is how long the write side was
+    /// armed waiting for the peer to drain.
+    fn on_backpressure_stall(&mut self, stall_s: f64) {
+        let _ = stall_s;
     }
     /// A request line exceeded the byte budget.
     fn on_oversized(&mut self) {}
@@ -218,6 +232,11 @@ struct Entry {
     /// connection is not closed — even after peer EOF — while this is
     /// nonzero, so deferred responses can still be flushed.
     pending_deferred: usize,
+    /// When this connection's write side armed `EPOLLOUT` (a flush
+    /// stopped short on a full socket buffer). `None` while writes
+    /// complete eagerly; the stall is reported to the [`Observer`] when
+    /// the flush finally drains or the connection dies mid-stall.
+    stalled_since: Option<Instant>,
 }
 
 struct Slab {
@@ -251,6 +270,7 @@ impl Slab {
                     conn,
                     generation: *generation,
                     pending_deferred: 0,
+                    stalled_since: None,
                 });
                 return (idx, *generation);
             }
@@ -259,6 +279,7 @@ impl Slab {
             conn,
             generation: 0,
             pending_deferred: 0,
+            stalled_since: None,
         }));
         self.generations.push(0);
         (self.slots.len() - 1, 0)
@@ -309,7 +330,9 @@ pub fn run(
     let mut frames: Vec<Frame> = Vec::new();
 
     loop {
+        let wait_start = Instant::now();
         let n = poller.wait(&mut events, cfg.poll_timeout_ms)?;
+        let woke = Instant::now();
         observer.on_wakeup(n);
         if handler.should_stop() {
             break;
@@ -327,6 +350,10 @@ pub fn run(
                 service_connection(&poller, &mut slab, ev, handler, observer, &mut frames);
             }
         }
+        observer.on_loop_times(
+            woke.duration_since(wait_start).as_secs_f64(),
+            woke.elapsed().as_secs_f64(),
+        );
         if handler.should_stop() {
             break;
         }
@@ -433,6 +460,9 @@ fn settle_connection(poller: &Poller, slab: &mut Slab, idx: usize, observer: &mu
 
     match entry.conn.flush() {
         Ok(true) => {
+            if let Some(since) = entry.stalled_since.take() {
+                observer.on_backpressure_stall(since.elapsed().as_secs_f64());
+            }
             if entry.conn.closing && entry.pending_deferred == 0 {
                 dead = true;
             } else if entry.conn.write_armed {
@@ -446,6 +476,9 @@ fn settle_connection(poller: &Poller, slab: &mut Slab, idx: usize, observer: &mu
             }
         }
         Ok(false) => {
+            if entry.stalled_since.is_none() {
+                entry.stalled_since = Some(Instant::now());
+            }
             if !entry.conn.write_armed {
                 entry.conn.write_armed = true;
                 if poller
@@ -462,6 +495,12 @@ fn settle_connection(poller: &Poller, slab: &mut Slab, idx: usize, observer: &mu
     if dead {
         if let Some(entry) = slab.remove(idx) {
             let _ = poller.remove(entry.conn.fd());
+            // A connection that dies mid-stall still closes its stall
+            // window (the `Ok(true)` arm above already took the stamp
+            // when the flush completed before death).
+            if let Some(since) = entry.stalled_since {
+                observer.on_backpressure_stall(since.elapsed().as_secs_f64());
+            }
         }
         observer.on_close(slab.open);
     }

@@ -8,6 +8,7 @@
 //! non-interactive work is shed first, so a burst of batch submissions
 //! cannot starve the class the scheduler exists to protect.
 
+use crate::stage::StageStamp;
 use dvfs_model::{Task, TaskClass};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, PoisonError};
@@ -99,11 +100,13 @@ pub enum GateOutcome {
 }
 
 /// The bounded FIFO the connection handlers feed and the scheduler
-/// drains.
+/// drains. Each entry carries the request's stage stamps so the worker
+/// can close the queue-wait and end-to-end latency seams; the stamps
+/// ride alongside the task and never influence admission or ordering.
 #[derive(Debug)]
 pub struct AdmissionQueue {
     policy: AdmissionPolicy,
-    inner: Mutex<VecDeque<Task>>,
+    inner: Mutex<VecDeque<(Task, StageStamp)>>,
     nonempty: Condvar,
 }
 
@@ -118,7 +121,7 @@ impl AdmissionQueue {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(Task, StageStamp)>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -152,6 +155,20 @@ impl AdmissionQueue {
     /// outside the lock leaves a window where a task is acknowledged
     /// after the final drain and silently lost.
     pub fn try_submit_gated(&self, task: Task, open: impl FnOnce() -> bool) -> GateOutcome {
+        let recv = crate::clock::wall_now();
+        self.try_submit_stamped(task, recv, open)
+    }
+
+    /// [`try_submit_gated`](Self::try_submit_gated) with an explicit
+    /// wire-receive instant. The admission instant is stamped under the
+    /// queue lock, so queue-wait measured by the worker starts exactly
+    /// when the task became drainable.
+    pub(crate) fn try_submit_stamped(
+        &self,
+        task: Task,
+        recv: std::time::Instant,
+        open: impl FnOnce() -> bool,
+    ) -> GateOutcome {
         let mut q = self.lock();
         if !open() {
             return GateOutcome::Closed;
@@ -159,7 +176,11 @@ impl AdmissionQueue {
         if let Err(reason) = self.policy.admit(q.len(), task.class) {
             return GateOutcome::Shed(reason);
         }
-        q.push_back(task);
+        let stamp = StageStamp {
+            recv,
+            admitted: crate::clock::wall_now(),
+        };
+        q.push_back((task, stamp));
         let depth = q.len();
         drop(q);
         self.nonempty.notify_one();
@@ -168,6 +189,11 @@ impl AdmissionQueue {
 
     /// Take every queued task (scheduler side).
     pub fn drain(&self) -> Vec<Task> {
+        self.lock().drain(..).map(|(task, _)| task).collect()
+    }
+
+    /// Take every queued task with its stage stamps (worker side).
+    pub(crate) fn drain_stamped(&self) -> Vec<(Task, StageStamp)> {
         self.lock().drain(..).collect()
     }
 

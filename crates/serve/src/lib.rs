@@ -35,6 +35,8 @@
 //! * [`clock`] — the wall-clock seam (the only raw `Instant::now`).
 //! * [`metrics`] — counters, gauges, histograms, the registry.
 //! * [`executor`] — the wall-clock `ExecutorView` implementation.
+//! * [`stage`] — the per-request stage clock feeding stage-level
+//!   latency attribution histograms (the runtime health plane).
 //! * [`service`] — the scheduler proper (shard router, id ledger, the
 //!   round barrier, and the command fan-out over the workers).
 //! * `worker` (crate-private) — the per-shard worker thread that owns
@@ -56,13 +58,14 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod snapshot;
+pub mod stage;
 pub(crate) mod worker;
 
 pub use admission::{AdmissionPolicy, AdmissionQueue, GateOutcome, ShedReason};
 pub use executor::{
     ActuatorKind, NoopActuator, RateActuator, RealTimeExecutor, RoundReport, SimulatedActuator,
 };
-pub use loadgen::{class_idx, DrainSummary, IdleSummary, LoadMode, LoadReport};
+pub use loadgen::{class_idx, DrainSummary, IdleSummary, LoadMode, LoadReport, StageQuantiles};
 pub use metrics::{prometheus_text, shard_metric, Counter, Gauge, Histogram, Registry};
 pub use protocol::{ErrorKind, Request, Response};
 pub use server::{
@@ -73,3 +76,7 @@ pub use service::{
     service_platform, Mode, RebalanceConfig, Scheduler, SchedulerConfig, SubmitItem,
 };
 pub use snapshot::SnapshotWriter;
+pub use stage::{
+    StageClock, REQUEST_E2E, STAGE_ADMIT, STAGE_CMD_DEQUEUE, STAGE_ENGINE, STAGE_FRAME,
+    STAGE_QUEUE, STAGE_SERVICE, TELESCOPE_STAGES,
+};

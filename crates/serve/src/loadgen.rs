@@ -17,7 +17,12 @@
 //!   per-shard completion counts from `shard_reports`.
 //!
 //! Every acknowledgment round-trip lands in a shared wire-latency
-//! histogram; the run report carries throughput and p50/p95/p99.
+//! histogram — globally and per task class — and the run report
+//! carries throughput and p50/p95/p99. After the run the generator
+//! fetches the server's `health` document (best-effort: older servers
+//! without the command are tolerated) so the summary can print the
+//! client-observed percentiles next to the server-side stage
+//! attribution and show where the round-trip time actually went.
 
 use crate::metrics::Histogram;
 use crate::protocol::{encode_command, encode_submit, value_f64, value_u64, ErrorKind, Response};
@@ -146,10 +151,33 @@ pub struct LoadReport {
     pub throughput_rps: f64,
     /// Wire round-trip latency histogram (seconds).
     pub rtt: Arc<Histogram>,
+    /// Per-class round-trip histograms, indexed by [`class_idx`]
+    /// (interactive, non-interactive, batch).
+    pub rtt_by_class: [Arc<Histogram>; 3],
+    /// Server-side stage attribution from the post-run `health` fetch,
+    /// in pipeline order. Empty when the server does not speak
+    /// `health` or recorded no stage samples.
+    pub stages: Vec<StageQuantiles>,
     /// Drain totals (replay mode only).
     pub drain: Option<DrainSummary>,
     /// Idle-herd observations ([`LoadMode::Idle`] only).
     pub idle: Option<IdleSummary>,
+}
+
+/// One server-side stage's latency quantiles, parsed out of the
+/// `health` document's `stages` object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageQuantiles {
+    /// Histogram series name (e.g. `stage_queue_s`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, in seconds.
+    pub p50_s: f64,
+    /// 95th percentile, in seconds.
+    pub p95_s: f64,
+    /// 99th percentile, in seconds.
+    pub p99_s: f64,
 }
 
 /// Index of a task class in [`LoadReport::shed_by_class`].
@@ -204,6 +232,38 @@ impl LoadReport {
             q(0.95),
             q(0.99)
         );
+        let class_names = ["interactive", "non_interactive", "batch"];
+        for (name, hist) in class_names.iter().zip(&self.rtt_by_class) {
+            if hist.count() == 0 {
+                continue;
+            }
+            let q = |p: f64| hist.quantile(p).unwrap_or(0.0) * 1e3;
+            let _ = writeln!(
+                out,
+                "rtt[{name}] p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms ({} samples)",
+                q(0.50),
+                q(0.95),
+                q(0.99),
+                hist.count()
+            );
+        }
+        for s in &self.stages {
+            // `stage_queue_s` renders as `server queue`; the e2e series
+            // keeps its full name so it is not mistaken for a stage.
+            let label = s
+                .name
+                .strip_prefix("stage_")
+                .and_then(|n| n.strip_suffix("_s"))
+                .unwrap_or(&s.name);
+            let _ = writeln!(
+                out,
+                "server {label} p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms ({} samples)",
+                s.p50_s * 1e3,
+                s.p95_s * 1e3,
+                s.p99_s * 1e3,
+                s.count
+            );
+        }
         if let Some(i) = &self.idle {
             let _ = writeln!(
                 out,
@@ -339,16 +399,38 @@ impl Tally {
     }
 }
 
+/// The shared latency sinks every submission reports into: the global
+/// round-trip histogram plus one per task class.
+#[derive(Clone)]
+struct RttSinks {
+    all: Arc<Histogram>,
+    by_class: [Arc<Histogram>; 3],
+}
+
+impl RttSinks {
+    fn new() -> Self {
+        RttSinks {
+            all: Arc::new(Histogram::default()),
+            by_class: std::array::from_fn(|_| Arc::new(Histogram::default())),
+        }
+    }
+
+    fn record(&self, class: TaskClass, seconds: f64) {
+        self.all.record(seconds);
+        self.by_class[class_idx(class)].record(seconds);
+    }
+}
+
 fn submit_and_tally(
     conn: &mut Connection,
     line: &str,
     class: TaskClass,
-    rtt: &Histogram,
+    rtt: &RttSinks,
     tally: &mut Tally,
 ) -> std::io::Result<()> {
     let t0 = crate::clock::wall_now();
     let resp = conn.round_trip(line)?;
-    rtt.record(t0.elapsed().as_secs_f64());
+    rtt.record(class, t0.elapsed().as_secs_f64());
     tally.observe(&resp, class);
     Ok(())
 }
@@ -393,6 +475,50 @@ fn skew_id(n: u64, shards: u64) -> u64 {
     (SKEW_ID_BASE + n) * shards
 }
 
+/// Parse the `stages` object of a `health` response into quantile
+/// rows, keeping pipeline order and dropping stages with no samples.
+/// The end-to-end series rides along last so the telescope's target is
+/// visible next to its parts.
+fn parse_health_stages(resp: &Response) -> Vec<StageQuantiles> {
+    let Some(Value::Object(pairs)) = resp.field("stages") else {
+        return Vec::new();
+    };
+    let mut order: Vec<&str> = crate::stage::TELESCOPE_STAGES.to_vec();
+    order.push(crate::stage::REQUEST_E2E);
+    let mut out = Vec::new();
+    for name in order {
+        let Some((_, v)) = pairs.iter().find(|(k, _)| k == name) else {
+            continue;
+        };
+        let count = v.get("count").and_then(value_u64).unwrap_or(0);
+        if count == 0 {
+            continue;
+        }
+        let f = |key| v.get(key).and_then(value_f64).unwrap_or(0.0);
+        out.push(StageQuantiles {
+            name: name.to_string(),
+            count,
+            p50_s: f("p50"),
+            p95_s: f("p95"),
+            p99_s: f("p99"),
+        });
+    }
+    out
+}
+
+/// Fetch the server's stage attribution, tolerating servers that do
+/// not speak `health` (an error response or I/O failure yields the
+/// empty vec, never a failed run).
+fn fetch_health_stages(endpoint: &Endpoint) -> Vec<StageQuantiles> {
+    let Ok(mut conn) = Connection::open(endpoint) else {
+        return Vec::new();
+    };
+    match conn.round_trip(&encode_command("health")) {
+        Ok(resp @ Response::Ok(_)) => parse_health_stages(&resp),
+        _ => Vec::new(),
+    }
+}
+
 fn parse_drain(resp: &Response) -> Option<DrainSummary> {
     let f = |name| resp.field(name).and_then(value_f64);
     let per_shard_completed = match resp.field("shard_reports") {
@@ -419,7 +545,7 @@ fn parse_drain(resp: &Response) -> Option<DrainSummary> {
 /// Propagates connection and protocol failures; individual shed or
 /// error responses are tallied, not fatal.
 pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> {
-    let rtt = Arc::new(Histogram::default());
+    let rtt = RttSinks::new();
     let started = crate::clock::wall_now();
     let mut tally = Tally::default();
     let mut drain = None;
@@ -483,7 +609,7 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
             let mut threads = Vec::new();
             for c in 0..*clients {
                 let endpoint = endpoint.clone();
-                let rtt = Arc::clone(&rtt);
+                let rtt = rtt.clone();
                 let skew_seq = Arc::clone(&skew_seq);
                 let (n, frac, mean, seed) = (
                     *requests_per_client,
@@ -565,6 +691,9 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
     }
 
     let wall_seconds = started.elapsed().as_secs_f64();
+    // Post-run, so the fetch itself never lands in the rtt histograms
+    // and the server-side stage counts cover the whole offered load.
+    let stages = fetch_health_stages(endpoint);
     Ok(LoadReport {
         sent: tally.sent,
         admitted: tally.admitted,
@@ -573,7 +702,9 @@ pub fn run(endpoint: &Endpoint, mode: &LoadMode) -> std::io::Result<LoadReport> 
         shed_by_class: tally.shed_by_class,
         wall_seconds,
         throughput_rps: tally.admitted as f64 / wall_seconds.max(1e-9),
-        rtt,
+        rtt: rtt.all,
+        rtt_by_class: rtt.by_class,
+        stages,
         drain,
         idle,
     })
@@ -649,6 +780,8 @@ mod tests {
             wall_seconds: 1.0,
             throughput_rps: 1.0,
             rtt: Arc::new(Histogram::default()),
+            rtt_by_class: std::array::from_fn(|_| Arc::new(Histogram::default())),
+            stages: Vec::new(),
             drain: None,
             idle: None,
         };
@@ -658,6 +791,74 @@ mod tests {
             text.contains("shed by class: interactive 1 | non_interactive 2 | batch 0"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn render_shows_per_class_rtt_next_to_server_stage_attribution() {
+        let rtt = RttSinks::new();
+        rtt.record(TaskClass::Interactive, 0.002);
+        rtt.record(TaskClass::Interactive, 0.004);
+        rtt.record(TaskClass::Batch, 0.050);
+        let report = LoadReport {
+            sent: 3,
+            admitted: 3,
+            shed: 0,
+            errors: 0,
+            shed_by_class: [0; 3],
+            wall_seconds: 1.0,
+            throughput_rps: 3.0,
+            rtt: rtt.all,
+            rtt_by_class: rtt.by_class,
+            stages: vec![StageQuantiles {
+                name: "stage_queue_s".to_string(),
+                count: 3,
+                p50_s: 0.001,
+                p95_s: 0.002,
+                p99_s: 0.003,
+            }],
+            drain: None,
+            idle: None,
+        };
+        let text = report.render();
+        assert!(text.contains("rtt[interactive] p50"), "{text}");
+        assert!(text.contains("rtt[batch] p50"), "{text}");
+        // No non-interactive samples: its row is suppressed, not zero.
+        assert!(!text.contains("rtt[non_interactive]"), "{text}");
+        assert!(
+            text.contains("server queue p50 1.000 ms | p95 2.000 ms | p99 3.000 ms (3 samples)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn parse_health_stages_keeps_pipeline_order_and_drops_empty() {
+        use crate::protocol::{field_f64, field_u64};
+        let hist = |count: u64, p50: f64| {
+            Value::Object(vec![
+                field_u64("count", count),
+                field_f64("p50", p50),
+                field_f64("p95", p50 * 2.0),
+                field_f64("p99", p50 * 3.0),
+            ])
+        };
+        // Deliberately out of pipeline order, with one empty stage.
+        let resp = Response::Ok(vec![(
+            "stages".to_string(),
+            Value::Object(vec![
+                ("request_e2e_s".to_string(), hist(5, 0.010)),
+                ("stage_queue_s".to_string(), hist(5, 0.004)),
+                ("stage_frame_s".to_string(), hist(5, 0.001)),
+                ("stage_admit_s".to_string(), hist(0, 0.0)),
+            ]),
+        )]);
+        let stages = parse_health_stages(&resp);
+        let names: Vec<&str> = stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["stage_frame_s", "stage_queue_s", "request_e2e_s"]);
+        assert_eq!(stages[0].count, 5);
+        assert!((stages[1].p50_s - 0.004).abs() < 1e-12);
+        assert!((stages[1].p99_s - 0.012).abs() < 1e-12);
+        // No stages object at all (pre-health server): empty, no error.
+        assert!(parse_health_stages(&Response::Ok(vec![])).is_empty());
     }
 
     #[test]

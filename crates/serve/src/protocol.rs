@@ -10,11 +10,13 @@
 //! ```text
 //! {"cmd":"submit","cycles":N,"class":"interactive"|"non_interactive"|"batch"
 //!                 [,"id":N][,"arrival":S]}
-//! {"cmd":"stats"}     → metrics registry snapshot
-//! {"cmd":"drain"}     → run the buffered workload, return the report
-//! {"cmd":"trace"}     → accumulated lifecycle trace as JSONL lines
-//! {"cmd":"ping"}      → liveness probe
-//! {"cmd":"shutdown"}  → graceful stop: drain, flush snapshot, exit
+//! {"cmd":"stats"}        → metrics registry snapshot
+//! {"cmd":"drain"}        → run the buffered workload, return the report
+//! {"cmd":"trace"}        → accumulated lifecycle trace as JSONL lines
+//! {"cmd":"trace_stream"} → drain-and-forget the trace incrementally
+//! {"cmd":"health"}       → runtime health snapshot (one JSON document)
+//! {"cmd":"ping"}         → liveness probe
+//! {"cmd":"shutdown"}     → graceful stop: drain, flush snapshot, exit
 //! ```
 //!
 //! Responses: `{"ok":true, ...}` or
@@ -33,6 +35,19 @@
 //! * `trace` carries `"count"`, `"dropped"`, and an `"events"` array of
 //!   JSONL strings — the exact lines a `--trace-out` file holds, so the
 //!   two are byte-identical (tracing must be enabled server-side).
+//! * `trace_stream` carries the same `"count"`/`"dropped"`/`"events"`
+//!   shape plus `"streamed"` (total events streamed so far), but each
+//!   call returns only events not yet streamed and then forgets them
+//!   server-side, so repeated calls bound memory on long paced runs.
+//!   Concatenating every `trace_stream` chunk of a drained replay round
+//!   reproduces the one-shot `trace` output byte-for-byte.
+//! * `health` carries `"degraded"`, `"worker_stalled"`, a per-shard
+//!   `"heartbeats"` array (last-progress age, command-channel depth and
+//!   dequeue age, per-command service times), a `"stages"` object of
+//!   per-stage latency histogram snapshots, a `"reactor"` object of
+//!   event-loop stats, and trace-ring drop counts. It is computed from
+//!   lock-free heartbeat slots and leaf-locked metrics only — no worker
+//!   fan-out — so the reactor serves it inline on the fast path.
 
 use dvfs_model::TaskClass;
 use serde::{Number, Value};
@@ -68,6 +83,12 @@ pub enum Request {
     Drain,
     /// Fetch the accumulated lifecycle trace as JSONL lines.
     Trace,
+    /// Incrementally drain-and-forget the trace: return only events not
+    /// yet streamed, then drop them server-side.
+    TraceStream,
+    /// Snapshot the runtime health plane (heartbeats, stage histograms,
+    /// reactor loop stats) as one JSON document.
+    Health,
     /// Liveness probe.
     Ping,
     /// Graceful shutdown: drain, flush the final snapshot, stop.
@@ -303,6 +324,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "drain" => Ok(Request::Drain),
         "trace" => Ok(Request::Trace),
+        "trace_stream" => Ok(Request::TraceStream),
+        "health" => Ok(Request::Health),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown cmd `{other}`")),
@@ -333,8 +356,8 @@ pub fn encode_submit(
     encode_or_internal(&Value::Object(pairs))
 }
 
-/// Encode a bare command request line (`stats`, `drain`, `ping`,
-/// `shutdown`).
+/// Encode a bare command request line (`stats`, `drain`, `trace`,
+/// `trace_stream`, `health`, `ping`, `shutdown`).
 #[must_use]
 pub fn encode_command(cmd: &str) -> String {
     encode_or_internal(&Value::Object(vec![(
@@ -379,6 +402,8 @@ mod tests {
             ("stats", Request::Stats),
             ("drain", Request::Drain),
             ("trace", Request::Trace),
+            ("trace_stream", Request::TraceStream),
+            ("health", Request::Health),
             ("ping", Request::Ping),
             ("shutdown", Request::Shutdown),
         ] {

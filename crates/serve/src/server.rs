@@ -23,7 +23,14 @@
 //!
 //! The reactor exports its own registry series: `net_connections_open`
 //! / `net_connections_peak` gauges, `net_accepts` / `net_accepts_shed`
-//! / `net_wakeups` counters, and a `net_batch_lines` histogram.
+//! / `net_wakeups` / `net_wait_micros` / `net_work_micros` /
+//! `net_backpressure_stalls` / `net_backpressure_stall_micros`
+//! counters, and `net_batch_lines` / `net_events_per_wakeup`
+//! histograms. A supervisor thread samples the shard workers'
+//! heartbeats every `STALL_POLL` and flags workers that sit on an
+//! outstanding command past `STALL_AFTER` (`worker_stalled`
+//! episodes, the `degraded` gauge) — all snapshotted by the `health`
+//! wire command, which is served inline on the reactor fast path.
 //! Reactor lifecycle deliberately records **no** trace events: the
 //! lifecycle trace schema is pinned by the byte-identical replay
 //! contract, and connection-level visibility belongs to metrics (and
@@ -33,6 +40,7 @@ use crate::metrics::Registry;
 use crate::protocol::{parse_request, ErrorKind, Request, Response};
 use crate::service::{Mode, Scheduler, SchedulerConfig, SubmitItem};
 use crate::snapshot::SnapshotWriter;
+use crate::stage::StageClock;
 use dvfs_net::framing::{Frame, LineFramer};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -107,9 +115,12 @@ pub struct ServerConfig {
     pub snapshot_path: Option<PathBuf>,
     /// How often to append a metrics snapshot line.
     pub snapshot_period: Duration,
-    /// Lifecycle-trace file (JSONL); rewritten with the full
-    /// accumulated trace on every drain, trace fetch, and shutdown.
-    /// Requires `scheduler.trace_capacity > 0` to record anything.
+    /// Lifecycle-trace file (JSONL); append-only behind a written-lines
+    /// cursor, caught up on every drain, trace fetch, `trace_stream`
+    /// chunk, and shutdown — so the file holds the full stream even
+    /// when `trace_stream` has already forgotten early chunks
+    /// server-side. Requires `scheduler.trace_capacity > 0` to record
+    /// anything.
     pub trace_out: Option<PathBuf>,
     /// Wire front-end ([`NetBackend::from_env`] by default).
     pub net: NetBackend,
@@ -194,9 +205,14 @@ struct Shared {
     metrics: Arc<Registry>,
     snapshot: Option<SnapshotWriter>,
     trace_out: Option<PathBuf>,
-    /// Serializes trace-file rewrites so concurrent drains cannot
-    /// interleave partial writes.
-    trace_file_mx: Mutex<()>,
+    /// Lines already appended to the trace file — the append cursor.
+    /// Its mutex also serializes every trace-file write, and a
+    /// `trace_stream` holds it across take-and-append so the file gains
+    /// a chunk's lines *before* the scheduler forgets them: the file
+    /// cursor never falls behind the stream cursor, whatever the
+    /// interleaving. (Lock order is always file cursor → drained
+    /// trace.)
+    trace_written: Mutex<u64>,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -219,29 +235,80 @@ impl Shared {
         }
     }
 
-    /// Rewrite the trace file with the full accumulated trace. The file
-    /// always holds exactly the lines a wire `trace` response carries,
-    /// byte for byte.
+    /// Catch the trace file up to everything recorded so far. The file
+    /// is append-only behind the `trace_written` cursor: the first
+    /// flush truncates any stale file from a previous run, and every
+    /// flush appends exactly the lines past the cursor, so the file
+    /// always holds the full stream — streamed-and-forgotten chunks
+    /// first, then what a wire `trace` response still carries — byte
+    /// for byte.
     fn flush_trace(&self) {
-        let Some(path) = &self.trace_out else { return };
-        if !self.scheduler.trace_enabled() {
+        if self.trace_out.is_none() || !self.scheduler.trace_enabled() {
             return;
         }
-        let lines = self.scheduler.trace_lines();
-        let mut body = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
-        for l in &lines {
+        let mut written = self
+            .trace_written
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let (lines, first_abs) = self.scheduler.trace_lines_absolute();
+        self.append_trace_lines(&mut written, first_abs, &lines);
+    }
+
+    /// Handle a `trace_stream` request: take one chunk, append it to
+    /// the trace file (cursor lock held across both, so the chunk is
+    /// durable before the scheduler forgets it), and encode the wire
+    /// response.
+    fn trace_stream(&self) -> Response {
+        if !self.scheduler.trace_enabled() {
+            return self.scheduler.trace_stream_run();
+        }
+        let mut written = self
+            .trace_written
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let chunk = self.scheduler.trace_stream_take();
+        self.append_trace_lines(&mut written, chunk.forgotten_before, &chunk.lines);
+        Scheduler::stream_response(chunk)
+    }
+
+    /// Append every line whose absolute stream index is at or past the
+    /// cursor (`first_abs` is `lines[0]`'s index), advancing the cursor
+    /// on success. Called with the cursor lock held. A failed write
+    /// leaves the cursor untouched and bumps `trace_write_errors`; the
+    /// next flush retries the same span if it is still retained.
+    fn append_trace_lines(&self, written: &mut u64, first_abs: u64, lines: &[String]) {
+        let Some(path) = &self.trace_out else { return };
+        let skip = usize::try_from(written.saturating_sub(first_abs)).unwrap_or(usize::MAX);
+        let fresh = lines.get(skip..).unwrap_or(&[]);
+        let file = if *written == 0 {
+            std::fs::File::create(path)
+        } else if fresh.is_empty() {
+            return; // nothing new and the file already exists
+        } else {
+            std::fs::OpenOptions::new().append(true).open(path)
+        };
+        let mut body = String::with_capacity(fresh.iter().map(|l| l.len() + 1).sum());
+        for l in fresh {
             body.push_str(l);
             body.push('\n');
         }
-        let _guard = self
-            .trace_file_mx
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if std::fs::write(path, body).is_err() {
+        let ok = match file {
+            Ok(mut f) => f.write_all(body.as_bytes()).is_ok(),
+            Err(_) => false,
+        };
+        if ok {
+            *written += fresh.len() as u64;
+        } else {
             self.metrics.counter("trace_write_errors").inc();
         }
     }
 }
+
+/// How often the supervisor thread samples the worker heartbeats.
+const STALL_POLL: Duration = Duration::from_millis(200);
+/// How long a worker may sit on an outstanding command without
+/// progress before it is declared stalled.
+const STALL_AFTER: Duration = Duration::from_secs(5);
 
 /// Handle to a running server.
 pub struct ServerHandle {
@@ -249,6 +316,7 @@ pub struct ServerHandle {
     endpoint: Endpoint,
     accept_thread: Option<JoinHandle<()>>,
     ticker_thread: Option<JoinHandle<()>>,
+    supervisor_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -278,6 +346,9 @@ impl ServerHandle {
             let _ = t.join();
         }
         if let Some(t) = self.ticker_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.supervisor_thread.take() {
             let _ = t.join();
         }
         if let Endpoint::Unix(path) = &self.endpoint {
@@ -345,7 +416,7 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         metrics,
         snapshot,
         trace_out: cfg.trace_out.clone(),
-        trace_file_mx: Mutex::new(()),
+        trace_written: Mutex::new(0),
         shutdown: AtomicBool::new(false),
         started: crate::clock::wall_now(),
     });
@@ -371,6 +442,19 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         Mode::Replay => None,
     };
 
+    // The stall supervisor: turns stale worker heartbeats into
+    // `worker_stalled` episodes and the `degraded` flag. Reads only
+    // lock-free heartbeat slots, so a wedged worker cannot wedge it.
+    let supervisor_thread = {
+        let shared = Arc::clone(&shared);
+        Some(std::thread::spawn(move || {
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                shared.scheduler.check_stalls(STALL_AFTER);
+                std::thread::sleep(STALL_POLL);
+            }
+        }))
+    };
+
     let accept_thread = {
         let shared = Arc::clone(&shared);
         let net = cfg.net;
@@ -386,6 +470,7 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         endpoint,
         accept_thread,
         ticker_thread,
+        supervisor_thread,
     })
 }
 
@@ -534,22 +619,24 @@ fn reactor_loop(listener: &Listener, shared: &Arc<Shared>, max_connections: usiz
 struct WireHandler {
     shared: Arc<Shared>,
     max_connections: usize,
-    slow_tx: std::sync::mpsc::Sender<(u64, Vec<String>)>,
+    slow_tx: std::sync::mpsc::Sender<(u64, Instant, Vec<String>)>,
     /// Receiver parked here until [`dvfs_net::Handler::on_start`]
     /// hands over the injector and the slow-path thread spawns.
-    slow_rx: Option<std::sync::mpsc::Receiver<(u64, Vec<String>)>>,
+    slow_rx: Option<std::sync::mpsc::Receiver<(u64, Instant, Vec<String>)>>,
     slow_join: Option<JoinHandle<()>>,
 }
 
 /// Whether every line of the batch is answerable without waiting on
-/// the shard workers: submits and pings (and malformed lines, which
-/// cost one error response). `drain`/`stats`/`trace`/`shutdown` wait
-/// on worker replies — those batches belong on the slow lane.
+/// the shard workers: submits, pings, and `health` — which reads only
+/// heartbeat slots and leaf-locked metrics — plus malformed lines,
+/// which cost one error response. `drain`/`stats`/`trace`/
+/// `trace_stream`/`shutdown` wait on worker replies or file writes —
+/// those batches belong on the slow lane.
 fn batch_is_fast(lines: &[String]) -> bool {
     lines.iter().all(|line| {
         matches!(
             parse_request(line),
-            Ok(Request::Submit { .. } | Request::Ping) | Err(_)
+            Ok(Request::Submit { .. } | Request::Ping | Request::Health) | Err(_)
         )
     })
 }
@@ -561,8 +648,8 @@ impl dvfs_net::Handler for WireHandler {
         };
         let shared = Arc::clone(&self.shared);
         self.slow_join = Some(std::thread::spawn(move || {
-            while let Ok((token, lines)) = rx.recv() {
-                let (responses, shutdown) = handle_lines(&lines, &shared);
+            while let Ok((token, recv, lines)) = rx.recv() {
+                let (responses, shutdown) = handle_lines(&lines, &shared, recv);
                 // Inject before acting on a shutdown request: the ack
                 // must be in the reactor's mailbox before the stop
                 // flag is raised, so the final flush carries it out.
@@ -581,19 +668,22 @@ impl dvfs_net::Handler for WireHandler {
         lines: &[String],
         respond: &mut dyn FnMut(&str),
     ) -> usize {
+        // The reactor calls straight out of its read loop, so "now" is
+        // the wire-receive stamp for every line of the batch.
+        let recv = crate::clock::wall_now();
         if pending == 0 && batch_is_fast(lines) {
-            let (responses, _shutdown) = handle_lines(lines, &self.shared);
+            let (responses, _shutdown) = handle_lines(lines, &self.shared, recv);
             for r in &responses {
                 respond(r);
             }
             return 0;
         }
-        if self.slow_tx.send((token, lines.to_vec())).is_ok() {
+        if self.slow_tx.send((token, recv, lines.to_vec())).is_ok() {
             return 1;
         }
         // Slow lane gone (only possible mid-teardown): answer inline
         // rather than drop the batch.
-        let (responses, shutdown) = handle_lines(lines, &self.shared);
+        let (responses, shutdown) = handle_lines(lines, &self.shared, recv);
         for r in &responses {
             respond(r);
         }
@@ -654,12 +744,40 @@ impl dvfs_net::Observer for MetricsObserver {
             .record(lines as f64);
     }
 
-    fn on_wakeup(&mut self, _events: usize) {
+    fn on_wakeup(&mut self, events: usize) {
         self.metrics.counter("net_wakeups").inc();
+        #[allow(clippy::cast_precision_loss)]
+        self.metrics
+            .histogram("net_events_per_wakeup")
+            .record(events as f64);
+    }
+
+    fn on_loop_times(&mut self, wait_s: f64, work_s: f64) {
+        self.metrics.counter("net_wait_micros").add(micros(wait_s));
+        self.metrics.counter("net_work_micros").add(micros(work_s));
+    }
+
+    fn on_backpressure_stall(&mut self, stall_s: f64) {
+        self.metrics.counter("net_backpressure_stalls").inc();
+        self.metrics
+            .counter("net_backpressure_stall_micros")
+            .add(micros(stall_s));
     }
 
     fn on_oversized(&mut self) {
         // Counted where the response line is built (both backends).
+    }
+}
+
+/// Non-negative seconds to whole microseconds for counter arithmetic.
+fn micros(seconds: f64) -> u64 {
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        reason = "observer durations are non-negative and far below u64 micros range"
+    )]
+    {
+        (seconds.max(0.0) * 1e6).round() as u64
     }
 }
 
@@ -683,6 +801,8 @@ fn dispatch(req: Request, shared: &Shared) -> (Response, bool) {
             shared.flush_trace();
             (resp, false)
         }
+        Request::TraceStream => (shared.trace_stream(), false),
+        Request::Health => (shared.scheduler.health(), false),
         Request::Ping => (Response::ok(), false),
         Request::Shutdown => (Response::ok(), true),
     }
@@ -709,12 +829,22 @@ fn oversized_response(len: usize, shared: &Shared) -> String {
 }
 
 /// Push the responses for a run of consecutive submit lines — one
-/// `Scheduler::submit_many` admission call for the whole run.
-fn flush_submits(pending: &mut Vec<SubmitItem>, out: &mut Vec<String>, shared: &Shared) {
+/// `Scheduler::submit_many` admission call for the whole run. The
+/// stage clock closes the frame seam here: the bytes were read at
+/// `recv`, and parsing the run finished just before this call.
+fn flush_submits(
+    pending: &mut Vec<SubmitItem>,
+    out: &mut Vec<String>,
+    shared: &Shared,
+    recv: Instant,
+) {
     if pending.is_empty() {
         return;
     }
-    for resp in shared.scheduler.submit_many(pending) {
+    for resp in shared
+        .scheduler
+        .submit_many_timed(pending, StageClock::framed_now(recv))
+    {
         out.push(resp.encode());
     }
     pending.clear();
@@ -722,11 +852,12 @@ fn flush_submits(pending: &mut Vec<SubmitItem>, out: &mut Vec<String>, shared: &
 
 /// The line pipeline both front-ends share: one batch of complete
 /// request lines in, one response line per request line out, in order.
-/// Consecutive submits are folded into a single admission call; the
-/// `bool` reports a shutdown request (remaining lines in the batch are
-/// not processed, matching the thread backend's historical
+/// Consecutive submits are folded into a single admission call stamped
+/// with `recv` (when the batch's bytes came off the wire); the `bool`
+/// reports a shutdown request (remaining lines in the batch are not
+/// processed, matching the thread backend's historical
 /// respond-then-close behavior).
-fn handle_lines(lines: &[String], shared: &Shared) -> (Vec<String>, bool) {
+fn handle_lines(lines: &[String], shared: &Shared, recv: Instant) -> (Vec<String>, bool) {
     let mut out = Vec::with_capacity(lines.len());
     let mut pending: Vec<SubmitItem> = Vec::new();
     let mut shutdown = false;
@@ -744,7 +875,7 @@ fn handle_lines(lines: &[String], shared: &Shared) -> (Vec<String>, bool) {
                 arrival,
             }),
             Ok(req) => {
-                flush_submits(&mut pending, &mut out, shared);
+                flush_submits(&mut pending, &mut out, shared, recv);
                 let (resp, sd) = dispatch(req, shared);
                 out.push(resp.encode());
                 if sd {
@@ -753,13 +884,13 @@ fn handle_lines(lines: &[String], shared: &Shared) -> (Vec<String>, bool) {
                 }
             }
             Err(msg) => {
-                flush_submits(&mut pending, &mut out, shared);
+                flush_submits(&mut pending, &mut out, shared, recv);
                 shared.metrics.counter("malformed_requests").inc();
                 out.push(Response::err(ErrorKind::BadRequest, msg).encode());
             }
         }
     }
-    flush_submits(&mut pending, &mut out, shared);
+    flush_submits(&mut pending, &mut out, shared, recv);
     (out, shutdown)
 }
 
@@ -767,7 +898,11 @@ fn handle_lines(lines: &[String], shared: &Shared) -> (Vec<String>, bool) {
 /// batches (through [`handle_lines`]) and oversized rejections,
 /// preserving wire order. The reactor does the equivalent split inside
 /// `dvfs-net` and funnels into the same two helpers.
-fn frames_to_responses(frames: &mut Vec<Frame>, shared: &Shared) -> (Vec<String>, bool) {
+fn frames_to_responses(
+    frames: &mut Vec<Frame>,
+    shared: &Shared,
+    recv: Instant,
+) -> (Vec<String>, bool) {
     let mut responses = Vec::new();
     let mut lines: Vec<String> = Vec::new();
     let mut shutdown = false;
@@ -775,7 +910,7 @@ fn frames_to_responses(frames: &mut Vec<Frame>, shared: &Shared) -> (Vec<String>
         match frame {
             Frame::Line(l) => lines.push(l),
             Frame::Oversized { len } => {
-                let (mut rs, sd) = handle_lines(&lines, shared);
+                let (mut rs, sd) = handle_lines(&lines, shared, recv);
                 lines.clear();
                 responses.append(&mut rs);
                 if sd {
@@ -787,7 +922,7 @@ fn frames_to_responses(frames: &mut Vec<Frame>, shared: &Shared) -> (Vec<String>
         }
     }
     if !shutdown {
-        let (mut rs, sd) = handle_lines(&lines, shared);
+        let (mut rs, sd) = handle_lines(&lines, shared, recv);
         responses.append(&mut rs);
         shutdown = sd;
     }
@@ -819,9 +954,16 @@ fn handle_connection(stream: Stream, shared: &Arc<Shared>, guard: ConnGuard) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match stream.read(&mut buf) {
+        let recv = match stream.read(&mut buf) {
             Ok(0) => break, // client closed; a mid-line fragment owes no response
-            Ok(n) => framer.feed(buf.get(..n).unwrap_or(&[]), &mut frames),
+            Ok(n) => {
+                // Stamp wire receive *after* the (possibly long) block
+                // in `read`, so the frame stage measures framing and
+                // parsing, not idle socket time.
+                let recv = crate::clock::wall_now();
+                framer.feed(buf.get(..n).unwrap_or(&[]), &mut frames);
+                recv
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -832,11 +974,11 @@ fn handle_connection(stream: Stream, shared: &Arc<Shared>, guard: ConnGuard) {
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => break,
-        }
+        };
         if frames.is_empty() {
             continue;
         }
-        let (responses, shutdown) = frames_to_responses(&mut frames, shared);
+        let (responses, shutdown) = frames_to_responses(&mut frames, shared, recv);
         let mut ok = true;
         for r in &responses {
             if writeln!(writer, "{r}").is_err() {

@@ -86,7 +86,8 @@ use crate::admission::{AdmissionPolicy, AdmissionQueue, GateOutcome};
 use crate::executor::{ActuatorKind, RoundReport};
 use crate::metrics::{shard_metric, Registry};
 use crate::protocol::{field_f64, field_u64, ErrorKind, Response};
-use crate::worker::{self, Command, ShardShared, WorkerHandle};
+use crate::stage::{StageClock, StageHists, REQUEST_E2E, STAGE_CMD_DEQUEUE, TELESCOPE_STAGES};
+use crate::worker::{self, Command, Heartbeat, ShardShared, WorkerHandle};
 use dvfs_model::{CoreSpec, CostParams, Platform, RateTable, Task, TaskClass};
 use dvfs_trace::{ClassTag, EventKind as TraceKind, SharedRing, TraceEvent};
 use serde::Value;
@@ -172,6 +173,13 @@ pub struct SchedulerConfig {
     /// Cross-shard rebalancer, driven from the tick path. Disabled by
     /// default so drains of an untouched service replay bit-identically.
     pub rebalance: RebalanceConfig,
+    /// Per-request stage-attribution telemetry (the runtime health
+    /// plane's per-task half). On by default; the health-overhead bench
+    /// turns it off to pin the cost of the stage clock. Heartbeat slots
+    /// are per-command and stay on regardless — only the per-task stage
+    /// histogram records are gated. Metrics never feed back into
+    /// scheduling, so the flag cannot affect the replayed schedule.
+    pub telemetry: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -185,6 +193,7 @@ impl Default for SchedulerConfig {
             trace_capacity: 0,
             actuator: ActuatorKind::default(),
             rebalance: RebalanceConfig::default(),
+            telemetry: true,
         }
     }
 }
@@ -230,6 +239,31 @@ struct IdLedger {
 #[cfg(test)]
 type RoundHook = Box<dyn FnOnce(&Scheduler) + Send>;
 
+/// Trace events drained from the shard rings, plus the streaming
+/// cursor: `forgotten` events were already handed out by
+/// `trace_stream` (and, when a `--trace-out` file is configured,
+/// appended to it first) and dropped from memory.
+struct DrainedTrace {
+    events: Vec<TraceEvent>,
+    /// Events streamed-and-forgotten so far; `forgotten + events.len()`
+    /// is the absolute index of the next event to arrive.
+    forgotten: u64,
+}
+
+/// One `trace_stream` increment: every retained event serialized, about
+/// to be forgotten server-side.
+pub(crate) struct TraceChunk {
+    /// JSONL lines of this chunk's events.
+    pub lines: Vec<String>,
+    /// Absolute index of `lines[0]` in the full trace stream — the
+    /// append cursor a `--trace-out` file writer needs.
+    pub forgotten_before: u64,
+    /// Total events streamed including this chunk.
+    pub streamed_total: u64,
+    /// Ring-drop counter at snapshot time.
+    pub dropped: u64,
+}
+
 /// The long-running scheduler: a router over N shards — each an
 /// admission queue feeding an engine owned by a dedicated worker
 /// thread — plus a global id ledger, the paced-clock anchor used for
@@ -262,9 +296,13 @@ pub struct Scheduler {
     router_cursor: AtomicUsize,
     /// Trace events drained from the shard rings so far, in drain
     /// order (ascending shard within each round). Grows until the
-    /// server restarts; the trace facility trades memory for a
-    /// complete, replayable record of the run.
-    drained_trace: Mutex<Vec<TraceEvent>>,
+    /// server restarts — unless the client streams it: `trace_stream`
+    /// hands out retained events incrementally and forgets them, so
+    /// long paced runs can bound memory without losing history.
+    drained_trace: Mutex<DrainedTrace>,
+    /// Per-shard "currently in a stall episode" latches, so the
+    /// supervisor counts each stall once instead of once per poll.
+    stall_episodes: Mutex<Vec<bool>>,
     /// Test-only seam: runs once inside the next `tick`/`drain` after
     /// the queues were drained but before the depth gauges are
     /// published, standing in for a racing submitter.
@@ -296,9 +334,17 @@ impl Scheduler {
                     completed: metrics.counter(&shard_metric("completed", k)),
                     backlog: AtomicUsize::new(0),
                     queued_cost_bits: AtomicU64::new(0),
+                    hb: Heartbeat::new(),
+                    stages: StageHists::new(&metrics, k),
                 })
             })
             .collect();
+        // Health-plane metrics exist from the start, so `stats`,
+        // `prometheus_text`, and `health` expose them even before the
+        // first stall or failed send.
+        let _ = metrics.counter("worker_stalled");
+        let _ = metrics.counter("worker_send_failed");
+        metrics.gauge("degraded").set(0);
         let lmc_hist = metrics.histogram("lmc_decision_us");
         let workers = shards
             .iter()
@@ -325,7 +371,11 @@ impl Scheduler {
             work_mx: Mutex::new(()),
             work_cv: Condvar::new(),
             router_cursor: AtomicUsize::new(0),
-            drained_trace: Mutex::new(Vec::new()),
+            drained_trace: Mutex::new(DrainedTrace {
+                events: Vec::new(),
+                forgotten: 0,
+            }),
+            stall_episodes: Mutex::new(vec![false; n]),
             #[cfg(test)]
             round_hook: Mutex::new(None),
             cfg,
@@ -495,6 +545,16 @@ impl Scheduler {
     /// locked once for the whole batch and the paced ticker is signaled
     /// once at the end instead of per task.
     pub fn submit_many(&self, items: &[SubmitItem]) -> Vec<Response> {
+        // In-process submitters have no wire seams; both stamps close
+        // now, so their frame stage records as (near) zero.
+        self.submit_many_timed(items, StageClock::now())
+    }
+
+    /// [`Scheduler::submit_many`] with the batch's wire stage stamps.
+    /// The front-ends call this with the instants the bytes were read
+    /// and the batch finished parsing, closing the frame and admit
+    /// seams of the stage clock.
+    pub fn submit_many_timed(&self, items: &[SubmitItem], clock: StageClock) -> Vec<Response> {
         let mut out = Vec::with_capacity(items.len());
         if items.is_empty() {
             return out;
@@ -503,7 +563,7 @@ impl Scheduler {
         {
             let mut ids = self.lock_ids();
             for item in items {
-                out.push(self.submit_one(&mut ids, *item, &mut admitted_any));
+                out.push(self.submit_one(&mut ids, *item, clock, &mut admitted_any));
             }
         }
         if admitted_any {
@@ -524,6 +584,7 @@ impl Scheduler {
         &self,
         ids: &mut IdLedger,
         item: SubmitItem,
+        clock: StageClock,
         admitted_any: &mut bool,
     ) -> Response {
         let SubmitItem {
@@ -585,11 +646,23 @@ impl Scheduler {
         // shutdown's post-drain depth re-check takes the same lock, so
         // a submission either lands before that check (and is drained)
         // or observes the flag and is refused — never silently lost.
-        match sh.queue.try_submit_gated(task, || !self.is_shutting_down()) {
+        match sh
+            .queue
+            .try_submit_stamped(task, clock.recv, || !self.is_shutting_down())
+        {
             GateOutcome::Admitted(depth) => {
                 *admitted_any = true;
                 self.metrics.counter("admitted").inc();
                 sh.admitted.inc();
+                if self.cfg.telemetry {
+                    // Close the wire-side seams for this shard: receive
+                    // → parsed, parsed → admitted.
+                    let admitted_at = crate::clock::wall_now();
+                    let frame = clock.framed.duration_since(clock.recv);
+                    let admit = admitted_at.duration_since(clock.framed);
+                    sh.stages.frame.record(frame.as_secs_f64());
+                    sh.stages.admit.record(admit.as_secs_f64());
+                }
                 if let Some(ring) = &sh.ring {
                     let tag = class_tag(class);
                     ring.record(
@@ -714,7 +787,14 @@ impl Scheduler {
             pending_total += reply.pending as i64;
         }
         self.metrics.gauge("pending_tasks").set(pending_total);
+        let t0 = crate::clock::wall_now();
         self.rebalance_once();
+        if self.cfg.rebalance.enabled && self.shards.len() > 1 {
+            let micros = crate::clock::wall_now().duration_since(t0).as_micros();
+            self.metrics
+                .gauge("rebalance_pass_us")
+                .set(i64::try_from(micros).unwrap_or(i64::MAX));
+        }
         self.fire_round_hook();
         self.publish_queue_depth();
     }
@@ -877,7 +957,7 @@ impl Scheduler {
         self.cfg.trace_capacity > 0
     }
 
-    fn lock_drained(&self) -> MutexGuard<'_, Vec<TraceEvent>> {
+    fn lock_drained(&self) -> MutexGuard<'_, DrainedTrace> {
         self.drained_trace
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -922,7 +1002,7 @@ impl Scheduler {
                     .add(wait_micros);
             }
         }
-        self.lock_drained().extend(events);
+        self.lock_drained().events.extend(events);
     }
 
     /// Move every shard's live ring residue (events recorded since the
@@ -934,18 +1014,74 @@ impl Scheduler {
         }
     }
 
-    /// The full accumulated trace as JSONL lines (one event per line,
-    /// no trailing newline per line). Live ring residue is folded in
-    /// first, so the result covers everything recorded so far. The
-    /// same lines back a `--trace-out` file and the wire `trace`
-    /// response, byte for byte.
+    /// The retained accumulated trace as JSONL lines (one event per
+    /// line, no trailing newline per line). Live ring residue is folded
+    /// in first, so the result covers everything recorded and not yet
+    /// streamed away: on a server that never used `trace_stream`, that
+    /// is the complete run. The same lines back a `--trace-out` file
+    /// and the wire `trace` response, byte for byte.
     #[must_use]
     pub fn trace_lines(&self) -> Vec<String> {
+        self.trace_lines_absolute().0
+    }
+
+    /// [`Scheduler::trace_lines`] plus the absolute index of the first
+    /// retained line in the full trace stream — the offset an
+    /// append-only file writer needs to skip lines it already wrote.
+    pub(crate) fn trace_lines_absolute(&self) -> (Vec<String>, u64) {
         self.collect_trace_residue();
-        self.lock_drained()
+        let drained = self.lock_drained();
+        let lines = drained
+            .events
             .iter()
             .map(dvfs_trace::export::jsonl_line)
-            .collect()
+            .collect();
+        (lines, drained.forgotten)
+    }
+
+    /// Take one `trace_stream` chunk: serialize every retained event,
+    /// then forget it server-side. Repeated calls return disjoint,
+    /// contiguous chunks whose concatenation is byte-identical to what
+    /// a single one-shot `trace` would have returned.
+    pub(crate) fn trace_stream_take(&self) -> TraceChunk {
+        self.collect_trace_residue();
+        let dropped = self.trace_dropped();
+        let mut drained = self.lock_drained();
+        let events = std::mem::take(&mut drained.events);
+        let lines: Vec<String> = events.iter().map(dvfs_trace::export::jsonl_line).collect();
+        let forgotten_before = drained.forgotten;
+        drained.forgotten += lines.len() as u64;
+        TraceChunk {
+            forgotten_before,
+            streamed_total: drained.forgotten,
+            lines,
+            dropped,
+        }
+    }
+
+    /// Encode a [`TraceChunk`] as the `trace_stream` wire response.
+    pub(crate) fn stream_response(chunk: TraceChunk) -> Response {
+        Response::Ok(vec![
+            field_u64("count", chunk.lines.len() as u64),
+            field_u64("dropped", chunk.dropped),
+            field_u64("streamed", chunk.streamed_total),
+            (
+                "events".to_string(),
+                Value::Array(chunk.lines.into_iter().map(Value::String).collect()),
+            ),
+        ])
+    }
+
+    /// Wire handler for `trace_stream` (in-process form; the server
+    /// front-end interleaves the file append between take and encode).
+    pub fn trace_stream_run(&self) -> Response {
+        if !self.trace_enabled() {
+            return Response::err(
+                ErrorKind::BadRequest,
+                "tracing is disabled (start the server with --trace-cap)",
+            );
+        }
+        Self::stream_response(self.trace_stream_take())
     }
 
     /// Events dropped by full (or zero-capacity) trace rings so far.
@@ -1091,7 +1227,127 @@ impl Scheduler {
                 "migration_rate",
                 migrations as f64 / admitted_total.max(1) as f64,
             ),
+            field_u64(
+                "worker_send_failed",
+                self.metrics.counter("worker_send_failed").get(),
+            ),
+            field_u64(
+                "worker_stalled",
+                self.metrics.counter("worker_stalled").get(),
+            ),
             ("shard_stats".to_string(), Value::Array(shard_stats)),
+        ])
+    }
+
+    /// One supervisor pass over the worker heartbeats: a worker with
+    /// commands outstanding and no progress for `stall_after` is
+    /// stalled. Each stall episode increments `worker_stalled` (global
+    /// and per shard) exactly once — the per-shard latch resets when
+    /// the worker makes progress again — and the `degraded` gauge
+    /// reflects whether any shard is currently stalled. Reads only the
+    /// lock-free heartbeat slots; never touches a worker channel, so a
+    /// wedged worker cannot wedge its own supervisor.
+    pub fn check_stalls(&self, stall_after: Duration) -> bool {
+        let mut episodes = self
+            .stall_episodes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut any = false;
+        for (latched, sh) in episodes.iter_mut().zip(&self.shards) {
+            let snap = sh.hb.snapshot();
+            let stalled =
+                snap.cmd_depth > 0 && snap.last_progress_age_s > stall_after.as_secs_f64();
+            if stalled && !*latched {
+                self.metrics.counter("worker_stalled").inc();
+                self.metrics
+                    .counter(&shard_metric("worker_stalled", sh.index))
+                    .inc();
+            }
+            *latched = stalled;
+            any |= stalled;
+        }
+        self.metrics.gauge("degraded").set(i64::from(any));
+        any
+    }
+
+    /// Wire handler for `health`: the runtime health plane as one JSON
+    /// document — per-shard worker heartbeats, the stage-attribution
+    /// histograms, reactor loop stats, and trace-ring drop counts.
+    /// Deliberately computed from lock-free heartbeat slots and
+    /// leaf-locked metrics only (no worker fan-out, no engine access),
+    /// so the reactor can serve it inline on the fast path even while
+    /// every worker is mid-round.
+    pub fn health(&self) -> Response {
+        let heartbeats: Vec<Value> = self
+            .shards
+            .iter()
+            .map(|sh| {
+                let snap = sh.hb.snapshot();
+                Value::Object(vec![
+                    field_u64("shard", sh.index as u64),
+                    field_f64("last_progress_age_s", snap.last_progress_age_s),
+                    field_u64("cmd_depth", snap.cmd_depth),
+                    field_u64("dequeue_age_us", snap.dequeue_age_us),
+                    field_u64("tick_us", snap.tick_us),
+                    field_u64("drain_us", snap.drain_us),
+                    field_u64("steal_us", snap.steal_us),
+                    field_u64("inject_us", snap.inject_us),
+                    field_u64("queue_depth", sh.queue.depth() as u64),
+                    field_u64("backlog", sh.backlog() as u64),
+                ])
+            })
+            .collect();
+        let stages: Vec<(String, Value)> = TELESCOPE_STAGES
+            .iter()
+            .chain([&STAGE_CMD_DEQUEUE, &REQUEST_E2E])
+            .map(|name| ((*name).to_string(), self.metrics.histogram(name).to_value()))
+            .collect();
+        let reactor = Value::Object(vec![
+            field_u64("wakeups", self.metrics.counter("net_wakeups").get()),
+            field_u64("wait_micros", self.metrics.counter("net_wait_micros").get()),
+            field_u64("work_micros", self.metrics.counter("net_work_micros").get()),
+            (
+                "events_per_wakeup".to_string(),
+                self.metrics.histogram("net_events_per_wakeup").to_value(),
+            ),
+            (
+                "batch_lines".to_string(),
+                self.metrics.histogram("net_batch_lines").to_value(),
+            ),
+            field_u64(
+                "backpressure_stalls",
+                self.metrics.counter("net_backpressure_stalls").get(),
+            ),
+            field_u64(
+                "backpressure_stall_micros",
+                self.metrics.counter("net_backpressure_stall_micros").get(),
+            ),
+        ]);
+        let streamed = self.lock_drained().forgotten;
+        Response::Ok(vec![
+            field_u64(
+                "degraded",
+                u64::from(self.metrics.gauge("degraded").get() != 0),
+            ),
+            field_u64(
+                "worker_stalled",
+                self.metrics.counter("worker_stalled").get(),
+            ),
+            field_u64(
+                "worker_send_failed",
+                self.metrics.counter("worker_send_failed").get(),
+            ),
+            field_u64("shards", self.shards.len() as u64),
+            field_u64("telemetry", u64::from(self.cfg.telemetry)),
+            ("heartbeats".to_string(), Value::Array(heartbeats)),
+            ("stages".to_string(), Value::Object(stages)),
+            ("reactor".to_string(), reactor),
+            field_u64("trace_dropped", self.trace_dropped()),
+            field_u64("trace_streamed", streamed),
+            field_u64(
+                "rebalance_pass_us",
+                u64::try_from(self.metrics.gauge("rebalance_pass_us").get()).unwrap_or(0),
+            ),
         ])
     }
 
@@ -1731,5 +1987,285 @@ mod tests {
             .and_then(value_u64)
             .unwrap();
         assert_eq!(depth0, 1, "task with id 0 sits on shard 0");
+    }
+
+    /// The health-plane counters exist from construction and are pinned
+    /// to their exposition names: `stats` carries them as top-level
+    /// fields and `prometheus_text` exports them under the `dvfs_`
+    /// prefix, so dashboards can alert on them before the first
+    /// failure ever happens.
+    #[test]
+    fn stall_counters_are_pinned_in_stats_and_prometheus_exposition() {
+        let s = sharded(2, 64);
+        let stats = s.stats();
+        assert_eq!(
+            value_u64(stats.field("worker_send_failed").unwrap()),
+            Some(0)
+        );
+        assert_eq!(value_u64(stats.field("worker_stalled").unwrap()), Some(0));
+        let text = crate::metrics::prometheus_text(s.metrics());
+        assert!(
+            text.contains("dvfs_worker_send_failed 0"),
+            "exposition must pin dvfs_worker_send_failed: {text}"
+        );
+        assert!(
+            text.contains("dvfs_worker_stalled 0"),
+            "exposition must pin dvfs_worker_stalled: {text}"
+        );
+        assert!(
+            text.contains("dvfs_degraded 0"),
+            "exposition must pin dvfs_degraded: {text}"
+        );
+    }
+
+    /// The stall supervisor counts episodes, not polls: a stalled shard
+    /// increments `worker_stalled` once, stays latched while the stall
+    /// persists, and re-arms after the worker makes progress again.
+    #[test]
+    fn check_stalls_latches_one_count_per_episode() {
+        let s = sharded(2, 64);
+        // Healthy workers: no stall, not degraded.
+        assert!(!s.check_stalls(Duration::from_millis(0)));
+        assert_eq!(s.metrics().counter("worker_stalled").get(), 0);
+
+        // Simulate a wedged shard-0 worker: a command counted as sent
+        // but never dequeued, with the progress stamp aging out.
+        s.shards[0].hb.note_send();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(s.check_stalls(Duration::from_millis(1)));
+        assert_eq!(s.metrics().counter("worker_stalled").get(), 1);
+        assert_eq!(
+            s.metrics()
+                .counter(&shard_metric("worker_stalled", 0))
+                .get(),
+            1
+        );
+        assert_eq!(s.metrics().gauge("degraded").get(), 1);
+        // Still stalled: the latch holds the count at one.
+        assert!(s.check_stalls(Duration::from_millis(1)));
+        assert_eq!(s.metrics().counter("worker_stalled").get(), 1);
+
+        // The worker recovers (dequeues the command, marks progress):
+        // the flag clears and the latch re-arms.
+        s.shards[0].hb.note_dequeue(crate::clock::wall_now());
+        assert!(!s.check_stalls(Duration::from_millis(1)));
+        assert_eq!(s.metrics().gauge("degraded").get(), 0);
+
+        // A second episode counts again.
+        s.shards[0].hb.note_send();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(s.check_stalls(Duration::from_millis(1)));
+        assert_eq!(s.metrics().counter("worker_stalled").get(), 2);
+    }
+
+    /// `trace_stream` chunks drain-and-forget: their concatenation is
+    /// byte-identical to the one-shot `trace` of an identical run that
+    /// never streamed, and the retained trace really is forgotten.
+    #[test]
+    fn trace_stream_chunks_concatenate_to_the_one_shot_trace() {
+        let run = |streamed: bool| -> (Vec<String>, Option<Scheduler>) {
+            let s = Scheduler::new(
+                SchedulerConfig {
+                    cores: 2,
+                    queue_capacity: 64,
+                    trace_capacity: 256,
+                    ..SchedulerConfig::default()
+                },
+                Arc::new(Registry::new()),
+            );
+            let mut lines = Vec::new();
+            for round in 0..2u64 {
+                for i in 0..5u64 {
+                    assert!(s
+                        .submit(
+                            Some(round * 10 + i),
+                            (i + 1) * 20_000_000,
+                            TaskClass::NonInteractive,
+                            Some(i as f64 * 0.01),
+                        )
+                        .is_ok());
+                }
+                assert!(s.drain_run().is_ok());
+                if streamed {
+                    lines.extend(s.trace_stream_take().lines);
+                }
+            }
+            if streamed {
+                (lines, Some(s))
+            } else {
+                (s.trace_lines(), Some(s))
+            }
+        };
+        let (streamed, s) = run(true);
+        let (oneshot, _) = run(false);
+        assert!(!oneshot.is_empty());
+        assert_eq!(
+            streamed.join("\n"),
+            oneshot.join("\n"),
+            "concatenated trace_stream chunks must be byte-identical to a one-shot trace"
+        );
+        // Streamed events are forgotten: the retained trace is empty
+        // and the cursor accounts for every line handed out.
+        let s = s.unwrap();
+        let (retained, forgotten) = s.trace_lines_absolute();
+        assert!(retained.is_empty(), "streamed events must be forgotten");
+        assert_eq!(forgotten, streamed.len() as u64);
+        let health = s.health();
+        assert_eq!(
+            value_u64(health.field("trace_streamed").unwrap()),
+            Some(streamed.len() as u64)
+        );
+    }
+
+    /// The tentpole invariant: in paced mode the per-stage histograms
+    /// telescope — summed over all completed requests, the telescope
+    /// stages account for the observed end-to-end latency within
+    /// clock-seam tolerance (each seam overlap and the completion
+    /// observation lag are bounded by one tick period per request).
+    #[test]
+    fn paced_stage_sums_telescope_to_e2e_latency() {
+        let s = Scheduler::new(
+            SchedulerConfig {
+                cores: 1,
+                queue_capacity: 64,
+                mode: Mode::Paced { speed: 50.0 },
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        );
+        s.start_clock();
+        let n = 4u64;
+        for _ in 0..n {
+            assert!(s
+                .submit(None, 1_600_000_000, TaskClass::NonInteractive, None)
+                .is_ok());
+        }
+        for _ in 0..2_000 {
+            std::thread::sleep(Duration::from_millis(1));
+            s.tick();
+            if s.metrics().counter("completed").get() == n {
+                break;
+            }
+        }
+        assert_eq!(s.metrics().counter("completed").get(), n, "tasks completed");
+        let m = s.metrics();
+        for name in TELESCOPE_STAGES {
+            assert_eq!(
+                m.histogram(name).count(),
+                n,
+                "stage {name} must record one sample per request"
+            );
+        }
+        let e2e = m.histogram(REQUEST_E2E);
+        assert_eq!(e2e.count(), n);
+        let stage_total: f64 = TELESCOPE_STAGES
+            .iter()
+            .map(|name| m.histogram(name).sum())
+            .sum();
+        let e2e_total = e2e.sum();
+        assert!(e2e_total > 0.0);
+        // Seam tolerance: 30% relative (each of the handful of seams is
+        // bounded by one ~1 ms tick against ~10-20 ms of service time
+        // per task) plus a small absolute floor for scheduler jitter.
+        let tol = 0.30 * e2e_total + 0.02 * n as f64;
+        assert!(
+            (stage_total - e2e_total).abs() <= tol,
+            "stage sum {stage_total:.4}s must telescope to e2e {e2e_total:.4}s (tol {tol:.4}s)"
+        );
+    }
+
+    /// `health` is served from heartbeat slots and leaf metrics only;
+    /// its document carries every advertised section with sane values
+    /// on a live sharded service.
+    #[test]
+    fn health_reports_heartbeats_stages_and_reactor_sections() {
+        let s = sharded(2, 64);
+        for id in 0..4u64 {
+            assert!(s
+                .submit(Some(id), 20_000_000, TaskClass::NonInteractive, Some(0.0))
+                .is_ok());
+        }
+        s.tick();
+        let health = s.health();
+        assert_eq!(value_u64(health.field("shards").unwrap()), Some(2));
+        assert_eq!(value_u64(health.field("degraded").unwrap()), Some(0));
+        assert_eq!(value_u64(health.field("telemetry").unwrap()), Some(1));
+        let Some(Value::Array(beats)) = health.field("heartbeats") else {
+            panic!("health must carry a heartbeats array");
+        };
+        assert_eq!(beats.len(), 2);
+        for (k, beat) in beats.iter().enumerate() {
+            assert_eq!(beat.get("shard").and_then(value_u64), Some(k as u64));
+            assert_eq!(
+                beat.get("cmd_depth").and_then(value_u64),
+                Some(0),
+                "an idle worker has no commands outstanding"
+            );
+            let age = beat
+                .get("last_progress_age_s")
+                .and_then(crate::protocol::value_f64)
+                .unwrap();
+            assert!(
+                (0.0..60.0).contains(&age),
+                "fresh progress stamp, got {age}"
+            );
+            assert!(beat.get("tick_us").and_then(value_u64).is_some());
+        }
+        let Some(Value::Object(stages)) = health.field("stages") else {
+            panic!("health must carry a stages object");
+        };
+        let mut want: Vec<&str> = TELESCOPE_STAGES.to_vec();
+        want.push(STAGE_CMD_DEQUEUE);
+        want.push(REQUEST_E2E);
+        for name in want {
+            let stage = stages
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("health stages must include {name}"));
+            assert!(stage.get("count").and_then(value_u64).is_some());
+        }
+        let Some(reactor) = health.field("reactor") else {
+            panic!("health must carry a reactor section");
+        };
+        assert_eq!(reactor.get("wakeups").and_then(value_u64), Some(0));
+        assert_eq!(value_u64(health.field("trace_dropped").unwrap()), Some(0));
+    }
+
+    /// `telemetry: false` silences the per-task stage records without
+    /// touching the always-on health plane (heartbeats, health shape)
+    /// or the scheduling outcome.
+    #[test]
+    fn telemetry_off_skips_stage_records_but_keeps_heartbeats() {
+        let s = Scheduler::new(
+            SchedulerConfig {
+                cores: 2,
+                queue_capacity: 64,
+                telemetry: false,
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Registry::new()),
+        );
+        for id in 0..4u64 {
+            assert!(s
+                .submit(Some(id), 20_000_000, TaskClass::NonInteractive, Some(0.0))
+                .is_ok());
+        }
+        assert!(s.drain_run().is_ok());
+        assert_eq!(s.metrics().counter("completed").get(), 4);
+        for name in TELESCOPE_STAGES {
+            assert_eq!(
+                s.metrics().histogram(name).count(),
+                0,
+                "stage {name} must stay silent with telemetry off"
+            );
+        }
+        assert_eq!(s.metrics().histogram(REQUEST_E2E).count(), 0);
+        let health = s.health();
+        assert_eq!(value_u64(health.field("telemetry").unwrap()), Some(0));
+        let Some(Value::Array(beats)) = health.field("heartbeats") else {
+            panic!("heartbeats stay on with telemetry off");
+        };
+        assert_eq!(beats.len(), 1);
     }
 }

@@ -39,10 +39,12 @@ use crate::admission::AdmissionQueue;
 use crate::executor::{RealTimeExecutor, RoundReport};
 use crate::metrics::{Counter, Gauge, Histogram, Registry};
 use crate::service::{service_platform, Mode, SchedulerConfig};
+use crate::stage::StageHists;
 use dvfs_core::sched::{ExecutorView, Scheduler as PolicyHooks};
 use dvfs_core::LeastMarginalCost;
 use dvfs_model::{CostParams, Task, TaskRecord};
 use dvfs_trace::SharedRing;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -123,6 +125,127 @@ impl PolicyHooks for TimedPolicy<'_> {
     }
 }
 
+/// Which command a worker just serviced, for the heartbeat's
+/// per-command service-time slots.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ServiceSlot {
+    Tick,
+    Drain,
+    Steal,
+    Inject,
+}
+
+/// One worker's lock-free heartbeat slot: the loop publishes progress
+/// and service times here with relaxed stores, and the supervisor /
+/// `health` snapshot read them without ever touching the worker's
+/// channel. Every field is advisory telemetry — nothing here feeds
+/// back into scheduling, so relaxed ordering cannot perturb the
+/// determinism contract. All atomic accesses stay behind the methods
+/// of this impl (the lint blesses them per field in this file).
+#[derive(Debug)]
+pub(crate) struct Heartbeat {
+    /// Time base for the micros-since-epoch encoding below.
+    epoch: Instant,
+    /// Micros since epoch when the worker last finished a command
+    /// (stamped once at loop start, so an idle worker reads as alive).
+    last_progress_micros: AtomicU64,
+    /// Commands enqueued by the scheduler side.
+    cmd_sent: AtomicU64,
+    /// Commands the worker has dequeued; `sent - dequeued` is the
+    /// command-channel depth (including a sender blocked on the bound).
+    cmd_dequeued: AtomicU64,
+    /// Send→dequeue age of the most recently dequeued command, µs.
+    dequeue_age_micros: AtomicU64,
+    /// Most recent service time per command kind, µs.
+    tick_micros: AtomicU64,
+    drain_micros: AtomicU64,
+    steal_micros: AtomicU64,
+    inject_micros: AtomicU64,
+}
+
+/// A point-in-time copy of one worker's heartbeat for the `health`
+/// document and the stall supervisor.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeartbeatSnapshot {
+    /// Seconds since the worker last finished a command.
+    pub last_progress_age_s: f64,
+    /// Commands sent but not yet dequeued.
+    pub cmd_depth: u64,
+    pub dequeue_age_us: u64,
+    pub tick_us: u64,
+    pub drain_us: u64,
+    pub steal_us: u64,
+    pub inject_us: u64,
+}
+
+impl Heartbeat {
+    pub fn new() -> Self {
+        Heartbeat {
+            epoch: crate::clock::wall_now(),
+            last_progress_micros: AtomicU64::new(0),
+            cmd_sent: AtomicU64::new(0),
+            cmd_dequeued: AtomicU64::new(0),
+            dequeue_age_micros: AtomicU64::new(0),
+            tick_micros: AtomicU64::new(0),
+            drain_micros: AtomicU64::new(0),
+            steal_micros: AtomicU64::new(0),
+            inject_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn micros_since_epoch(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Stamp "the worker loop is alive right now".
+    pub fn mark_progress(&self) {
+        self.last_progress_micros
+            .store(self.micros_since_epoch(), Ordering::Relaxed);
+    }
+
+    /// Count a command enqueued toward this worker.
+    pub fn note_send(&self) {
+        self.cmd_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a dequeue and publish the send→dequeue age.
+    pub fn note_dequeue(&self, sent: Instant) {
+        self.cmd_dequeued.fetch_add(1, Ordering::Relaxed);
+        let age = crate::clock::wall_now().duration_since(sent);
+        self.dequeue_age_micros
+            .store(age.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Publish a command's service time and mark progress.
+    pub fn note_service(&self, slot: ServiceSlot, t0: Instant) {
+        let micros = crate::clock::wall_now().duration_since(t0).as_micros() as u64;
+        match slot {
+            ServiceSlot::Tick => self.tick_micros.store(micros, Ordering::Relaxed),
+            ServiceSlot::Drain => self.drain_micros.store(micros, Ordering::Relaxed),
+            ServiceSlot::Steal => self.steal_micros.store(micros, Ordering::Relaxed),
+            ServiceSlot::Inject => self.inject_micros.store(micros, Ordering::Relaxed),
+        }
+        self.mark_progress();
+    }
+
+    /// Snapshot for the `health` document / supervisor.
+    pub fn snapshot(&self) -> HeartbeatSnapshot {
+        let now = self.micros_since_epoch();
+        let progress = self.last_progress_micros.load(Ordering::Relaxed);
+        let sent = self.cmd_sent.load(Ordering::Relaxed);
+        let dequeued = self.cmd_dequeued.load(Ordering::Relaxed);
+        HeartbeatSnapshot {
+            last_progress_age_s: now.saturating_sub(progress) as f64 * 1e-6,
+            cmd_depth: sent.saturating_sub(dequeued),
+            dequeue_age_us: self.dequeue_age_micros.load(Ordering::Relaxed),
+            tick_us: self.tick_micros.load(Ordering::Relaxed),
+            drain_us: self.drain_micros.load(Ordering::Relaxed),
+            steal_us: self.steal_micros.load(Ordering::Relaxed),
+            inject_us: self.inject_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Shard state shared between the scheduler (submission path, gauges,
 /// trace drains) and the worker that owns the shard's engine. Only
 /// leaf-locked structures live here — the admission queue and the
@@ -151,6 +274,11 @@ pub(crate) struct ShardShared {
     /// rebalancer to find the hot/cold gap. Same advisory-only status
     /// as `backlog`.
     pub queued_cost_bits: AtomicU64,
+    /// The worker's lock-free loop-telemetry slot.
+    pub hb: Heartbeat,
+    /// The shard's stage-attribution histogram bundle (global +
+    /// per-shard handles, resolved once).
+    pub stages: StageHists,
 }
 
 impl ShardShared {
@@ -214,10 +342,20 @@ pub(crate) enum Command {
     Shutdown,
 }
 
+/// One message on the wire to a worker: the command plus its send
+/// stamp, so the worker can publish send→dequeue age into the
+/// heartbeat without any side channel.
+pub(crate) struct Envelope {
+    sent: Instant,
+    cmd: Command,
+}
+
 /// The scheduler's handle to one shard worker.
 pub(crate) struct WorkerHandle {
-    tx: SyncSender<Command>,
+    tx: SyncSender<Envelope>,
     join: Option<JoinHandle<()>>,
+    /// The shard this worker serves, for heartbeat accounting on send.
+    shared: Arc<ShardShared>,
     /// Commands that hit a disconnected worker channel — a worker that
     /// is gone without being asked to stop is a crashed thread, and a
     /// silently swallowed send would turn that crash into a hang.
@@ -232,7 +370,15 @@ impl WorkerHandle {
     /// records it for release builds, and debug builds assert so tests
     /// catch a crashed worker at the earliest point.
     pub fn send(&self, cmd: Command) {
-        if self.tx.send(cmd).is_err() {
+        // Counted before the (possibly blocking) bounded send, so a
+        // sender stuck on a full channel shows up in the depth a
+        // supervisor reads.
+        self.shared.hb.note_send();
+        let env = Envelope {
+            sent: crate::clock::wall_now(),
+            cmd,
+        };
+        if self.tx.send(env).is_err() {
             self.send_failed.inc();
             debug_assert!(false, "command sent to a shard worker whose thread is gone");
         }
@@ -244,7 +390,10 @@ impl WorkerHandle {
     /// this runs from `Scheduler::drop`, possibly mid-unwind, where a
     /// `debug_assert` panic would abort the process.
     pub fn begin_stop(&self) {
-        let _ = self.tx.send(Command::Shutdown);
+        let _ = self.tx.send(Envelope {
+            sent: crate::clock::wall_now(),
+            cmd: Command::Shutdown,
+        });
     }
 
     /// Join the worker thread (idempotent). A worker that panicked has
@@ -268,16 +417,18 @@ pub(crate) fn spawn(
     let (tx, rx) = std::sync::mpsc::sync_channel(COMMAND_QUEUE_BOUND);
     let send_failed = metrics.counter("worker_send_failed");
     let name = format!("dvfs-shard-{}", shared.index);
+    let worker_shared = Arc::clone(&shared);
     let join = std::thread::Builder::new()
         .name(name)
         .spawn(move || {
             Worker {
-                engine: Engine::fresh(&cfg, shared.ring.clone()),
-                shared,
+                engine: Engine::fresh(&cfg, worker_shared.ring.clone()),
+                shared: worker_shared,
                 cfg,
                 metrics,
                 lmc_hist,
                 anchor: None,
+                recv_stamps: HashMap::new(),
             }
             .run(&rx);
         })
@@ -285,8 +436,18 @@ pub(crate) fn spawn(
     WorkerHandle {
         tx,
         join: Some(join),
+        shared,
         send_failed,
     }
+}
+
+/// Stage samples buffered across one step's completions so they land
+/// with one lock acquisition per histogram instead of one per task.
+#[derive(Default)]
+struct StageBatch {
+    engine: Vec<f64>,
+    service: Vec<f64>,
+    e2e: Vec<f64>,
 }
 
 /// Everything one worker thread owns.
@@ -302,46 +463,72 @@ struct Worker {
     /// the per-worker FIFO makes the anti-time-warp regression hold
     /// without any cross-thread clock coordination.
     anchor: Option<Instant>,
+    /// Wire-receive stamps of tasks this engine currently holds, keyed
+    /// by task id, closing the end-to-end seam at completion. Entries
+    /// leave on completion, steal (the task completes elsewhere), and
+    /// drain (fresh engine). Worker-local: no lock, no contention.
+    recv_stamps: HashMap<u64, Instant>,
 }
 
 impl Worker {
-    fn run(mut self, rx: &Receiver<Command>) {
+    fn run(mut self, rx: &Receiver<Envelope>) {
+        // An idle worker that has processed nothing yet is alive, not
+        // stalled.
+        self.shared.hb.mark_progress();
         loop {
-            match rx.recv() {
-                Ok(Command::Tick { reply }) => {
+            let env = match rx.recv() {
+                Ok(env) => env,
+                Err(_) => break,
+            };
+            self.shared.hb.note_dequeue(env.sent);
+            let t0 = crate::clock::wall_now();
+            if self.cfg.telemetry {
+                self.shared
+                    .stages
+                    .cmd_dequeue
+                    .record(t0.duration_since(env.sent).as_secs_f64());
+            }
+            match env.cmd {
+                Command::Tick { reply } => {
                     let r = self.tick();
                     let _ = reply.send(r);
+                    self.shared.hb.note_service(ServiceSlot::Tick, t0);
                 }
-                Ok(Command::Drain { reply }) => {
+                Command::Drain { reply } => {
                     let r = self.drain();
                     let _ = reply.send(r);
+                    self.shared.hb.note_service(ServiceSlot::Drain, t0);
                 }
-                Ok(Command::Stats { reply }) => {
+                Command::Stats { reply } => {
                     let _ = reply.send(StatsReply {
                         pending: self.engine.exec.pending_tasks(),
                         now: self.engine.exec.exec_now(),
                     });
+                    self.shared.hb.mark_progress();
                 }
-                Ok(Command::Steal { max, reply }) => {
+                Command::Steal { max, reply } => {
                     let r = self.steal(max);
                     let _ = reply.send(r);
+                    self.shared.hb.note_service(ServiceSlot::Steal, t0);
                 }
-                Ok(Command::Inject {
+                Command::Inject {
                     from_shard,
                     from_cost,
                     to_cost,
                     tasks,
                     reply,
-                }) => {
+                } => {
                     let r = self.inject(from_shard, from_cost, to_cost, &tasks);
                     let _ = reply.send(r);
+                    self.shared.hb.note_service(ServiceSlot::Inject, t0);
                 }
-                Ok(Command::StartClock) => {
+                Command::StartClock => {
                     if self.anchor.is_none() {
                         self.anchor = Some(crate::clock::wall_now());
                     }
+                    self.shared.hb.mark_progress();
                 }
-                Ok(Command::Shutdown) | Err(_) => break,
+                Command::Shutdown => break,
             }
         }
     }
@@ -358,32 +545,97 @@ impl Worker {
 
     /// Pull every admitted task from the shard queue into the engine
     /// (FIFO, exactly the order the admission queue accepted them).
+    /// With telemetry on, this is where the queue-wait seam closes and
+    /// the wire-receive stamp crosses into worker-local state for the
+    /// end-to-end seam at completion.
     fn pull_admitted(&mut self) {
-        for task in self.shared.queue.drain() {
-            self.engine.exec.push_task(&task);
+        if self.cfg.telemetry {
+            let pulled = crate::clock::wall_now();
+            let drained = self.shared.queue.drain_stamped();
+            let mut waits = Vec::with_capacity(drained.len());
+            for (task, stamp) in drained {
+                waits.push(pulled.duration_since(stamp.admitted).as_secs_f64());
+                self.recv_stamps.insert(task.id.0, stamp.recv);
+                self.engine.exec.push_task(&task);
+            }
+            self.shared.stages.queue.record_many(&waits);
+        } else {
+            for task in self.shared.queue.drain() {
+                self.engine.exec.push_task(&task);
+            }
         }
     }
 
     /// Stream completions into the histograms and publish actuation
     /// counters — the post-step bookkeeping both tick and drain share.
+    /// Stage samples are buffered across the step's completions and
+    /// landed with one lock acquisition per histogram, so telemetry
+    /// costs a round of batched records, not a mutex round-trip per
+    /// task.
     fn finish_step(&mut self) {
         let params = self.cfg.params;
+        let mut batch = StageBatch::default();
+        let now = crate::clock::wall_now();
         for rec in self.engine.exec.take_completions() {
-            self.observe_completion(&rec, params);
+            self.observe_completion(&rec, params, now, &mut batch);
+        }
+        if self.cfg.telemetry {
+            let stages = &self.shared.stages;
+            stages.engine.record_many(&batch.engine);
+            stages.service.record_many(&batch.service);
+            stages.e2e.record_many(&batch.e2e);
         }
         let (applied, errored) = self.engine.exec.take_actuations();
         self.metrics.counter("actuations").add(applied);
         self.metrics.counter("actuation_errors").add(errored);
     }
 
-    /// Record a finished task into the latency/cost histograms.
-    fn observe_completion(&self, rec: &TaskRecord, params: CostParams) {
+    /// Record a finished task into the latency/cost histograms and,
+    /// with telemetry on, close its stage seams: the engine-side stages
+    /// come free from the record's engine-second stamps, and the
+    /// end-to-end seam closes against the wire-receive stamp carried
+    /// through the admission queue (every completion in one step shares
+    /// the step's wall stamp — the seam tolerance already absorbs a
+    /// step of quantization). Migrated-in tasks have no stamp here
+    /// (their receive was observed on the origin shard), so they
+    /// contribute engine stages only.
+    fn observe_completion(
+        &mut self,
+        rec: &TaskRecord,
+        params: CostParams,
+        now: Instant,
+        batch: &mut StageBatch,
+    ) {
         self.metrics.counter("completed").inc();
         self.shared.completed.inc();
         if let Some(turnaround) = rec.turnaround() {
             self.metrics.histogram("task_latency_s").record(turnaround);
             let cost = params.re * rec.energy_joules + params.rt * turnaround;
             self.metrics.histogram("task_cost").record(cost);
+        }
+        if self.cfg.telemetry {
+            if let (Some(first_start), Some(completion)) = (rec.first_start, rec.completion) {
+                // In paced mode engine seconds map to wall seconds
+                // through the speed factor; dividing it back out keeps
+                // the engine-side stages in wall-equivalent seconds, so
+                // the telescope sums to `request_e2e_s` at any speed.
+                // Replay compresses engine time arbitrarily, so the raw
+                // engine seconds are reported there (no wall telescope
+                // exists to honor).
+                let scale = match self.cfg.mode {
+                    Mode::Paced { speed } if speed > 0.0 => speed.recip(),
+                    _ => 1.0,
+                };
+                batch
+                    .engine
+                    .push((first_start - rec.arrival).max(0.0) * scale);
+                batch
+                    .service
+                    .push((completion - first_start).max(0.0) * scale);
+            }
+            if let Some(recv) = self.recv_stamps.remove(&rec.id.0) {
+                batch.e2e.push(now.duration_since(recv).as_secs_f64());
+            }
         }
     }
 
@@ -418,6 +670,11 @@ impl Worker {
             ids.len(),
             "every ledger-resident task is Ready in the executor"
         );
+        // Stolen tasks complete on another shard; their end-to-end seam
+        // cannot close here.
+        for task in &tasks {
+            self.recv_stamps.remove(&task.id.0);
+        }
         self.publish_load();
         tasks
     }
@@ -487,7 +744,9 @@ impl Worker {
         self.finish_step();
         let report = self.engine.exec.round_report();
         // Fresh round: the trace ring carries over so sequence numbers
-        // stay continuous.
+        // stay continuous. Any leftover receive stamps (tasks migrated
+        // away mid-round) go with the old engine.
+        self.recv_stamps.clear();
         self.engine = Engine::fresh(&self.cfg, self.shared.ring.clone());
         if self.anchor.is_some() {
             self.anchor = Some(crate::clock::wall_now());
@@ -501,6 +760,25 @@ impl Worker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::AdmissionPolicy;
+
+    fn test_shared() -> Arc<ShardShared> {
+        let r = Registry::new();
+        Arc::new(ShardShared {
+            index: 0,
+            queue: AdmissionQueue::new(AdmissionPolicy::with_capacity(4)),
+            ring: None,
+            depth_gauge: r.gauge("queue_depth"),
+            pending_gauge: r.gauge("pending_tasks"),
+            admitted: r.counter("admitted"),
+            shed: r.counter("shed"),
+            completed: r.counter("completed"),
+            backlog: AtomicUsize::new(0),
+            queued_cost_bits: AtomicU64::new(0),
+            hb: Heartbeat::new(),
+            stages: StageHists::new(&r, 0),
+        })
+    }
 
     /// A send into a dead worker must be loud (debug assert) and
     /// counted (`worker_send_failed`), never a silent drop — while
@@ -514,6 +792,7 @@ mod tests {
         let handle = WorkerHandle {
             tx,
             join: None,
+            shared: test_shared(),
             send_failed: Arc::clone(&send_failed),
         };
 
@@ -529,5 +808,53 @@ mod tests {
             cfg!(debug_assertions),
             "debug builds surface the dead worker via debug_assert"
         );
+    }
+
+    /// The heartbeat's depth arithmetic: `send` counts immediately,
+    /// dequeue settles it, and the snapshot never underflows even when
+    /// stop envelopes (uncounted on send) are dequeued.
+    #[test]
+    fn heartbeat_depth_and_progress_tracking() {
+        let hb = Heartbeat::new();
+        let snap = hb.snapshot();
+        assert_eq!(snap.cmd_depth, 0);
+        hb.note_send();
+        hb.note_send();
+        assert_eq!(hb.snapshot().cmd_depth, 2);
+        hb.note_dequeue(crate::clock::wall_now());
+        assert_eq!(hb.snapshot().cmd_depth, 1);
+        // Three dequeues against two sends (a begin_stop envelope is
+        // not counted on send): saturates at zero, never wraps.
+        hb.note_dequeue(crate::clock::wall_now());
+        hb.note_dequeue(crate::clock::wall_now());
+        assert_eq!(hb.snapshot().cmd_depth, 0);
+        // Service notes refresh progress and fill the per-kind slot.
+        let t0 = crate::clock::wall_now();
+        hb.note_service(ServiceSlot::Tick, t0);
+        let snap = hb.snapshot();
+        assert!(snap.last_progress_age_s < 1.0, "progress just marked");
+        assert!(snap.tick_us < 1_000_000, "tick slot holds a sane value");
+    }
+
+    /// A live worker keeps its heartbeat fresh: every processed command
+    /// advances dequeue counts and last-progress.
+    #[test]
+    fn worker_loop_publishes_heartbeat() {
+        let shared = test_shared();
+        let cfg = SchedulerConfig::default();
+        let metrics = Arc::new(Registry::new());
+        let lmc = metrics.histogram("lmc_decision_us");
+        let mut handle = spawn(Arc::clone(&shared), cfg, metrics, lmc);
+        let (tx, rx) = reply_channel();
+        handle.send(Command::Tick { reply: tx });
+        rx.recv().expect("worker replies to tick");
+        let snap = shared.hb.snapshot();
+        assert_eq!(snap.cmd_depth, 0, "tick was dequeued");
+        assert!(
+            snap.last_progress_age_s < 5.0,
+            "progress stamped by the tick"
+        );
+        handle.begin_stop();
+        handle.join();
     }
 }

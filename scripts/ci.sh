@@ -18,7 +18,7 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
-run cargo test -q
+run cargo test --workspace -q
 run cargo bench --no-run
 
 # Docs gate: rustdoc must build clean (broken intra-doc links and
@@ -32,13 +32,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 # shards (the router, fan-out, and report merge). The e2e trace's ids
 # all hash to shard 0, so every cell of the matrix must replay it
 # identically — including the drained lifecycle trace, byte for byte
-# (trace_e2e). net_framing replays the shared framing edge-case table
-# over live sockets against both backends.
+# (trace_e2e). health_e2e drives the runtime health plane over the
+# wire in every cell: heartbeat/stage/reactor sections of `health`,
+# and the stage telescope summing to end-to-end latency. net_framing
+# replays the shared framing edge-case table over live sockets against
+# both backends.
 for net in threads reactor; do
     for shards in 1 2 4; do
         echo "==> serve e2e at DVFS_SERVE_NET=$net DVFS_SERVE_SHARDS=$shards"
         DVFS_SERVE_NET="$net" DVFS_SERVE_SHARDS="$shards" cargo test -q --test serve_e2e
         DVFS_SERVE_NET="$net" DVFS_SERVE_SHARDS="$shards" cargo test -q --test trace_e2e
+        DVFS_SERVE_NET="$net" DVFS_SERVE_SHARDS="$shards" cargo test -q --test health_e2e
     done
 done
 run cargo test -q --test net_framing
@@ -67,6 +71,14 @@ done
 # record path started allocating or formatting; see dvfs-lint's
 # determinism rules over crates/trace/src/{lib,ring}.rs).
 run cargo test -q -p dvfs-bench --test trace_overhead -- --ignored
+
+# Health-plane overhead smoke: the same drain workload with per-request
+# stage telemetry off and on, back-to-back per rep, best pairwise
+# ratio gated at 5% and against the committed ratio in
+# BENCH_health_overhead.json (then refreshed). A miss means per-task
+# work crept onto the submit or completion hot path (stage records are
+# batched per worker round by design).
+run cargo test -q -p dvfs-bench --test health_overhead -- --ignored
 
 # Reactor-at-scale smoke: a single epoll reactor holds ~10k idle
 # connections while a small active set submits. Gates per-connection

@@ -187,6 +187,101 @@ fn wire_trace_and_trace_out_file_serve_the_same_bytes() {
     std::fs::remove_file(&trace_path).ok();
 }
 
+/// Decode a `trace`/`trace_stream` response's events array as owned
+/// strings.
+fn event_lines(resp: &Response) -> Vec<String> {
+    let Some(Value::Array(items)) = resp.field("events") else {
+        panic!("response carries an events array: {resp:?}");
+    };
+    items
+        .iter()
+        .map(|v| match v {
+            Value::String(s) => s.clone(),
+            other => panic!("event is not a string: {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn trace_stream_chunks_and_file_match_the_one_shot_trace() {
+    // Reference: the identical workload against a one-shot `trace`.
+    let reference = traced_run(env_shards());
+    assert!(!reference.is_empty());
+
+    let sock = scratch("stream", "sock");
+    let trace_path = scratch("stream", "jsonl");
+    std::fs::remove_file(&trace_path).ok();
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            cores: 2,
+            shards: env_shards(),
+            trace_capacity: 4096,
+            ..SchedulerConfig::default()
+        },
+        trace_out: Some(trace_path.clone()),
+        ..ServerConfig::new(Endpoint::Unix(sock))
+    };
+    let handle = serve(cfg).expect("server binds");
+
+    let report = loadgen::run(
+        handle.endpoint(),
+        &LoadMode::Replay {
+            trace: mixed_trace(),
+        },
+    )
+    .expect("loadgen run succeeds");
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.errors, 0);
+
+    // First stream drains everything retained...
+    let mut conn = Connection::open(handle.endpoint()).expect("client connects");
+    let resp = conn
+        .round_trip(&encode_command("trace_stream"))
+        .expect("trace_stream round-trips");
+    let Response::Ok(_) = &resp else {
+        panic!("trace_stream failed: {resp:?}");
+    };
+    assert_eq!(resp.field("dropped").and_then(value_u64), Some(0));
+    let chunk1 = event_lines(&resp);
+    assert_eq!(
+        resp.field("count").and_then(value_u64),
+        Some(chunk1.len() as u64)
+    );
+    assert_eq!(
+        resp.field("streamed").and_then(value_u64),
+        Some(chunk1.len() as u64)
+    );
+
+    // ... and the second chunk is empty: drain-and-forget, with the
+    // cumulative streamed cursor standing still.
+    let resp2 = conn
+        .round_trip(&encode_command("trace_stream"))
+        .expect("second trace_stream round-trips");
+    let chunk2 = event_lines(&resp2);
+    assert!(chunk2.is_empty(), "stream must forget drained events");
+    assert_eq!(
+        resp2.field("streamed").and_then(value_u64),
+        Some(chunk1.len() as u64)
+    );
+
+    // Byte identity: the concatenated chunks are the one-shot trace the
+    // in-process reference produced for the same workload.
+    let streamed: Vec<String> = chunk1.into_iter().chain(chunk2).collect();
+    assert_eq!(streamed, reference, "streamed chunks diverge from trace");
+
+    handle.shutdown();
+    handle.wait();
+
+    // The append-only file saw exactly the streamed bytes once — the
+    // stream's file append and the shutdown flush share one cursor, so
+    // nothing is duplicated or lost.
+    let file = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let mut want = streamed.join("\n");
+    want.push('\n');
+    assert_eq!(file, want, "file and streamed trace diverge");
+    std::fs::remove_file(&trace_path).ok();
+}
+
 #[test]
 fn trace_command_errors_when_tracing_is_disabled() {
     let sock = scratch("disabled", "sock");
